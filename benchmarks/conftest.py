@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures from
+scratch (the per-process experiment cache is cleared first), so the
+reported time is the cost of reproducing that artifact end to end.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import clear_cache
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Benchmark one experiment and sanity-check its output."""
+
+    def _run(name: str):
+        def job():
+            clear_cache()
+            return run_experiment(name)
+
+        result = benchmark.pedantic(job, rounds=1, iterations=1)
+        assert result.name == name
+        assert result.render()
+        return result
+
+    return _run

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Ablation (auto-balanced placement)."""
+
+
+def test_ablation_auto_placement(regenerate):
+    regenerate("ablation_auto_placement")

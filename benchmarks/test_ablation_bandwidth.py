@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Ablation (bandwidth continuum)."""
+
+
+def test_ablation_bandwidth(regenerate):
+    regenerate("ablation_bandwidth")

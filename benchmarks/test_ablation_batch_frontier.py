@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Ablation (batch frontier)."""
+
+
+def test_ablation_batch_frontier(regenerate):
+    regenerate("ablation_batch_frontier")

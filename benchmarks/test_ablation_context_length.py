@@ -1,0 +1,5 @@
+"""Benchmark: regenerate ablation_context_length."""
+
+
+def test_ablation_context_length(regenerate):
+    regenerate("ablation_context_length")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate ablation_cxl_interleave."""
+
+
+def test_ablation_cxl_interleave(regenerate):
+    regenerate("ablation_cxl_interleave")

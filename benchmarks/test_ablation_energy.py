@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the energy ablation."""
+
+
+def test_ablation_energy(regenerate):
+    regenerate("ablation_energy")

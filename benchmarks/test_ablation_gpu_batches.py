@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the gpu_batches ablation."""
+
+
+def test_ablation_gpu_batches(regenerate):
+    regenerate("ablation_gpu_batches")

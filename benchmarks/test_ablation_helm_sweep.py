@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Ablation (HeLM GPU-share sweep)."""
+
+
+def test_ablation_helm_sweep(regenerate):
+    regenerate("ablation_helm_sweep")

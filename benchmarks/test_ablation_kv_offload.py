@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the kv_offload ablation."""
+
+
+def test_ablation_kv_offload(regenerate):
+    regenerate("ablation_kv_offload")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate ablation_model_scaling."""
+
+
+def test_ablation_model_scaling(regenerate):
+    regenerate("ablation_model_scaling")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the overlap on/off ablation."""
+
+
+def test_ablation_overlap(regenerate):
+    regenerate("ablation_overlap")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the QoS-planning ablation."""
+
+
+def test_ablation_qos(regenerate):
+    regenerate("ablation_qos")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate ablation_queueing."""
+
+
+def test_ablation_queueing(regenerate):
+    regenerate("ablation_queueing")

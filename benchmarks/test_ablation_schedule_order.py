@@ -1,0 +1,5 @@
+"""Benchmark: regenerate ablation_schedule_order."""
+
+
+def test_ablation_schedule_order(regenerate):
+    regenerate("ablation_schedule_order")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 10 (HeLM weight distribution)."""
+
+
+def test_fig10_helm_dist(regenerate):
+    regenerate("fig10_helm_dist")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 11 (HeLM overlap and latency)."""
+
+
+def test_fig11_helm(regenerate):
+    regenerate("fig11_helm")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 12 (All-CPU latency/throughput/overlap)."""
+
+
+def test_fig12_allcpu(regenerate):
+    regenerate("fig12_allcpu")

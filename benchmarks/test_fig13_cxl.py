@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 13 (CXL projections)."""
+
+
+def test_fig13_cxl(regenerate):
+    regenerate("fig13_cxl")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 3 (host/GPU bandwidth sweep)."""
+
+
+def test_fig3_bandwidth(regenerate):
+    regenerate("fig3_bandwidth")

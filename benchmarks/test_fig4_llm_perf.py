@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 4 (TTFT/TBT/throughput matrix)."""
+
+
+def test_fig4_llm_perf(regenerate):
+    regenerate("fig4_llm_perf")

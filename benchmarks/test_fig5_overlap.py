@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 5 (compute/communication overlap)."""
+
+
+def test_fig5_overlap(regenerate):
+    regenerate("fig5_overlap")

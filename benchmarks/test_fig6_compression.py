@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 6 (compression trade-off)."""
+
+
+def test_fig6_compression(regenerate):
+    regenerate("fig6_compression")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 7 (sawtooth + achieved distributions)."""
+
+
+def test_fig7_placement(regenerate):
+    regenerate("fig7_placement")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Figure 8 (MHA/FFN overlap imbalance)."""
+
+
+def test_fig8_mha_ffn(regenerate):
+    regenerate("fig8_mha_ffn")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate fig9_helm_weights."""
+
+
+def test_fig9_helm_weights(regenerate):
+    regenerate("fig9_helm_weights")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Table I (system configuration)."""
+
+
+def test_table1_system(regenerate):
+    regenerate("table1_system")

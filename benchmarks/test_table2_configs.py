@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Table II (model/memory configurations)."""
+
+
+def test_table2_configs(regenerate):
+    regenerate("table2_configs")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Table III (CXL configurations)."""
+
+
+def test_table3_cxl(regenerate):
+    regenerate("table3_cxl")

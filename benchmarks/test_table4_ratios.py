@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Table IV (overlap ratio matrix)."""
+
+
+def test_table4_ratios(regenerate):
+    regenerate("table4_ratios")

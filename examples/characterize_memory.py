@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Characterize heterogeneous host memory, as in Sections III-IV.
+
+Part 1 reruns the Fig. 3 microbenchmark (host<->GPU copy bandwidth per
+technology, NUMA node, and buffer size).  Part 2 serves OPT-30B and
+OPT-175B under every Table II configuration and reports TTFT / TBT /
+throughput (Fig. 4).
+
+Run:
+    python examples/characterize_memory.py
+"""
+
+from repro import OffloadEngine
+from repro.bench.nvbandwidth import bandwidth_sweep
+from repro.units import MIB
+
+
+def microbenchmark() -> None:
+    print("== Host/GPU copy bandwidth (Fig. 3) ==")
+    samples = bandwidth_sweep()
+    regions = sorted({s.region_name for s in samples})
+    for direction, title in (("h2g", "host -> GPU"), ("g2h", "GPU -> host")):
+        print(f"\n{title} (GB/s):")
+        print(f"{'buffer':>10} " + " ".join(f"{r:>10}" for r in regions))
+        sizes = sorted({s.buffer_bytes for s in samples})
+        lookup = {
+            (s.buffer_bytes, s.region_name): s.gb_per_s
+            for s in samples
+            if s.direction == direction
+        }
+        for size in sizes:
+            row = " ".join(
+                f"{lookup[(size, region)]:>10.2f}" for region in regions
+            )
+            print(f"{int(size / MIB):>8}MiB {row}")
+
+
+def llm_performance() -> None:
+    print("\n== LLM serving performance (Fig. 4) ==")
+    matrix = (
+        ("opt-30b", ("DRAM", "NVDRAM", "MemoryMode"), (1, 32)),
+        ("opt-175b", ("SSD", "FSDAX", "NVDRAM", "MemoryMode"), (1, 8)),
+    )
+    print(f"{'model':<10} {'config':<12} {'batch':>5} {'TTFT (s)':>10} "
+          f"{'TBT (s)':>10} {'tokens/s':>10}")
+    for model, hosts, batches in matrix:
+        for host in hosts:
+            for batch in batches:
+                metrics = OffloadEngine(
+                    model=model, host=host, batch_size=batch,
+                    prompt_len=128, gen_len=21,
+                ).run_timing()
+                print(
+                    f"{model:<10} {host:<12} {batch:>5} "
+                    f"{metrics.ttft_s:>10.3f} {metrics.tbt_s:>10.4f} "
+                    f"{metrics.throughput_tps:>10.3f}"
+                )
+
+
+def main() -> None:
+    microbenchmark()
+    llm_performance()
+
+
+if __name__ == "__main__":
+    main()

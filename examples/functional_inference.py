@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""End-to-end *functional* inference through the offloading engine.
+
+Everything here is real computation: synthetic news documents are
+tokenized with the WordPiece tokenizer, a tiny randomly-initialized
+OPT model is placed across GPU/host tiers (with 4-bit group-wise
+quantization), the zig-zag schedule streams each layer's weights, and
+greedy decoding produces tokens — which are checked against a dense
+reference implementation and decoded back to text.
+
+Run:
+    python examples/functional_inference.py
+"""
+
+import numpy as np
+
+from repro import OffloadEngine
+from repro.models.transformer import OptWeights, reference_generate
+from repro.workloads.corpus import SyntheticCorpus
+from repro.workloads.tokenizer import WordPieceTokenizer
+
+PROMPT_LEN = 12
+GEN_LEN = 6
+BATCH = 3
+
+
+def main() -> None:
+    corpus = SyntheticCorpus(seed=2026)
+    documents = corpus.documents(BATCH, sentences=6)
+    tokenizer = WordPieceTokenizer.train(documents, vocab_size=512)
+
+    prompts = []
+    for document in documents:
+        ids = tokenizer.encode(document, max_tokens=PROMPT_LEN)
+        prompts.append(ids[:PROMPT_LEN])
+    token_ids = np.array(prompts)
+
+    engine = OffloadEngine(
+        model="opt-tiny",          # vocab 512 matches the tokenizer
+        host="NVDRAM",
+        placement="helm",
+        compress_weights=True,     # real int4 group-wise quantization
+        batch_size=BATCH,
+        prompt_len=PROMPT_LEN,
+        gen_len=GEN_LEN,
+    )
+    weights = OptWeights.init_random(engine.config, seed=99)
+    result = engine.run_functional(weights=weights, token_ids=token_ids)
+
+    print("Offloaded generation (tiny OPT, HeLM placement, int4 weights):")
+    for row in range(BATCH):
+        prompt_text = tokenizer.decode(token_ids[row])
+        generated = result.sequences[row, PROMPT_LEN:]
+        print(f"  prompt[{row}]: {prompt_text[:60]}...")
+        print(f"  generated ids: {generated.tolist()}")
+
+    print("\nSimulated timing for this run "
+          f"(host=NVDRAM): TTFT={result.metrics.ttft_s * 1e3:.3f} ms, "
+          f"TBT={result.metrics.tbt_s * 1e3:.3f} ms")
+
+    # Prove correctness against a dense reference over the same
+    # (quantize->dequantize) effective weights.
+    from repro.core.functional import FunctionalExecutor
+
+    executor = FunctionalExecutor(
+        host=engine.host,
+        placement=engine.placement_result,
+        policy=engine.policy,
+        weights=weights,
+    )
+    try:
+        expected = reference_generate(
+            executor.effective_weights(), token_ids, GEN_LEN
+        )
+    finally:
+        executor.release()
+    assert (result.sequences == expected).all()
+    print("\nVerified: offloaded tokens == dense reference tokens.")
+
+
+if __name__ == "__main__":
+    main()

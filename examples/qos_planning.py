@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""QoS-driven serving, end to end.
+
+The paper's closing sentence hopes for placement algorithms that
+"automatically make latency/throughput tradeoffs based on desired
+quality of service requirements".  This example does that twice over:
+
+1. the *planner* picks a (placement, batch) for each SLO, and
+2. the *queueing layer* shows what that choice means under a live
+   Poisson arrival stream (P50/P95 latency, saturation point).
+
+Run:
+    python examples/qos_planning.py
+"""
+
+from repro import OffloadEngine, QosTarget, plan_for_qos
+from repro.core.queueing import engine_queueing
+
+
+def plan_section() -> None:
+    print("== QoS planning (OPT-175B, NVDRAM, compressed) ==")
+    targets = (
+        ("interactive: TBT <= 4.5 s", QosTarget(max_tbt_s=4.5)),
+        ("bulk: >= 5 tokens/s", QosTarget(min_throughput_tps=5.0)),
+        (
+            "both: TBT <= 6.5 s and >= 5 tokens/s",
+            QosTarget(max_tbt_s=6.5, min_throughput_tps=5.0),
+        ),
+    )
+    for label, target in targets:
+        plan = plan_for_qos(target, gen_len=21)
+        chosen = plan.chosen
+        status = "met" if plan.meets_target else "BEST EFFORT"
+        print(
+            f"  {label:<38} -> {chosen.placement}@b{chosen.batch_size} "
+            f"(TBT {chosen.metrics.tbt_s:.2f} s, "
+            f"{chosen.metrics.throughput_tps:.2f} tok/s) [{status}]"
+        )
+
+
+def queueing_section() -> None:
+    print("\n== The same trade-off under Poisson load ==")
+    helm = OffloadEngine(
+        model="opt-175b", host="NVDRAM", placement="helm",
+        compress_weights=True, batch_size=1,
+    )
+    allcpu_probe = OffloadEngine(
+        model="opt-175b", host="NVDRAM", placement="allcpu",
+        compress_weights=True, batch_size=1,
+    )
+    bmax = allcpu_probe.max_batch_size()
+    allcpu = OffloadEngine(
+        model="opt-175b", host="NVDRAM", placement="allcpu",
+        compress_weights=True, batch_size=bmax,
+    )
+    print(f"  {'rate (req/s)':>12} {'HeLM@1 P95 (s)':>16} "
+          f"{'All-CPU@%d P95 (s)' % bmax:>20}")
+    for rate in (0.005, 0.02, 0.1):
+        helm_result = engine_queueing(helm, rate, num_requests=800)
+        allcpu_result = engine_queueing(allcpu, rate, num_requests=800)
+        helm_cell = (
+            f"{helm_result.p95_latency_s:.0f}"
+            + ("*" if helm_result.saturated else "")
+        )
+        allcpu_cell = (
+            f"{allcpu_result.p95_latency_s:.0f}"
+            + ("*" if allcpu_result.saturated else "")
+        )
+        print(f"  {rate:>12} {helm_cell:>16} {allcpu_cell:>20}")
+    print("  (* = queue saturated: arrivals exceed capacity)")
+    print(
+        "\nAt a trickle the small HeLM batch answers fastest; past its "
+        "~0.012 req/s capacity only the All-CPU batch keeps tail "
+        "latency bounded — the paper's latency/throughput trade-off, "
+        "operationalized."
+    )
+
+
+def main() -> None:
+    plan_section()
+    queueing_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate the artifact's ``output/`` directory.
+
+The original artifact ships raw figure data plus plotting scripts;
+this script produces the equivalent from a fresh simulation run:
+
+    output/
+      data/<experiment>/<table>.csv     raw rows behind every table
+      data/<experiment>.json            structured data + checks
+      figures/*.svg                     every plot in the evaluation
+      scorecard.txt                     all claims, graded
+
+Usage:
+    python scripts/generate_output.py [OUT_DIR]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+
+from repro.experiments.paper_values import render_scorecard
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.viz.figures import render_all_figures
+
+
+def _slug(text: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+    return slug[:60] or "table"
+
+
+def main(out_dir: str = "output") -> int:
+    data_dir = os.path.join(out_dir, "data")
+    figures_dir = os.path.join(out_dir, "figures")
+    os.makedirs(data_dir, exist_ok=True)
+
+    for name in sorted(EXPERIMENTS):
+        print(f"[{name}]")
+        result = run_experiment(name)
+        experiment_dir = os.path.join(data_dir, name)
+        os.makedirs(experiment_dir, exist_ok=True)
+        for table in result.tables:
+            csv_path = os.path.join(
+                experiment_dir, f"{_slug(table.title)}.csv"
+            )
+            with open(csv_path, "w") as handle:
+                handle.write(table.to_csv())
+        with open(os.path.join(data_dir, f"{name}.json"), "w") as handle:
+            json.dump(
+                {"description": result.description, "data": result.data},
+                handle,
+                indent=1,
+                default=str,
+            )
+
+    print("[figures]")
+    for path in render_all_figures(figures_dir):
+        print(f"  {path}")
+
+    print("[scorecard]")
+    scorecard_text = render_scorecard()
+    with open(os.path.join(out_dir, "scorecard.txt"), "w") as handle:
+        handle.write(scorecard_text + "\n")
+    print(scorecard_text.splitlines()[-1])
+    print(f"\noutput written to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1] if len(sys.argv) > 1 else "output"))

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` uses pyproject.toml; this file additionally
+enables ``python setup.py develop`` on minimal offline environments
+that lack the ``wheel`` package required for PEP 660 editable
+installs.
+"""
+
+from setuptools import setup
+
+setup()

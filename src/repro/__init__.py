@@ -1,0 +1,47 @@
+"""Reproduction of *Improving the Performance of Out-of-Core LLM
+Inference Using Heterogeneous Host Memory* (Gupta & Dwarkadas,
+IISWC 2025).
+
+Quick start::
+
+    from repro import OffloadEngine
+
+    engine = OffloadEngine(
+        model="opt-175b", host="NVDRAM", placement="helm",
+        compress_weights=True, batch_size=1,
+    )
+    metrics = engine.run_timing()
+    print(metrics.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.analysis.energy import estimate_energy
+from repro.core.engine import OffloadEngine
+from repro.core.metrics import GenerationMetrics, Stage
+from repro.core.policy import Policy
+from repro.core.qos import QosTarget, plan_for_qos
+from repro.core.serving import serve
+from repro.memory.hierarchy import HOST_CONFIG_LABELS, host_config
+from repro.models.config import OPT_CONFIGS, opt_config
+from repro.sim.chrome_trace import save_chrome_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OffloadEngine",
+    "GenerationMetrics",
+    "Stage",
+    "Policy",
+    "host_config",
+    "HOST_CONFIG_LABELS",
+    "opt_config",
+    "OPT_CONFIGS",
+    "serve",
+    "QosTarget",
+    "plan_for_qos",
+    "estimate_energy",
+    "save_chrome_trace",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis: overlap ratios, distributions, CXL projections, reports."""
+
+from repro.analysis.overlap import OverlapRatios, overlap_ratios
+from repro.analysis.distribution import distribution_table
+from repro.analysis.projection import CxlProjection, project_cxl
+from repro.analysis.reporting import Table, render_series, render_table
+
+__all__ = [
+    "OverlapRatios",
+    "overlap_ratios",
+    "distribution_table",
+    "CxlProjection",
+    "project_cxl",
+    "Table",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,41 @@
+"""Achieved weight distributions (Figs. 7b, 7c, 10)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.placement.base import PlacementResult
+from repro.devices.device import DeviceKind
+from repro.models.weights import LayerKind
+
+
+def distribution_table(
+    placement: PlacementResult,
+) -> List[Dict[str, object]]:
+    """Per-layer-kind tier shares, as the paper's stacked bars show.
+
+    Returns one row per layer kind with the fraction of that kind's
+    bytes on each tier, plus an ``overall`` row with the achieved
+    (disk, cpu, gpu) percentages of Section V-A.
+    """
+    rows: List[Dict[str, object]] = []
+    for kind in (LayerKind.MHA, LayerKind.FFN):
+        shares = placement.kind_distribution(kind)
+        rows.append(
+            {
+                "kind": kind.value,
+                "gpu": shares[DeviceKind.GPU],
+                "cpu": shares[DeviceKind.CPU],
+                "disk": shares[DeviceKind.DISK],
+            }
+        )
+    disk, cpu, gpu = placement.achieved_percentages()
+    rows.append(
+        {
+            "kind": "overall",
+            "gpu": gpu / 100.0,
+            "cpu": cpu / 100.0,
+            "disk": disk / 100.0,
+        }
+    )
+    return rows

@@ -1,0 +1,160 @@
+"""Energy estimation for a serving run.
+
+The paper's abstract motivates heterogeneous memory with "improving
+overall system energy efficiency" but never quantifies it; this
+module makes that argument checkable.  It combines
+
+* **dynamic transfer energy** — per-bit costs for host-memory
+  accesses, PCIe crossings, and HBM traffic
+  (:mod:`repro.memory.calibration` documents the provenance of each
+  constant), and
+* **static energy** — idle power of the populated memory system, GPU,
+  and CPU integrated over the run's wall-clock time, with the GPU's
+  active power applied during its compute-busy time.
+
+The comparison the paper implies: an Optane-provisioned host needs
+far fewer watts per byte of *capacity* than an all-DRAM host of equal
+capacity, so even with longer runtimes the joules per generated token
+can favor heterogeneous memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.engine import OffloadEngine
+from repro.core.metrics import GenerationMetrics
+from repro.devices.device import DeviceKind
+from repro.errors import ConfigurationError
+from repro.memory import calibration as cal
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent in one serving run, by component."""
+
+    host_dynamic_j: float
+    pcie_dynamic_j: float
+    hbm_dynamic_j: float
+    gpu_j: float
+    cpu_j: float
+    memory_static_j: float
+    tokens: int
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.host_dynamic_j
+            + self.pcie_dynamic_j
+            + self.hbm_dynamic_j
+            + self.gpu_j
+            + self.cpu_j
+            + self.memory_static_j
+        )
+
+    @property
+    def joules_per_token(self) -> float:
+        if self.tokens <= 0:
+            raise ConfigurationError("run generated no tokens")
+        return self.total_j / self.tokens
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "host_dynamic_j": self.host_dynamic_j,
+            "pcie_dynamic_j": self.pcie_dynamic_j,
+            "hbm_dynamic_j": self.hbm_dynamic_j,
+            "gpu_j": self.gpu_j,
+            "cpu_j": self.cpu_j,
+            "memory_static_j": self.memory_static_j,
+            "total_j": self.total_j,
+            "joules_per_token": self.joules_per_token,
+        }
+
+
+def _host_read_pj_per_bit(label: str) -> float:
+    if label in ("NVDRAM", "FSDAX"):
+        return cal.ENERGY_OPTANE_READ_PJ_PER_BIT
+    if label == "MemoryMode":
+        # Hits are DRAM-priced, misses Optane-priced; use a coarse mix.
+        return 0.8 * cal.ENERGY_DRAM_PJ_PER_BIT + 0.2 * (
+            cal.ENERGY_OPTANE_READ_PJ_PER_BIT
+        )
+    if label.startswith("CXL"):
+        return cal.ENERGY_DRAM_PJ_PER_BIT + cal.ENERGY_CXL_PJ_PER_BIT
+    return cal.ENERGY_DRAM_PJ_PER_BIT
+
+
+def _memory_idle_power(label: str) -> float:
+    """Idle power of a host provisioned for ~1 TB of model capacity."""
+    dram_dimms = 16                                # 2 sockets x 8
+    optane_dimms = 8                               # 2 sockets x 4
+    base = dram_dimms * cal.POWER_DRAM_IDLE_W
+    if label in ("NVDRAM", "MemoryMode", "FSDAX"):
+        return base + optane_dimms * cal.POWER_OPTANE_IDLE_W
+    if label == "DRAM":
+        # An all-DRAM host of equal (1 TiB) capacity needs 64 GiB
+        # LRDIMM-class parts in every slot, at several times the idle
+        # power of the 16 GiB RDIMMs.
+        equal_capacity_dimms = int(1024 * GIB / (64 * GIB))
+        return equal_capacity_dimms * cal.POWER_DRAM_LRDIMM_IDLE_W
+    return base
+
+
+def estimate_energy(
+    engine: OffloadEngine, metrics: GenerationMetrics
+) -> EnergyBreakdown:
+    """Estimate the energy of one completed run of ``engine``."""
+    placement = engine.placement_result
+    policy = engine.policy
+    config = engine.config
+    ratio = policy.compression.ratio
+
+    # Bytes streamed from host memory per token pass, times tokens.
+    streamed_per_pass = sum(
+        placement.layer_tier_bytes(layer.index, DeviceKind.CPU)
+        + placement.layer_tier_bytes(layer.index, DeviceKind.DISK)
+        for layer in placement.layers
+    ) * ratio
+    passes = metrics.gen_len
+    host_bytes = streamed_per_pass * passes
+    host_bits = host_bytes * 8
+
+    host_dynamic = host_bits * _host_read_pj_per_bit(engine.host.label) * 1e-12
+    pcie_dynamic = host_bits * cal.ENERGY_PCIE_PJ_PER_BIT * 1e-12
+
+    # HBM traffic: every layer's fp16 weights are read by its kernels
+    # once per pass, plus KV cache reads during decode.
+    hbm_bytes = sum(layer.total_bytes for layer in placement.layers) * passes
+    batch = metrics.effective_batch_size
+    for token in range(1, metrics.gen_len):
+        context = metrics.prompt_len + token
+        hbm_bytes += (
+            config.num_decoder_blocks
+            * batch
+            * context
+            * 2
+            * config.hidden_size
+            * 2
+        )
+    hbm_dynamic = hbm_bytes * 8 * cal.ENERGY_HBM_PJ_PER_BIT * 1e-12
+
+    compute_busy = sum(record.compute_s for record in metrics.records)
+    gpu_energy = (
+        compute_busy * cal.POWER_GPU_COMPUTE_W
+        + (metrics.total_s - min(compute_busy, metrics.total_s))
+        * cal.POWER_GPU_IDLE_W
+    )
+    cpu_energy = metrics.total_s * cal.POWER_CPU_ACTIVE_W * 0.3
+    memory_static = metrics.total_s * _memory_idle_power(engine.host.label)
+
+    return EnergyBreakdown(
+        host_dynamic_j=host_dynamic,
+        pcie_dynamic_j=pcie_dynamic,
+        hbm_dynamic_j=hbm_dynamic,
+        gpu_j=gpu_energy,
+        cpu_j=cpu_energy,
+        memory_static_j=memory_static,
+        tokens=batch * metrics.gen_len,
+    )

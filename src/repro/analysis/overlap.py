@@ -1,0 +1,51 @@
+"""Compute/communication overlap ratios (Table IV).
+
+Table IV reports, per (policy, batch, stage), two ratios:
+
+* **MHA compute / FFN load** — how well MHA kernels hide the FFN
+  weight transfer they overlap with (Listing 1 prefetches layer
+  ``j+1`` during layer ``j``);
+* **FFN compute / MHA load** — the converse pair.
+
+A ratio of 1 is a perfectly balanced pipeline; below 1 the stage is
+memory-bound, above 1 compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import GenerationMetrics, Stage
+from repro.errors import ExperimentError
+from repro.models.weights import LayerKind
+
+
+@dataclass(frozen=True)
+class OverlapRatios:
+    """One row cell pair of Table IV."""
+
+    mha_compute_over_ffn_load: float
+    ffn_compute_over_mha_load: float
+
+    def as_dict(self) -> dict:
+        return {
+            "mha_compute/ffn_load": self.mha_compute_over_ffn_load,
+            "ffn_compute/mha_load": self.ffn_compute_over_mha_load,
+        }
+
+
+def overlap_ratios(metrics: GenerationMetrics, stage: Stage) -> OverlapRatios:
+    """Table IV's two ratios for one run and stage."""
+    mha_compute = metrics.avg_compute_s(stage=stage, kind=LayerKind.MHA)
+    ffn_compute = metrics.avg_compute_s(stage=stage, kind=LayerKind.FFN)
+    mha_load = metrics.avg_transfer_s(stage=stage, kind=LayerKind.MHA)
+    ffn_load = metrics.avg_transfer_s(stage=stage, kind=LayerKind.FFN)
+    if mha_load <= 0 or ffn_load <= 0:
+        raise ExperimentError(
+            "overlap ratios need non-zero weight transfers; this run "
+            "keeps all weights resident on the GPU"
+        )
+    return OverlapRatios(
+        mha_compute_over_ffn_load=mha_compute / ffn_load,
+        ffn_compute_over_mha_load=ffn_compute / mha_load,
+    )

@@ -1,0 +1,99 @@
+"""Plain-text table and series rendering for the experiment harness.
+
+Every experiment prints the rows/series the corresponding paper
+artifact plots, in a stable, diff-friendly format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import ExperimentError
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with typed rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ExperimentError(
+                f"table {self.title!r}: row has {len(cells)} cells for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        return render_table(self.title, self.columns, self.rows)
+
+    def to_csv(self) -> str:
+        """The table as CSV (the artifact's raw ``output/`` data)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    headers = [str(column) for column in columns]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"table {title!r}: row width {len(row)} != "
+                f"{len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    parts = [f"== {title} ==", line(headers), separator]
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    series: Sequence[Tuple[str, Sequence[Tuple[Cell, float]]]],
+) -> str:
+    """Render named (x, y) series as a long-form table."""
+    table = Table(title=title, columns=(x_label, "series", "value"))
+    for name, points in series:
+        for x_value, y_value in points:
+            table.add_row(x_value, name, y_value)
+    return table.render()

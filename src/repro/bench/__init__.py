@@ -1,0 +1,5 @@
+"""Microbenchmarks (the nvbandwidth equivalent for Fig. 3)."""
+
+from repro.bench.nvbandwidth import BandwidthSample, bandwidth_sweep
+
+__all__ = ["BandwidthSample", "bandwidth_sweep"]

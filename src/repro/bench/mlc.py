@@ -1,0 +1,71 @@
+"""Intel Memory Latency Checker (MLC) equivalent.
+
+Section IV-A: "Our own results using Intel Memory Latency Checker
+also confirm this, including remote MM's inability to reach remote
+DRAM bandwidth."  This microbenchmark reports, per host region:
+
+* **idle latency** — a dependent-load pointer chase (ns), local and
+  remote (adds the UPI hop);
+* **loaded bandwidth** — CPU-side streaming read/write rates (GB/s),
+  again local and remote (capped by the UPI link when remote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.interconnect.upi import UpiLink
+from repro.memory.hierarchy import host_config
+from repro.memory.technology import Direction
+from repro.units import GB
+
+DEFAULT_CONFIGS = ("DRAM", "NVDRAM", "MemoryMode")
+
+#: Buffer the bandwidth measurement streams (large enough to defeat
+#: caches, small enough to stay technology-representative).
+_STREAM_BYTES = 1 * GB
+
+
+@dataclass(frozen=True)
+class MlcSample:
+    """One region's latency/bandwidth readings."""
+
+    config_label: str
+    region_name: str
+    numa_node: int
+    remote: bool
+    idle_latency_ns: float
+    read_bandwidth_gbps: float
+    write_bandwidth_gbps: float
+
+
+def mlc_sweep(
+    config_labels: Sequence[str] = DEFAULT_CONFIGS,
+) -> List[MlcSample]:
+    """Measure every per-node region, locally and across the UPI."""
+    upi = UpiLink()
+    samples: List[MlcSample] = []
+    for label in config_labels:
+        config = host_config(label)
+        for region in config.microbench_regions():
+            for remote in (False, True):
+                latency = region.latency(Direction.READ)
+                read = region.bandwidth(_STREAM_BYTES, Direction.READ)
+                write = region.bandwidth(_STREAM_BYTES, Direction.WRITE)
+                if remote:
+                    latency += upi.latency_s
+                    read = min(read, upi.bandwidth_up)
+                    write = min(write, upi.bandwidth_up)
+                samples.append(
+                    MlcSample(
+                        config_label=label,
+                        region_name=region.name,
+                        numa_node=region.node,
+                        remote=remote,
+                        idle_latency_ns=latency * 1e9,
+                        read_bandwidth_gbps=read / 1e9,
+                        write_bandwidth_gbps=write / 1e9,
+                    )
+                )
+    return samples

@@ -1,0 +1,70 @@
+"""Host/GPU copy-bandwidth microbenchmark (Fig. 3).
+
+The paper uses NVIDIA's ``nvbandwidth`` to measure host-to-GPU and
+GPU-to-host copy rates for buffers from 256 MiB to 32 GiB against
+every host-memory region (DRAM / NVDRAM / Memory Mode, on both NUMA
+nodes).  This module performs the same sweep against the simulated
+platform, through the *same* transfer-path solver the offloading
+engine uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ExperimentError
+from repro.interconnect.path import TransferKind, TransferPathSolver
+from repro.memory.calibration import FIG3_BUFFER_SIZES
+from repro.memory.hierarchy import host_config
+
+#: The host configurations Fig. 3 sweeps.
+FIG3_CONFIGS = ("DRAM", "NVDRAM", "MemoryMode")
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """One microbenchmark measurement."""
+
+    config_label: str
+    region_name: str
+    numa_node: int
+    direction: str            # "h2g" or "g2h"
+    buffer_bytes: int
+    bandwidth: float           # bytes/s
+
+    @property
+    def gb_per_s(self) -> float:
+        return self.bandwidth / 1e9
+
+
+def bandwidth_sweep(
+    config_labels: Sequence[str] = FIG3_CONFIGS,
+    buffer_sizes: Iterable[int] = FIG3_BUFFER_SIZES,
+) -> List[BandwidthSample]:
+    """Measure both directions for every region and buffer size."""
+    buffer_sizes = list(buffer_sizes)
+    if not buffer_sizes or any(size <= 0 for size in buffer_sizes):
+        raise ExperimentError("buffer sizes must be positive")
+    samples: List[BandwidthSample] = []
+    for label in config_labels:
+        config = host_config(label)
+        solver = TransferPathSolver(config=config)
+        for region in config.microbench_regions():
+            for size in buffer_sizes:
+                for direction, kind in (
+                    ("h2g", TransferKind.HOST_TO_GPU),
+                    ("g2h", TransferKind.GPU_TO_HOST),
+                ):
+                    bandwidth = solver.measured_bandwidth(size, kind, region)
+                    samples.append(
+                        BandwidthSample(
+                            config_label=label,
+                            region_name=region.name,
+                            numa_node=region.node,
+                            direction=direction,
+                            buffer_bytes=size,
+                            bandwidth=bandwidth,
+                        )
+                    )
+    return samples

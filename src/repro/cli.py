@@ -1,0 +1,188 @@
+"""``repro-simulate`` — one-off serving simulations from the shell.
+
+Examples::
+
+    repro-simulate --model opt-175b --host NVDRAM --placement helm \
+        --compress --batch 1
+    repro-simulate --host MemoryMode --placement allcpu --batch max \
+        --compress --energy
+    repro-simulate --target-tbt 4.5 --compress          # QoS planning
+    repro-simulate --placement helm --compress --trace run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.engine import OffloadEngine
+from repro.core.policy import Policy, default_policy
+from repro.core.qos import QosTarget, plan_for_qos
+from repro.core.serving import serve
+from repro.errors import ReproError
+from repro.memory.hierarchy import HOST_CONFIG_LABELS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description=(
+            "Simulate out-of-core LLM serving on heterogeneous host "
+            "memory (IISWC 2025 reproduction)."
+        ),
+    )
+    parser.add_argument("--model", default="opt-175b")
+    parser.add_argument(
+        "--host", default="NVDRAM",
+        help=f"one of {', '.join(HOST_CONFIG_LABELS)}",
+    )
+    parser.add_argument(
+        "--placement", default="baseline",
+        help="baseline | helm | allcpu",
+    )
+    parser.add_argument(
+        "--batch", default="1",
+        help="batch size, or 'max' for the largest feasible batch",
+    )
+    parser.add_argument("--prompt-len", type=int, default=128)
+    parser.add_argument("--gen-len", type=int, default=21)
+    parser.add_argument(
+        "--compress", action="store_true",
+        help="4-bit group-wise weight quantization",
+    )
+    parser.add_argument(
+        "--kv-gpu-percent", type=float, default=100.0,
+        help="share of the KV cache resident on the GPU",
+    )
+    parser.add_argument(
+        "--gpu-batches", type=int, default=1,
+        help="zig-zag micro-batches per layer pass",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="serve the batch N times (paper methodology when N=10)",
+    )
+    parser.add_argument(
+        "--energy", action="store_true", help="print an energy estimate"
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a chrome://tracing JSON of the run",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="write the summary as JSON"
+    )
+    parser.add_argument(
+        "--target-tbt", type=float,
+        help="plan placement/batch for a TBT bound (seconds) instead "
+        "of running one configuration",
+    )
+    parser.add_argument(
+        "--target-throughput", type=float,
+        help="plan for a minimum tokens/s",
+    )
+    return parser
+
+
+def _make_policy(args) -> Policy:
+    base = default_policy(args.model, args.host)
+    policy = base.with_compression(args.compress)
+    if args.kv_gpu_percent != 100.0:
+        policy = policy.with_kv(gpu_percent=args.kv_gpu_percent)
+    if args.gpu_batches != 1:
+        policy = policy.with_gpu_batches(args.gpu_batches)
+    return policy
+
+
+def _print_kv(pairs) -> None:
+    width = max(len(key) for key, _ in pairs)
+    for key, value in pairs:
+        print(f"  {key:<{width}} : {value}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.target_tbt or args.target_throughput:
+            target = QosTarget(
+                max_tbt_s=args.target_tbt,
+                min_throughput_tps=args.target_throughput,
+            )
+            plan = plan_for_qos(
+                target,
+                model=args.model,
+                host=args.host,
+                compress_weights=args.compress,
+                prompt_len=args.prompt_len,
+                gen_len=args.gen_len,
+            )
+            summary = plan.summary()
+            print("QoS plan:")
+            _print_kv(sorted(summary.items()))
+            if args.json:
+                with open(args.json, "w") as handle:
+                    json.dump(summary, handle, indent=1)
+            return 0 if plan.meets_target else 2
+
+        policy = _make_policy(args)
+        probe = OffloadEngine(
+            model=args.model, host=args.host, placement=args.placement,
+            policy=policy, batch_size=1,
+            prompt_len=args.prompt_len, gen_len=args.gen_len,
+        )
+        batch = (
+            probe.max_batch_size()
+            if args.batch == "max"
+            else int(args.batch)
+        )
+        engine = OffloadEngine(
+            model=args.model, host=args.host, placement=args.placement,
+            policy=policy, batch_size=batch,
+            prompt_len=args.prompt_len, gen_len=args.gen_len,
+        )
+        if args.repeats > 1:
+            report = serve(engine, repeats=args.repeats)
+            summary = report.summary()
+        else:
+            metrics = engine.run_timing()
+            summary = metrics.summary()
+        summary["model"] = args.model
+        summary["host"] = args.host
+        summary["placement"] = args.placement
+        summary["batch_size"] = batch
+        if engine.spill_log:
+            summary["spilled"] = list(engine.spill_log)
+
+        print(f"{args.model} on {args.host}, {args.placement}, batch {batch}:")
+        _print_kv(sorted(summary.items()))
+
+        if args.energy:
+            from repro.analysis.energy import estimate_energy
+
+            metrics = engine.run_timing()
+            energy = estimate_energy(engine, metrics)
+            print("energy estimate:")
+            _print_kv(sorted(energy.as_dict().items()))
+            summary["energy"] = energy.as_dict()
+
+        if args.trace:
+            from repro.sim.chrome_trace import save_chrome_trace
+
+            if not hasattr(engine, "last_trace"):
+                engine.run_timing()
+            save_chrome_trace(engine.last_trace, args.trace)
+            print(f"trace written to {args.trace}")
+
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(summary, handle, indent=1)
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""Generation metrics: TTFT, TBT, throughput (Section III-C).
+
+Conventions follow the paper: TTFT is the prefill latency (time to
+the first token), TBT the decode latency per subsequent token, and
+throughput the token generation rate over the whole run.  Where the
+paper averages "across all values except the first ... to account for
+cold start", :attr:`GenerationMetrics.tbt_s` drops the first decode
+gap.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.models.weights import LayerKind
+
+
+class Stage(enum.Enum):
+    """The two inference phases."""
+
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+@dataclass
+class LayerTimingRecord:
+    """Timing of one (token, layer) step."""
+
+    token_index: int
+    layer_index: int
+    layer_kind: LayerKind
+    stage: Stage
+    #: Time to bring this layer's streamed weights onto the GPU.
+    transfer_s: float = 0.0
+    #: This layer's kernel time (including any dequantization).
+    compute_s: float = 0.0
+    start_s: float = 0.0
+    end_s: float = 0.0
+
+
+@dataclass
+class GenerationMetrics:
+    """Results of one simulated (or functional) generation run."""
+
+    model_name: str
+    host_label: str
+    placement_name: str
+    batch_size: int
+    prompt_len: int
+    gen_len: int
+    #: Wall-clock completion time of each generated token.
+    token_times: List[float]
+    records: List[LayerTimingRecord]
+    total_s: float
+    #: Weight classes demoted from the GPU to make the run fit.
+    spill_log: Tuple[str, ...] = field(default_factory=tuple)
+    #: Micro-batches per zig-zag block (FlexGen's ``num_gpu_batches``);
+    #: the effective batch is ``batch_size * num_gpu_batches``.
+    num_gpu_batches: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.token_times) != self.gen_len:
+            raise ConfigurationError(
+                f"expected {self.gen_len} token times, got "
+                f"{len(self.token_times)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token (prefill latency)."""
+        return self.token_times[0]
+
+    @property
+    def decode_gaps(self) -> List[float]:
+        return [
+            self.token_times[i] - self.token_times[i - 1]
+            for i in range(1, len(self.token_times))
+        ]
+
+    @property
+    def tbt_s(self) -> float:
+        """Mean time between tokens, first gap discarded (cold start)."""
+        gaps = self.decode_gaps
+        if not gaps:
+            return 0.0
+        if len(gaps) > 1:
+            gaps = gaps[1:]
+        return statistics.fmean(gaps)
+
+    @property
+    def effective_batch_size(self) -> int:
+        return self.batch_size * self.num_gpu_batches
+
+    @property
+    def throughput_tps(self) -> float:
+        """Generated tokens per second across the whole effective batch."""
+        if self.total_s <= 0:
+            raise ConfigurationError("run has non-positive total time")
+        return self.effective_batch_size * self.gen_len / self.total_s
+
+    # ------------------------------------------------------------------
+    # Per-layer breakdowns (Figures 5, 6, 8, 11a, 12d/e)
+    # ------------------------------------------------------------------
+
+    def _select(
+        self,
+        stage: Optional[Stage],
+        kind: Optional[LayerKind],
+        hidden_only: bool,
+        skip_first_token: bool,
+    ) -> List[LayerTimingRecord]:
+        out = []
+        for record in self.records:
+            if stage is not None and record.stage is not stage:
+                continue
+            if kind is not None and record.layer_kind is not kind:
+                continue
+            if hidden_only and not record.layer_kind.is_hidden:
+                continue
+            if (
+                skip_first_token
+                and stage is Stage.DECODE
+                and record.token_index == 1
+            ):
+                continue
+            out.append(record)
+        return out
+
+    def avg_transfer_s(
+        self,
+        stage: Optional[Stage] = None,
+        kind: Optional[LayerKind] = None,
+        hidden_only: bool = True,
+    ) -> float:
+        """Average per-layer weight-transfer time (the bars of Fig. 5)."""
+        records = self._select(stage, kind, hidden_only, skip_first_token=False)
+        if not records:
+            return 0.0
+        return statistics.fmean(record.transfer_s for record in records)
+
+    def avg_compute_s(
+        self,
+        stage: Optional[Stage] = None,
+        kind: Optional[LayerKind] = None,
+        hidden_only: bool = True,
+    ) -> float:
+        """Average per-layer compute time (the lines of Fig. 5)."""
+        records = self._select(stage, kind, hidden_only, skip_first_token=False)
+        if not records:
+            return 0.0
+        return statistics.fmean(record.compute_s for record in records)
+
+    def per_layer_transfer(
+        self, token_index: int = 0
+    ) -> List[Tuple[int, LayerKind, float]]:
+        """(layer index, kind, transfer time) for one token pass —
+        the sawtooth of Fig. 7a."""
+        return [
+            (record.layer_index, record.layer_kind, record.transfer_s)
+            for record in self.records
+            if record.token_index == token_index
+        ]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "ttft_s": self.ttft_s,
+            "tbt_s": self.tbt_s,
+            "throughput_tps": self.throughput_tps,
+            "total_s": self.total_s,
+        }
+
+
+def percent_change(new: float, old: float) -> float:
+    """Relative change in percent, ``(old - new) / old * 100`` — i.e.
+    the paper's "X improves TTFT by N%" convention (positive =
+    improvement for latency metrics)."""
+    if old == 0:
+        raise ConfigurationError("cannot compute change against zero")
+    return (old - new) / old * 100.0
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        raise ConfigurationError("cannot compute ratio against zero")
+    return numerator / denominator
+
+
+def mean_excluding_first(values: Sequence[float]) -> float:
+    """The paper's metric convention (Section III-C)."""
+    if not values:
+        raise ConfigurationError("no values to average")
+    trimmed = values[1:] if len(values) > 1 else values
+    return statistics.fmean(trimmed)

@@ -1,0 +1,33 @@
+"""Weight placement algorithms.
+
+* :class:`BaselinePlacement` — FlexGen's allocator, Listing 2.
+* :class:`HelmPlacement` — the paper's latency-optimizing scheme,
+  Listing 3.
+* :class:`AllCpuPlacement` — the paper's throughput-optimizing scheme.
+* :class:`AutoBalancedPlacement` — an extension implementing the
+  paper's future-work suggestion (automatic latency/throughput
+  trade-off).
+"""
+
+from repro.core.placement.base import (
+    PlacementAlgorithm,
+    PlacementResult,
+    get_choice,
+)
+from repro.core.placement.baseline import BaselinePlacement
+from repro.core.placement.helm import HelmPlacement
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.placement.auto import AutoBalancedPlacement
+from repro.core.placement.registry import placement_algorithm, PLACEMENT_NAMES
+
+__all__ = [
+    "PlacementAlgorithm",
+    "PlacementResult",
+    "get_choice",
+    "BaselinePlacement",
+    "HelmPlacement",
+    "AllCpuPlacement",
+    "AutoBalancedPlacement",
+    "placement_algorithm",
+    "PLACEMENT_NAMES",
+]

@@ -1,0 +1,26 @@
+"""All-CPU — the paper's throughput-optimizing placement (Section V-C).
+
+Every weight is placed in host memory; GPU memory is left entirely to
+the KV cache and hidden state, which raises the maximum batch size
+(8 to 44 for OPT-175B on this platform) and with it throughput by ~5x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.placement.base import PlacementAlgorithm
+from repro.core.policy import Policy
+from repro.devices.device import DeviceKind
+from repro.models.weights import LayerSpec
+
+
+class AllCpuPlacement(PlacementAlgorithm):
+    """Offload all weights to host memory."""
+
+    name = "allcpu"
+
+    def assign_layer(
+        self, layer: LayerSpec, policy: Policy
+    ) -> Dict[str, DeviceKind]:
+        return {spec.name: DeviceKind.CPU for spec in layer.weights}

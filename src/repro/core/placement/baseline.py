@@ -1,0 +1,53 @@
+"""FlexGen's weight allocator — a faithful port of the paper's Listing 2.
+
+For each layer, the allocator walks the layer's weights in their
+natural order and assigns weight *i* to the tier whose cumulative
+percentage band contains the weight's size midpoint
+(``(cumsum[i] - size[i]/2) / total``).  The tier order is
+``(disk, cpu, gpu)``.
+
+The paper's key observation (Section V-A) falls straight out of this
+code: with input ``(0, 80, 20)``, an MHA layer's fourth projection
+matrix (midpoint 87.5%) lands on the GPU while both FFN matrices
+(midpoints 25% and 75%) land on the CPU — the larger FFN layer gets
+*no* GPU allocation, producing the sawtooth of Fig. 7a and the
+achieved split of (0, 91.7, 8.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy
+
+from repro.core.placement.base import PlacementAlgorithm, get_choice
+from repro.core.policy import Policy
+from repro.devices.device import DeviceKind
+from repro.models.weights import LayerSpec
+
+
+class BaselinePlacement(PlacementAlgorithm):
+    """``init_weight_list`` from FlexGen (Listing 2, lines 8-24)."""
+
+    name = "baseline"
+
+    def assign_layer(
+        self, layer: LayerSpec, policy: Policy
+    ) -> Dict[str, DeviceKind]:
+        dev_percents = [
+            policy.disk_percent,
+            policy.cpu_percent,
+            policy.gpu_percent,
+        ]
+        dev_choices = [DeviceKind.DISK, DeviceKind.CPU, DeviceKind.GPU]
+
+        weight_specs = list(layer.weights)
+        sizes = [spec.size for spec in weight_specs]
+        sizes_cumsum = numpy.cumsum(sizes)
+
+        assignment: Dict[str, DeviceKind] = {}
+        for i in range(len(weight_specs)):
+            mid_percent = (sizes_cumsum[i] - sizes[i] / 2) / sizes_cumsum[-1]
+            dev = get_choice(mid_percent * 100, dev_percents, dev_choices)
+            assignment[weight_specs[i].name] = dev
+        return assignment

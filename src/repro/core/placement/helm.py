@@ -1,0 +1,67 @@
+"""HeLM — Heterogeneous Layerwise Mapping (the paper's Listing 3).
+
+HeLM balances the compute/communication pipeline by giving GPU space
+to the layer whose transfer is overlapped with the *shorter* compute:
+it pins roughly half of each FFN layer (the first fully-connected
+matrix) plus all bias/norm vectors on the GPU, while MHA keeps only
+its bias/norm vectors there.  Differences from Listing 2:
+
+* per-kind device percentages — ``(10, 90, 0)`` for MHA and
+  ``(30, 70, 0)`` for FFN, in ``(gpu, cpu, disk)`` order (note the
+  reversed tier order relative to the baseline);
+* weights are sorted by increasing size before the cumulative-midpoint
+  walk, so the small vectors consume the GPU band first and the FFN
+  band's remainder lands exactly on ``w_fc1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy
+
+from repro.core.placement.base import PlacementAlgorithm, get_choice
+from repro.core.policy import Policy
+from repro.devices.device import DeviceKind
+from repro.models.weights import LayerKind, LayerSpec
+
+
+class HelmPlacement(PlacementAlgorithm):
+    """``init_weight_list`` as modified by HeLM (Listing 3)."""
+
+    name = "helm"
+
+    #: (gpu, cpu, disk) percentages for MHA layers (Listing 3, line 3).
+    mha_percents = (10.0, 90.0, 0.0)
+    #: (gpu, cpu, disk) percentages for FFN layers (Listing 3, line 5).
+    ffn_percents = (30.0, 70.0, 0.0)
+
+    def assign_layer(
+        self, layer: LayerSpec, policy: Policy
+    ) -> Dict[str, DeviceKind]:
+        if layer.kind is LayerKind.MHA:
+            dev_percents = list(self.mha_percents)
+        elif layer.kind is LayerKind.FFN:
+            dev_percents = list(self.ffn_percents)
+        else:
+            dev_percents = [
+                policy.gpu_percent,
+                policy.cpu_percent,
+                policy.disk_percent,
+            ]
+        dev_choices = [DeviceKind.GPU, DeviceKind.CPU, DeviceKind.DISK]
+
+        # Listing 3, line 13: ascending size; Python's sort is stable,
+        # so equally-sized weights keep their layer order (this is what
+        # puts the *first* FC matrix, not the second, on the GPU).
+        weight_specs = sorted(layer.weights, key=lambda spec: spec.size)
+
+        sizes = [spec.size for spec in weight_specs]
+        sizes_cumsum = numpy.cumsum(sizes)
+
+        assignment: Dict[str, DeviceKind] = {}
+        for i in range(len(weight_specs)):
+            mid_percent = (sizes_cumsum[i] - sizes[i] / 2) / sizes_cumsum[-1]
+            dev = get_choice(mid_percent * 100, dev_percents, dev_choices)
+            assignment[weight_specs[i].name] = dev
+        return assignment

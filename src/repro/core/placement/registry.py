@@ -1,0 +1,33 @@
+"""Placement algorithm registry."""
+
+from __future__ import annotations
+
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.placement.base import PlacementAlgorithm
+from repro.core.placement.baseline import BaselinePlacement
+from repro.core.placement.helm import HelmPlacement
+from repro.errors import ConfigurationError
+
+_FACTORIES = {
+    "baseline": BaselinePlacement,
+    "helm": HelmPlacement,
+    "allcpu": AllCpuPlacement,
+}
+
+#: Names accepted by :func:`placement_algorithm`.
+PLACEMENT_NAMES = tuple(sorted(_FACTORIES))
+
+
+def placement_algorithm(name: str) -> PlacementAlgorithm:
+    """Instantiate a placement algorithm by name.
+
+    ``"auto"`` is not constructible by name — it needs platform
+    parameters; build :class:`AutoBalancedPlacement` directly.
+    """
+    try:
+        return _FACTORIES[name.lower()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown placement algorithm {name!r}; "
+            f"choose one of {PLACEMENT_NAMES}"
+        ) from None

@@ -1,0 +1,136 @@
+"""FlexGen's offloading policy.
+
+A policy states what percentage of the model weights should live on
+each tier — ``(disk, cpu, gpu)`` — plus whether weights are stored
+group-wise-quantized and where the KV cache lives.  The percentages
+are *targets*; Section V-A of the paper shows the baseline allocator
+misses them (input ``(0, 80, 20)`` yields ``(0, 91.7, 8.3)``), which
+is reproduced by :mod:`repro.core.placement.baseline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.device import DeviceKind
+from repro.errors import ConfigurationError
+from repro.quant.spec import FP16, INT4_GROUPWISE, CompressionSpec
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Weight distribution targets and storage options.
+
+    Mirrors FlexGen's policy surface: percentage splits for weights
+    *and* the KV cache, weight/KV compression, micro-batch blocking
+    (``num_gpu_batches``), and CPU-side attention for host-resident
+    cache.  The paper's experiments keep the KV cache fully on the GPU
+    (``kv_gpu_percent=100``) and use one GPU batch; the other knobs
+    exercise the rest of FlexGen's design space.
+    """
+
+    gpu_percent: float
+    cpu_percent: float
+    disk_percent: float
+    #: Store/move weights 4-bit group-wise quantized (Section IV-B).
+    compress_weights: bool = False
+    #: Share of the KV cache resident in GPU memory; the remainder
+    #: lives in host memory and streams per layer.
+    kv_gpu_percent: float = 100.0
+    #: Store the KV cache group-wise quantized (FlexGen's
+    #: ``compress_cache``); shrinks its footprint ~4x.
+    compress_kv: bool = False
+    #: Compute attention on the CPU for the host-resident cache share
+    #: instead of streaming it to the GPU (FlexGen's
+    #: ``cpu_cache_compute``).
+    cpu_attention: bool = False
+    #: FlexGen's zig-zag block: micro-batches computed back-to-back
+    #: per layer, amortizing each weight transfer over more tokens.
+    num_gpu_batches: int = 1
+    #: Where hidden states live between layers.
+    hidden_device: DeviceKind = DeviceKind.GPU
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("gpu_percent", self.gpu_percent),
+            ("cpu_percent", self.cpu_percent),
+            ("disk_percent", self.disk_percent),
+            ("kv_gpu_percent", self.kv_gpu_percent),
+        ):
+            if value < 0 or value > 100:
+                raise ConfigurationError(f"{name} must be within [0, 100]")
+        total = self.gpu_percent + self.cpu_percent + self.disk_percent
+        if abs(total - 100.0) > 1e-6:
+            raise ConfigurationError(
+                f"weight percentages must sum to 100, got {total}"
+            )
+        if self.num_gpu_batches < 1:
+            raise ConfigurationError("num_gpu_batches must be >= 1")
+        if self.cpu_attention and self.kv_gpu_percent >= 100.0:
+            raise ConfigurationError(
+                "cpu_attention requires some KV cache in host memory "
+                "(kv_gpu_percent < 100)"
+            )
+
+    @property
+    def kv_cpu_fraction(self) -> float:
+        return 1.0 - self.kv_gpu_percent / 100.0
+
+    @property
+    def kv_dtype_bytes(self) -> float:
+        """Effective bytes per KV element (0.5625 when quantized:
+        4 bits plus group metadata)."""
+        if self.compress_kv:
+            return 2.0 * INT4_GROUPWISE.ratio
+        return 2.0
+
+    @property
+    def compression(self) -> CompressionSpec:
+        return INT4_GROUPWISE if self.compress_weights else FP16
+
+    def _replace(self, **changes) -> "Policy":
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+    def with_compression(self, enabled: bool) -> "Policy":
+        return self._replace(compress_weights=enabled)
+
+    def with_kv(
+        self,
+        gpu_percent: float = None,
+        compress: bool = None,
+        cpu_attention: bool = None,
+    ) -> "Policy":
+        changes = {}
+        if gpu_percent is not None:
+            changes["kv_gpu_percent"] = gpu_percent
+        if compress is not None:
+            changes["compress_kv"] = compress
+        if cpu_attention is not None:
+            changes["cpu_attention"] = cpu_attention
+        return self._replace(**changes)
+
+    def with_gpu_batches(self, count: int) -> "Policy":
+        return self._replace(num_gpu_batches=count)
+
+
+#: The paper's policy for NVDRAM/MemoryMode/DRAM runs (Section V-A).
+HOST_GPU_POLICY = Policy(gpu_percent=20, cpu_percent=80, disk_percent=0)
+
+#: The paper's policy for SSD/FSDAX runs (Section V-A).
+DISK_POLICY = Policy(gpu_percent=20, cpu_percent=15, disk_percent=65)
+
+#: Policy used for OPT-30B, which fits comfortably in host memory and
+#: can keep a large share on the GPU (calibrated so the maximum batch
+#: size comes out at the paper's 32).
+OPT30B_POLICY = Policy(gpu_percent=40, cpu_percent=60, disk_percent=0)
+
+
+def default_policy(model_name: str, host_label: str) -> Policy:
+    """The policy the paper uses for a given model/config pair."""
+    if model_name == "opt-30b":
+        return OPT30B_POLICY
+    if host_label in ("SSD", "FSDAX"):
+        return DISK_POLICY
+    return HOST_GPU_POLICY

@@ -1,0 +1,144 @@
+"""Request queueing on top of the serving engine.
+
+The paper measures closed-loop batches; a deployment faces an *open*
+arrival stream, where the latency/throughput trade the placements make
+shows up as queueing delay.  This module runs a deterministic-seed
+Poisson arrival process against a batched FIFO server whose service
+times come from the timing backend, and reports the end-to-end latency
+distribution — turning the paper's TTFT/TBT/throughput triple into
+P50/P95 latencies at a given load.
+
+The server model matches FlexGen's operation: requests are collected
+into batches of at most ``batch_size``; each batch occupies the single
+GPU for the engine-measured generation time; a partial batch departs
+with the same service time (weights stream regardless of occupancy —
+the dominant cost for out-of-core serving).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.engine import OffloadEngine
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QueueingResult:
+    """Latency distribution of one open-loop simulation."""
+
+    arrival_rate_rps: float
+    batch_size: int
+    service_time_s: float
+    completed: int
+    utilization: float
+    mean_wait_s: float
+    mean_latency_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    #: True when the queue kept growing over the run (offered load
+    #: above capacity).
+    saturated: bool
+
+    def summary(self) -> dict:
+        return {
+            "arrival_rate_rps": self.arrival_rate_rps,
+            "batch_size": self.batch_size,
+            "service_time_s": self.service_time_s,
+            "utilization": self.utilization,
+            "mean_wait_s": self.mean_wait_s,
+            "mean_latency_s": self.mean_latency_s,
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "saturated": self.saturated,
+        }
+
+
+def simulate_queue(
+    service_time_s: float,
+    batch_size: int,
+    arrival_rate_rps: float,
+    num_requests: int = 2000,
+    seed: int = 0,
+) -> QueueingResult:
+    """Simulate Poisson arrivals into a batched FIFO single server."""
+    if service_time_s <= 0 or batch_size < 1:
+        raise ConfigurationError("service time and batch size must be positive")
+    if arrival_rate_rps <= 0 or num_requests < 1:
+        raise ConfigurationError("arrival rate and request count must be positive")
+
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / arrival_rate_rps, size=num_requests)
+    arrivals = np.cumsum(gaps)
+
+    latencies: List[float] = []
+    waits: List[float] = []
+    server_free_at = 0.0
+    num_batches = 0
+    index = 0
+    while index < len(arrivals):
+        # The server picks up whoever is queued when it frees up, up
+        # to a full batch; if idle, it waits for the next arrival.
+        batch_start = max(server_free_at, arrivals[index])
+        last = index
+        while (
+            last + 1 < len(arrivals)
+            and last + 1 - index < batch_size
+            and arrivals[last + 1] <= batch_start
+        ):
+            last += 1
+        departure = batch_start + service_time_s
+        for request in range(index, last + 1):
+            waits.append(batch_start - arrivals[request])
+            latencies.append(departure - arrivals[request])
+        server_free_at = departure
+        num_batches += 1
+        index = last + 1
+
+    span = max(arrivals[-1], server_free_at)
+    utilization = min(1.0, num_batches * service_time_s / span)
+
+    ordered = sorted(latencies)
+    # Saturation heuristic: the last decile waits far longer than the
+    # first decile.
+    decile = max(1, len(waits) // 10)
+    saturated = statistics.fmean(waits[-decile:]) > 3 * (
+        statistics.fmean(waits[:decile]) + service_time_s
+    )
+    return QueueingResult(
+        arrival_rate_rps=arrival_rate_rps,
+        batch_size=batch_size,
+        service_time_s=service_time_s,
+        completed=len(latencies),
+        utilization=utilization,
+        mean_wait_s=statistics.fmean(waits),
+        mean_latency_s=statistics.fmean(latencies),
+        p50_latency_s=ordered[len(ordered) // 2],
+        p95_latency_s=ordered[int(len(ordered) * 0.95) - 1],
+        saturated=saturated,
+    )
+
+
+def engine_queueing(
+    engine: OffloadEngine,
+    arrival_rate_rps: float,
+    num_requests: int = 2000,
+    seed: int = 0,
+) -> QueueingResult:
+    """Open-loop latency for one engine configuration.
+
+    Service time is the engine's full-batch generation time; capacity
+    is ``batch_size / service_time`` requests per second.
+    """
+    metrics = engine.run_timing()
+    return simulate_queue(
+        service_time_s=metrics.total_s,
+        batch_size=metrics.effective_batch_size,
+        arrival_rate_rps=arrival_rate_rps,
+        num_requests=num_requests,
+        seed=seed,
+    )

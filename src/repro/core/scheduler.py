@@ -1,0 +1,60 @@
+"""FlexGen's zig-zag compute schedule (the paper's Listing 1).
+
+::
+
+    for i in range(execute_gen_len):
+        for j in range(num_layers):
+            load_weight(i, j+1)
+            compute_layer(i, j)
+            sync()
+
+The load of layer ``j+1`` overlaps the compute of layer ``j``; the
+``sync()`` joins both before the next pair is issued, which is why one
+step's wall time is ``max(load_{j+1}, compute_j)`` — the quantity the
+paper's overlap figures plot.  When ``j+1`` runs past the last layer
+the prefetch wraps to layer 0 of the next token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One iteration of the zig-zag loop."""
+
+    token_index: int
+    layer_index: int
+    #: (token, layer) whose weights are prefetched during this step's
+    #: compute, or None on the very last step.
+    prefetch: Optional[Tuple[int, int]]
+
+
+def zigzag_schedule(num_layers: int, gen_len: int) -> Iterator[ScheduleStep]:
+    """Yield the steps of Listing 1 in execution order."""
+    if num_layers <= 0 or gen_len <= 0:
+        raise ConfigurationError("num_layers and gen_len must be positive")
+    for token_index in range(gen_len):
+        for layer_index in range(num_layers):
+            if layer_index + 1 < num_layers:
+                prefetch = (token_index, layer_index + 1)
+            elif token_index + 1 < gen_len:
+                prefetch = (token_index + 1, 0)
+            else:
+                prefetch = None
+            yield ScheduleStep(
+                token_index=token_index,
+                layer_index=layer_index,
+                prefetch=prefetch,
+            )
+
+
+def schedule_length(num_layers: int, gen_len: int) -> int:
+    """Number of steps the schedule yields."""
+    if num_layers <= 0 or gen_len <= 0:
+        raise ConfigurationError("num_layers and gen_len must be positive")
+    return num_layers * gen_len

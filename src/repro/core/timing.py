@@ -1,0 +1,379 @@
+"""Discrete-event timing executor for large-model runs.
+
+Executes FlexGen's zig-zag schedule (Listing 1) over the platform
+models: weight transfers are costed by the
+:class:`~repro.interconnect.path.TransferPathSolver`, kernels by the
+GPU roofline, and the CUDA-stream semantics (copy stream + compute
+stream + per-step sync) by the discrete-event engine.  The output is
+a :class:`~repro.core.metrics.GenerationMetrics` with per-(token,
+layer) records that the paper's overlap figures are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.metrics import GenerationMetrics, LayerTimingRecord, Stage
+from repro.core.placement.base import PlacementResult
+from repro.core.policy import Policy
+from repro.core.scheduler import zigzag_schedule
+from repro.devices.cpu import CpuComputeModel
+from repro.devices.device import DeviceKind
+from repro.devices.gpu import A100_SPEC, GpuComputeModel, GpuSpec
+from repro.errors import ConfigurationError
+from repro.interconnect.path import TransferPathSolver
+from repro.interconnect.pcie import PcieLink
+from repro.memory.hierarchy import HostMemoryConfig
+from repro.memory.technology import Direction
+from repro.models import flops
+from repro.models.hidden import hidden_state_bytes
+from repro.models.kv_cache import KvCachePlan
+from repro.models.weights import LayerKind, LayerSpec
+from repro.sim.engine import Operation, SimEngine
+
+
+@dataclass
+class TimingExecutor:
+    """One configured generation run, executed in virtual time."""
+
+    host: HostMemoryConfig
+    placement: PlacementResult
+    policy: Policy
+    batch_size: int
+    prompt_len: int = 128
+    gen_len: int = 21
+    gpu_spec: GpuSpec = A100_SPEC
+    gpu_compute: Optional[GpuComputeModel] = None
+    pcie: Optional[PcieLink] = None
+    spill_log: Tuple[str, ...] = field(default_factory=tuple)
+    #: Listing 1's compute/transfer overlap.  False serializes each
+    #: step (load layer j+1 only after computing layer j) — the
+    #: counterfactual FlexGen's schedule exists to avoid.
+    overlap: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch size must be positive")
+        if self.gen_len < 1:
+            raise ConfigurationError("gen_len must be >= 1")
+        if self.gpu_compute is None:
+            self.gpu_compute = GpuComputeModel(self.gpu_spec)
+        self.cpu_compute = CpuComputeModel()
+        self.solver = TransferPathSolver(
+            config=self.host,
+            **({"pcie": self.pcie} if self.pcie is not None else {}),
+        )
+        self.config = self.placement.config
+        # KV covers the whole zig-zag block (all micro-batches).
+        self.kv_plan = KvCachePlan(
+            config=self.config,
+            batch_size=self.batch_size * self.policy.num_gpu_batches,
+            prompt_len=self.prompt_len,
+            gen_len=self.gen_len,
+            dtype_bytes=self.policy.kv_dtype_bytes,
+        )
+        self._transfer_cache: Dict[int, float] = {}
+        self._configure_working_set()
+
+    # ------------------------------------------------------------------
+    # Cost models
+    # ------------------------------------------------------------------
+
+    def _configure_working_set(self) -> None:
+        """Tell the host technology what streams over it each token."""
+        ratio = self.policy.compression.ratio
+        host_bytes = self.placement.tier_total_bytes(DeviceKind.CPU) * ratio
+        host_bytes += self.kv_plan.total_bytes * self.policy.kv_cpu_fraction
+        self.host.set_host_working_set(int(host_bytes))
+
+    def layer_transfer_time(self, layer_index: int) -> float:
+        """Time to stage one layer's non-resident weights onto the GPU."""
+        if layer_index in self._transfer_cache:
+            return self._transfer_cache[layer_index]
+        ratio = self.policy.compression.ratio
+        cpu_bytes = (
+            self.placement.layer_tier_bytes(layer_index, DeviceKind.CPU)
+            * ratio
+        )
+        disk_bytes = (
+            self.placement.layer_tier_bytes(layer_index, DeviceKind.DISK)
+            * ratio
+        )
+        time = 0.0
+        if cpu_bytes > 0:
+            time += self.solver.host_to_gpu_time(cpu_bytes)
+        if disk_bytes > 0:
+            time += self.solver.disk_to_gpu_time(disk_bytes)
+        self._transfer_cache[layer_index] = time
+        return time
+
+    def _dequant_bytes(self, layer: LayerSpec) -> float:
+        """Compressed bytes the GPU dequantizes to compute this layer."""
+        if not self.policy.compress_weights:
+            return 0.0
+        ratio = self.policy.compression.ratio
+        if layer.kind is LayerKind.EMBED:
+            # Only the gathered rows are dequantized.
+            rows = self.batch_size * self.config.hidden_size * 2
+            return rows * ratio
+        return layer.total_bytes * ratio
+
+    def _cpu_attention_time(self, stage: Stage, context_len: int) -> float:
+        """Attention over the host-resident cache share, computed on
+        the CPU (FlexGen's ``cpu_cache_compute``).
+
+        The kernel streams the cache share out of the *host* memory
+        technology; the query/attention-output vectors cross PCIe both
+        ways.
+        """
+        new_tokens = self.prompt_len if stage is Stage.PREFILL else 1
+        share = self.policy.kv_cpu_fraction
+        kv_bytes = self.kv_plan.read_bytes_at(context_len) * share
+        batch = self.batch_size * self.policy.num_gpu_batches
+        h = self.config.hidden_size
+        attn_flops = 4.0 * batch * new_tokens * context_len * h * share
+        host_read_bw = self.host.host_region.bandwidth(
+            max(kv_bytes, 1.0), Direction.READ
+        )
+        cpu_time = self.cpu_compute.kernel_time(
+            attn_flops, kv_bytes, memory_bandwidth=host_read_bw
+        )
+        vector_bytes = batch * new_tokens * h * 2
+        ship = self.solver.gpu_to_host_time(vector_bytes)
+        ship += self.solver.host_to_gpu_time(vector_bytes)
+        return cpu_time + ship
+
+    def layer_compute_time(
+        self, layer: LayerSpec, stage: Stage, context_len: int
+    ) -> float:
+        """Kernel + dequantization time for one layer at one step.
+
+        With ``num_gpu_batches`` > 1 the kernels run once per
+        micro-batch while the (compressed) weights are dequantized
+        once per layer pass — the amortization that makes FlexGen's
+        zig-zag block effective.
+        """
+        new_tokens = self.prompt_len if stage is Stage.PREFILL else 1
+        work = flops.layer_work(
+            self.config,
+            layer.kind,
+            batch=self.batch_size,
+            new_tokens=new_tokens,
+            context_len=context_len,
+            weight_hbm_bytes=layer.total_bytes,
+        )
+        time = self.policy.num_gpu_batches * self.gpu_compute.kernel_time(
+            work.flops, work.hbm_bytes
+        )
+        time += self.gpu_compute.dequant_time(self._dequant_bytes(layer))
+        if layer.kind is LayerKind.MHA and self.policy.cpu_attention:
+            time += self._cpu_attention_time(stage, context_len)
+        return time
+
+    def _kv_traffic_times(
+        self, stage: Stage, context_len: int
+    ) -> Tuple[float, float]:
+        """(load, store) times per MHA layer for the host-resident KV
+        share (zero in the paper's experiments, which keep the cache on
+        the GPU)."""
+        share = self.policy.kv_cpu_fraction
+        if share <= 0.0:
+            return 0.0, 0.0
+        new_tokens = self.prompt_len if stage is Stage.PREFILL else 1
+        # With CPU attention the cache share never crosses PCIe; only
+        # the freshly-produced K/V entries are written back to host.
+        read_bytes = (
+            0.0
+            if self.policy.cpu_attention
+            else self.kv_plan.read_bytes_at(context_len) * share
+        )
+        write_bytes = self.kv_plan.write_bytes_per_step(new_tokens) * share
+        return (
+            self.solver.host_to_gpu_time(read_bytes) if read_bytes else 0.0,
+            self.solver.gpu_to_host_time(write_bytes) if write_bytes else 0.0,
+        )
+
+    def _hidden_bytes(self, stage: Stage) -> int:
+        """Size of the residual-stream activation one layer hands the
+        next (for the whole zig-zag block)."""
+        tokens = self.prompt_len if stage is Stage.PREFILL else 1
+        return hidden_state_bytes(
+            self.config,
+            self.batch_size * self.policy.num_gpu_batches,
+            tokens,
+        )
+
+    def _hidden_traffic_times(self, stage: Stage) -> Tuple[float, float]:
+        """(load, store) per layer when hidden states are offloaded to
+        host memory between layers (FlexGen's activation offloading,
+        used for batches whose activations outgrow HBM)."""
+        if self.policy.hidden_device is not DeviceKind.CPU:
+            return 0.0, 0.0
+        nbytes = self._hidden_bytes(stage)
+        return (
+            self.solver.host_to_gpu_time(nbytes),
+            self.solver.gpu_to_host_time(nbytes),
+        )
+
+    def _logits_writeback_time(self) -> float:
+        """GPU -> host copy of the sampled logits after the head layer."""
+        nbytes = (
+            self.batch_size
+            * self.policy.num_gpu_batches
+            * self.config.vocab_size
+            * 4
+        )
+        return self.solver.gpu_to_host_time(nbytes)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> GenerationMetrics:
+        """Execute the schedule; returns metrics with per-step records."""
+        engine = SimEngine()
+        h2d = engine.stream("h2d")
+        compute_stream = engine.stream("compute")
+        d2h = engine.stream("d2h")
+
+        layers = self.placement.layers
+        num_layers = len(layers)
+        records: Dict[Tuple[int, int], LayerTimingRecord] = {}
+        token_ops: List[Operation] = []
+
+        def stage_of(token_index: int) -> Stage:
+            return Stage.PREFILL if token_index == 0 else Stage.DECODE
+
+        def context_at(token_index: int) -> int:
+            return self.prompt_len + token_index
+
+        def record_for(token: int, layer_index: int) -> LayerTimingRecord:
+            key = (token, layer_index)
+            if key not in records:
+                records[key] = LayerTimingRecord(
+                    token_index=token,
+                    layer_index=layer_index,
+                    layer_kind=layers[layer_index].kind,
+                    stage=stage_of(token),
+                )
+            return records[key]
+
+        def enqueue_load(token: int, layer_index: int, deps) -> Operation:
+            duration = self.layer_transfer_time(layer_index)
+            kv_load, _ = (
+                self._kv_traffic_times(stage_of(token), context_at(token))
+                if layers[layer_index].kind is LayerKind.MHA
+                else (0.0, 0.0)
+            )
+            hidden_load, _ = self._hidden_traffic_times(stage_of(token))
+            kv_load += hidden_load
+            op = h2d.enqueue(
+                duration + kv_load,
+                label=f"load t{token} L{layer_index}",
+                category="transfer",
+                deps=deps,
+                meta={
+                    "token": token,
+                    "layer": layer_index,
+                    "kind": layers[layer_index].kind.value,
+                    "stage": stage_of(token).value,
+                },
+            )
+            record_for(token, layer_index).transfer_s = duration + kv_load
+            return op
+
+        # Initial load of (token 0, layer 0), before the loop starts.
+        initial_load = enqueue_load(0, 0, deps=())
+        sync_deps: List[Operation] = [initial_load]
+
+        for step in zigzag_schedule(num_layers, self.gen_len):
+            stage = stage_of(step.token_index)
+            layer = layers[step.layer_index]
+            context = context_at(step.token_index)
+
+            load_op: Optional[Operation] = None
+            if self.overlap and step.prefetch is not None:
+                pf_token, pf_layer = step.prefetch
+                load_op = enqueue_load(pf_token, pf_layer, deps=sync_deps)
+
+            compute_duration = self.layer_compute_time(layer, stage, context)
+            compute_op = compute_stream.enqueue(
+                compute_duration,
+                label=f"compute t{step.token_index} L{step.layer_index}",
+                category="compute",
+                deps=sync_deps,
+                meta={
+                    "token": step.token_index,
+                    "layer": step.layer_index,
+                    "kind": layer.kind.value,
+                    "stage": stage.value,
+                },
+            )
+            record = record_for(step.token_index, step.layer_index)
+            record.compute_s = compute_duration
+
+            # KV / hidden store-back (only for host-resident shares).
+            step_sync: List[Operation] = [compute_op]
+            store_back = 0.0
+            if layer.kind is LayerKind.MHA:
+                _, kv_store = self._kv_traffic_times(stage, context)
+                store_back += kv_store
+            _, hidden_store = self._hidden_traffic_times(stage)
+            store_back += hidden_store
+            if store_back > 0:
+                store_op = d2h.enqueue(
+                    store_back,
+                    label=f"store t{step.token_index} L{step.layer_index}",
+                    category="transfer",
+                    deps=[compute_op],
+                    meta={"stage": stage.value, "kind": "writeback"},
+                )
+                step_sync.append(store_op)
+
+            if layer.kind is LayerKind.HEAD:
+                logits_op = d2h.enqueue(
+                    self._logits_writeback_time(),
+                    label=f"logits t{step.token_index}",
+                    category="transfer",
+                    deps=[compute_op],
+                    meta={"stage": stage.value, "kind": "logits"},
+                )
+                token_ops.append(logits_op)
+                step_sync.append(logits_op)
+
+            if not self.overlap and step.prefetch is not None:
+                # Serial counterfactual: the next layer's weights only
+                # start moving once this layer's compute retires.
+                pf_token, pf_layer = step.prefetch
+                load_op = enqueue_load(pf_token, pf_layer, deps=[compute_op])
+
+            if load_op is not None:
+                step_sync.append(load_op)
+            sync_deps = step_sync
+
+        total = engine.run()
+        #: Kept for post-run inspection / Chrome-trace export.
+        self.trace = engine.trace
+
+        # Fill in start/end from the trace's compute records.
+        for trace_record in engine.trace.filter(category="compute"):
+            key = (trace_record.meta["token"], trace_record.meta["layer"])
+            records[key].start_s = trace_record.start
+            records[key].end_s = trace_record.end
+
+        token_times = [op.end_time for op in token_ops]
+        ordered = [records[key] for key in sorted(records)]
+        return GenerationMetrics(
+            model_name=self.config.name,
+            host_label=self.host.label,
+            placement_name=self.placement.algorithm,
+            batch_size=self.batch_size,
+            prompt_len=self.prompt_len,
+            gen_len=self.gen_len,
+            token_times=token_times,
+            records=ordered,
+            total_s=total,
+            spill_log=tuple(self.spill_log),
+            num_gpu_batches=self.policy.num_gpu_batches,
+        )

@@ -1,0 +1,33 @@
+"""Simulated devices: GPU, CPU (host memory), and disk.
+
+A :class:`~repro.devices.device.Device` is a capacity-accounted
+allocator that tensors live on.  Tensors
+(:class:`~repro.devices.tensor.SimTensor`) come in two flavours:
+
+* **real** — backed by a numpy array; used by the functional backend
+  to actually run small OPT models end to end;
+* **virtual** — size-only; used by the timing backend to place and
+  move OPT-30B/175B without 324 GiB of RAM.
+
+The GPU additionally carries a roofline compute model
+(:class:`~repro.devices.gpu.GpuComputeModel`) used to cost kernels.
+"""
+
+from repro.devices.device import Device, DeviceKind
+from repro.devices.tensor import SimTensor
+from repro.devices.gpu import A100_SPEC, GpuComputeModel, GpuDevice, GpuSpec
+from repro.devices.cpu import CpuComputeModel, CpuDevice
+from repro.devices.disk import DiskDevice
+
+__all__ = [
+    "Device",
+    "DeviceKind",
+    "SimTensor",
+    "GpuDevice",
+    "GpuSpec",
+    "GpuComputeModel",
+    "A100_SPEC",
+    "CpuDevice",
+    "CpuComputeModel",
+    "DiskDevice",
+]

@@ -1,0 +1,69 @@
+"""Host-memory device (the "CPU" tier) and the CPU compute model.
+
+The capacity-accounting device is sized from a host-memory
+configuration; the compute model costs the work FlexGen can delegate
+to the CPU — most importantly attention over a host-resident KV cache
+(``cpu_cache_compute``), which trades streaming the cache over PCIe
+for computing next to it at host-memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.device import Device, DeviceKind
+from repro.errors import ConfigurationError
+from repro.memory import calibration as cal
+from repro.memory.hierarchy import HostMemoryConfig
+
+
+class CpuDevice(Device):
+    """The host-memory tier, sized from a host-memory configuration.
+
+    The *performance* of this tier comes from the configuration's host
+    region (DRAM, Optane, Memory Mode, CXL, ...); the device object
+    only does capacity accounting.
+    """
+
+    def __init__(self, config: HostMemoryConfig) -> None:
+        region = config.host_region
+        super().__init__(
+            name=f"cpu[{config.label}]",
+            kind=DeviceKind.CPU,
+            capacity_bytes=region.capacity_bytes,
+        )
+        self.config = config
+        self.region = region
+
+
+@dataclass(frozen=True)
+class CpuComputeModel:
+    """Roofline model for CPU-delegated kernels.
+
+    The memory term is bounded by the *host technology's* streaming
+    read rate (attention over a cache in Optane runs at Optane speed),
+    capped by what the CPU cores themselves can stream.
+    """
+
+    effective_flops: float = cal.CPU_EFFECTIVE_FLOPS
+    effective_mem_bw: float = cal.CPU_EFFECTIVE_MEM_BW
+    dispatch_overhead_s: float = cal.CPU_ATTENTION_OVERHEAD
+
+    def kernel_time(
+        self, flops: float, mem_bytes: float, memory_bandwidth: float = None
+    ) -> float:
+        """Roofline time for one CPU-delegated kernel.
+
+        Args:
+            memory_bandwidth: Streaming rate of the memory the kernel
+                reads (e.g. Optane's); capped at the CPU's own limit.
+        """
+        if flops < 0 or mem_bytes < 0:
+            raise ConfigurationError("flops and bytes must be >= 0")
+        bandwidth = self.effective_mem_bw
+        if memory_bandwidth is not None:
+            if memory_bandwidth <= 0:
+                raise ConfigurationError("memory bandwidth must be positive")
+            bandwidth = min(bandwidth, memory_bandwidth)
+        roofline = max(flops / self.effective_flops, mem_bytes / bandwidth)
+        return roofline + self.dispatch_overhead_s

@@ -1,0 +1,85 @@
+"""Capacity-accounted device allocator."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.errors import AllocationError, CapacityError
+from repro.units import fmt_bytes
+
+
+class DeviceKind(enum.Enum):
+    """The three tiers of FlexGen's memory hierarchy."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+    DISK = "disk"
+
+
+class Device:
+    """A memory device that tensors are allocated on.
+
+    Tracks usage against capacity and refuses over-allocation — this
+    is what makes max-batch-size searches honest.
+    """
+
+    def __init__(self, name: str, kind: DeviceKind, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise AllocationError(f"device {name!r}: capacity must be positive")
+        self.name = name
+        self.kind = kind
+        self.capacity_bytes = int(capacity_bytes)
+        self._used_bytes = 0
+        self._allocations: Dict[int, int] = {}
+        self._next_handle = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used_bytes
+
+    def allocate(self, nbytes: int, label: Optional[str] = None) -> int:
+        """Reserve ``nbytes``; returns an allocation handle.
+
+        Raises:
+            CapacityError: If the device cannot hold the allocation.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise AllocationError(
+                f"device {self.name!r}: cannot allocate {nbytes} bytes"
+            )
+        if nbytes > self.free_bytes:
+            raise CapacityError(self.name, nbytes, self.free_bytes)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._allocations[handle] = nbytes
+        self._used_bytes += nbytes
+        return handle
+
+    def free(self, handle: int) -> None:
+        try:
+            nbytes = self._allocations.pop(handle)
+        except KeyError:
+            raise AllocationError(
+                f"device {self.name!r}: unknown or double-freed handle {handle}"
+            ) from None
+        self._used_bytes -= nbytes
+
+    def can_fit(self, nbytes: int) -> bool:
+        return 0 <= nbytes <= self.free_bytes
+
+    def reset(self) -> None:
+        """Drop all allocations (start of a fresh run)."""
+        self._allocations.clear()
+        self._used_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Device {self.name!r} {self.kind.value} "
+            f"{fmt_bytes(self._used_bytes)}/{fmt_bytes(self.capacity_bytes)}>"
+        )

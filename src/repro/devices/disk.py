@@ -1,0 +1,25 @@
+"""Storage-tier device (NVMe SSD or Optane FSDAX)."""
+
+from __future__ import annotations
+
+from repro.devices.device import Device, DeviceKind
+from repro.errors import ConfigurationError
+from repro.memory.hierarchy import HostMemoryConfig
+
+
+class DiskDevice(Device):
+    """The storage tier, sized from a host-memory configuration."""
+
+    def __init__(self, config: HostMemoryConfig) -> None:
+        region = config.disk_region
+        if region is None:
+            raise ConfigurationError(
+                f"configuration {config.label!r} has no storage tier"
+            )
+        super().__init__(
+            name=f"disk[{config.label}]",
+            kind=DeviceKind.DISK,
+            capacity_bytes=region.capacity_bytes,
+        )
+        self.config = config
+        self.region = region

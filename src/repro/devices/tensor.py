@@ -1,0 +1,94 @@
+"""Simulated tensors: real (numpy-backed) or virtual (size-only)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AllocationError
+from repro.devices.device import Device
+from repro.units import fmt_bytes
+
+_DTYPE_BYTES = {
+    "float16": 2,
+    "float32": 4,
+    "int8": 1,
+    "uint8": 1,
+    "int32": 4,
+    "int64": 8,
+}
+
+
+def dtype_bytes(dtype: str) -> int:
+    try:
+        return _DTYPE_BYTES[dtype]
+    except KeyError:
+        raise AllocationError(f"unsupported dtype {dtype!r}") from None
+
+
+class SimTensor:
+    """A tensor with a home device.
+
+    A *real* tensor carries a numpy array (functional backend); a
+    *virtual* tensor carries only its byte size (timing backend).
+    Moving a tensor between devices is done by the owning runtime,
+    which releases and re-reserves capacity; the tensor itself only
+    records where it lives.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        dtype: str = "float16",
+        data: Optional[np.ndarray] = None,
+        nbytes: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.shape = tuple(int(dim) for dim in shape)
+        self.dtype = dtype
+        self.data = data
+        if data is not None and tuple(data.shape) != self.shape:
+            raise AllocationError(
+                f"tensor {name!r}: data shape {data.shape} does not match "
+                f"declared shape {self.shape}"
+            )
+        if nbytes is None:
+            count = 1
+            for dim in self.shape:
+                count *= dim
+            nbytes = count * dtype_bytes(dtype)
+        self.nbytes = int(nbytes)
+        self.device: Optional[Device] = None
+        self._handle: Optional[int] = None
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+    @property
+    def is_placed(self) -> bool:
+        return self.device is not None
+
+    def place_on(self, device: Device) -> None:
+        """Allocate this tensor on ``device`` (moving it if placed)."""
+        handle = device.allocate(self.nbytes, label=self.name)
+        self.release()
+        self.device = device
+        self._handle = handle
+
+    def release(self) -> None:
+        """Free this tensor's allocation, if any."""
+        if self.device is not None and self._handle is not None:
+            self.device.free(self._handle)
+        self.device = None
+        self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.device.name if self.device else "unplaced"
+        kind = "virtual" if self.is_virtual else "real"
+        return (
+            f"<SimTensor {self.name!r} {self.shape} {self.dtype} "
+            f"{fmt_bytes(self.nbytes)} {kind} on {where}>"
+        )

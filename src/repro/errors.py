@@ -1,0 +1,56 @@
+"""Exception taxonomy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system, model, or policy configuration is invalid."""
+
+
+class CapacityError(ReproError):
+    """An allocation request exceeds the capacity of a device."""
+
+    def __init__(self, device: str, requested: int, available: int) -> None:
+        self.device = device
+        self.requested = int(requested)
+        self.available = int(available)
+        super().__init__(
+            f"device {device!r}: requested {requested} bytes "
+            f"but only {available} bytes are available"
+        )
+
+
+class AllocationError(ReproError):
+    """A tensor allocation or release was used incorrectly."""
+
+
+class RoutingError(ReproError):
+    """No transfer path exists between two devices."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven into an invalid state."""
+
+
+class PlacementError(ReproError):
+    """A weight placement policy produced an invalid assignment."""
+
+
+class QuantizationError(ReproError):
+    """Quantization parameters or payloads are invalid."""
+
+
+class WorkloadError(ReproError):
+    """A workload/request specification is invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was requested with unsupported parameters."""

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run everything::
+
+    python -m repro.experiments run all
+
+or one artifact::
+
+    python -m repro.experiments run fig11_helm
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment", "run_experiment"]

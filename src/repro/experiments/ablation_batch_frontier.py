@@ -1,0 +1,48 @@
+"""Ablation: the latency/throughput frontier as batch size grows.
+
+Section V-C argues All-CPU trades nothing in TBT while multiplying
+throughput.  This sweep traces the whole frontier on NVDRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import Table
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import run_engine
+from repro.experiments.fig12_allcpu import max_allcpu_batch
+
+
+def run() -> ExperimentResult:
+    bmax = max_allcpu_batch()
+    batches = sorted({1, 2, 4, 8, 16, 32, bmax})
+    table = Table(
+        title="Ablation: All-CPU batch frontier (OPT-175B, NVDRAM, compressed)",
+        columns=("batch", "ttft_s", "tbt_s", "tput_tok_s"),
+    )
+    data: Dict[str, Dict] = {}
+    for batch in batches:
+        _, metrics = run_engine(
+            "opt-175b", "NVDRAM", "allcpu", batch_size=batch, compress=True
+        )
+        table.add_row(
+            batch,
+            round(metrics.ttft_s, 4),
+            round(metrics.tbt_s, 4),
+            round(metrics.throughput_tps, 4),
+        )
+        data[f"b{batch}"] = metrics.summary()
+    tputs = [data[f"b{batch}"]["throughput_tps"] for batch in batches]
+    data["checks"] = {
+        "throughput_monotonic": all(
+            later >= earlier for earlier, later in zip(tputs, tputs[1:])
+        ),
+        "bmax": bmax,
+    }
+    return ExperimentResult(
+        name="ablation_batch_frontier",
+        description="Latency/throughput frontier vs batch size",
+        tables=[table],
+        data=data,
+    )

@@ -1,0 +1,103 @@
+"""Ablation: KV-cache placement, quantization, and CPU attention.
+
+The paper keeps the KV cache on the GPU and points at cache
+quantization/offloading as composable follow-ups (Section VI: "These
+approaches can be combined with our work to further increase batch
+sizes").  This ablation quantifies that design space on our platform:
+
+* offloading cache shares to host memory (with and without FlexGen's
+  CPU-attention delegation), and
+* 4-bit cache quantization, which shrinks the footprint ~3.6x and
+  lifts the All-CPU maximum batch accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import Table
+from repro.core.engine import OffloadEngine
+from repro.core.policy import HOST_GPU_POLICY
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import GEN_LEN, PROMPT_LEN
+
+
+def _engine(policy, batch):
+    return OffloadEngine(
+        model="opt-175b", host="NVDRAM", placement="allcpu",
+        policy=policy, batch_size=batch,
+        prompt_len=PROMPT_LEN, gen_len=GEN_LEN,
+    )
+
+
+def run() -> ExperimentResult:
+    base_policy = HOST_GPU_POLICY.with_compression(True)
+    variants = (
+        ("kv on GPU (paper)", base_policy),
+        ("kv 50% on host", base_policy.with_kv(gpu_percent=50)),
+        ("kv 100% on host", base_policy.with_kv(gpu_percent=0)),
+        (
+            "kv on host + CPU attention",
+            base_policy.with_kv(gpu_percent=0, cpu_attention=True),
+        ),
+        ("kv int4 on GPU", base_policy.with_kv(compress=True)),
+        (
+            "kv int4 on host + CPU attn",
+            base_policy.with_kv(
+                gpu_percent=0, compress=True, cpu_attention=True
+            ),
+        ),
+    )
+    table = Table(
+        title=(
+            "Ablation: KV-cache placement/quantization "
+            "(OPT-175B, All-CPU weights, NVDRAM)"
+        ),
+        columns=("variant", "max_batch", "tbt_s@8", "tput@max"),
+    )
+    data: Dict[str, Dict] = {}
+    for name, policy in variants:
+        probe = _engine(policy, 1)
+        bmax = probe.max_batch_size()
+        at8 = _engine(policy, 8).run_timing()
+        at_max = _engine(policy, bmax).run_timing()
+        table.add_row(
+            name, bmax, round(at8.tbt_s, 4),
+            round(at_max.throughput_tps, 4),
+        )
+        data[name] = {
+            "max_batch": bmax,
+            "tbt_s_b8": at8.tbt_s,
+            "tput_at_max": at_max.throughput_tps,
+        }
+    data["checks"] = {
+        # Quantizing the cache multiplies the feasible batch ~3-4x.
+        "kv_quant_batch_multiplier": (
+            data["kv int4 on GPU"]["max_batch"]
+            / data["kv on GPU (paper)"]["max_batch"]
+        ),
+        # Offloading the cache costs TBT (context streams per layer).
+        "offload_tbt_penalty": (
+            data["kv 100% on host"]["tbt_s_b8"]
+            / data["kv on GPU (paper)"]["tbt_s_b8"]
+        ),
+        # On an *Optane* host, CPU attention reads the cache at Optane
+        # speed — roughly what the PCIe path delivers — so it roughly
+        # ties plain offloading here (it wins on DRAM hosts).
+        "cpu_attention_within_15pct": (
+            data["kv on host + CPU attention"]["tput_at_max"]
+            >= 0.85 * data["kv 100% on host"]["tput_at_max"]
+        ),
+        # The combined recipe lifts throughput well past the paper's
+        # GPU-resident-cache ceiling.
+        "combined_beats_paper_config": (
+            data["kv int4 on host + CPU attn"]["tput_at_max"]
+            > 2.0 * data["kv on GPU (paper)"]["tput_at_max"]
+        ),
+    }
+    return ExperimentResult(
+        name="ablation_kv_offload",
+        description="KV-cache placement, quantization, CPU attention",
+        tables=[table],
+        data=data,
+    )

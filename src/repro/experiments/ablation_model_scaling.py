@@ -1,0 +1,81 @@
+"""Ablation: placement gains across OPT model sizes.
+
+The paper evaluates OPT-30B and OPT-175B; this sweep runs the whole
+family on the Optane host, showing where out-of-core execution
+becomes mandatory and how HeLM's advantage scales with the FFN/MHA
+transfer imbalance it exploits.  All models use the paper's OPT-175B
+policy (0, 80, 20) so the placement effect is isolated — with
+compression, the small family members would otherwise fit entirely on
+the GPU (Section IV-B notes exactly this for OPT-30B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import Table
+from repro.core.engine import OffloadEngine
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import GEN_LEN, PROMPT_LEN
+from repro.models.config import opt_config
+from repro.units import GIB
+
+MODELS = ("opt-6.7b", "opt-13b", "opt-30b", "opt-66b", "opt-175b")
+
+
+def _run(model: str, placement: str):
+    from repro.core.policy import HOST_GPU_POLICY
+
+    engine = OffloadEngine(
+        model=model, host="NVDRAM", placement=placement,
+        policy=HOST_GPU_POLICY, compress_weights=True, batch_size=1,
+        prompt_len=PROMPT_LEN, gen_len=GEN_LEN,
+    )
+    return engine, engine.run_timing()
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        title="Ablation: model-size scaling (NVDRAM, compressed, b=1)",
+        columns=(
+            "model", "weights_GiB", "baseline_tbt_s", "helm_tbt_s",
+            "helm_gain_pct",
+        ),
+    )
+    data: Dict[str, Dict] = {}
+    for model in MODELS:
+        config = opt_config(model)
+        _, base = _run(model, "baseline")
+        _, helm = _run(model, "helm")
+        gain = (base.tbt_s - helm.tbt_s) / base.tbt_s * 100.0
+        table.add_row(
+            model,
+            round(config.weight_bytes / GIB, 1),
+            round(base.tbt_s, 4),
+            round(helm.tbt_s, 4),
+            round(gain, 2),
+        )
+        data[model] = {
+            "weights_gib": config.weight_bytes / GIB,
+            "baseline_tbt_s": base.tbt_s,
+            "helm_tbt_s": helm.tbt_s,
+            "helm_gain_pct": gain,
+        }
+
+    data["checks"] = {
+        # Latency grows with model size under a fixed host bandwidth.
+        "tbt_monotone_in_size": all(
+            data[a]["baseline_tbt_s"] < data[b]["baseline_tbt_s"]
+            for a, b in zip(MODELS, MODELS[1:])
+        ),
+        # HeLM helps across the whole family.
+        "helm_helps_everywhere": all(
+            data[model]["helm_gain_pct"] > 10 for model in MODELS
+        ),
+    }
+    return ExperimentResult(
+        name="ablation_model_scaling",
+        description="Placement gains across OPT model sizes",
+        tables=[table],
+        data=data,
+    )

@@ -1,0 +1,83 @@
+"""Ablation: zig-zag block order vs row-major generation.
+
+FlexGen's schedule processes all micro-batches of a block through one
+layer before moving on (Listing 1 with ``num_gpu_batches``), so each
+weight transfer is amortized over the whole block.  The row-major
+alternative — finish one micro-batch's entire generation, then the
+next — re-streams every weight once per micro-batch.  For a
+transfer-bound model the block order wins by nearly the block factor;
+this ablation measures exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import Table
+from repro.core.engine import OffloadEngine
+from repro.core.policy import HOST_GPU_POLICY
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import GEN_LEN, PROMPT_LEN
+
+MICRO_BATCH = 4
+BLOCKS = (1, 2, 4, 8)
+
+
+def _engine(blocks: int) -> OffloadEngine:
+    policy = HOST_GPU_POLICY.with_compression(True).with_gpu_batches(blocks)
+    return OffloadEngine(
+        model="opt-175b", host="NVDRAM", placement="allcpu",
+        policy=policy, batch_size=MICRO_BATCH,
+        prompt_len=PROMPT_LEN, gen_len=GEN_LEN,
+    )
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        title=(
+            "Ablation: zig-zag block vs row-major order "
+            f"(OPT-175B, All-CPU, NVDRAM, micro-batch {MICRO_BATCH})"
+        ),
+        columns=(
+            "blocks", "effective_batch",
+            "block_total_s", "row_major_total_s", "speedup",
+        ),
+    )
+    data: Dict[str, Dict] = {}
+    single = _engine(1).run_timing()
+    for blocks in BLOCKS:
+        block_metrics = _engine(blocks).run_timing()
+        block_total = block_metrics.total_s
+        # Row-major: the same work as `blocks` sequential single-block
+        # runs — every weight re-streamed per micro-batch.
+        row_major_total = blocks * single.total_s
+        speedup = row_major_total / block_total
+        table.add_row(
+            blocks,
+            blocks * MICRO_BATCH,
+            round(block_total, 3),
+            round(row_major_total, 3),
+            round(speedup, 3),
+        )
+        data[f"x{blocks}"] = {
+            "block_total_s": block_total,
+            "row_major_total_s": row_major_total,
+            "speedup": speedup,
+        }
+
+    data["checks"] = {
+        # Blocking always wins for this transfer-bound model...
+        "block_order_wins": all(
+            data[f"x{blocks}"]["speedup"] >= 1.0 for blocks in BLOCKS
+        ),
+        # ...and by most of the block factor at 8 blocks (compute and
+        # per-micro-batch HBM re-reads keep it below the ideal 8x).
+        "x8_speedup": data["x8"]["speedup"],
+        "x8_speedup_substantial": data["x8"]["speedup"] > 4.0,
+    }
+    return ExperimentResult(
+        name="ablation_schedule_order",
+        description="Zig-zag block order vs row-major generation",
+        tables=[table],
+        data=data,
+    )

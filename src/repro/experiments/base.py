@@ -1,0 +1,23 @@
+"""Common result container for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.reporting import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered tables plus machine-readable data for one artifact."""
+
+    name: str
+    description: str
+    tables: List[Table] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"### {self.name}: {self.description}"
+        body = "\n\n".join(table.render() for table in self.tables)
+        return f"{header}\n\n{body}" if body else header

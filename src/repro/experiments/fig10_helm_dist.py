@@ -1,0 +1,58 @@
+"""Figure 10: HeLM's achieved weight distribution."""
+
+from __future__ import annotations
+
+from repro.analysis.distribution import distribution_table
+from repro.analysis.reporting import Table
+from repro.core.placement.helm import HelmPlacement
+from repro.core.policy import HOST_GPU_POLICY
+from repro.devices.device import DeviceKind
+from repro.experiments.base import ExperimentResult
+from repro.models.config import opt_config
+from repro.models.weights import LayerKind
+
+
+def run() -> ExperimentResult:
+    config = opt_config("opt-175b")
+    policy = HOST_GPU_POLICY.with_compression(True)
+    placement = HelmPlacement().place_model(config, policy)
+
+    table = Table(
+        title="Fig 10: HeLM weight distribution, OPT-175B",
+        columns=("layer_kind", "gpu", "cpu", "disk"),
+    )
+    for row in distribution_table(placement):
+        table.add_row(
+            row["kind"],
+            round(row["gpu"], 4),
+            round(row["cpu"], 4),
+            round(row["disk"], 4),
+        )
+
+    mha = placement.kind_distribution(LayerKind.MHA)
+    ffn = placement.kind_distribution(LayerKind.FFN)
+    disk, cpu, gpu = placement.achieved_percentages()
+    data = {
+        "mha_gpu_share": mha[DeviceKind.GPU],
+        "ffn_gpu_share": ffn[DeviceKind.GPU],
+        "achieved": {"disk": disk, "cpu": cpu, "gpu": gpu},
+        # Section V-B: the first FC matrix of every FFN layer sits on
+        # the GPU while all four MHA projection matrices stream.
+        "ffn_fc1_on_gpu": all(
+            placement.tier_of(layer.index, "w_fc1") is DeviceKind.GPU
+            for layer in placement.layers
+            if layer.kind is LayerKind.FFN
+        ),
+        "mha_matrices_on_cpu": all(
+            placement.tier_of(layer.index, name) is DeviceKind.CPU
+            for layer in placement.layers
+            if layer.kind is LayerKind.MHA
+            for name in ("w_q", "w_k", "w_v", "w_out")
+        ),
+    }
+    return ExperimentResult(
+        name="fig10_helm_dist",
+        description="HeLM weight distribution (Fig. 10)",
+        tables=[table],
+        data=data,
+    )

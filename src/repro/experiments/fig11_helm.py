@@ -1,0 +1,103 @@
+"""Figure 11: HeLM's impact on overlap and latency."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import Table
+from repro.core.metrics import Stage
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import run_engine
+from repro.models.weights import LayerKind
+
+FIG11_HOSTS = ("NVDRAM", "MemoryMode", "DRAM")
+
+
+def run() -> ExperimentResult:
+    overlap = Table(
+        title=(
+            "Fig 11a: decode overlap, OPT-175B batch 1 compressed "
+            "(baseline vs HeLM, NVDRAM)"
+        ),
+        columns=(
+            "placement", "mha_load_ms", "ffn_load_ms",
+            "mha_compute_ms", "ffn_compute_ms",
+        ),
+    )
+    latency = Table(
+        title="Fig 11b: TTFT and TBT, OPT-175B batch 1 compressed",
+        columns=("config", "placement", "ttft_s", "tbt_s"),
+    )
+    data: Dict[str, Dict] = {}
+    for placement in ("baseline", "helm"):
+        _, metrics = run_engine(
+            "opt-175b", "NVDRAM", placement, batch_size=1, compress=True
+        )
+        overlap.add_row(
+            placement,
+            round(
+                metrics.avg_transfer_s(Stage.DECODE, LayerKind.MHA) * 1e3, 3
+            ),
+            round(
+                metrics.avg_transfer_s(Stage.DECODE, LayerKind.FFN) * 1e3, 3
+            ),
+            round(
+                metrics.avg_compute_s(Stage.DECODE, LayerKind.MHA) * 1e3, 3
+            ),
+            round(
+                metrics.avg_compute_s(Stage.DECODE, LayerKind.FFN) * 1e3, 3
+            ),
+        )
+    for host in FIG11_HOSTS:
+        for placement in ("baseline", "helm"):
+            _, metrics = run_engine(
+                "opt-175b", host, placement, batch_size=1, compress=True
+            )
+            latency.add_row(
+                host,
+                placement,
+                round(metrics.ttft_s, 4),
+                round(metrics.tbt_s, 4),
+            )
+            data[f"{host}/{placement}"] = metrics.summary()
+
+    def improvement(host: str, metric: str) -> float:
+        base = data[f"{host}/baseline"][metric]
+        helm = data[f"{host}/helm"][metric]
+        return (base - helm) / base * 100.0
+
+    def gap_to_dram(host: str, metric: str) -> float:
+        helm = data[f"{host}/helm"][metric]
+        dram = data["DRAM/helm"][metric]
+        return (helm - dram) / dram * 100.0
+
+    # HeLM's per-kind transfer deltas (Section V-B: -49.33% FFN,
+    # +32.55% MHA).
+    _, base_m = run_engine(
+        "opt-175b", "NVDRAM", "baseline", batch_size=1, compress=True
+    )
+    _, helm_m = run_engine(
+        "opt-175b", "NVDRAM", "helm", batch_size=1, compress=True
+    )
+    ffn_base = base_m.avg_transfer_s(Stage.DECODE, LayerKind.FFN)
+    ffn_helm = helm_m.avg_transfer_s(Stage.DECODE, LayerKind.FFN)
+    mha_base = base_m.avg_transfer_s(Stage.DECODE, LayerKind.MHA)
+    mha_helm = helm_m.avg_transfer_s(Stage.DECODE, LayerKind.MHA)
+
+    data["checks"] = {
+        "nvdram_ttft_improvement": improvement("NVDRAM", "ttft_s"),
+        "nvdram_tbt_improvement": improvement("NVDRAM", "tbt_s"),
+        "mm_ttft_improvement": improvement("MemoryMode", "ttft_s"),
+        "mm_tbt_improvement": improvement("MemoryMode", "tbt_s"),
+        "nvdram_ttft_gap_to_dram": gap_to_dram("NVDRAM", "ttft_s"),
+        "nvdram_tbt_gap_to_dram": gap_to_dram("NVDRAM", "tbt_s"),
+        "mm_ttft_gap_to_dram": gap_to_dram("MemoryMode", "ttft_s"),
+        "ffn_transfer_reduction": (1 - ffn_helm / ffn_base) * 100.0,
+        "mha_transfer_increase": (mha_helm / mha_base - 1) * 100.0,
+    }
+    return ExperimentResult(
+        name="fig11_helm",
+        description="HeLM overlap and latency impact (Fig. 11)",
+        tables=[overlap, latency],
+        data=data,
+    )

@@ -1,0 +1,95 @@
+"""Figure 13: projected HeLM and All-CPU gains on CXL systems."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.projection import project_cxl
+from repro.analysis.reporting import Table
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import run_engine
+from repro.experiments.fig12_allcpu import max_allcpu_batch
+
+CXL_CONFIGS = ("CXL-FPGA", "CXL-ASIC")
+
+
+def _metrics(config_label: str, placement: str, batch: int):
+    if config_label == "NVDRAM":
+        _, metrics = run_engine(
+            "opt-175b", "NVDRAM", placement, batch_size=batch, compress=True
+        )
+        return metrics
+    return project_cxl(
+        config_label, placement=placement, batch_size=batch
+    ).metrics
+
+
+def run() -> ExperimentResult:
+    big_batch = max_allcpu_batch()
+    helm_table = Table(
+        title="Fig 13a: projected HeLM TTFT/TBT (batch 1, compressed)",
+        columns=(
+            "config", "placement", "ttft_s", "tbt_s",
+        ),
+    )
+    tput_table = Table(
+        title="Fig 13b: projected All-CPU throughput (compressed)",
+        columns=("config", "placement", "batch", "tput_tok_s"),
+    )
+    data: Dict[str, object] = {"max_batch": big_batch}
+
+    for config_label in ("NVDRAM",) + CXL_CONFIGS:
+        for placement in ("baseline", "helm"):
+            metrics = _metrics(config_label, placement, 1)
+            helm_table.add_row(
+                config_label, placement,
+                round(metrics.ttft_s, 4), round(metrics.tbt_s, 4),
+            )
+            data[f"latency/{config_label}/{placement}"] = metrics.summary()
+        for placement, batch in (
+            ("baseline", 8),
+            ("allcpu", 8),
+            ("allcpu", big_batch),
+        ):
+            metrics = _metrics(config_label, placement, batch)
+            tput_table.add_row(
+                config_label, placement, batch,
+                round(metrics.throughput_tps, 4),
+            )
+            data[f"tput/{config_label}/{placement}/b{batch}"] = (
+                metrics.throughput_tps
+            )
+
+    def helm_improvement(config_label: str, metric: str) -> float:
+        base = data[f"latency/{config_label}/baseline"][metric]
+        helm = data[f"latency/{config_label}/helm"][metric]
+        return (base - helm) / base * 100.0
+
+    def allcpu_gain(config_label: str) -> float:
+        return (
+            data[f"tput/{config_label}/allcpu/b{big_batch}"]
+            / data[f"tput/{config_label}/baseline/b8"]
+        )
+
+    data["checks"] = {
+        # Section V-D: HeLM improves TTFT/TBT by ~27% (CXL-FPGA) and
+        # ~21% (CXL-ASIC).
+        "fpga_helm_tbt_improvement": helm_improvement("CXL-FPGA", "tbt_s"),
+        "asic_helm_tbt_improvement": helm_improvement("CXL-ASIC", "tbt_s"),
+        # All-CPU at bmax vs baseline b8: 4.74x / 5.04x.
+        "fpga_allcpu_gain": allcpu_gain("CXL-FPGA"),
+        "asic_allcpu_gain": allcpu_gain("CXL-ASIC"),
+        # CXL-FPGA loses throughput moving to All-CPU at batch 8.
+        "fpga_allcpu_b8_drop": (
+            1
+            - data["tput/CXL-FPGA/allcpu/b8"]
+            / data["tput/CXL-FPGA/baseline/b8"]
+        )
+        * 100.0,
+    }
+    return ExperimentResult(
+        name="fig13_cxl",
+        description="CXL performance projections (Fig. 13)",
+        tables=[helm_table, tput_table],
+        data=data,
+    )

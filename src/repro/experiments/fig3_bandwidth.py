@@ -1,0 +1,91 @@
+"""Figure 3: host/GPU memory-copy bandwidth sweep."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import Table
+from repro.bench.nvbandwidth import BandwidthSample, bandwidth_sweep
+from repro.experiments.base import ExperimentResult
+from repro.units import GB, MIB
+
+
+def _series_key(sample: BandwidthSample) -> str:
+    return sample.region_name
+
+
+def run() -> ExperimentResult:
+    samples = bandwidth_sweep()
+    tables = []
+    data: Dict[str, object] = {"samples": []}
+    for direction, title in (
+        ("h2g", "Fig 3a: Host to GPU bandwidth (GB/s)"),
+        ("g2h", "Fig 3b: GPU to host bandwidth (GB/s)"),
+    ):
+        subset = [s for s in samples if s.direction == direction]
+        regions = sorted({_series_key(s) for s in subset})
+        sizes = sorted({s.buffer_bytes for s in subset})
+        table = Table(
+            title=title,
+            columns=("buffer_MiB",) + tuple(regions),
+        )
+        lookup = {
+            (s.buffer_bytes, _series_key(s)): s.gb_per_s for s in subset
+        }
+        for size in sizes:
+            table.add_row(
+                int(size / MIB),
+                *(round(lookup[(size, region)], 2) for region in regions),
+            )
+        tables.append(table)
+
+    for sample in samples:
+        data["samples"].append(
+            {
+                "config": sample.config_label,
+                "region": sample.region_name,
+                "node": sample.numa_node,
+                "direction": sample.direction,
+                "buffer_bytes": sample.buffer_bytes,
+                "gb_per_s": sample.gb_per_s,
+            }
+        )
+
+    # Headline checks from Section IV-A.
+    def bw(region: str, direction: str, size: int) -> float:
+        for sample in samples:
+            if (
+                sample.region_name == region
+                and sample.direction == direction
+                and sample.buffer_bytes == size
+            ):
+                return sample.gb_per_s
+        raise KeyError((region, direction, size))
+
+    four_gb = 4096 * MIB
+    thirty_two_gb = 32768 * MIB
+    one_gb = 1024 * MIB
+    data["checks"] = {
+        "nvdram_h2g_at_4g": bw("NVDRAM-0", "h2g", four_gb),
+        "nvdram_h2g_at_32g": bw("NVDRAM-0", "h2g", thirty_two_gb),
+        "dram_h2g_at_4g": bw("DRAM-0", "h2g", four_gb),
+        "nvdram_g2h_peak": max(
+            s.gb_per_s
+            for s in samples
+            if s.region_name == "NVDRAM-1" and s.direction == "g2h"
+        ),
+        "dram_g2h_at_1g": bw("DRAM-0", "g2h", one_gb),
+        "nvdram_h2g_drop_small": 1
+        - bw("NVDRAM-0", "h2g", four_gb) / bw("DRAM-0", "h2g", four_gb),
+        "nvdram_h2g_drop_32g": 1
+        - bw("NVDRAM-0", "h2g", thirty_two_gb)
+        / bw("DRAM-0", "h2g", thirty_two_gb),
+        "nvdram_g2h_drop": 1
+        - bw("NVDRAM-1", "g2h", one_gb) / bw("DRAM-0", "g2h", one_gb),
+    }
+    return ExperimentResult(
+        name="fig3_bandwidth",
+        description="Host/GPU memory copy bandwidth (Fig. 3)",
+        tables=tables,
+        data=data,
+    )

@@ -1,0 +1,93 @@
+"""Figure 7: per-layer load latency sawtooth and achieved distributions."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.distribution import distribution_table
+from repro.analysis.reporting import Table
+from repro.core.placement.baseline import BaselinePlacement
+from repro.devices.device import DeviceKind
+from repro.core.policy import DISK_POLICY, HOST_GPU_POLICY
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import run_engine
+from repro.models.config import opt_config
+from repro.models.weights import LayerKind
+
+#: The paper plots layers 1..70 of 194.
+SAWTOOTH_LAYERS = 70
+FIG7_HOSTS = ("SSD", "FSDAX", "NVDRAM", "MemoryMode")
+
+
+def run() -> ExperimentResult:
+    tables: List[Table] = []
+    data: Dict[str, object] = {}
+
+    # (a) Per-layer weight load latency, compressed, all configs.
+    sawtooth = Table(
+        title="Fig 7a: per-layer weight load latency (ms), compressed",
+        columns=("layer", "kind") + tuple(FIG7_HOSTS),
+    )
+    per_host: Dict[str, List[float]] = {}
+    kinds: List[str] = []
+    for host in FIG7_HOSTS:
+        _, metrics = run_engine("opt-175b", host, batch_size=1, compress=True)
+        loads = metrics.per_layer_transfer(token_index=0)
+        per_host[host] = [load * 1e3 for _, _, load in loads]
+        kinds = [kind.value for _, kind, _ in loads]
+    for layer_index in range(1, SAWTOOTH_LAYERS + 1):
+        sawtooth.add_row(
+            layer_index,
+            kinds[layer_index],
+            *(round(per_host[host][layer_index], 3) for host in FIG7_HOSTS),
+        )
+    tables.append(sawtooth)
+    data["sawtooth_ms"] = {
+        host: per_host[host][1 : SAWTOOTH_LAYERS + 1] for host in FIG7_HOSTS
+    }
+    data["sawtooth_kinds"] = kinds[1 : SAWTOOTH_LAYERS + 1]
+
+    # (b)/(c) Achieved weight distributions for the two policies.
+    config = opt_config("opt-175b")
+    algorithm = BaselinePlacement()
+    for name, policy, title in (
+        (
+            "ssd_fsdax",
+            DISK_POLICY,
+            "Fig 7b: weight distribution, SSD/FSDAX policy (65, 15, 20)",
+        ),
+        (
+            "nvdram_mm",
+            HOST_GPU_POLICY,
+            "Fig 7c: weight distribution, NVDRAM/MemoryMode policy (0, 80, 20)",
+        ),
+    ):
+        placement = algorithm.place_model(config, policy)
+        dist = Table(title=title, columns=("layer_kind", "gpu", "cpu", "disk"))
+        for row in distribution_table(placement):
+            dist.add_row(
+                row["kind"],
+                round(row["gpu"], 4),
+                round(row["cpu"], 4),
+                round(row["disk"], 4),
+            )
+        tables.append(dist)
+        disk, cpu, gpu = placement.achieved_percentages()
+        data[f"achieved_{name}"] = {
+            "disk": disk,
+            "cpu": cpu,
+            "gpu": gpu,
+            "ffn_gpu_share": placement.kind_distribution(LayerKind.FFN)[
+                DeviceKind.GPU
+            ],
+            "mha_gpu_share": placement.kind_distribution(LayerKind.MHA)[
+                DeviceKind.GPU
+            ],
+        }
+
+    return ExperimentResult(
+        name="fig7_placement",
+        description="Per-layer load latency and achieved distributions (Fig. 7)",
+        tables=tables,
+        data=data,
+    )

@@ -1,0 +1,277 @@
+"""The paper's published values, as a machine-checkable registry.
+
+EXPERIMENTS.md narrates the reproduction; this module *computes* it.
+Every quantitative claim in the evaluation section is recorded with
+its published value and a tolerance band, and :func:`scorecard` runs
+the corresponding experiments and grades each claim:
+
+* ``MATCH``     — measured value inside the band;
+* ``CLOSE``     — inside twice the band (right shape, small drift);
+* ``DIVERGENT`` — outside; every such claim carries a ``note``
+  explaining why (all four known divergences are documented in
+  EXPERIMENTS.md).
+
+Regenerate the scorecard with::
+
+    repro-experiments scorecard
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import Table
+from repro.errors import ExperimentError
+from repro.experiments.registry import run_experiment
+
+
+class Grade(enum.Enum):
+    MATCH = "MATCH"
+    CLOSE = "CLOSE"
+    DIVERGENT = "DIVERGENT"
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One published number and where our measurement of it lives."""
+
+    claim_id: str
+    description: str
+    experiment: str
+    #: Path into the experiment's ``data`` dict.
+    key_path: Tuple[str, ...]
+    paper_value: float
+    #: Half-width of the acceptance band (absolute units of the value).
+    tolerance: float
+    note: str = ""
+
+    def locate(self, data: Dict) -> float:
+        value = data
+        for key in self.key_path:
+            try:
+                value = value[key]
+            except (KeyError, TypeError):
+                raise ExperimentError(
+                    f"claim {self.claim_id}: path {self.key_path} missing "
+                    f"from experiment {self.experiment!r}"
+                ) from None
+        return float(value)
+
+    def grade(self, measured: float) -> Grade:
+        delta = abs(measured - self.paper_value)
+        if delta <= self.tolerance:
+            return Grade.MATCH
+        if delta <= 2 * self.tolerance:
+            return Grade.CLOSE
+        return Grade.DIVERGENT
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: PaperClaim
+    measured: float
+    grade: Grade
+
+
+_C = PaperClaim
+
+#: Every quantitative claim of the evaluation section.
+PAPER_CLAIMS: Tuple[PaperClaim, ...] = (
+    # --- Figure 3 -------------------------------------------------------
+    _C("fig3.nvdram_plateau", "NVDRAM h2g plateau (GB/s)",
+       "fig3_bandwidth", ("checks", "nvdram_h2g_at_4g"), 19.91, 0.5),
+    _C("fig3.nvdram_32g", "NVDRAM h2g at 32 GB (GB/s)",
+       "fig3_bandwidth", ("checks", "nvdram_h2g_at_32g"), 15.52, 0.3),
+    _C("fig3.h2g_drop_small", "NVDRAM h2g drop vs DRAM, small buffers",
+       "fig3_bandwidth", ("checks", "nvdram_h2g_drop_small"), 0.20, 0.03),
+    _C("fig3.h2g_drop_32g", "NVDRAM h2g drop at 32 GB",
+       "fig3_bandwidth", ("checks", "nvdram_h2g_drop_32g"), 0.37, 0.04),
+    _C("fig3.g2h_peak", "NVDRAM g2h peak (GB/s)",
+       "fig3_bandwidth", ("checks", "nvdram_g2h_peak"), 3.26, 0.15),
+    _C("fig3.g2h_drop", "NVDRAM g2h drop vs DRAM",
+       "fig3_bandwidth", ("checks", "nvdram_g2h_drop"), 0.88, 0.02),
+    # --- Figure 4 -------------------------------------------------------
+    _C("fig4.30b_ttft_b1", "OPT-30B NVDRAM TTFT increase, b=1 (%)",
+       "fig4_llm_perf", ("checks", "30b_nvdram_ttft_increase_b1"),
+       33.03, 5.0),
+    _C("fig4.30b_ttft_b32", "OPT-30B NVDRAM TTFT increase, b=32 (%)",
+       "fig4_llm_perf", ("checks", "30b_nvdram_ttft_increase_b32"),
+       15.05, 4.0),
+    _C("fig4.30b_tbt_b1", "OPT-30B NVDRAM TBT increase, b=1 (%)",
+       "fig4_llm_perf", ("checks", "30b_nvdram_tbt_increase_b1"),
+       33.03, 5.0),
+    _C("fig4.30b_tbt_b32", "OPT-30B NVDRAM TBT increase, b=32 (%)",
+       "fig4_llm_perf", ("checks", "30b_nvdram_tbt_increase_b32"),
+       30.55, 6.0),
+    _C("fig4.30b_tput_drop", "OPT-30B NVDRAM throughput drop, b=32 (%)",
+       "fig4_llm_perf", ("checks", "30b_nvdram_tput_drop_b32"),
+       22.68, 5.0),
+    _C("fig4.30b_ttft_scaling", "OPT-30B DRAM TTFT growth b1->32 (%)",
+       "fig4_llm_perf", ("checks", "30b_dram_ttft_scaling"), 32.41, 6.0),
+    _C("fig4.fsdax_vs_ssd", "FSDAX TTFT improvement over SSD (%)",
+       "fig4_llm_perf", ("checks", "175b_fsdax_ttft_improvement_b1"),
+       33.46, 4.0),
+    _C("fig4.mm_vs_nvdram", "MM TTFT improvement over NVDRAM, 175B (%)",
+       "fig4_llm_perf", ("checks", "175b_mm_ttft_improvement_b1"),
+       7.67, 2.5),
+    _C("fig4.mm_tput_b8", "MM throughput improvement, b=8 (%)",
+       "fig4_llm_perf", ("checks", "175b_mm_tput_improvement_b8"),
+       7.98, 3.0),
+    # --- Figure 5 -------------------------------------------------------
+    _C("fig5.dram_vs_nvdram", "All-DRAM transfer improvement vs NVDIMM (%)",
+       "fig5_overlap",
+       ("checks", "175b_dram_vs_nvdram_transfer_improvement"), 32.78, 3.0),
+    _C("fig5.dram_vs_mm", "All-DRAM transfer improvement vs MM (%)",
+       "fig5_overlap",
+       ("checks", "175b_dram_vs_mm_transfer_improvement"), 22.41, 4.0,
+       note="our MM miss model is slightly more pessimistic"),
+    _C("fig5.prefill_scaling", "OPT-30B prefill compute growth b1->32 (x)",
+       "fig5_overlap", ("checks", "30b_prefill_compute_scaling"),
+       15.0, 4.0),
+    # --- Figure 6 -------------------------------------------------------
+    _C("fig6.nvdram_reduction", "Compression transfer reduction, NVDIMM (%)",
+       "fig6_compression", ("checks", "nvdram_transfer_reduction"),
+       72.0, 4.0),
+    _C("fig6.mm_reduction", "Compression transfer reduction, MM (%)",
+       "fig6_compression", ("checks", "mm_transfer_reduction"), 74.0, 4.0),
+    _C("fig6.nvdram_gap", "Compressed NVDIMM gap to DRAM ideal (%)",
+       "fig6_compression", ("checks", "nvdram_gap_to_dram"), 25.0, 8.0,
+       note="our compressed working set decays the AIT slightly more"),
+    _C("fig6.mm_gap", "Compressed MM gap to DRAM ideal (%)",
+       "fig6_compression", ("checks", "mm_gap_to_dram"), 6.0, 4.0,
+       note="the 81 GB compressed model fits our modelled MM cache, so "
+            "the gap collapses to 0"),
+    _C("fig6.inflation", "Compute inflation under compression (x, in "
+       "the paper's 2.5-13 band)",
+       "fig6_compression", ("checks", "nvdram_compute_inflation"),
+       7.75, 5.25),
+    # --- Figure 7 -------------------------------------------------------
+    _C("fig7.achieved_cpu", "Achieved CPU share, (0,80,20) policy (%)",
+       "fig7_placement", ("achieved_nvdram_mm", "cpu"), 91.7, 0.3),
+    _C("fig7.achieved_gpu", "Achieved GPU share, (0,80,20) policy (%)",
+       "fig7_placement", ("achieved_nvdram_mm", "gpu"), 8.3, 0.3),
+    _C("fig7.achieved_disk", "Achieved disk share, (65,15,20) policy (%)",
+       "fig7_placement", ("achieved_ssd_fsdax", "disk"), 58.6, 0.6),
+    _C("fig7.mha_gpu", "Baseline MHA GPU share (fraction)",
+       "fig7_placement", ("achieved_nvdram_mm", "mha_gpu_share"),
+       0.25, 0.01),
+    # --- Figure 11 ------------------------------------------------------
+    _C("fig11.ffn_cut", "HeLM FFN transfer reduction (%)",
+       "fig11_helm", ("checks", "ffn_transfer_reduction"), 49.33, 4.0),
+    _C("fig11.mha_rise", "HeLM MHA transfer increase (%)",
+       "fig11_helm", ("checks", "mha_transfer_increase"), 32.55, 5.0),
+    _C("fig11.nvdram_ttft", "HeLM NVDRAM TTFT improvement (%)",
+       "fig11_helm", ("checks", "nvdram_ttft_improvement"), 27.20, 5.0),
+    _C("fig11.nvdram_tbt", "HeLM NVDRAM TBT improvement (%)",
+       "fig11_helm", ("checks", "nvdram_tbt_improvement"), 27.44, 5.0),
+    _C("fig11.mm_ttft", "HeLM MemoryMode TTFT improvement (%)",
+       "fig11_helm", ("checks", "mm_ttft_improvement"), 31.90, 6.0),
+    _C("fig11.gap_to_dram", "HeLM NVDRAM TBT gap to DRAM (%)",
+       "fig11_helm", ("checks", "nvdram_tbt_gap_to_dram"), 8.91, 3.0,
+       note="measured against HeLM-on-DRAM; our NVDRAM read rate under "
+            "a compressed working set sits slightly lower (see "
+            "EXPERIMENTS.md divergence 2)"),
+    # --- Figure 12 ------------------------------------------------------
+    _C("fig12.tput_gain", "All-CPU throughput gain vs baseline b8 (x)",
+       "fig12_allcpu", ("checks", "nvdram_throughput_gain"), 5.0, 0.8),
+    _C("fig12.max_batch", "All-CPU maximum batch",
+       "fig12_allcpu", ("max_batch",), 44.0, 3.0),
+    _C("fig12.b8_cost", "All-CPU TBT cost at b=8 (%)",
+       "fig12_allcpu", ("checks", "allcpu_b8_tbt_cost"), 1.0, 2.0),
+    _C("fig12.gap_to_dram", "All-CPU NVDRAM throughput gap to DRAM (%)",
+       "fig12_allcpu", ("checks", "nvdram_gap_to_dram"), 6.0, 5.0,
+       note="same bandwidth trade-off as fig11.gap_to_dram"),
+    # --- Table IV -------------------------------------------------------
+    _C("t4.base_decode_mha", "baseline b1 decode MHA-compute/FFN-load",
+       "table4_ratios",
+       ("baseline/b1/decode/NVDRAM", "mha_compute/ffn_load"), 0.36, 0.07),
+    _C("t4.base_decode_ffn", "baseline b1 decode FFN-compute/MHA-load",
+       "table4_ratios",
+       ("baseline/b1/decode/NVDRAM", "ffn_compute/mha_load"), 1.85, 0.30),
+    _C("t4.base_b8_prefill_mha", "baseline b8 prefill MHA ratio",
+       "table4_ratios",
+       ("baseline/b8/prefill/NVDRAM", "mha_compute/ffn_load"), 0.52, 0.10),
+    _C("t4.base_b8_prefill_ffn", "baseline b8 prefill FFN ratio",
+       "table4_ratios",
+       ("baseline/b8/prefill/NVDRAM", "ffn_compute/mha_load"), 3.07, 0.50,
+       note="the calibrated prefill GEMM rate slightly undercuts the "
+            "b8 compute side"),
+    _C("t4.helm_decode_mha", "HeLM b1 decode MHA-compute/FFN-load",
+       "table4_ratios",
+       ("helm/b1/decode/NVDRAM", "mha_compute/ffn_load"), 0.71, 0.12),
+    _C("t4.helm_decode_ffn", "HeLM b1 decode FFN-compute/MHA-load",
+       "table4_ratios",
+       ("helm/b1/decode/NVDRAM", "ffn_compute/mha_load"), 1.40, 0.18),
+    _C("t4.fpga_decode_mha", "baseline b1 decode, CXL-FPGA",
+       "table4_ratios",
+       ("baseline/b1/decode/CXL-FPGA", "mha_compute/ffn_load"), 0.10, 0.03),
+    _C("t4.asic_decode_ffn", "baseline b1 decode FFN ratio, CXL-ASIC",
+       "table4_ratios",
+       ("baseline/b1/decode/CXL-ASIC", "ffn_compute/mha_load"), 2.88, 0.5),
+    _C("t4.allcpu_decode_ffn", "All-CPU bmax decode FFN ratio",
+       "table4_ratios",
+       ("allcpu/bmax/decode/NVDRAM", "ffn_compute/mha_load"), 1.33, 0.15),
+    _C("t4.allcpu_prefill_mha", "All-CPU bmax prefill MHA ratio",
+       "table4_ratios",
+       ("allcpu/bmax/prefill/NVDRAM", "mha_compute/ffn_load"), 1.25, 0.20),
+    _C("t4.allcpu_prefill_ffn", "All-CPU bmax prefill FFN ratio",
+       "table4_ratios",
+       ("allcpu/bmax/prefill/NVDRAM", "ffn_compute/mha_load"), 4.82, 0.50),
+    # --- Figure 13 ------------------------------------------------------
+    _C("fig13.fpga_helm", "HeLM TBT improvement, CXL-FPGA (%)",
+       "fig13_cxl", ("checks", "fpga_helm_tbt_improvement"), 27.0, 4.0),
+    _C("fig13.asic_helm", "HeLM TBT improvement, CXL-ASIC (%)",
+       "fig13_cxl", ("checks", "asic_helm_tbt_improvement"), 21.0, 5.0),
+    _C("fig13.fpga_gain", "All-CPU gain, CXL-FPGA (x)",
+       "fig13_cxl", ("checks", "fpga_allcpu_gain"), 4.74, 0.8),
+    _C("fig13.asic_gain", "All-CPU gain, CXL-ASIC (x)",
+       "fig13_cxl", ("checks", "asic_allcpu_gain"), 5.04, 0.8),
+    _C("fig13.fpga_b8_drop", "All-CPU b8 throughput drop, CXL-FPGA (%)",
+       "fig13_cxl", ("checks", "fpga_allcpu_b8_drop"), 8.35, 2.0),
+)
+
+
+def scorecard(
+    claims: Sequence[PaperClaim] = PAPER_CLAIMS,
+) -> List[ClaimResult]:
+    """Evaluate every claim against freshly-run experiments."""
+    cache: Dict[str, Dict] = {}
+    results: List[ClaimResult] = []
+    for claim in claims:
+        if claim.experiment not in cache:
+            cache[claim.experiment] = run_experiment(claim.experiment).data
+        measured = claim.locate(cache[claim.experiment])
+        results.append(
+            ClaimResult(
+                claim=claim, measured=measured, grade=claim.grade(measured)
+            )
+        )
+    return results
+
+
+def render_scorecard(results: Optional[List[ClaimResult]] = None) -> str:
+    """The reproduction scorecard as an aligned text table."""
+    if results is None:
+        results = scorecard()
+    table = Table(
+        title="Reproduction scorecard (paper vs measured)",
+        columns=("claim", "paper", "measured", "grade", "note"),
+    )
+    for result in results:
+        table.add_row(
+            result.claim.claim_id,
+            result.claim.paper_value,
+            round(result.measured, 3),
+            result.grade.value,
+            result.claim.note[:60],
+        )
+    counts = {grade: 0 for grade in Grade}
+    for result in results:
+        counts[result.grade] += 1
+    footer = (
+        f"\n{counts[Grade.MATCH]} MATCH / {counts[Grade.CLOSE]} CLOSE / "
+        f"{counts[Grade.DIVERGENT]} DIVERGENT of {len(results)} claims"
+    )
+    return table.render() + footer

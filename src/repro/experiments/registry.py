@@ -1,0 +1,58 @@
+"""Registry mapping experiment names to their runners."""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+
+#: name -> module path (lazy-imported so listing is cheap).
+EXPERIMENTS: Dict[str, str] = {
+    "table1_system": "repro.experiments.table1_system",
+    "table2_configs": "repro.experiments.table2_configs",
+    "fig3_bandwidth": "repro.experiments.fig3_bandwidth",
+    "fig4_llm_perf": "repro.experiments.fig4_llm_perf",
+    "fig5_overlap": "repro.experiments.fig5_overlap",
+    "fig6_compression": "repro.experiments.fig6_compression",
+    "fig7_placement": "repro.experiments.fig7_placement",
+    "fig8_mha_ffn": "repro.experiments.fig8_mha_ffn",
+    "fig9_helm_weights": "repro.experiments.fig9_helm_weights",
+    "fig10_helm_dist": "repro.experiments.fig10_helm_dist",
+    "fig11_helm": "repro.experiments.fig11_helm",
+    "fig12_allcpu": "repro.experiments.fig12_allcpu",
+    "table3_cxl": "repro.experiments.table3_cxl",
+    "table4_ratios": "repro.experiments.table4_ratios",
+    "fig13_cxl": "repro.experiments.fig13_cxl",
+    "ablation_helm_sweep": "repro.experiments.ablation_helm_sweep",
+    "ablation_bandwidth": "repro.experiments.ablation_bandwidth",
+    "ablation_batch_frontier": "repro.experiments.ablation_batch_frontier",
+    "ablation_auto_placement": "repro.experiments.ablation_auto_placement",
+    "ablation_kv_offload": "repro.experiments.ablation_kv_offload",
+    "ablation_gpu_batches": "repro.experiments.ablation_gpu_batches",
+    "ablation_energy": "repro.experiments.ablation_energy",
+    "ablation_cxl_interleave": "repro.experiments.ablation_cxl_interleave",
+    "ablation_model_scaling": "repro.experiments.ablation_model_scaling",
+    "ablation_context_length": "repro.experiments.ablation_context_length",
+    "ablation_overlap": "repro.experiments.ablation_overlap",
+    "ablation_qos": "repro.experiments.ablation_qos",
+    "ablation_schedule_order": "repro.experiments.ablation_schedule_order",
+    "ablation_queueing": "repro.experiments.ablation_queueing",
+}
+
+
+def get_experiment(name: str) -> Callable[[], ExperimentResult]:
+    try:
+        module_path = EXPERIMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    module = importlib.import_module(module_path)
+    return module.run
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    return get_experiment(name)()

@@ -1,0 +1,61 @@
+"""Table I: the evaluation platform's configuration."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table
+from repro.devices.gpu import A100_SPEC, GpuComputeModel
+from repro.experiments.base import ExperimentResult
+from repro.interconnect.pcie import A100_PCIE
+from repro.memory import calibration as cal
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        title="Table I: System configuration (simulated)",
+        columns=("component", "parameter", "value"),
+    )
+    table.add_row("CPU", "model", "Dual-socket Intel Xeon Gold 6330 (Ice Lake)")
+    table.add_row("CPU", "memory controllers/socket", 4)
+    table.add_row(
+        "CPU", "DRAM/socket", f"{cal.DRAM_CAPACITY_PER_SOCKET / 2**30:.0f} GiB DDR4-2933"
+    )
+    table.add_row(
+        "CPU",
+        "Optane/socket",
+        f"{cal.OPTANE_CAPACITY_PER_SOCKET / 2**30:.0f} GiB (200 series)",
+    )
+    table.add_row(
+        "CPU", "DRAM socket bandwidth", f"{cal.DRAM_SOCKET_BW / 1e9:.1f} GB/s"
+    )
+    table.add_row("GPU", "model", A100_SPEC.name)
+    table.add_row("GPU", "HBM2", f"{A100_SPEC.hbm_bytes / 2**20:.0f} MiB")
+    table.add_row(
+        "GPU", "HBM bandwidth", f"{A100_SPEC.hbm_bandwidth / 1e9:.0f} GB/s"
+    )
+    table.add_row(
+        "GPU",
+        "PCIe",
+        f"Gen {A100_PCIE.generation} x{A100_PCIE.lanes} "
+        f"({A100_PCIE.theoretical / 1e9:.1f} GB/s theoretical)",
+    )
+    compute = GpuComputeModel()
+    table.add_row(
+        "GPU",
+        "effective GEMM rate",
+        f"{compute.effective_flops / 1e12:.0f} TFLOP/s",
+    )
+    table.add_row(
+        "GPU",
+        "effective HBM rate",
+        f"{compute.effective_hbm_bandwidth / 1e9:.0f} GB/s",
+    )
+    return ExperimentResult(
+        name="table1_system",
+        description="System configuration (Table I)",
+        tables=[table],
+        data={
+            "pcie_h2d_gbps": A100_PCIE.h2d_bandwidth / 1e9,
+            "pcie_d2h_gbps": A100_PCIE.d2h_bandwidth / 1e9,
+            "dram_socket_gbps": cal.DRAM_SOCKET_BW / 1e9,
+        },
+    )

@@ -1,0 +1,55 @@
+"""Table II: the model/memory configurations under evaluation."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table
+from repro.experiments.base import ExperimentResult
+from repro.memory.hierarchy import host_config
+from repro.models.config import opt_config
+from repro.models.weights import model_weight_bytes
+
+#: (model, config labels) exactly as Table II lists them.
+TABLE2_ROWS = (
+    ("opt-30b", ("DRAM", "NVDRAM", "MemoryMode")),
+    ("opt-175b", ("SSD", "FSDAX", "NVDRAM", "MemoryMode")),
+)
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        title="Table II: LLM model/memory configurations",
+        columns=(
+            "model",
+            "decoders",
+            "layers",
+            "weights_GiB",
+            "label",
+            "description",
+        ),
+    )
+    data = {}
+    for model_name, labels in TABLE2_ROWS:
+        config = opt_config(model_name)
+        weights_gib = model_weight_bytes(config) / 2**30
+        for label in labels:
+            host = host_config(label)
+            table.add_row(
+                config.name,
+                config.num_decoder_blocks,
+                config.num_layers,
+                round(weights_gib, 2),
+                label,
+                host.description,
+            )
+        data[model_name] = {
+            "decoders": config.num_decoder_blocks,
+            "layers": config.num_layers,
+            "weights_gib": weights_gib,
+            "labels": list(labels),
+        }
+    return ExperimentResult(
+        name="table2_configs",
+        description="Model/memory configurations (Table II)",
+        tables=[table],
+        data=data,
+    )

@@ -1,0 +1,29 @@
+"""Table III: the projected CXL configurations."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table
+from repro.experiments.base import ExperimentResult
+from repro.memory.cxl import CXL_DEVICES
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        title="Table III: CXL configurations",
+        columns=("name", "memory_technology", "bandwidth_GBps"),
+    )
+    data = {}
+    for spec in CXL_DEVICES:
+        table.add_row(
+            spec.name, spec.memory_technology, round(spec.bandwidth / 1e9, 2)
+        )
+        data[spec.name] = {
+            "memory_technology": spec.memory_technology,
+            "bandwidth_gbps": spec.bandwidth / 1e9,
+        }
+    return ExperimentResult(
+        name="table3_cxl",
+        description="CXL configurations (Table III)",
+        tables=[table],
+        data=data,
+    )

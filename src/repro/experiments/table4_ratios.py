@@ -1,0 +1,88 @@
+"""Table IV: compute/communication overlap ratios across policies and
+memory configurations (all with compression)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.overlap import overlap_ratios
+from repro.analysis.projection import project_cxl
+from repro.analysis.reporting import Table
+from repro.core.metrics import Stage
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import run_engine
+from repro.experiments.fig12_allcpu import max_allcpu_batch
+
+#: (policy, batch) rows of Table IV; All-CPU's batch is the platform's
+#: maximum, resolved at run time.
+TABLE4_ROWS: Tuple[Tuple[str, object], ...] = (
+    ("baseline", 1),
+    ("baseline", 8),
+    ("helm", 1),
+    ("helm", 8),
+    ("allcpu", "max"),
+)
+
+CONFIGS = ("NVDRAM", "CXL-FPGA", "CXL-ASIC")
+
+
+def run() -> ExperimentResult:
+    big_batch = max_allcpu_batch()
+    table = Table(
+        title="Table IV: overlap ratios (compressed)",
+        columns=(
+            "policy", "batch", "stage",
+            "mha_c/ffn_l NVDRAM", "mha_c/ffn_l CXL-FPGA", "mha_c/ffn_l CXL-ASIC",
+            "ffn_c/mha_l NVDRAM", "ffn_c/mha_l CXL-FPGA", "ffn_c/mha_l CXL-ASIC",
+        ),
+    )
+    data: Dict[str, Dict] = {}
+    for placement, batch_spec in TABLE4_ROWS:
+        batch = big_batch if batch_spec == "max" else int(batch_spec)
+        ratios: Dict[str, Dict[Stage, object]] = {}
+        for config_label in CONFIGS:
+            if config_label == "NVDRAM":
+                _, metrics = run_engine(
+                    "opt-175b", "NVDRAM", placement,
+                    batch_size=batch, compress=True,
+                )
+                ratios[config_label] = {
+                    stage: overlap_ratios(metrics, stage)
+                    for stage in (Stage.PREFILL, Stage.DECODE)
+                }
+            else:
+                projection = project_cxl(
+                    config_label, placement=placement, batch_size=batch
+                )
+                ratios[config_label] = {
+                    Stage.PREFILL: projection.prefill_ratios,
+                    Stage.DECODE: projection.decode_ratios,
+                }
+        for stage in (Stage.PREFILL, Stage.DECODE):
+            table.add_row(
+                placement,
+                batch,
+                stage.value,
+                *(
+                    round(ratios[c][stage].mha_compute_over_ffn_load, 2)
+                    for c in CONFIGS
+                ),
+                *(
+                    round(ratios[c][stage].ffn_compute_over_mha_load, 2)
+                    for c in CONFIGS
+                ),
+            )
+            for config_label in CONFIGS:
+                key = f"{placement}/b{batch}/{stage.value}/{config_label}"
+                data[key] = ratios[config_label][stage].as_dict()
+                if batch_spec == "max":
+                    # Stable alias independent of the resolved batch.
+                    alias = f"{placement}/bmax/{stage.value}/{config_label}"
+                    data[alias] = data[key]
+    data["max_batch"] = big_batch
+    return ExperimentResult(
+        name="table4_ratios",
+        description="Compute/communication overlap ratios (Table IV)",
+        tables=[table],
+        data=data,
+    )

@@ -1,0 +1,24 @@
+"""Interconnect models: PCIe, DDR, UPI, and the transfer-path solver.
+
+The solver is the single place that answers "how long does it take to
+move N bytes between X and Y on this platform?" — both the Fig. 3
+microbenchmark and the offloading engine's timing backend go through
+it, so characterization and end-to-end results are produced by the
+same code path.
+"""
+
+from repro.interconnect.link import Link
+from repro.interconnect.pcie import PcieLink, PCIE_GEN_GT_PER_LANE
+from repro.interconnect.ddr import DdrChannel
+from repro.interconnect.upi import UpiLink
+from repro.interconnect.path import TransferKind, TransferPathSolver
+
+__all__ = [
+    "Link",
+    "PcieLink",
+    "PCIE_GEN_GT_PER_LANE",
+    "DdrChannel",
+    "UpiLink",
+    "TransferKind",
+    "TransferPathSolver",
+]

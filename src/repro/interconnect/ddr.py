@@ -1,0 +1,48 @@
+"""DDR memory-channel model (used to derive socket DRAM bandwidth)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DdrChannel:
+    """One DDR channel.
+
+    Attributes:
+        mega_transfers: Transfer rate in MT/s (e.g. 2933 for DDR4-2933).
+        bus_bytes: Bus width in bytes (8 for standard DDR).
+        efficiency: Sustained fraction of the pin rate.
+    """
+
+    mega_transfers: int
+    bus_bytes: int = 8
+    efficiency: float = 0.84
+
+    def __post_init__(self) -> None:
+        if self.mega_transfers <= 0 or self.bus_bytes <= 0:
+            raise ConfigurationError("DDR channel parameters must be positive")
+        if not (0 < self.efficiency <= 1):
+            raise ConfigurationError("DDR efficiency must be in (0, 1]")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Pin-rate bandwidth (bytes/s)."""
+        return self.mega_transfers * 1e6 * self.bus_bytes
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        return self.peak_bandwidth * self.efficiency
+
+
+def socket_bandwidth(channel: DdrChannel, channels: int) -> float:
+    """Aggregate sustained bandwidth of ``channels`` identical channels."""
+    if channels <= 0:
+        raise ConfigurationError("channel count must be positive")
+    return channel.sustained_bandwidth * channels
+
+
+#: Table I: DDR4-2933 across 8 channels per socket, ~157 GB/s sustained.
+DDR4_2933 = DdrChannel(mega_transfers=2933)

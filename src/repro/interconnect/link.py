@@ -1,0 +1,43 @@
+"""Base abstraction for point-to-point interconnect links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A duplex point-to-point link.
+
+    Attributes:
+        name: Human-readable name.
+        bandwidth_up: Achievable bandwidth toward the device (bytes/s);
+            for PCIe this is the host-to-device direction.
+        bandwidth_down: Achievable bandwidth from the device (bytes/s).
+        latency_s: One-way latency.
+        setup_latency_s: Fixed per-transfer cost (DMA descriptor setup,
+            driver entry); dominates only tiny transfers.
+    """
+
+    name: str
+    bandwidth_up: float
+    bandwidth_down: float
+    latency_s: float = 0.0
+    setup_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_up <= 0 or self.bandwidth_down <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        if self.latency_s < 0 or self.setup_latency_s < 0:
+            raise ConfigurationError(f"{self.name}: latency must be >= 0")
+
+    def transfer_time(self, nbytes: float, *, toward_device: bool) -> float:
+        """Time to move ``nbytes`` one way across this link alone."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be >= 0")
+        if nbytes == 0:
+            return 0.0
+        rate = self.bandwidth_up if toward_device else self.bandwidth_down
+        return self.setup_latency_s + self.latency_s + nbytes / rate

@@ -1,0 +1,228 @@
+"""End-to-end transfer-time solver.
+
+Composes a host-memory region, the NUMA topology, the PCIe link, and
+(for the storage tier) a DRAM bounce buffer into a single answer:
+*time to move N bytes along a named path*.  Every data movement in the
+system — the Fig. 3 microbenchmark and all engine transfers — is
+costed here, so the characterization and the end-to-end results can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import RoutingError
+from repro.interconnect.pcie import PcieLink
+from repro.interconnect.upi import UpiLink
+from repro.memory import calibration as cal
+from repro.memory.hierarchy import HostMemoryConfig, HostRegion
+from repro.memory.memory_mode import MemoryModeTechnology
+from repro.memory.technology import Direction
+
+
+class TransferKind(enum.Enum):
+    """The data-movement paths the offloading engine uses."""
+
+    HOST_TO_GPU = "host_to_gpu"
+    GPU_TO_HOST = "gpu_to_host"
+    DISK_TO_GPU = "disk_to_gpu"
+    GPU_TO_DISK = "gpu_to_disk"
+    DISK_TO_HOST = "disk_to_host"
+    HOST_TO_HOST = "host_to_host"
+
+
+@dataclass
+class TransferPathSolver:
+    """Computes transfer times over one host-memory configuration."""
+
+    config: HostMemoryConfig
+    pcie: PcieLink = field(default_factory=PcieLink)
+    upi: UpiLink = field(default_factory=UpiLink)
+
+    # ------------------------------------------------------------------
+    # Single-hop building blocks
+    # ------------------------------------------------------------------
+
+    def _memory_rate(
+        self,
+        region: HostRegion,
+        nbytes: float,
+        direction: Direction,
+        link_cap: Optional[float] = None,
+    ) -> float:
+        """Rate the region sustains, including a UPI bottleneck if the
+        region sits on the socket remote from the GPU.
+
+        Memory Mode needs the link cap *inside* its hit/miss blend: a
+        PCIe consumer streams cache hits at PCIe rate, so capping after
+        blending against raw DRAM bandwidth would erase the miss
+        penalty (see ``MemoryModeTechnology._mixed_bandwidth``).
+        """
+        technology = region.technology
+        if isinstance(technology, MemoryModeTechnology):
+            scale = (
+                region.read_scale
+                if direction is Direction.READ
+                else region.write_scale
+            )
+            if direction is Direction.READ:
+                rate = technology.read_bandwidth(nbytes, link_cap=link_cap)
+            else:
+                rate = technology.write_bandwidth(nbytes, link_cap=link_cap)
+            rate *= scale
+        else:
+            rate = region.bandwidth(nbytes, direction)
+            if link_cap is not None:
+                rate = min(rate, link_cap)
+        if self.config.topology.hops_to_gpu(region.node) > 0:
+            rate = min(rate, self.upi.bandwidth_up)
+        return rate
+
+    def host_to_gpu_bandwidth(
+        self, nbytes: float, region: Optional[HostRegion] = None
+    ) -> float:
+        """Achievable host->GPU copy bandwidth (bytes/s)."""
+        region = region if region is not None else self.config.host_region
+        return self._memory_rate(
+            region, nbytes, Direction.READ, link_cap=self.pcie.h2d_bandwidth
+        )
+
+    def gpu_to_host_bandwidth(
+        self, nbytes: float, region: Optional[HostRegion] = None
+    ) -> float:
+        """Achievable GPU->host copy bandwidth (bytes/s)."""
+        region = region if region is not None else self.config.host_region
+        return self._memory_rate(
+            region, nbytes, Direction.WRITE, link_cap=self.pcie.d2h_bandwidth
+        )
+
+    def host_to_gpu_time(
+        self, nbytes: float, region: Optional[HostRegion] = None
+    ) -> float:
+        if nbytes <= 0:
+            return 0.0
+        region = region if region is not None else self.config.host_region
+        rate = self.host_to_gpu_bandwidth(nbytes, region)
+        return (
+            self.pcie.setup_latency_s
+            + region.latency(Direction.READ)
+            + nbytes / rate
+        )
+
+    def gpu_to_host_time(
+        self, nbytes: float, region: Optional[HostRegion] = None
+    ) -> float:
+        if nbytes <= 0:
+            return 0.0
+        region = region if region is not None else self.config.host_region
+        rate = self.gpu_to_host_bandwidth(nbytes, region)
+        return (
+            self.pcie.setup_latency_s
+            + region.latency(Direction.WRITE)
+            + nbytes / rate
+        )
+
+    # ------------------------------------------------------------------
+    # Storage tier (bounce-buffered)
+    # ------------------------------------------------------------------
+
+    def _disk_region(self) -> HostRegion:
+        region = self.config.disk_region
+        if region is None:
+            raise RoutingError(
+                f"configuration {self.config.label!r} has no storage tier"
+            )
+        return region
+
+    def disk_to_gpu_time(self, nbytes: float) -> float:
+        """Disk -> (DRAM bounce) -> GPU.
+
+        FlexGen reads storage into a pinned host staging buffer and
+        then issues the PCIe copy; chunked double-buffering overlaps
+        the two hops only partially
+        (:data:`~repro.memory.calibration.BOUNCE_PIPELINE_EFFICIENCY`).
+        """
+        if nbytes <= 0:
+            return 0.0
+        disk = self._disk_region()
+        disk_time = (
+            disk.latency(Direction.READ)
+            + nbytes / self._memory_rate(disk, nbytes, Direction.READ)
+        )
+        pcie_time = (
+            self.pcie.setup_latency_s + nbytes / self.pcie.h2d_bandwidth
+        )
+        if self.config.disk_bounce:
+            return (disk_time + pcie_time) * cal.BOUNCE_PIPELINE_EFFICIENCY
+        return max(disk_time, pcie_time)
+
+    def gpu_to_disk_time(self, nbytes: float) -> float:
+        """GPU -> (DRAM bounce) -> disk."""
+        if nbytes <= 0:
+            return 0.0
+        disk = self._disk_region()
+        disk_time = (
+            disk.latency(Direction.WRITE)
+            + nbytes / self._memory_rate(disk, nbytes, Direction.WRITE)
+        )
+        pcie_time = (
+            self.pcie.setup_latency_s + nbytes / self.pcie.d2h_bandwidth
+        )
+        if self.config.disk_bounce:
+            return (disk_time + pcie_time) * cal.BOUNCE_PIPELINE_EFFICIENCY
+        return max(disk_time, pcie_time)
+
+    def disk_to_host_time(self, nbytes: float) -> float:
+        """Disk -> host memory (no PCIe hop)."""
+        if nbytes <= 0:
+            return 0.0
+        disk = self._disk_region()
+        return disk.latency(Direction.READ) + nbytes / self._memory_rate(
+            disk, nbytes, Direction.READ
+        )
+
+    def host_to_host_time(self, nbytes: float) -> float:
+        """Host-side staging memcpy (e.g. repacking into pinned buffers)."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / cal.CPU_MEMCPY_BW
+
+    # ------------------------------------------------------------------
+    # Generic entry point
+    # ------------------------------------------------------------------
+
+    def transfer_time(
+        self,
+        nbytes: float,
+        kind: TransferKind,
+        region: Optional[HostRegion] = None,
+    ) -> float:
+        """Time (seconds) to move ``nbytes`` along ``kind``."""
+        if kind is TransferKind.HOST_TO_GPU:
+            return self.host_to_gpu_time(nbytes, region)
+        if kind is TransferKind.GPU_TO_HOST:
+            return self.gpu_to_host_time(nbytes, region)
+        if kind is TransferKind.DISK_TO_GPU:
+            return self.disk_to_gpu_time(nbytes)
+        if kind is TransferKind.GPU_TO_DISK:
+            return self.gpu_to_disk_time(nbytes)
+        if kind is TransferKind.DISK_TO_HOST:
+            return self.disk_to_host_time(nbytes)
+        if kind is TransferKind.HOST_TO_HOST:
+            return self.host_to_host_time(nbytes)
+        raise RoutingError(f"unsupported transfer kind {kind!r}")
+
+    def measured_bandwidth(
+        self,
+        nbytes: float,
+        kind: TransferKind,
+        region: Optional[HostRegion] = None,
+    ) -> float:
+        """End-to-end bandwidth (bytes/s) as a microbenchmark reports it."""
+        time = self.transfer_time(nbytes, kind, region)
+        if time <= 0:
+            raise RoutingError("cannot report bandwidth for an empty transfer")
+        return nbytes / time

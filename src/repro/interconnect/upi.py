@@ -1,0 +1,22 @@
+"""Intel UPI inter-socket link model."""
+
+from __future__ import annotations
+
+from repro.interconnect.link import Link
+from repro.memory import calibration as cal
+
+
+class UpiLink(Link):
+    """The aggregate UPI connection between the two sockets."""
+
+    def __init__(
+        self,
+        bandwidth: float = cal.UPI_BANDWIDTH,
+        latency_s: float = cal.UPI_LATENCY,
+    ) -> None:
+        super().__init__(
+            name="UPI",
+            bandwidth_up=bandwidth,
+            bandwidth_down=bandwidth,
+            latency_s=latency_s,
+        )

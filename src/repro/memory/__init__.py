@@ -1,0 +1,60 @@
+"""Heterogeneous host-memory technology models.
+
+This package models every memory configuration the paper evaluates
+(Table II) plus the CXL expanders it projects onto (Table III):
+
+* :mod:`~repro.memory.dram` — DDR4 DRAM (the all-DRAM baseline).
+* :mod:`~repro.memory.optane` — Intel Optane DCPMM exposed as flat
+  NUMA memory ("NVDRAM"), including read/write asymmetry, AIT-miss
+  degradation at large footprints, and write-concurrency effects.
+* :mod:`~repro.memory.memory_mode` — Optane Memory Mode (DRAM acting
+  as a direct-mapped cache in front of Optane).
+* :mod:`~repro.memory.ssd` — NVMe SSD block storage.
+* :mod:`~repro.memory.fsdax` — Optane as an ext4-DAX filesystem,
+  which forces a DRAM bounce buffer on the way to the GPU.
+* :mod:`~repro.memory.cxl` — CXL Type-3 memory expanders (FPGA- and
+  ASIC-controller variants from Table III).
+* :mod:`~repro.memory.numa` — socket topology and inter-socket links.
+* :mod:`~repro.memory.hierarchy` — assembled, named host-memory
+  configurations matching the paper's labels (DRAM, NVDRAM,
+  MemoryMode, SSD, FSDAX, plus CXL projections).
+"""
+
+from repro.memory.technology import (
+    BandwidthCurve,
+    Direction,
+    MemoryTechnology,
+)
+from repro.memory.dram import DramTechnology
+from repro.memory.optane import OptaneTechnology
+from repro.memory.memory_mode import MemoryModeTechnology
+from repro.memory.ssd import SsdTechnology
+from repro.memory.fsdax import FsdaxTechnology
+from repro.memory.cxl import CxlMemoryTechnology, CXL_FPGA, CXL_ASIC
+from repro.memory.numa import NumaNode, NumaTopology
+from repro.memory.hierarchy import (
+    HostMemoryConfig,
+    HostRegion,
+    host_config,
+    HOST_CONFIG_LABELS,
+)
+
+__all__ = [
+    "BandwidthCurve",
+    "Direction",
+    "MemoryTechnology",
+    "DramTechnology",
+    "OptaneTechnology",
+    "MemoryModeTechnology",
+    "SsdTechnology",
+    "FsdaxTechnology",
+    "CxlMemoryTechnology",
+    "CXL_FPGA",
+    "CXL_ASIC",
+    "NumaNode",
+    "NumaTopology",
+    "HostMemoryConfig",
+    "HostRegion",
+    "host_config",
+    "HOST_CONFIG_LABELS",
+]

@@ -1,0 +1,210 @@
+"""Calibration constants for the simulated platform.
+
+Every number here is tied either to the paper's own measurements
+(Section III/IV, Figures 3-6, Tables I/III) or to the published
+characterization studies the paper cites (Izraelevitz et al. for
+Optane, Sun et al. and Wang et al. for CXL).  Keeping them in one
+module makes the provenance auditable and lets sensitivity sweeps
+perturb the platform coherently.
+
+Units: bytes, seconds, bytes/second.
+"""
+
+from __future__ import annotations
+
+from repro.units import GB, GIB, MIB, NS, US
+
+# --------------------------------------------------------------------------
+# PCIe (Table I: PCIe Gen 4 x16, 32.0 GB/s theoretical)
+# --------------------------------------------------------------------------
+
+#: Theoretical PCIe Gen4 x16 bandwidth.
+PCIE_GEN4_X16_THEORETICAL = 32.0 * GB
+#: Achievable DMA efficiency over PCIe for large transfers.  The paper's
+#: DRAM host-to-GPU measurements plateau around 25 GB/s (Fig. 3a: NVDRAM
+#: is "20% lower" at 19.91 GB/s, putting DRAM near 24.9 GB/s).
+PCIE_EFFICIENCY = 0.78
+#: Per-transfer DMA setup cost (driver + descriptor ring).
+PCIE_SETUP_LATENCY = 10 * US
+
+# --------------------------------------------------------------------------
+# Host DRAM (Table I: 8x DDR4-2933 DIMMs over 4 controllers per socket;
+# the paper reports 157 GB/s across 8 channels)
+# --------------------------------------------------------------------------
+
+DDR4_2933_CHANNEL_BW = 2933e6 * 8          # 23.46 GB/s per channel
+DRAM_CHANNELS_PER_SOCKET = 8
+DRAM_SOCKET_EFFICIENCY = 0.84              # 157 GB/s / (8 * 23.46 GB/s)
+DRAM_CAPACITY_PER_SOCKET = 128 * GIB       # 4 controllers x 2 x 16 GiB
+DRAM_READ_LATENCY = 90 * NS
+DRAM_WRITE_LATENCY = 90 * NS
+
+# --------------------------------------------------------------------------
+# Intel Optane DCPMM, 200 series (Table I: 4 x 128 GiB per socket)
+#
+# The paper measures, over PCIe to the GPU (Fig. 3):
+#   * host->GPU from NVDRAM: 19.91 GB/s up to 4 GB buffers, decaying to
+#     15.52 GB/s at 32 GB (AIT-buffer misses / wear-leveled placement);
+#   * GPU->host into NVDRAM: peak 3.26 GB/s at 1 GB buffers (write
+#     bandwidth, consistent with Izraelevitz et al.), with node 0
+#     (GPU-local socket) lower than node 1.
+# The DMA-visible sequential read rate below is chosen so that
+# min(optane_read, PCIe) reproduces the 19.91 GB/s plateau.
+# --------------------------------------------------------------------------
+
+OPTANE_CAPACITY_PER_SOCKET = 512 * GIB     # 4 x 128 GiB
+#: Sequential read bandwidth visible to a streaming DMA engine, small
+#: working sets (AIT buffer hits).  Fig. 3a: the NVDRAM plateau is
+#: 19.91 GB/s, a "near constant loss of 20%" against DRAM's ~24.9.
+OPTANE_READ_PEAK = 19.91 * GB
+#: Read bandwidth once the footprint defeats the AIT buffer (32 GB point
+#: of Fig. 3a).
+OPTANE_READ_AIT_MISS = 15.52 * GB
+#: Working-set size at which AIT misses begin to bite.
+OPTANE_AIT_KNEE = 4.0 * GB
+#: Working-set size by which the read rate has fully decayed.
+OPTANE_AIT_FLOOR = 32.0 * GB
+#: Peak streaming write bandwidth (GPU-local socket / node 1 in Fig. 3b).
+OPTANE_WRITE_PEAK = 3.26 * GB
+#: Write bandwidth at small (256 MB) buffers, before the on-DIMM write
+#: combining buffer is effective.
+OPTANE_WRITE_SMALL = 2.6 * GB
+#: Write bandwidth at very large buffers (media-bound steady state).
+OPTANE_WRITE_LARGE = 3.0 * GB
+#: Fig. 3b: writes to the socket whose PCIe root port carries the GPU
+#: (node 0) run slower than node 1.
+OPTANE_WRITE_NODE0_SCALE = 0.86
+OPTANE_READ_REMOTE_SCALE = 0.97
+OPTANE_READ_LATENCY = 170 * NS
+OPTANE_WRITE_LATENCY = 90 * NS             # hidden by the WPQ until full
+
+# --------------------------------------------------------------------------
+# Optane Memory Mode (DRAM as a direct-mapped cache in front of Optane)
+# --------------------------------------------------------------------------
+
+#: Extra cost of a Memory-Mode cache miss relative to a raw Optane
+#: access.  A miss is a synchronous, line-granular demand fill (no DMA
+#: pipelining) that also writes the line back into DRAM; calibrated so
+#: MemoryMode lands ~8-22% above NVDRAM for OPT-175B (whose 324 GiB
+#: working set overflows the 256 GiB cache), per Figs. 4 and 5.
+MEMORY_MODE_MISS_OVERHEAD = 1.7
+#: Fig. 3b: MM on the remote socket (MM-0 in the paper's labelling)
+#: cannot reach remote-DRAM write bandwidth.
+MEMORY_MODE_REMOTE_WRITE_SCALE = 0.80
+
+# --------------------------------------------------------------------------
+# NVMe SSD and Optane FSDAX (filesystem-mediated access)
+# --------------------------------------------------------------------------
+
+SSD_CAPACITY = 2048 * GIB
+SSD_READ_BW = 3.2 * GB
+SSD_WRITE_BW = 1.8 * GB
+SSD_READ_LATENCY = 80 * US
+SSD_WRITE_LATENCY = 20 * US
+
+#: Effective Optane read rate through the ext4-DAX file interface
+#: (page granular, no page cache, no DMA batching); calibrated so the
+#: FSDAX configuration improves TTFT over SSD by the paper's ~33%
+#: (Section IV-B) under the (65, 15, 20) policy.
+FSDAX_READ_BW = 5.4 * GB
+FSDAX_WRITE_BW = 2.4 * GB
+FSDAX_READ_LATENCY = 3 * US
+FSDAX_WRITE_LATENCY = 3 * US
+#: FSDAX transfers to the GPU bounce through DRAM; chunked pipelining
+#: overlaps the two hops imperfectly.
+BOUNCE_PIPELINE_EFFICIENCY = 0.92
+
+# --------------------------------------------------------------------------
+# CXL expanders (Table III)
+# --------------------------------------------------------------------------
+
+CXL_FPGA_BW = 5.12 * GB                    # Sun et al., CXL-C
+CXL_ASIC_BW = 28.0 * GB                    # Wang et al., System A
+CXL_ADDED_LATENCY = 70 * NS                # Sharma, CXL round-trip adder
+CXL_CAPACITY = 512 * GIB
+
+# --------------------------------------------------------------------------
+# NUMA / UPI
+# --------------------------------------------------------------------------
+
+UPI_BANDWIDTH = 62.4 * GB                  # 3 x UPI links @ 20.8 GB/s
+UPI_LATENCY = 70 * NS
+
+# --------------------------------------------------------------------------
+# GPU (Table I: A100-PCIe 40 GB)
+# --------------------------------------------------------------------------
+
+GPU_HBM_CAPACITY = 40 * GB
+GPU_HBM_BANDWIDTH = 1555 * GB
+#: Fraction of peak HBM bandwidth a well-formed GEMV/attention kernel
+#: sustains.
+GPU_HBM_EFFICIENCY = 0.78
+#: A100 dense fp16 tensor-core peak.
+GPU_FP16_TFLOPS = 312e12
+#: Fraction of fp16 peak that FlexGen's PyTorch kernels achieve on
+#: large GEMMs.  Calibrated against the paper's OPT-30B prefill batch
+#: scaling (TTFT +32.4% from batch 1 to 32 under DRAM, Fig. 4a), which
+#: pins the prefill GEMM rate near 210 TFLOP/s.
+GPU_GEMM_EFFICIENCY = 0.67
+#: Per-kernel launch overhead; an MHA or FFN "layer" in FlexGen issues a
+#: handful of kernels.
+GPU_KERNEL_LAUNCH_OVERHEAD = 25 * US
+GPU_KERNELS_PER_LAYER = 6
+#: Rate at which the GPU dequantizes group-wise int4 weights back to
+#: fp16 (bytes of *compressed* input per second).  Chosen so compressed
+#: compute inflates by the 2.5x-13x range the paper reports (Fig. 6)
+#: and so Table IV's compute/load ratios come out (e.g. FFN compute /
+#: MHA load = 1.85 for NVDRAM(c), implying ~20 ms FFN compute for a
+#: 0.6 GB compressed FFN layer).
+GPU_DEQUANT_THROUGHPUT = 33 * GB
+
+# --------------------------------------------------------------------------
+# Host CPU (host-side staging, and CPU-delegated attention)
+# --------------------------------------------------------------------------
+
+CPU_MEMCPY_BW = 12.0 * GB                  # single-stream temporal copy
+#: Effective fp32 rate of the dual Xeon 6330 pair for batched GEMV
+#: attention (AVX-512, memory-latency limited well below peak).
+CPU_EFFECTIVE_FLOPS = 1.5e12
+#: Streaming rate CPU attention kernels sustain out of host memory
+#: (shared with everything else on the socket).
+CPU_EFFECTIVE_MEM_BW = 100.0 * GB
+#: Per-layer software overhead of dispatching attention to CPU worker
+#: threads (FlexGen's cpu_cache_compute path).
+CPU_ATTENTION_OVERHEAD = 200 * US
+
+# --------------------------------------------------------------------------
+# Energy model (Section I/VII: substituting DRAM with denser memory
+# "improv[es] overall system energy efficiency").  Per-bit transfer
+# energies from the literature the paper cites (CXL/DDR per-bit
+# comparisons; Optane product brief), idle/active powers from public
+# datasheets.  Used by the energy ablation, not by any timing result.
+# --------------------------------------------------------------------------
+
+ENERGY_DRAM_PJ_PER_BIT = 22.0              # DDR4 access + IO
+ENERGY_OPTANE_READ_PJ_PER_BIT = 45.0
+ENERGY_OPTANE_WRITE_PJ_PER_BIT = 120.0
+ENERGY_PCIE_PJ_PER_BIT = 6.0
+ENERGY_CXL_PJ_PER_BIT = 4.5                # lower per-bit IO than DDR
+ENERGY_HBM_PJ_PER_BIT = 7.0
+#: Static (idle) power of the populated memory system, per DIMM.
+POWER_DRAM_IDLE_W = 3.0                    # 8 x 16 GiB RDIMMs/socket
+#: Idle power of the high-capacity (64 GiB LRDIMM-class) parts an
+#: all-DRAM host of Optane-like capacity would need.
+POWER_DRAM_LRDIMM_IDLE_W = 8.0
+POWER_OPTANE_IDLE_W = 6.0                  # 128 GiB DCPMM active idle
+POWER_GPU_IDLE_W = 60.0
+POWER_GPU_COMPUTE_W = 300.0
+POWER_CPU_ACTIVE_W = 150.0
+
+# Convenient derived values -------------------------------------------------
+
+PCIE_EFFECTIVE_BW = PCIE_GEN4_X16_THEORETICAL * PCIE_EFFICIENCY
+DRAM_SOCKET_BW = (
+    DDR4_2933_CHANNEL_BW * DRAM_CHANNELS_PER_SOCKET * DRAM_SOCKET_EFFICIENCY
+)
+
+#: Buffer sizes (bytes) swept by the Fig. 3 microbenchmark.
+FIG3_BUFFER_SIZES = tuple(
+    int(256 * MIB * (2 ** i)) for i in range(8)
+)  # 256 MiB .. 32 GiB

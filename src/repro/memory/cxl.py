@@ -1,0 +1,103 @@
+"""CXL Type-3 memory expanders (Section II-D, Table III).
+
+The paper projects its placement policies onto two published CXL
+implementations:
+
+* **CXL-FPGA** — Sun et al.'s "CXL-C": an FPGA CXL controller backed
+  by one DDR4-3200 channel, 5.12 GB/s.
+* **CXL-ASIC** — Wang et al.'s "System A": a commercial ASIC
+  controller backed by one DDR5-4800 channel, 28 GB/s.
+
+Both add at least ~70 ns to round-trip latency over the host's DDR
+path (Sharma).  Bandwidth is symmetric at the granularity the paper
+projects with (one number per device), so we use the same curve in
+both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory import calibration as cal
+from repro.memory.technology import BandwidthCurve, MemoryTechnology
+
+
+@dataclass(frozen=True)
+class CxlDeviceSpec:
+    """A row of Table III."""
+
+    name: str
+    memory_technology: str
+    bandwidth: float  # bytes/s
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.memory_technology}, "
+            f"{self.bandwidth / 1e9:.2f} GB/s)"
+        )
+
+
+#: Table III, row 1 (Sun et al. [17], "CXL-C").
+CXL_FPGA = CxlDeviceSpec("CXL-FPGA", "DDR4-3200 x1", cal.CXL_FPGA_BW)
+#: Table III, row 2 (Wang et al. [54], "System A").
+CXL_ASIC = CxlDeviceSpec("CXL-ASIC", "DDR5-4800 x1", cal.CXL_ASIC_BW)
+
+CXL_DEVICES = (CXL_FPGA, CXL_ASIC)
+
+
+class CxlMemoryTechnology(MemoryTechnology):
+    """Host memory reached through a CXL Type-3 expander."""
+
+    def __init__(
+        self,
+        spec: CxlDeviceSpec,
+        capacity_bytes: int = cal.CXL_CAPACITY,
+    ) -> None:
+        curve = BandwidthCurve.flat(spec.bandwidth)
+        super().__init__(
+            name=spec.name,
+            capacity_bytes=int(capacity_bytes),
+            read_curve=curve,
+            write_curve=curve,
+            read_latency_s=cal.DRAM_READ_LATENCY + cal.CXL_ADDED_LATENCY,
+            write_latency_s=cal.DRAM_WRITE_LATENCY + cal.CXL_ADDED_LATENCY,
+        )
+        self.spec = spec
+
+
+#: Pages striped across expanders don't aggregate perfectly: the
+#: interleaving granularity and per-device queue imbalance cost a few
+#: percent per added device.
+CXL_INTERLEAVE_EFFICIENCY = 0.95
+
+
+class CxlInterleavedTechnology(MemoryTechnology):
+    """Several identical CXL expanders with page-interleaved traffic.
+
+    Section II-D notes CXL allows technology-agnostic *expansion*;
+    interleaving across devices also aggregates bandwidth — the path
+    a deployment would take to close the gap to DDR.  Capacity adds
+    linearly; bandwidth adds with a per-device efficiency factor.
+    """
+
+    def __init__(
+        self,
+        spec: CxlDeviceSpec,
+        devices: int,
+        capacity_bytes_per_device: int = cal.CXL_CAPACITY,
+    ) -> None:
+        if devices < 1:
+            raise ConfigurationError("need at least one CXL device")
+        scale = devices * (CXL_INTERLEAVE_EFFICIENCY ** (devices - 1))
+        curve = BandwidthCurve.flat(spec.bandwidth * scale)
+        super().__init__(
+            name=f"{spec.name} x{devices}",
+            capacity_bytes=int(capacity_bytes_per_device) * devices,
+            read_curve=curve,
+            write_curve=curve,
+            read_latency_s=cal.DRAM_READ_LATENCY + cal.CXL_ADDED_LATENCY,
+            write_latency_s=cal.DRAM_WRITE_LATENCY + cal.CXL_ADDED_LATENCY,
+        )
+        self.spec = spec
+        self.devices = devices

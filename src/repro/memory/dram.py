@@ -1,0 +1,30 @@
+"""DDR4 DRAM model (the paper's all-DRAM baseline, Table I)."""
+
+from __future__ import annotations
+
+from repro.memory import calibration as cal
+from repro.memory.technology import BandwidthCurve, MemoryTechnology
+
+
+class DramTechnology(MemoryTechnology):
+    """Socket-local DDR4 DRAM.
+
+    DRAM bandwidth is effectively flat across the buffer sizes this
+    system moves (hundreds of MiB and up), and far above the PCIe link
+    to the GPU, so host/GPU transfers from DRAM are PCIe-bound.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = cal.DRAM_CAPACITY_PER_SOCKET,
+        bandwidth: float = cal.DRAM_SOCKET_BW,
+        name: str = "DDR4-2933 DRAM",
+    ) -> None:
+        super().__init__(
+            name=name,
+            capacity_bytes=int(capacity_bytes),
+            read_curve=BandwidthCurve.flat(bandwidth),
+            write_curve=BandwidthCurve.flat(bandwidth),
+            read_latency_s=cal.DRAM_READ_LATENCY,
+            write_latency_s=cal.DRAM_WRITE_LATENCY,
+        )

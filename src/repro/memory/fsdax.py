@@ -1,0 +1,41 @@
+"""Optane exposed as an ext4-DAX filesystem ("FSDAX", Table II).
+
+App Direct mode with a DAX filesystem bypasses the page cache and
+reads the Optane media at close to its raw rate, but the data still
+enters the process through the file interface: copies to the GPU must
+bounce through a DRAM staging buffer (Section IV-B attributes FSDAX's
+gap to NVDRAM exactly to this bounce buffer).  The technology object
+models the file-interface bandwidth; the transfer-path solver adds
+the bounce hop.
+"""
+
+from __future__ import annotations
+
+from repro.memory import calibration as cal
+from repro.memory.technology import BandwidthCurve, MemoryTechnology
+from repro.units import GB
+
+
+class FsdaxTechnology(MemoryTechnology):
+    """Optane DCPMM behind an ext4-DAX file interface."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = cal.OPTANE_CAPACITY_PER_SOCKET,
+        name: str = "Optane ext4-DAX",
+    ) -> None:
+        read_curve = BandwidthCurve.from_points(
+            [
+                (1e6, 6.0 * GB),
+                (256e6, cal.FSDAX_READ_BW),
+            ]
+        )
+        write_curve = BandwidthCurve.flat(cal.FSDAX_WRITE_BW)
+        super().__init__(
+            name=name,
+            capacity_bytes=int(capacity_bytes),
+            read_curve=read_curve,
+            write_curve=write_curve,
+            read_latency_s=cal.FSDAX_READ_LATENCY,
+            write_latency_s=cal.FSDAX_WRITE_LATENCY,
+        )

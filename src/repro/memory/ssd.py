@@ -1,0 +1,45 @@
+"""NVMe SSD model (the paper's slowest offload tier, Table II)."""
+
+from __future__ import annotations
+
+from repro.memory import calibration as cal
+from repro.memory.technology import BandwidthCurve, MemoryTechnology
+from repro.units import GB
+
+
+class SsdTechnology(MemoryTechnology):
+    """A datacenter NVMe SSD used as the storage tier.
+
+    Reads ramp up with request size (queue-depth effects) and saturate
+    around :data:`~repro.memory.calibration.SSD_READ_BW`; sustained
+    writes are slower still.  SSD transfers to the GPU always stage
+    through a DRAM bounce buffer (there is no peer DMA path on this
+    platform), which the transfer-path solver accounts for.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = cal.SSD_CAPACITY,
+        name: str = "NVMe SSD",
+    ) -> None:
+        read_curve = BandwidthCurve.from_points(
+            [
+                (1e6, 1.2 * GB),
+                (64e6, 2.6 * GB),
+                (256e6, cal.SSD_READ_BW),
+            ]
+        )
+        write_curve = BandwidthCurve.from_points(
+            [
+                (1e6, 0.8 * GB),
+                (256e6, cal.SSD_WRITE_BW),
+            ]
+        )
+        super().__init__(
+            name=name,
+            capacity_bytes=int(capacity_bytes),
+            read_curve=read_curve,
+            write_curve=write_curve,
+            read_latency_s=cal.SSD_READ_LATENCY,
+            write_latency_s=cal.SSD_WRITE_LATENCY,
+        )

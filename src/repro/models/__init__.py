@@ -1,0 +1,41 @@
+"""OPT model family: configurations, weight inventories, and a real
+numpy implementation.
+
+Two views of a model coexist:
+
+* a **spec view** (`config`, `weights`, `kv_cache`, `hidden`, `flops`)
+  that knows shapes, byte sizes, and arithmetic counts — everything
+  the timing backend and the placement policies need; and
+* a **functional view** (`transformer`, `sampling`) that runs real
+  numpy math for small configs, used to validate the offloading
+  engine end to end.
+"""
+
+from repro.models.config import (
+    OPT_CONFIGS,
+    OptConfig,
+    opt_config,
+)
+from repro.models.weights import (
+    LayerKind,
+    LayerSpec,
+    WeightSpec,
+    model_layers,
+    model_weight_bytes,
+)
+from repro.models.kv_cache import kv_bytes_per_token, kv_cache_bytes
+from repro.models.hidden import hidden_state_bytes
+
+__all__ = [
+    "OptConfig",
+    "OPT_CONFIGS",
+    "opt_config",
+    "LayerKind",
+    "LayerSpec",
+    "WeightSpec",
+    "model_layers",
+    "model_weight_bytes",
+    "kv_bytes_per_token",
+    "kv_cache_bytes",
+    "hidden_state_bytes",
+]

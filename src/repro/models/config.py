@@ -1,0 +1,121 @@
+"""OPT model-family configurations (Zhang et al., arXiv:2205.01068).
+
+The paper evaluates OPT-30B (48 decoder blocks, hidden 7168) and
+OPT-175B (96 blocks, hidden 12288).  The smaller family members are
+included both for completeness and because the functional backend
+runs tiny configurations for correctness validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OptConfig:
+    """Architecture hyper-parameters of one OPT model."""
+
+    name: str
+    hidden_size: int
+    num_decoder_blocks: int
+    num_heads: int
+    vocab_size: int = 50272
+    max_position: int = 2050
+    ffn_multiplier: int = 4
+    dtype_bytes: int = 2  # fp16 weights, as FlexGen serves them
+
+    def __post_init__(self) -> None:
+        if self.hidden_size <= 0 or self.num_decoder_blocks <= 0:
+            raise ConfigurationError(f"{self.name}: sizes must be positive")
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: hidden size {self.hidden_size} is not "
+                f"divisible by {self.num_heads} heads"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def ffn_dim(self) -> int:
+        return self.hidden_size * self.ffn_multiplier
+
+    @property
+    def num_hidden_layers(self) -> int:
+        """MHA + FFN layers, as FlexGen schedules them (Section III-B:
+        96 and 192 for OPT-30B/175B)."""
+        return 2 * self.num_decoder_blocks
+
+    @property
+    def num_layers(self) -> int:
+        """Hidden layers plus the input and output embedding layers
+        (98 and 194 for OPT-30B/175B)."""
+        return self.num_hidden_layers + 2
+
+    @property
+    def decoder_block_params(self) -> int:
+        """Parameters in one decoder block (matrices + biases + norms)."""
+        h = self.hidden_size
+        f = self.ffn_dim
+        mha = 4 * h * h + 4 * h + 2 * h          # QKVO + biases + LN
+        ffn = 2 * h * f + f + h + 2 * h          # FC1/FC2 + biases + LN
+        return mha + ffn
+
+    @property
+    def param_count(self) -> int:
+        h = self.hidden_size
+        embed = self.vocab_size * h + self.max_position * h
+        head = self.vocab_size * h + 2 * h       # untied head + final LN
+        return (
+            self.num_decoder_blocks * self.decoder_block_params + embed + head
+        )
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.param_count * self.dtype_bytes
+
+
+def _cfg(name: str, hidden: int, blocks: int, heads: int, **kw) -> OptConfig:
+    return OptConfig(
+        name=name,
+        hidden_size=hidden,
+        num_decoder_blocks=blocks,
+        num_heads=heads,
+        **kw,
+    )
+
+
+#: Published OPT sizes plus tiny configurations for functional tests.
+OPT_CONFIGS = {
+    cfg.name: cfg
+    for cfg in (
+        # Tiny configs: real numpy execution in tests/examples.
+        _cfg("opt-tiny", 64, 2, 4, vocab_size=512, max_position=128),
+        _cfg("opt-mini", 128, 4, 8, vocab_size=1024, max_position=256),
+        # The published family.
+        _cfg("opt-125m", 768, 12, 12),
+        _cfg("opt-350m", 1024, 24, 16),
+        _cfg("opt-1.3b", 2048, 24, 32),
+        _cfg("opt-2.7b", 2560, 32, 32),
+        _cfg("opt-6.7b", 4096, 32, 32),
+        _cfg("opt-13b", 5120, 40, 40),
+        _cfg("opt-30b", 7168, 48, 56),
+        _cfg("opt-66b", 9216, 64, 72),
+        _cfg("opt-175b", 12288, 96, 96),
+    )
+}
+
+
+def opt_config(name: str) -> OptConfig:
+    """Look up a configuration by name (e.g. ``"opt-175b"``)."""
+    key = name.lower()
+    try:
+        return OPT_CONFIGS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown OPT configuration {name!r}; "
+            f"available: {sorted(OPT_CONFIGS)}"
+        ) from None

@@ -1,0 +1,124 @@
+"""Arithmetic and HBM-traffic counts per layer, for the roofline model.
+
+These counts follow the standard decoder-only transformer accounting
+(Section II-A): prefill runs GEMMs over the whole prompt, decode runs
+GEMV-shaped work over one token per prompt with reads of the growing
+KV cache.  The GPU compute model turns them into kernel times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.config import OptConfig
+from repro.models.weights import LayerKind
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """What one layer's kernels must do."""
+
+    flops: float
+    hbm_bytes: float
+
+    def __add__(self, other: "LayerWork") -> "LayerWork":
+        return LayerWork(self.flops + other.flops, self.hbm_bytes + other.hbm_bytes)
+
+
+_ACT_BYTES = 2  # activations kept in fp16
+
+
+def mha_work(
+    config: OptConfig,
+    batch: int,
+    new_tokens: int,
+    context_len: int,
+    weight_hbm_bytes: float,
+) -> LayerWork:
+    """One MHA layer: QKV/output projections plus attention.
+
+    Args:
+        new_tokens: Tokens processed this step (prompt length during
+            prefill, 1 during decode).
+        context_len: Total attended context including the new tokens.
+        weight_hbm_bytes: Bytes of weights the kernels read from HBM
+            (fp16 after any dequantization).
+    """
+    _validate(batch, new_tokens, context_len)
+    h = config.hidden_size
+    proj_flops = 8.0 * batch * new_tokens * h * h      # Q,K,V,O projections
+    attn_flops = 4.0 * batch * new_tokens * context_len * h
+    kv_token_bytes = 2 * h * _ACT_BYTES                # K and V per token
+    kv_read = batch * context_len * kv_token_bytes
+    kv_write = batch * new_tokens * kv_token_bytes
+    act = 3.0 * batch * new_tokens * h * _ACT_BYTES
+    return LayerWork(
+        flops=proj_flops + attn_flops,
+        hbm_bytes=weight_hbm_bytes + kv_read + kv_write + act,
+    )
+
+
+def ffn_work(
+    config: OptConfig,
+    batch: int,
+    new_tokens: int,
+    weight_hbm_bytes: float,
+) -> LayerWork:
+    """One FFN layer: two linear layers through the 4h intermediate."""
+    _validate(batch, new_tokens, 1)
+    h = config.hidden_size
+    f = config.ffn_dim
+    flops = 4.0 * batch * new_tokens * h * f           # 2 matmuls x 2 flops
+    act = batch * new_tokens * (2 * h + f) * _ACT_BYTES
+    return LayerWork(flops=flops, hbm_bytes=weight_hbm_bytes + act)
+
+
+def embed_work(
+    config: OptConfig, batch: int, new_tokens: int
+) -> LayerWork:
+    """Input embedding lookup (gather plus positional add)."""
+    _validate(batch, new_tokens, 1)
+    h = config.hidden_size
+    rows = batch * new_tokens * h * _ACT_BYTES
+    return LayerWork(flops=batch * new_tokens * h, hbm_bytes=3.0 * rows)
+
+
+def head_work(
+    config: OptConfig, batch: int, weight_hbm_bytes: float
+) -> LayerWork:
+    """Output head: logits for the final position of each prompt."""
+    _validate(batch, 1, 1)
+    h = config.hidden_size
+    v = config.vocab_size
+    flops = 2.0 * batch * h * v
+    logits = batch * v * 4  # fp32 logits
+    return LayerWork(flops=flops, hbm_bytes=weight_hbm_bytes + logits)
+
+
+def layer_work(
+    config: OptConfig,
+    kind: LayerKind,
+    *,
+    batch: int,
+    new_tokens: int,
+    context_len: int,
+    weight_hbm_bytes: float,
+) -> LayerWork:
+    """Dispatch on layer kind."""
+    if kind is LayerKind.MHA:
+        return mha_work(config, batch, new_tokens, context_len, weight_hbm_bytes)
+    if kind is LayerKind.FFN:
+        return ffn_work(config, batch, new_tokens, weight_hbm_bytes)
+    if kind is LayerKind.EMBED:
+        return embed_work(config, batch, new_tokens)
+    if kind is LayerKind.HEAD:
+        return head_work(config, batch, weight_hbm_bytes)
+    raise ConfigurationError(f"unknown layer kind {kind!r}")
+
+
+def _validate(batch: int, new_tokens: int, context_len: int) -> None:
+    if batch <= 0 or new_tokens <= 0 or context_len <= 0:
+        raise ConfigurationError(
+            "batch, new_tokens, and context_len must be positive"
+        )

@@ -1,0 +1,29 @@
+"""Hidden-state (activation) footprint accounting."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.models.config import OptConfig
+
+
+def hidden_state_bytes(
+    config: OptConfig, batch_size: int, tokens: int, dtype_bytes: int = None
+) -> int:
+    """Bytes of one hidden-state buffer (``batch x tokens x hidden``)."""
+    if batch_size <= 0 or tokens <= 0:
+        raise ConfigurationError("batch size and token count must be positive")
+    width = config.dtype_bytes if dtype_bytes is None else dtype_bytes
+    return batch_size * tokens * config.hidden_size * width
+
+
+def workspace_hidden_bytes(
+    config: OptConfig, batch_size: int, tokens: int
+) -> int:
+    """Peak activation workspace during one layer's computation.
+
+    The FFN intermediate (``batch x tokens x 4h``) dominates; we keep
+    two hidden buffers (input/output) plus the intermediate.
+    """
+    base = hidden_state_bytes(config, batch_size, tokens)
+    intermediate = base * config.ffn_multiplier
+    return 2 * base + intermediate

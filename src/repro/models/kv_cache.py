@@ -1,0 +1,106 @@
+"""KV-cache footprint accounting.
+
+Section V of the paper: for OPT-175B at batch 1 and context 2048 the
+KV cache is the second-largest memory consumer after the weights.  We
+use the standard fp16 arithmetic (K and V, each ``tokens x hidden``
+per decoder block); FlexGen pre-allocates the cache for the full
+``prompt_len + gen_len`` window, which is what gates the maximum
+batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.config import OptConfig
+
+
+def kv_bytes_per_token(config: OptConfig, dtype_bytes: float = None) -> int:
+    """KV bytes one token adds across *all* decoder blocks.
+
+    ``dtype_bytes`` may be fractional (0.5625 for 4-bit group-wise
+    quantized cache entries including group metadata).
+    """
+    width = config.dtype_bytes if dtype_bytes is None else dtype_bytes
+    return int(round(2 * config.hidden_size * width * config.num_decoder_blocks))
+
+
+def kv_bytes_per_token_per_block(
+    config: OptConfig, dtype_bytes: float = None
+) -> int:
+    width = config.dtype_bytes if dtype_bytes is None else dtype_bytes
+    return int(round(2 * config.hidden_size * width))
+
+
+def kv_cache_bytes(
+    config: OptConfig,
+    batch_size: int,
+    tokens: int,
+    dtype_bytes: float = None,
+) -> int:
+    """Total KV footprint for ``batch_size`` prompts of ``tokens`` each."""
+    if batch_size <= 0 or tokens <= 0:
+        raise ConfigurationError("batch size and token count must be positive")
+    return batch_size * tokens * kv_bytes_per_token(config, dtype_bytes)
+
+
+@dataclass(frozen=True)
+class KvCachePlan:
+    """A pre-allocated KV cache for one generation run."""
+
+    config: OptConfig
+    batch_size: int
+    prompt_len: int
+    gen_len: int
+    #: Element width; 2 for fp16, ~0.5625 for a 4-bit group-wise
+    #: quantized cache (including group metadata).
+    dtype_bytes: float = 2
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch size must be positive")
+        if self.prompt_len <= 0 or self.gen_len <= 0:
+            raise ConfigurationError("sequence lengths must be positive")
+        if self.capacity_tokens > self.config.max_position:
+            raise ConfigurationError(
+                f"{self.config.name}: prompt {self.prompt_len} + gen "
+                f"{self.gen_len} exceeds max position {self.config.max_position}"
+            )
+
+    @property
+    def capacity_tokens(self) -> int:
+        return self.prompt_len + self.gen_len
+
+    @property
+    def total_bytes(self) -> int:
+        """Footprint of the fully pre-allocated cache."""
+        return kv_cache_bytes(
+            self.config, self.batch_size, self.capacity_tokens, self.dtype_bytes
+        )
+
+    @property
+    def per_block_bytes(self) -> int:
+        return (
+            self.batch_size
+            * self.capacity_tokens
+            * kv_bytes_per_token_per_block(self.config, self.dtype_bytes)
+        )
+
+    def read_bytes_at(self, context_len: int) -> int:
+        """HBM bytes one decode step reads from one block's cache."""
+        if context_len <= 0:
+            return 0
+        return (
+            self.batch_size
+            * min(context_len, self.capacity_tokens)
+            * kv_bytes_per_token_per_block(self.config, self.dtype_bytes)
+        )
+
+    def write_bytes_per_step(self, new_tokens: int = 1) -> int:
+        """HBM bytes one step appends to one block's cache."""
+        return (
+            self.batch_size
+            * new_tokens
+            * kv_bytes_per_token_per_block(self.config, self.dtype_bytes)
+        )

@@ -1,0 +1,44 @@
+"""Token sampling strategies."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def greedy_sample(logits: np.ndarray) -> np.ndarray:
+    """Argmax over the vocabulary axis; (batch, vocab) -> (batch,)."""
+    if logits.ndim != 2:
+        raise ConfigurationError("logits must be (batch, vocab)")
+    return logits.argmax(axis=-1).astype(np.int64)
+
+
+def top_k_sample(
+    logits: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    temperature: float = 1.0,
+) -> np.ndarray:
+    """Sample from the top-k tokens of each row."""
+    if logits.ndim != 2:
+        raise ConfigurationError("logits must be (batch, vocab)")
+    if k <= 0 or k > logits.shape[1]:
+        raise ConfigurationError(
+            f"k must be in [1, vocab]; got {k} for vocab {logits.shape[1]}"
+        )
+    if temperature <= 0:
+        raise ConfigurationError("temperature must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    scaled = logits.astype(np.float64) / temperature
+    out = np.empty(logits.shape[0], dtype=np.int64)
+    for row in range(scaled.shape[0]):
+        top = np.argpartition(scaled[row], -k)[-k:]
+        weights = scaled[row, top] - scaled[row, top].max()
+        probs = np.exp(weights)
+        probs /= probs.sum()
+        out[row] = rng.choice(top, p=probs)
+    return out

@@ -1,0 +1,263 @@
+"""A real numpy implementation of the OPT decoder architecture.
+
+This is the functional backend's math: pre-layer-norm decoder blocks
+with multi-head attention, ReLU feed-forward networks, learned
+positional embeddings with OPT's offset of 2, and a tied-style LM
+head stored as its own matrix (matching the weight inventory in
+:mod:`repro.models.weights`).
+
+Weights are stored fp16 (as FlexGen serves them) and all arithmetic
+runs in fp32.  The per-layer entry points (``mha_forward`` etc.) are
+deliberately stateless so the offloading engine can call them one
+layer at a time with whatever weight payloads its placement policy
+has staged; :func:`reference_generate` chains them densely and serves
+as the correctness oracle in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.config import OptConfig
+from repro.models.weights import LayerKind, LayerSpec, model_layers
+
+#: OPT's learned positional embeddings are offset by 2 (positions 0/1
+#: are reserved for padding bookkeeping in the original checkpoint).
+POSITION_OFFSET = 2
+
+KvState = Tuple[np.ndarray, np.ndarray]  # (keys, values): (b, t, h) each
+
+
+def layer_norm(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """LayerNorm over the last axis, fp32."""
+    x = x.astype(np.float32)
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + eps)
+    return normed * weight.astype(np.float32) + bias.astype(np.float32)
+
+
+def _linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Torch-style linear: ``x @ W.T + b`` with W of shape (out, in)."""
+    return x @ weight.astype(np.float32).T + bias.astype(np.float32)
+
+
+def _split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    batch, tokens, hidden = x.shape
+    head_dim = hidden // num_heads
+    return x.reshape(batch, tokens, num_heads, head_dim).transpose(0, 2, 1, 3)
+
+
+def _merge_heads(x: np.ndarray) -> np.ndarray:
+    batch, heads, tokens, head_dim = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(batch, tokens, heads * head_dim)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def embed_forward(
+    config: OptConfig,
+    weights: Dict[str, np.ndarray],
+    token_ids: np.ndarray,
+    past_len: int,
+) -> np.ndarray:
+    """Token + positional embedding for ``token_ids`` of shape (b, t)."""
+    if token_ids.ndim != 2:
+        raise ConfigurationError("token_ids must be (batch, tokens)")
+    token_emb = weights["token_emb"].astype(np.float32)
+    pos_emb = weights["pos_emb"].astype(np.float32)
+    tokens = token_ids.shape[1]
+    positions = np.arange(past_len, past_len + tokens) + POSITION_OFFSET
+    if positions[-1] >= pos_emb.shape[0]:
+        raise ConfigurationError(
+            f"sequence length {past_len + tokens} exceeds the positional "
+            f"table ({pos_emb.shape[0] - POSITION_OFFSET})"
+        )
+    return token_emb[token_ids] + pos_emb[positions][None, :, :]
+
+
+def mha_forward(
+    config: OptConfig,
+    weights: Dict[str, np.ndarray],
+    hidden: np.ndarray,
+    kv: Optional[KvState],
+) -> Tuple[np.ndarray, KvState]:
+    """One pre-LN multi-head-attention layer with KV caching.
+
+    Args:
+        hidden: (batch, new_tokens, hidden) residual stream.
+        kv: Cached (keys, values) from earlier steps, or None.
+
+    Returns:
+        The updated residual stream and the extended KV state.
+    """
+    x = hidden.astype(np.float32)
+    normed = layer_norm(x, weights["ln_w"], weights["ln_b"])
+    query = _linear(normed, weights["w_q"], weights["b_q"])
+    key_new = _linear(normed, weights["w_k"], weights["b_k"])
+    value_new = _linear(normed, weights["w_v"], weights["b_v"])
+
+    if kv is not None:
+        keys = np.concatenate([kv[0].astype(np.float32), key_new], axis=1)
+        values = np.concatenate([kv[1].astype(np.float32), value_new], axis=1)
+    else:
+        keys, values = key_new, value_new
+
+    past_len = keys.shape[1] - query.shape[1]
+    q_heads = _split_heads(query, config.num_heads)
+    k_heads = _split_heads(keys, config.num_heads)
+    v_heads = _split_heads(values, config.num_heads)
+
+    scale = 1.0 / np.sqrt(config.head_dim)
+    scores = (q_heads @ k_heads.transpose(0, 1, 3, 2)) * scale
+
+    new_tokens = query.shape[1]
+    total = keys.shape[1]
+    # Causal mask: query position (past_len + i) attends keys <= itself.
+    q_pos = past_len + np.arange(new_tokens)[:, None]
+    k_pos = np.arange(total)[None, :]
+    mask = k_pos > q_pos
+    scores = np.where(mask[None, None, :, :], -1e9, scores)
+
+    attn = softmax(scores, axis=-1) @ v_heads
+    merged = _merge_heads(attn)
+    out = _linear(merged, weights["w_out"], weights["b_out"])
+    return x + out, (keys, values)
+
+
+def ffn_forward(
+    config: OptConfig, weights: Dict[str, np.ndarray], hidden: np.ndarray
+) -> np.ndarray:
+    """One pre-LN feed-forward layer (ReLU, as in OPT)."""
+    x = hidden.astype(np.float32)
+    normed = layer_norm(x, weights["ln_w"], weights["ln_b"])
+    inner = np.maximum(_linear(normed, weights["w_fc1"], weights["b_fc1"]), 0.0)
+    out = _linear(inner, weights["w_fc2"], weights["b_fc2"])
+    return x + out
+
+
+def head_forward(
+    config: OptConfig, weights: Dict[str, np.ndarray], hidden: np.ndarray
+) -> np.ndarray:
+    """Final layer norm + LM head; logits for every position given."""
+    normed = layer_norm(hidden, weights["ln_w"], weights["ln_b"])
+    return normed @ weights["lm_head"].astype(np.float32).T
+
+
+@dataclass
+class OptWeights:
+    """All weights of one model, keyed by (layer index, weight name)."""
+
+    config: OptConfig
+    layers: List[Dict[str, np.ndarray]]
+
+    @classmethod
+    def init_random(
+        cls, config: OptConfig, seed: int = 0, scale: float = 0.02
+    ) -> "OptWeights":
+        """Random fp16 weights with transformer-typical initialization."""
+        rng = np.random.default_rng(seed)
+        layer_payloads: List[Dict[str, np.ndarray]] = []
+        for layer in model_layers(config):
+            payload: Dict[str, np.ndarray] = {}
+            for spec in layer.weights:
+                if spec.name in ("ln_w",):
+                    array = np.ones(spec.shape, dtype=np.float16)
+                elif spec.name.startswith(("b_", "ln_b")):
+                    array = np.zeros(spec.shape, dtype=np.float16)
+                else:
+                    array = rng.normal(0.0, scale, size=spec.shape).astype(
+                        np.float16
+                    )
+                payload[spec.name] = array
+            layer_payloads.append(payload)
+        return cls(config=config, layers=layer_payloads)
+
+    def layer_payload(self, index: int) -> Dict[str, np.ndarray]:
+        return self.layers[index]
+
+
+def forward_layer(
+    config: OptConfig,
+    layer: LayerSpec,
+    weights: Dict[str, np.ndarray],
+    hidden: Optional[np.ndarray],
+    kv: Optional[KvState],
+    token_ids: Optional[np.ndarray] = None,
+    past_len: int = 0,
+) -> Tuple[np.ndarray, Optional[KvState]]:
+    """Run one layer; the uniform signature the offload engine drives."""
+    if layer.kind is LayerKind.EMBED:
+        if token_ids is None:
+            raise ConfigurationError("embedding layer needs token_ids")
+        return embed_forward(config, weights, token_ids, past_len), None
+    if layer.kind is LayerKind.MHA:
+        return mha_forward(config, weights, hidden, kv)
+    if layer.kind is LayerKind.FFN:
+        return ffn_forward(config, weights, hidden), None
+    if layer.kind is LayerKind.HEAD:
+        return head_forward(config, weights, hidden), None
+    raise ConfigurationError(f"unknown layer kind {layer.kind!r}")
+
+
+def reference_generate(
+    weights: OptWeights,
+    token_ids: np.ndarray,
+    gen_len: int,
+    kv_transform: Optional[
+        "Callable[[KvState, int], KvState]"
+    ] = None,
+) -> np.ndarray:
+    """Dense greedy generation — the correctness oracle.
+
+    Args:
+        token_ids: (batch, prompt_len) int array.
+        gen_len: Number of tokens to generate.
+        kv_transform: Optional hook applied to each layer's KV state
+            after every step, receiving ``(kv, new_token_count)`` —
+            used to model compressed cache storage (e.g.
+            :func:`repro.quant.groupwise.quantize_kv_slice`).
+
+    Returns:
+        (batch, prompt_len + gen_len) array including the prompt.
+    """
+    config = weights.config
+    layers = model_layers(config)
+    sequences = token_ids.astype(np.int64)
+    kv_states: List[Optional[KvState]] = [None] * len(layers)
+
+    new_ids = sequences
+    past_len = 0
+    for _ in range(gen_len):
+        hidden: Optional[np.ndarray] = None
+        for layer in layers:
+            payload = weights.layer_payload(layer.index)
+            hidden, kv = forward_layer(
+                config,
+                layer,
+                payload,
+                hidden,
+                kv_states[layer.index],
+                token_ids=new_ids,
+                past_len=past_len,
+            )
+            if kv is not None:
+                if kv_transform is not None:
+                    kv = kv_transform(kv, new_ids.shape[1])
+                kv_states[layer.index] = kv
+        logits = hidden[:, -1, :]
+        next_ids = logits.argmax(axis=-1).astype(np.int64)[:, None]
+        sequences = np.concatenate([sequences, next_ids], axis=1)
+        past_len += new_ids.shape[1]
+        new_ids = next_ids
+    return sequences

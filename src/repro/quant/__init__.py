@@ -1,0 +1,23 @@
+"""Group-wise quantization (FlexGen's 4-bit weight compression).
+
+:mod:`~repro.quant.groupwise` is a real numpy implementation used by
+the functional backend; :mod:`~repro.quant.spec` provides the
+analytic size/cost descriptors the timing backend and placement
+policies use for virtual tensors.
+"""
+
+from repro.quant.groupwise import (
+    GroupwiseQuantized,
+    dequantize,
+    quantize,
+)
+from repro.quant.spec import CompressionSpec, FP16, INT4_GROUPWISE
+
+__all__ = [
+    "GroupwiseQuantized",
+    "quantize",
+    "dequantize",
+    "CompressionSpec",
+    "FP16",
+    "INT4_GROUPWISE",
+]

@@ -1,0 +1,51 @@
+"""Analytic compression descriptors for the timing backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """Describes how weights are stored/moved.
+
+    ``compressed_bytes`` converts an fp16 footprint into the on-wire
+    footprint; the timing backend also uses ``enabled`` to add the
+    GPU-side dequantization cost.
+    """
+
+    enabled: bool
+    bits: int = 4
+    group_size: int = 64
+    source_dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.bits > 8 * self.source_dtype_bytes:
+            raise QuantizationError(f"invalid bit width {self.bits}")
+        if self.group_size <= 0:
+            raise QuantizationError("group size must be positive")
+
+    @property
+    def ratio(self) -> float:
+        """Compressed bytes per source byte, including group metadata
+        (an fp16 scale and min per group)."""
+        if not self.enabled:
+            return 1.0
+        payload = self.bits / (8.0 * self.source_dtype_bytes)
+        metadata = (2 * 2) / (self.group_size * self.source_dtype_bytes)
+        return payload + metadata
+
+    def compressed_bytes(self, nbytes: float) -> float:
+        """On-wire footprint of an ``nbytes`` fp16 weight."""
+        if nbytes < 0:
+            raise QuantizationError("byte count must be >= 0")
+        return nbytes * self.ratio
+
+
+#: No compression: weights move as fp16.
+FP16 = CompressionSpec(enabled=False)
+
+#: FlexGen's default: 4-bit group-wise quantization, group size 64.
+INT4_GROUPWISE = CompressionSpec(enabled=True, bits=4, group_size=64)

@@ -1,0 +1,22 @@
+"""Discrete-event simulation engine.
+
+Models the GPU's execution model the way FlexGen uses it: a small set
+of in-order *streams* (compute, host-to-device copy, device-to-host
+copy) whose operations have known durations and explicit cross-stream
+dependencies.  The engine executes the resulting DAG in virtual time
+and records a trace from which the paper's compute/communication
+overlap figures are computed.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import Operation, SimEngine, Stream
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "SimClock",
+    "SimEngine",
+    "Stream",
+    "Operation",
+    "Trace",
+    "TraceRecord",
+]

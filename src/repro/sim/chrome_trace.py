@@ -1,0 +1,70 @@
+"""Export simulation traces to Chrome's trace-event format.
+
+Load the resulting JSON at ``chrome://tracing`` (or Perfetto) to see
+the zig-zag pipeline — compute on one track, H2D/D2H copies on others
+— exactly as one would inspect a real FlexGen run with Nsight.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.sim.trace import Trace
+
+#: Trace-event categories are colored by name in the viewer.
+_CATEGORY_COLOURS = {
+    "transfer": "rail_load",
+    "compute": "rail_animation",
+    "sync": "rail_idle",
+}
+
+
+def trace_to_chrome_events(trace: Trace) -> List[Dict[str, object]]:
+    """Convert a :class:`~repro.sim.trace.Trace` to trace-event dicts."""
+    events: List[Dict[str, object]] = []
+    stream_ids: Dict[str, int] = {}
+    for record in trace.records:
+        if record.stream not in stream_ids:
+            tid = len(stream_ids)
+            stream_ids[record.stream] = tid
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": record.stream},
+                }
+            )
+        if record.end < record.start:
+            raise SimulationError(
+                f"record {record.label!r} ends before it starts"
+            )
+        events.append(
+            {
+                "name": record.label or record.category,
+                "cat": record.category,
+                "ph": "X",
+                "pid": 0,
+                "tid": stream_ids[record.stream],
+                "ts": record.start * 1e6,       # microseconds
+                "dur": record.duration * 1e6,
+                "cname": _CATEGORY_COLOURS.get(record.category),
+                "args": {
+                    str(key): str(value) for key, value in record.meta.items()
+                },
+            }
+        )
+    return events
+
+
+def save_chrome_trace(trace: Trace, path: str) -> None:
+    """Write ``trace`` as a Chrome trace JSON file."""
+    payload = {
+        "traceEvents": trace_to_chrome_events(trace),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)

@@ -1,0 +1,37 @@
+"""Virtual clock for the discrete-event engine."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonically advancing virtual time, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError("clock cannot start before time zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises:
+            SimulationError: If ``timestamp`` is in the past; the
+                engine must never process events out of order.
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimClock now={self._now:.9f}>"

@@ -1,0 +1,62 @@
+"""Byte/time unit constants and human-readable formatting helpers.
+
+The library uses plain numbers everywhere: sizes are **bytes** (int or
+float), durations are **seconds** (float), and rates are **bytes per
+second** (float).  These helpers keep call sites readable without
+introducing a heavyweight quantity type.
+
+Binary prefixes (``KiB``/``MiB``/``GiB``) are powers of two; decimal
+prefixes (``KB``/``MB``/``GB``) are powers of ten.  The paper mixes both
+(e.g. its "3.38 GB" decoder block is in fact 3.375 GiB); we are explicit
+everywhere.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 ** 2
+GIB = 1024 ** 3
+TIB = 1024 ** 4
+
+KB = 1000
+MB = 1000 ** 2
+GB = 1000 ** 3
+TB = 1000 ** 4
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+#: One gigabyte per second, the customary unit for link bandwidth.
+GB_PER_S = float(GB)
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Format a byte count with a binary prefix, e.g. ``fmt_bytes(2**30)
+    == '1.00 GiB'``."""
+    value = float(nbytes)
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    for unit, name in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if value >= unit:
+            return f"{sign}{value / unit:.2f} {name}"
+    return f"{sign}{value:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration using the most readable unit."""
+    value = float(seconds)
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    if value >= 1.0:
+        return f"{sign}{value:.3f} s"
+    if value >= MS:
+        return f"{sign}{value / MS:.3f} ms"
+    if value >= US:
+        return f"{sign}{value / US:.3f} us"
+    return f"{sign}{value / NS:.1f} ns"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Format a bandwidth in GB/s (decimal, matching the paper)."""
+    return f"{bytes_per_second / GB_PER_S:.2f} GB/s"

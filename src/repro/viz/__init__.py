@@ -1,0 +1,23 @@
+"""Figure rendering: pure-stdlib SVG charts for the paper's plots.
+
+The original artifact ships an ``output/`` directory with raw data
+and plotting scripts; this package is the equivalent.  Charts are
+written as standalone SVG (no matplotlib — nothing beyond the
+standard library), and :mod:`repro.viz.figures` maps each experiment
+to the figure the paper plots from it:
+
+    python -m repro.experiments figures out/
+"""
+
+from repro.viz.charts import Series, grouped_bar_chart, line_chart, stacked_bar_chart
+from repro.viz.figures import FIGURES, render_figure, render_all_figures
+
+__all__ = [
+    "Series",
+    "line_chart",
+    "grouped_bar_chart",
+    "stacked_bar_chart",
+    "FIGURES",
+    "render_figure",
+    "render_all_figures",
+]

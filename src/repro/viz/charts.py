@@ -1,0 +1,355 @@
+"""Minimal, dependency-free SVG chart primitives.
+
+Three chart kinds cover every figure in the paper: line charts
+(Figs. 3, 7a), grouped bars (Figs. 4, 5, 8, 11, 12, 13), and stacked
+bars (Figs. 7b/7c, 10).  The output is a complete standalone SVG
+document string.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from repro.errors import ConfigurationError
+
+#: Colour-blind-safe qualitative palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+)
+
+_MARGIN = {"left": 64, "right": 16, "top": 34, "bottom": 46}
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of (x, y) points."""
+
+    name: str
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError(f"series {self.name!r} has no points")
+
+
+class _SvgDoc:
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self._parts: List[str] = []
+
+    def add(self, element: str) -> None:
+        self._parts.append(element)
+
+    def text(
+        self, x: float, y: float, content: str, *, size: int = 12,
+        anchor: str = "middle", rotate: float = None, bold: bool = False,
+    ) -> None:
+        transform = (
+            f' transform="rotate({rotate} {x:.1f} {y:.1f})"'
+            if rotate is not None else ""
+        )
+        weight = ' font-weight="bold"' if bold else ""
+        self.add(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" font-family="sans-serif"{weight}'
+            f'{transform}>{escape(content)}</text>'
+        )
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float,
+        *, colour: str = "#444", width: float = 1.0, dash: str = None,
+    ) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.add(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{colour}" stroke-width="{width}"'
+            f'{dash_attr} />'
+        )
+
+    def rect(
+        self, x: float, y: float, w: float, h: float, colour: str
+    ) -> None:
+        self.add(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{colour}" />'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], colour: str) -> None:
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.add(
+            f'<polyline points="{coords}" fill="none" stroke="{colour}" '
+            f'stroke-width="2" />'
+        )
+
+    def circle(self, x: float, y: float, colour: str, r: float = 3.0) -> None:
+        self.add(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{colour}" />'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white" />\n{body}\n</svg>\n'
+        )
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(1, count - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 2.5, 5, 10):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    start = math.floor(low / step) * step
+    ticks = []
+    value = start
+    while value <= high + step * 0.5:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    return f"{value:g}"
+
+
+def _legend(doc: _SvgDoc, names: Sequence[str], x: float, y: float) -> None:
+    for index, name in enumerate(names):
+        colour = PALETTE[index % len(PALETTE)]
+        row_y = y + index * 16
+        doc.rect(x, row_y - 9, 10, 10, colour)
+        doc.text(x + 14, row_y, name, size=11, anchor="start")
+
+
+def line_chart(
+    series: Sequence[Series],
+    *,
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 640,
+    height: int = 400,
+    log_x: bool = False,
+) -> str:
+    """A multi-series line chart with markers."""
+    if not series:
+        raise ConfigurationError("a chart needs at least one series")
+    doc = _SvgDoc(width, height)
+    plot_x0 = _MARGIN["left"]
+    plot_y0 = _MARGIN["top"]
+    plot_w = width - _MARGIN["left"] - _MARGIN["right"] - 150  # legend room
+    plot_h = height - _MARGIN["top"] - _MARGIN["bottom"]
+
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    if log_x and min(xs) <= 0:
+        raise ConfigurationError("log x-axis requires positive x values")
+
+    def tx(x: float) -> float:
+        if log_x:
+            lo, hi = math.log10(min(xs)), math.log10(max(xs))
+            frac = 0.5 if hi == lo else (math.log10(x) - lo) / (hi - lo)
+        else:
+            lo, hi = min(xs), max(xs)
+            frac = 0.5 if hi == lo else (x - lo) / (hi - lo)
+        return plot_x0 + frac * plot_w
+
+    y_ticks = _nice_ticks(0.0, max(ys))
+    y_hi = y_ticks[-1]
+
+    def ty(y: float) -> float:
+        return plot_y0 + plot_h * (1 - y / y_hi) if y_hi else plot_y0 + plot_h
+
+    # Axes and grid.
+    doc.line(plot_x0, plot_y0 + plot_h, plot_x0 + plot_w, plot_y0 + plot_h)
+    doc.line(plot_x0, plot_y0, plot_x0, plot_y0 + plot_h)
+    for tick in y_ticks:
+        y_pixel = ty(tick)
+        doc.line(plot_x0, y_pixel, plot_x0 + plot_w, y_pixel,
+                 colour="#ddd", width=0.5)
+        doc.text(plot_x0 - 6, y_pixel + 4, _fmt(tick), size=10, anchor="end")
+    x_tick_values = sorted(set(xs)) if len(set(xs)) <= 10 else _nice_ticks(
+        min(xs), max(xs)
+    )
+    for tick in x_tick_values:
+        x_pixel = tx(tick)
+        doc.line(x_pixel, plot_y0 + plot_h, x_pixel, plot_y0 + plot_h + 4)
+        doc.text(x_pixel, plot_y0 + plot_h + 16, _fmt(tick), size=10)
+
+    for index, one in enumerate(series):
+        colour = PALETTE[index % len(PALETTE)]
+        pixels = [(tx(x), ty(y)) for x, y in sorted(one.points)]
+        doc.polyline(pixels, colour)
+        for x_pixel, y_pixel in pixels:
+            doc.circle(x_pixel, y_pixel, colour)
+
+    doc.text(width / 2, 18, title, size=14, bold=True)
+    doc.text(plot_x0 + plot_w / 2, height - 10, x_label, size=12)
+    doc.text(16, plot_y0 + plot_h / 2, y_label, size=12, rotate=-90)
+    _legend(doc, [s.name for s in series], plot_x0 + plot_w + 14, plot_y0 + 10)
+    return doc.render()
+
+
+def grouped_bar_chart(
+    categories: Sequence[str],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    *,
+    title: str,
+    y_label: str,
+    width: int = 640,
+    height: int = 400,
+    overlay: Sequence[float] = None,
+    overlay_name: str = None,
+) -> str:
+    """Grouped bars, optionally with an overlaid line (the paper's
+    transfer-bars + compute-line figures)."""
+    if not categories or not series:
+        raise ConfigurationError("bar chart needs categories and series")
+    for name, values in series:
+        if len(values) != len(categories):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+    if overlay is not None and len(overlay) != len(categories):
+        raise ConfigurationError("overlay length must match categories")
+
+    doc = _SvgDoc(width, height)
+    plot_x0 = _MARGIN["left"]
+    plot_y0 = _MARGIN["top"]
+    plot_w = width - _MARGIN["left"] - _MARGIN["right"] - 150
+    plot_h = height - _MARGIN["top"] - _MARGIN["bottom"]
+
+    all_values = [v for _, values in series for v in values]
+    if overlay is not None:
+        all_values.extend(overlay)
+    y_ticks = _nice_ticks(0.0, max(all_values))
+    y_hi = y_ticks[-1]
+
+    def ty(y: float) -> float:
+        return plot_y0 + plot_h * (1 - y / y_hi) if y_hi else plot_y0 + plot_h
+
+    doc.line(plot_x0, plot_y0 + plot_h, plot_x0 + plot_w, plot_y0 + plot_h)
+    doc.line(plot_x0, plot_y0, plot_x0, plot_y0 + plot_h)
+    for tick in y_ticks:
+        y_pixel = ty(tick)
+        doc.line(plot_x0, y_pixel, plot_x0 + plot_w, y_pixel,
+                 colour="#ddd", width=0.5)
+        doc.text(plot_x0 - 6, y_pixel + 4, _fmt(tick), size=10, anchor="end")
+
+    group_w = plot_w / len(categories)
+    bar_w = group_w * 0.8 / len(series)
+    centers = []
+    for cat_index, category in enumerate(categories):
+        group_x = plot_x0 + cat_index * group_w + group_w * 0.1
+        centers.append(plot_x0 + cat_index * group_w + group_w / 2)
+        for series_index, (name, values) in enumerate(series):
+            value = values[cat_index]
+            x = group_x + series_index * bar_w
+            y = ty(value)
+            doc.rect(
+                x, y, bar_w - 1, plot_y0 + plot_h - y,
+                PALETTE[series_index % len(PALETTE)],
+            )
+        doc.text(
+            centers[-1], plot_y0 + plot_h + 16, category, size=10
+        )
+
+    names = [name for name, _ in series]
+    if overlay is not None:
+        colour = PALETTE[len(series) % len(PALETTE)]
+        doc.polyline(
+            [(cx, ty(v)) for cx, v in zip(centers, overlay)], colour
+        )
+        for cx, v in zip(centers, overlay):
+            doc.circle(cx, ty(v), colour)
+        names.append(overlay_name or "overlay")
+
+    doc.text(width / 2, 18, title, size=14, bold=True)
+    doc.text(16, plot_y0 + plot_h / 2, y_label, size=12, rotate=-90)
+    _legend(doc, names, plot_x0 + plot_w + 14, plot_y0 + 10)
+    return doc.render()
+
+
+def stacked_bar_chart(
+    categories: Sequence[str],
+    layers: Sequence[Tuple[str, Sequence[float]]],
+    *,
+    title: str,
+    y_label: str,
+    width: int = 520,
+    height: int = 360,
+) -> str:
+    """Stacked shares per category (the weight-distribution figures)."""
+    if not categories or not layers:
+        raise ConfigurationError("stacked chart needs categories and layers")
+    for name, values in layers:
+        if len(values) != len(categories):
+            raise ConfigurationError(
+                f"layer {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+    doc = _SvgDoc(width, height)
+    plot_x0 = _MARGIN["left"]
+    plot_y0 = _MARGIN["top"]
+    plot_w = width - _MARGIN["left"] - _MARGIN["right"] - 120
+    plot_h = height - _MARGIN["top"] - _MARGIN["bottom"]
+
+    totals = [
+        sum(values[i] for _, values in layers)
+        for i in range(len(categories))
+    ]
+    y_hi = max(totals) or 1.0
+
+    doc.line(plot_x0, plot_y0 + plot_h, plot_x0 + plot_w, plot_y0 + plot_h)
+    doc.line(plot_x0, plot_y0, plot_x0, plot_y0 + plot_h)
+    for tick in _nice_ticks(0.0, y_hi):
+        if tick > y_hi * 1.001:
+            break
+        y_pixel = plot_y0 + plot_h * (1 - tick / y_hi)
+        doc.text(plot_x0 - 6, y_pixel + 4, _fmt(tick), size=10, anchor="end")
+        doc.line(plot_x0, y_pixel, plot_x0 + plot_w, y_pixel,
+                 colour="#ddd", width=0.5)
+
+    group_w = plot_w / len(categories)
+    bar_w = group_w * 0.6
+    for cat_index, category in enumerate(categories):
+        x = plot_x0 + cat_index * group_w + (group_w - bar_w) / 2
+        running = 0.0
+        for layer_index, (name, values) in enumerate(layers):
+            value = values[cat_index]
+            y_top = plot_y0 + plot_h * (1 - (running + value) / y_hi)
+            bar_h = plot_h * value / y_hi
+            doc.rect(x, y_top, bar_w, bar_h,
+                     PALETTE[layer_index % len(PALETTE)])
+            running += value
+        doc.text(
+            x + bar_w / 2, plot_y0 + plot_h + 16, category, size=10
+        )
+
+    doc.text(width / 2, 18, title, size=14, bold=True)
+    doc.text(16, plot_y0 + plot_h / 2, y_label, size=12, rotate=-90)
+    _legend(
+        doc, [name for name, _ in layers], plot_x0 + plot_w + 14,
+        plot_y0 + 10,
+    )
+    return doc.render()

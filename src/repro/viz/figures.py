@@ -1,0 +1,370 @@
+"""Map experiments to rendered SVG figures.
+
+Each builder consumes the structured ``data`` of one experiment (see
+:mod:`repro.experiments`) and returns ``(filename, svg)`` pairs.
+Together they regenerate every plot in the paper's evaluation:
+
+    python -m repro.experiments figures out/
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import run_experiment
+from repro.viz.charts import (
+    Series,
+    grouped_bar_chart,
+    line_chart,
+    stacked_bar_chart,
+)
+
+Rendered = List[Tuple[str, str]]
+
+
+def _fig3(result: ExperimentResult) -> Rendered:
+    samples = result.data["samples"]
+    out: Rendered = []
+    for direction, title in (
+        ("h2g", "Fig 3a: Host to GPU bandwidth"),
+        ("g2h", "Fig 3b: GPU to host bandwidth"),
+    ):
+        regions = sorted({s["region"] for s in samples})
+        series = []
+        for region in regions:
+            points = tuple(
+                (s["buffer_bytes"] / 2**20, s["gb_per_s"])
+                for s in samples
+                if s["region"] == region and s["direction"] == direction
+            )
+            series.append(Series(name=region, points=points))
+        out.append(
+            (
+                f"fig3_{direction}.svg",
+                line_chart(
+                    series,
+                    title=title,
+                    x_label="buffer size (MiB, log)",
+                    y_label="GB/s",
+                    log_x=True,
+                ),
+            )
+        )
+    return out
+
+
+def _fig4(result: ExperimentResult) -> Rendered:
+    data = result.data
+    matrix = {
+        "opt-30b": (("DRAM", "NVDRAM", "MemoryMode"), (1, 32)),
+        "opt-175b": (("SSD", "FSDAX", "NVDRAM", "MemoryMode"), (1, 8)),
+    }
+    out: Rendered = []
+    for metric, label in (
+        ("ttft_s", "TTFT (s)"),
+        ("tbt_s", "TBT (s)"),
+        ("throughput_tps", "throughput (tokens/s)"),
+    ):
+        for model, (hosts, batches) in matrix.items():
+            series = [
+                (
+                    f"batch {batch}",
+                    [data[f"{model}/{host}/b{batch}"][metric] for host in hosts],
+                )
+                for batch in batches
+            ]
+            out.append(
+                (
+                    f"fig4_{model.replace('-', '')}_{metric}.svg",
+                    grouped_bar_chart(
+                        list(hosts),
+                        series,
+                        title=f"Fig 4: {model} {label}",
+                        y_label=label,
+                    ),
+                )
+            )
+    return out
+
+
+def _fig5(result: ExperimentResult) -> Rendered:
+    data = result.data
+    matrix = {
+        "opt-30b": (("DRAM", "NVDRAM", "MemoryMode"), (1, 32)),
+        "opt-175b": (("SSD", "FSDAX", "NVDRAM", "MemoryMode"), (1, 8)),
+    }
+    out: Rendered = []
+    for model, (hosts, batches) in matrix.items():
+        for stage in ("prefill", "decode"):
+            categories = []
+            transfer = []
+            compute = []
+            for host in hosts:
+                for batch in batches:
+                    key = f"{model}/{host}/b{batch}/{stage}"
+                    categories.append(f"{host} b{batch}")
+                    transfer.append(data[key]["avg_transfer_ms"])
+                    compute.append(data[key]["avg_compute_ms"])
+            out.append(
+                (
+                    f"fig5_{model.replace('-', '')}_{stage}.svg",
+                    grouped_bar_chart(
+                        categories,
+                        [("weight transfer", transfer)],
+                        overlay=compute,
+                        overlay_name="compute",
+                        title=f"Fig 5: {model} {stage} overlap",
+                        y_label="avg time per layer (ms)",
+                    ),
+                )
+            )
+    return out
+
+
+def _fig6(result: ExperimentResult) -> Rendered:
+    data = result.data
+    categories = []
+    transfer = []
+    compute = []
+    for host in ("NVDRAM", "MemoryMode", "DRAM"):
+        for compressed, suffix in (("fp16", ""), ("c", "(c)")):
+            key = f"{host}/{compressed}/decode"
+            categories.append(f"{host}{suffix}")
+            transfer.append(data[key]["avg_transfer_ms"])
+            compute.append(data[key]["avg_compute_ms"])
+    return [
+        (
+            "fig6_compression.svg",
+            grouped_bar_chart(
+                categories,
+                [("weight transfer", transfer)],
+                overlay=compute,
+                overlay_name="compute",
+                title="Fig 6: OPT-175B decode overlap with compression",
+                y_label="avg time per layer (ms)",
+            ),
+        )
+    ]
+
+
+def _fig7(result: ExperimentResult) -> Rendered:
+    data = result.data
+    out: Rendered = []
+    series = []
+    for host, loads in data["sawtooth_ms"].items():
+        points = tuple(
+            (float(index + 1), load) for index, load in enumerate(loads)
+        )
+        series.append(Series(name=host, points=points))
+    out.append(
+        (
+            "fig7a_sawtooth.svg",
+            line_chart(
+                series,
+                title="Fig 7a: per-layer weight load latency (layers 1-70)",
+                x_label="layer",
+                y_label="load latency (ms)",
+            ),
+        )
+    )
+    for key, title in (
+        ("achieved_ssd_fsdax", "Fig 7b: SSD/FSDAX policy (65, 15, 20)"),
+        ("achieved_nvdram_mm", "Fig 7c: NVDRAM/MM policy (0, 80, 20)"),
+    ):
+        entry = data[key]
+        mha_gpu = entry["mha_gpu_share"]
+        ffn_gpu = entry["ffn_gpu_share"]
+        # The experiment records kind-level GPU shares; the rest of
+        # each kind splits between cpu/disk with the overall ratio.
+        disk_share = entry["disk"] / max(1e-9, entry["disk"] + entry["cpu"])
+        layers = [
+            ("gpu", [mha_gpu, ffn_gpu]),
+            (
+                "cpu",
+                [
+                    (1 - mha_gpu) * (1 - disk_share),
+                    (1 - ffn_gpu) * (1 - disk_share),
+                ],
+            ),
+            (
+                "disk",
+                [(1 - mha_gpu) * disk_share, (1 - ffn_gpu) * disk_share],
+            ),
+        ]
+        out.append(
+            (
+                f"{key}.svg",
+                stacked_bar_chart(
+                    ["MHA", "FFN"],
+                    layers,
+                    title=title,
+                    y_label="share of weights",
+                ),
+            )
+        )
+    return out
+
+
+def _fig10(result: ExperimentResult) -> Rendered:
+    data = result.data
+    layers = [
+        ("gpu", [data["mha_gpu_share"], data["ffn_gpu_share"]]),
+        ("cpu", [1 - data["mha_gpu_share"], 1 - data["ffn_gpu_share"]]),
+    ]
+    return [
+        (
+            "fig10_helm_distribution.svg",
+            stacked_bar_chart(
+                ["MHA", "FFN"],
+                layers,
+                title="Fig 10: HeLM weight distribution",
+                y_label="share of weights",
+            ),
+        )
+    ]
+
+
+def _fig11(result: ExperimentResult) -> Rendered:
+    data = result.data
+    hosts = ("NVDRAM", "MemoryMode", "DRAM")
+    out: Rendered = []
+    for metric, label in (("ttft_s", "TTFT (s)"), ("tbt_s", "TBT (s)")):
+        series = [
+            (
+                placement,
+                [data[f"{host}/{placement}"][metric] for host in hosts],
+            )
+            for placement in ("baseline", "helm")
+        ]
+        out.append(
+            (
+                f"fig11b_{metric}.svg",
+                grouped_bar_chart(
+                    list(hosts),
+                    series,
+                    title=f"Fig 11b: {label}, OPT-175B batch 1 compressed",
+                    y_label=label,
+                ),
+            )
+        )
+    return out
+
+
+def _fig12(result: ExperimentResult) -> Rendered:
+    data = result.data
+    bmax = data["max_batch"]
+    hosts = ("NVDRAM", "MemoryMode", "DRAM")
+    configs = [("baseline", 8), ("allcpu", 8), ("allcpu", bmax)]
+    series = [
+        (
+            f"{placement} b{batch}",
+            [
+                data[f"{host}/{placement}/b{batch}"]["throughput_tps"]
+                for host in hosts
+            ],
+        )
+        for placement, batch in configs
+    ]
+    return [
+        (
+            "fig12c_throughput.svg",
+            grouped_bar_chart(
+                list(hosts),
+                series,
+                title="Fig 12c: All-CPU throughput, OPT-175B compressed",
+                y_label="tokens/s",
+            ),
+        )
+    ]
+
+
+def _fig13(result: ExperimentResult) -> Rendered:
+    data = result.data
+    bmax = data["max_batch"]
+    configs = ("NVDRAM", "CXL-FPGA", "CXL-ASIC")
+    latency_series = [
+        (
+            placement,
+            [
+                data[f"latency/{config}/{placement}"]["tbt_s"]
+                for config in configs
+            ],
+        )
+        for placement in ("baseline", "helm")
+    ]
+    tput_series = [
+        (
+            f"{placement} b{batch}",
+            [
+                data[f"tput/{config}/{placement}/b{batch}"]
+                for config in configs
+            ],
+        )
+        for placement, batch in (
+            ("baseline", 8), ("allcpu", 8), ("allcpu", bmax),
+        )
+    ]
+    return [
+        (
+            "fig13a_helm.svg",
+            grouped_bar_chart(
+                list(configs),
+                latency_series,
+                title="Fig 13a: projected HeLM TBT",
+                y_label="TBT (s)",
+            ),
+        ),
+        (
+            "fig13b_allcpu.svg",
+            grouped_bar_chart(
+                list(configs),
+                tput_series,
+                title="Fig 13b: projected All-CPU throughput",
+                y_label="tokens/s",
+            ),
+        ),
+    ]
+
+
+#: figure name -> (experiment name, builder).
+FIGURES: Dict[str, Tuple[str, Callable[[ExperimentResult], Rendered]]] = {
+    "fig3": ("fig3_bandwidth", _fig3),
+    "fig4": ("fig4_llm_perf", _fig4),
+    "fig5": ("fig5_overlap", _fig5),
+    "fig6": ("fig6_compression", _fig6),
+    "fig7": ("fig7_placement", _fig7),
+    "fig10": ("fig10_helm_dist", _fig10),
+    "fig11": ("fig11_helm", _fig11),
+    "fig12": ("fig12_allcpu", _fig12),
+    "fig13": ("fig13_cxl", _fig13),
+}
+
+
+def render_figure(name: str, out_dir: str) -> List[str]:
+    """Render one figure family into ``out_dir``; returns file paths."""
+    try:
+        experiment_name, builder = FIGURES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
+        ) from None
+    result = run_experiment(experiment_name)
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for filename, svg in builder(result):
+        path = os.path.join(out_dir, filename)
+        with open(path, "w") as handle:
+            handle.write(svg)
+        paths.append(path)
+    return paths
+
+
+def render_all_figures(out_dir: str) -> List[str]:
+    """Render every figure family (the artifact's output/scripts)."""
+    paths = []
+    for name in sorted(FIGURES):
+        paths.extend(render_figure(name, out_dir))
+    return paths

@@ -1,0 +1,21 @@
+"""Workload generation: synthetic corpus, tokenizer, and requests.
+
+The paper prompts the models with C4/realnewslike text truncated to
+128 input tokens and generates 21 output tokens, repeating each
+prompt 10 times (Section III-B).  Timing results depend only on the
+shape of the workload, so a deterministic synthetic corpus with the
+same shape preserves every result; the tokenizer and corpus are
+nonetheless real code paths exercised by the functional backend.
+"""
+
+from repro.workloads.tokenizer import WordPieceTokenizer
+from repro.workloads.corpus import SyntheticCorpus
+from repro.workloads.requests import GenerationRequest, RequestBatch, paper_workload
+
+__all__ = [
+    "WordPieceTokenizer",
+    "SyntheticCorpus",
+    "GenerationRequest",
+    "RequestBatch",
+    "paper_workload",
+]

@@ -1,0 +1,64 @@
+"""Deterministic synthetic news-like corpus (stands in for
+C4/realnewslike, whose content never affects timing)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+_SUBJECTS = (
+    "the council", "a spokesperson", "the research team", "local officials",
+    "the company", "analysts", "the committee", "residents", "engineers",
+    "the agency", "investors", "the university", "regulators", "the startup",
+)
+_VERBS = (
+    "announced", "reported", "confirmed", "denied", "projected",
+    "released", "reviewed", "approved", "criticized", "launched",
+    "postponed", "measured", "evaluated", "published",
+)
+_OBJECTS = (
+    "a new infrastructure plan", "quarterly earnings figures",
+    "the updated safety guidelines", "a long awaited study",
+    "record energy consumption", "the revised budget proposal",
+    "an ambitious expansion", "preliminary trial results",
+    "the community feedback", "a detailed audit",
+    "unexpected traffic patterns", "the migration timeline",
+)
+_CLAUSES = (
+    "after months of deliberation", "despite earlier concerns",
+    "according to people familiar with the matter",
+    "in a statement on tuesday", "citing internal documents",
+    "amid growing public interest", "following the annual review",
+    "as part of a broader initiative",
+)
+
+
+class SyntheticCorpus:
+    """Generates reproducible news-like documents."""
+
+    def __init__(self, seed: int = 1234) -> None:
+        self.seed = int(seed)
+
+    def document(self, index: int, sentences: int = 12) -> str:
+        """The ``index``-th document; stable across calls and runs."""
+        if index < 0 or sentences <= 0:
+            raise WorkloadError("index must be >= 0 and sentences positive")
+        rng = np.random.default_rng((self.seed, index))
+        parts: List[str] = []
+        for _ in range(sentences):
+            subject = _SUBJECTS[rng.integers(len(_SUBJECTS))]
+            verb = _VERBS[rng.integers(len(_VERBS))]
+            obj = _OBJECTS[rng.integers(len(_OBJECTS))]
+            sentence = f"{subject} {verb} {obj}"
+            if rng.random() < 0.6:
+                sentence += f" {_CLAUSES[rng.integers(len(_CLAUSES))]}"
+            parts.append(sentence + ".")
+        return " ".join(parts)
+
+    def documents(self, count: int, sentences: int = 12) -> List[str]:
+        if count <= 0:
+            raise WorkloadError("count must be positive")
+        return [self.document(i, sentences) for i in range(count)]

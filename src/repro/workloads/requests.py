@@ -1,0 +1,113 @@
+"""Generation requests and the paper's workload shape.
+
+Section III-B: input sequences limited to 128 tokens, outputs to 21
+tokens, prompts drawn from C4 and repeated 10 times each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.corpus import SyntheticCorpus
+from repro.workloads.tokenizer import WordPieceTokenizer
+
+#: The paper's sequence shape (Section III-B).
+PAPER_PROMPT_LEN = 128
+PAPER_GEN_LEN = 21
+PAPER_REPEATS = 10
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """One prompt with its generation budget."""
+
+    prompt_ids: Tuple[int, ...]
+    gen_len: int
+
+    def __post_init__(self) -> None:
+        if not self.prompt_ids:
+            raise WorkloadError("a request needs at least one prompt token")
+        if self.gen_len <= 0:
+            raise WorkloadError("gen_len must be positive")
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.prompt_ids)
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """A batch of same-shape requests, as FlexGen schedules them."""
+
+    requests: Tuple[GenerationRequest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise WorkloadError("a batch needs at least one request")
+        lengths = {request.prompt_len for request in self.requests}
+        gen_lens = {request.gen_len for request in self.requests}
+        if len(lengths) != 1 or len(gen_lens) != 1:
+            raise WorkloadError(
+                "FlexGen batches require uniform prompt and generation "
+                "lengths"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def prompt_len(self) -> int:
+        return self.requests[0].prompt_len
+
+    @property
+    def gen_len(self) -> int:
+        return self.requests[0].gen_len
+
+    def token_ids(self) -> np.ndarray:
+        """(batch, prompt_len) int64 array."""
+        return np.array(
+            [request.prompt_ids for request in self.requests], dtype=np.int64
+        )
+
+
+def paper_workload(
+    batch_size: int,
+    prompt_len: int = PAPER_PROMPT_LEN,
+    gen_len: int = PAPER_GEN_LEN,
+    vocab_size: Optional[int] = None,
+    seed: int = 1234,
+    tokenizer: Optional[WordPieceTokenizer] = None,
+) -> RequestBatch:
+    """Build a batch with the paper's workload shape.
+
+    Documents come from the synthetic corpus; a tokenizer is trained
+    on them unless one is supplied.  Token ids are clipped to
+    ``vocab_size`` when targeting a model with a smaller vocabulary
+    (the tiny functional-test configs).
+    """
+    if batch_size <= 0:
+        raise WorkloadError("batch size must be positive")
+    corpus = SyntheticCorpus(seed=seed)
+    documents = corpus.documents(batch_size, sentences=40)
+    if tokenizer is None:
+        tokenizer = WordPieceTokenizer.train(documents, vocab_size=512)
+
+    requests: List[GenerationRequest] = []
+    for document in documents:
+        ids = tokenizer.encode(document, max_tokens=prompt_len)
+        if len(ids) < prompt_len:
+            # Cycle the document until the prompt is full, like C4
+            # truncation in the opposite direction.
+            repeats = -(-prompt_len // max(1, len(ids)))
+            ids = (ids * repeats)[:prompt_len]
+        if vocab_size is not None:
+            ids = [token_id % vocab_size for token_id in ids]
+        requests.append(
+            GenerationRequest(prompt_ids=tuple(ids), gen_len=gen_len)
+        )
+    return RequestBatch(requests=tuple(requests))

@@ -1,0 +1,123 @@
+"""A small, deterministic WordPiece-style tokenizer.
+
+The paper tokenizes C4/realnewslike prompts with the OPT tokenizer.
+Absolute timing never depends on token *identity*, only on counts, so
+this self-contained tokenizer (greedy longest-match word pieces with
+``##`` continuations, like BERT's) preserves the workload shape while
+giving the functional backend a real text-to-ids code path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List
+
+from repro.errors import WorkloadError
+
+UNK_TOKEN = "<unk>"
+PAD_TOKEN = "<pad>"
+BOS_TOKEN = "<s>"
+EOS_TOKEN = "</s>"
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, BOS_TOKEN, EOS_TOKEN)
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match subword tokenizer."""
+
+    def __init__(self, vocab: Dict[str, int]) -> None:
+        if not vocab:
+            raise WorkloadError("tokenizer vocabulary is empty")
+        for token in SPECIAL_TOKENS:
+            if token not in vocab:
+                raise WorkloadError(f"vocabulary is missing {token!r}")
+        ids = sorted(vocab.values())
+        if ids != list(range(len(ids))):
+            raise WorkloadError("vocabulary ids must be dense from 0")
+        self.vocab = dict(vocab)
+        self.inverse = {token_id: token for token, token_id in vocab.items()}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls, texts: Iterable[str], vocab_size: int = 512
+    ) -> "WordPieceTokenizer":
+        """Build a vocabulary from whole words, frequency-ranked, plus
+        single-character fallback pieces."""
+        if vocab_size < len(SPECIAL_TOKENS) + 8:
+            raise WorkloadError(f"vocab size {vocab_size} is too small")
+        word_counts: Counter = Counter()
+        chars = set()
+        for text in texts:
+            for word in text.lower().split():
+                word_counts[word] += 1
+                chars.update(word)
+
+        vocab: Dict[str, int] = {}
+        for token in SPECIAL_TOKENS:
+            vocab[token] = len(vocab)
+        # Character pieces guarantee every word tokenizes without <unk>.
+        for char in sorted(chars):
+            for piece in (char, f"##{char}"):
+                if len(vocab) < vocab_size and piece not in vocab:
+                    vocab[piece] = len(vocab)
+        for word, _ in word_counts.most_common():
+            if len(vocab) >= vocab_size:
+                break
+            if word not in vocab:
+                vocab[word] = len(vocab)
+        return cls(vocab)
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    def _encode_word(self, word: str) -> List[int]:
+        pieces: List[int] = []
+        start = 0
+        while start < len(word):
+            prefix = "" if start == 0 else "##"
+            end = len(word)
+            match = None
+            while end > start:
+                candidate = prefix + word[start:end]
+                if candidate in self.vocab:
+                    match = candidate
+                    break
+                end -= 1
+            if match is None:
+                return [self.vocab[UNK_TOKEN]]
+            pieces.append(self.vocab[match])
+            start = end
+        return pieces
+
+    def encode(self, text: str, max_tokens: int = None) -> List[int]:
+        """Tokenize ``text``; truncate to ``max_tokens`` if given."""
+        ids: List[int] = []
+        for word in text.lower().split():
+            ids.extend(self._encode_word(word))
+            if max_tokens is not None and len(ids) >= max_tokens:
+                return ids[:max_tokens]
+        return ids
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Best-effort detokenization (joins ``##`` continuations)."""
+        words: List[str] = []
+        for token_id in ids:
+            try:
+                token = self.inverse[int(token_id)]
+            except KeyError:
+                raise WorkloadError(f"unknown token id {token_id}") from None
+            if token in SPECIAL_TOKENS:
+                continue
+            if token.startswith("##") and words:
+                words[-1] += token[2:]
+            else:
+                words.append(token)
+        return " ".join(words)

@@ -1,0 +1,70 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.analysis.energy import EnergyBreakdown, estimate_energy
+from repro.core.engine import OffloadEngine
+from repro.errors import ConfigurationError
+
+
+def run(host="NVDRAM", placement="baseline", batch=1):
+    engine = OffloadEngine(
+        model="opt-175b", host=host, placement=placement,
+        compress_weights=True, batch_size=batch,
+        prompt_len=128, gen_len=3,
+    )
+    return engine, engine.run_timing()
+
+
+class TestEnergyBreakdown:
+    def test_components_positive_and_sum(self):
+        engine, metrics = run()
+        energy = estimate_energy(engine, metrics)
+        parts = (
+            energy.host_dynamic_j, energy.pcie_dynamic_j,
+            energy.hbm_dynamic_j, energy.gpu_j, energy.cpu_j,
+            energy.memory_static_j,
+        )
+        assert all(part >= 0 for part in parts)
+        assert energy.total_j == pytest.approx(sum(parts))
+
+    def test_joules_per_token(self):
+        engine, metrics = run(batch=4)
+        energy = estimate_energy(engine, metrics)
+        assert energy.tokens == 4 * 3
+        assert energy.joules_per_token == pytest.approx(
+            energy.total_j / 12
+        )
+
+    def test_zero_token_guard(self):
+        breakdown = EnergyBreakdown(1, 1, 1, 1, 1, 1, tokens=0)
+        with pytest.raises(ConfigurationError):
+            _ = breakdown.joules_per_token
+
+    def test_optane_transfers_cost_more_energy_than_dram(self):
+        nv_engine, nv_metrics = run(host="NVDRAM")
+        dram_engine, dram_metrics = run(host="DRAM")
+        nv = estimate_energy(nv_engine, nv_metrics)
+        dram = estimate_energy(dram_engine, dram_metrics)
+        assert nv.host_dynamic_j > dram.host_dynamic_j
+
+    def test_all_dram_equal_capacity_host_pays_more_static_power(self):
+        nv_engine, nv_metrics = run(host="NVDRAM")
+        dram_engine, dram_metrics = run(host="DRAM")
+        nv = estimate_energy(nv_engine, nv_metrics)
+        dram = estimate_energy(dram_engine, dram_metrics)
+        nv_watts = nv.memory_static_j / nv_metrics.total_s
+        dram_watts = dram.memory_static_j / dram_metrics.total_s
+        assert dram_watts > nv_watts
+
+    def test_bigger_batch_cuts_energy_per_token(self):
+        engine1, metrics1 = run(batch=1)
+        engine8, metrics8 = run(batch=8)
+        e1 = estimate_energy(engine1, metrics1)
+        e8 = estimate_energy(engine8, metrics8)
+        assert e8.joules_per_token < 0.3 * e1.joules_per_token
+
+    def test_as_dict_keys(self):
+        engine, metrics = run()
+        payload = estimate_energy(engine, metrics).as_dict()
+        assert "joules_per_token" in payload and "total_j" in payload

@@ -1,0 +1,90 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.placement.baseline import BaselinePlacement
+from repro.core.policy import HOST_GPU_POLICY, Policy
+from repro.devices.gpu import GpuSpec
+from repro.memory.hierarchy import host_config
+from repro.models.config import opt_config
+from repro.models.transformer import OptWeights
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def tiny_config():
+    return opt_config("opt-tiny")
+
+
+@pytest.fixture
+def mini_config():
+    return opt_config("opt-mini")
+
+
+@pytest.fixture
+def opt175b():
+    return opt_config("opt-175b")
+
+
+@pytest.fixture
+def opt30b():
+    return opt_config("opt-30b")
+
+
+@pytest.fixture
+def nvdram_host():
+    return host_config("NVDRAM")
+
+
+@pytest.fixture
+def dram_host():
+    return host_config("DRAM")
+
+
+@pytest.fixture
+def tiny_weights(tiny_config):
+    return OptWeights.init_random(tiny_config, seed=7)
+
+
+@pytest.fixture
+def tiny_prompt(tiny_config):
+    rng = np.random.default_rng(11)
+    return rng.integers(0, tiny_config.vocab_size, size=(2, 8))
+
+
+@pytest.fixture
+def host_gpu_policy():
+    return HOST_GPU_POLICY
+
+
+@pytest.fixture
+def compressed_policy():
+    return HOST_GPU_POLICY.with_compression(True)
+
+
+@pytest.fixture
+def baseline_175b_placement(opt175b, host_gpu_policy):
+    return BaselinePlacement().place_model(opt175b, host_gpu_policy)
+
+
+@pytest.fixture
+def allcpu_175b_placement(opt175b, host_gpu_policy):
+    return AllCpuPlacement().place_model(opt175b, host_gpu_policy)
+
+
+@pytest.fixture
+def small_gpu_spec():
+    """A GPU barely larger than a tiny model, to force placement
+    pressure in functional tests."""
+    return GpuSpec(
+        name="test-gpu-64MiB",
+        hbm_bytes=64 * MIB,
+        hbm_bandwidth=1000e9,
+        fp16_flops=100e12,
+        context_reserve_bytes=1 * MIB,
+        fragmentation_reserve=0.02,
+    )

@@ -1,0 +1,119 @@
+"""Tests for GPU memory accounting and batch-size search."""
+
+import pytest
+
+from repro.core.batching import (
+    fit_placement_for_batch,
+    gpu_memory_plan,
+    max_batch_size,
+)
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.placement.baseline import BaselinePlacement
+from repro.core.placement.helm import HelmPlacement
+from repro.core.policy import HOST_GPU_POLICY
+from repro.devices.device import DeviceKind
+from repro.errors import ConfigurationError
+from repro.models.config import opt_config
+from repro.models.weights import LayerKind
+
+
+@pytest.fixture
+def cfg():
+    return opt_config("opt-175b")
+
+
+class TestMemoryPlan:
+    def test_plan_components_positive(self, cfg):
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        plan = gpu_memory_plan(placement, HOST_GPU_POLICY, 1, 128, 21)
+        assert plan.weights_bytes > 0
+        assert plan.staging_bytes > 0
+        assert plan.kv_bytes > 0
+        assert plan.hidden_bytes > 0
+        assert plan.dequant_bytes == 0  # fp16 run
+        assert plan.total_bytes == (
+            plan.weights_bytes + plan.staging_bytes + plan.dequant_bytes
+            + plan.kv_bytes + plan.hidden_bytes
+        )
+
+    def test_compression_shrinks_weights_adds_scratch(self, cfg):
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        fp16 = gpu_memory_plan(placement, HOST_GPU_POLICY, 1, 128, 21)
+        compressed = gpu_memory_plan(
+            placement, HOST_GPU_POLICY.with_compression(True), 1, 128, 21
+        )
+        assert compressed.weights_bytes < fp16.weights_bytes
+        assert compressed.dequant_bytes > 0
+
+    def test_kv_grows_linearly_with_batch(self, cfg):
+        placement = AllCpuPlacement().place_model(cfg, HOST_GPU_POLICY)
+        one = gpu_memory_plan(placement, HOST_GPU_POLICY, 1, 128, 21)
+        eight = gpu_memory_plan(placement, HOST_GPU_POLICY, 8, 128, 21)
+        assert eight.kv_bytes == 8 * one.kv_bytes
+
+    def test_invalid_batch_rejected(self, cfg):
+        placement = AllCpuPlacement().place_model(cfg, HOST_GPU_POLICY)
+        with pytest.raises(ConfigurationError):
+            gpu_memory_plan(placement, HOST_GPU_POLICY, 0, 128, 21)
+
+
+class TestMaxBatch:
+    def test_baseline_175b_max_batch_is_8(self, cfg):
+        """Fig. 4: 'the maximum permissible size ... 8 for OPT-175B'."""
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        assert max_batch_size(placement, HOST_GPU_POLICY, 128, 21) == 8
+
+    def test_allcpu_175b_max_batch_near_44(self, cfg):
+        """Section V-C: All-CPU lifts the maximum batch from 8 to 44."""
+        placement = AllCpuPlacement().place_model(cfg, HOST_GPU_POLICY)
+        policy = HOST_GPU_POLICY.with_compression(True)
+        max_batch = max_batch_size(placement, policy, 128, 21)
+        assert 40 <= max_batch <= 50
+
+    def test_30b_max_batch_in_paper_range(self):
+        """Fig. 4: OPT-30B runs up to batch 32 on this GPU."""
+        from repro.core.policy import OPT30B_POLICY
+
+        config = opt_config("opt-30b")
+        placement = BaselinePlacement().place_model(config, OPT30B_POLICY)
+        max_batch = max_batch_size(placement, OPT30B_POLICY, 128, 21)
+        assert 30 <= max_batch <= 45
+
+    def test_zero_when_nothing_fits(self, cfg):
+        placement = BaselinePlacement().place_model(
+            cfg,
+            HOST_GPU_POLICY.with_compression(False),
+        )
+        # Make every weight GPU-resident: 326 GiB cannot fit.
+        from repro.core.policy import Policy
+
+        all_gpu = Policy(gpu_percent=100, cpu_percent=0, disk_percent=0)
+        placement = BaselinePlacement().place_model(cfg, all_gpu)
+        assert max_batch_size(placement, all_gpu, 128, 21) == 0
+
+
+class TestSpill:
+    def test_helm_fits_at_batch_1(self, cfg):
+        policy = HOST_GPU_POLICY.with_compression(True)
+        placement = HelmPlacement().place_model(cfg, policy)
+        log = fit_placement_for_batch(placement, policy, 1, 128, 21)
+        assert log == []
+
+    def test_helm_spills_fc1_at_batch_8(self, cfg):
+        """Table IV's HeLM batch-8 rows show all-host behaviour: the
+        resident FFN halves must be given up for the KV cache."""
+        policy = HOST_GPU_POLICY.with_compression(True)
+        placement = HelmPlacement().place_model(cfg, policy)
+        log = fit_placement_for_batch(placement, policy, 8, 128, 21)
+        assert any("ffn/w_fc1" in entry for entry in log)
+        ffn_share = placement.kind_distribution(LayerKind.FFN)
+        assert ffn_share[DeviceKind.GPU] < 0.01
+        # And the spilled placement now actually fits.
+        plan = gpu_memory_plan(placement, policy, 8, 128, 21)
+        assert plan.fits
+
+    def test_spilled_placement_fits_after(self, cfg):
+        policy = HOST_GPU_POLICY
+        placement = BaselinePlacement().place_model(cfg, policy)
+        fit_placement_for_batch(placement, policy, 8, 128, 21)
+        assert gpu_memory_plan(placement, policy, 8, 128, 21).fits

@@ -1,0 +1,50 @@
+"""Tests for hidden-state (activation) offloading in the timing path."""
+
+import pytest
+
+from repro.core.batching import gpu_memory_plan
+from repro.core.engine import OffloadEngine
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.policy import HOST_GPU_POLICY
+from repro.devices.device import DeviceKind
+from repro.models.config import opt_config
+
+
+def run(policy, batch=8, prompt=512):
+    engine = OffloadEngine(
+        model="opt-175b", host="NVDRAM", placement="allcpu",
+        policy=policy, batch_size=batch, prompt_len=prompt, gen_len=3,
+    )
+    return engine.run_timing()
+
+
+@pytest.fixture
+def base():
+    return HOST_GPU_POLICY.with_compression(True)
+
+
+class TestHiddenOffload:
+    def test_offloading_hidden_costs_time(self, base):
+        offloaded = base._replace(hidden_device=DeviceKind.CPU)
+        on_gpu = run(base)
+        off = run(offloaded)
+        assert off.ttft_s > on_gpu.ttft_s
+        assert off.tbt_s >= on_gpu.tbt_s
+
+    def test_offloading_hidden_frees_gpu_memory(self, base):
+        config = opt_config("opt-175b")
+        placement = AllCpuPlacement().place_model(config, base)
+        plan_on = gpu_memory_plan(placement, base, 8, 512, 21)
+        offloaded = base._replace(hidden_device=DeviceKind.CPU)
+        plan_off = gpu_memory_plan(placement, offloaded, 8, 512, 21)
+        assert plan_off.hidden_bytes == 0
+        assert plan_on.hidden_bytes > 0
+
+    def test_prefill_pays_more_than_decode(self, base):
+        """Prefill activations are prompt_len times larger."""
+        offloaded = base._replace(hidden_device=DeviceKind.CPU)
+        on_gpu = run(base)
+        off = run(offloaded)
+        ttft_penalty = off.ttft_s - on_gpu.ttft_s
+        tbt_penalty = off.tbt_s - on_gpu.tbt_s
+        assert ttft_penalty > 10 * tbt_penalty

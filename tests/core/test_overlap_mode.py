@@ -1,0 +1,62 @@
+"""Tests for the overlap on/off counterfactual in the timing executor."""
+
+import pytest
+
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.policy import HOST_GPU_POLICY
+from repro.core.timing import TimingExecutor
+from repro.memory.hierarchy import host_config
+from repro.models.config import opt_config
+
+
+def run(overlap: bool, model="opt-1.3b", gen_len=3):
+    config = opt_config(model)
+    placement = AllCpuPlacement().place_model(config, HOST_GPU_POLICY)
+    executor = TimingExecutor(
+        host=host_config("NVDRAM"),
+        placement=placement,
+        policy=HOST_GPU_POLICY,
+        batch_size=1,
+        prompt_len=16,
+        gen_len=gen_len,
+        overlap=overlap,
+    )
+    return executor, executor.run()
+
+
+class TestOverlapMode:
+    def test_serial_is_slower(self):
+        _, fast = run(overlap=True)
+        _, slow = run(overlap=False)
+        assert slow.tbt_s > fast.tbt_s
+        assert slow.ttft_s > fast.ttft_s
+
+    def test_serial_equals_sum_of_load_and_compute(self):
+        """Without overlap, a steady decode token costs exactly
+        sum(load + compute) per layer (plus the logits write-back)."""
+        executor, metrics = run(overlap=False, gen_len=4)
+        layers = executor.placement.layers
+        from repro.core.metrics import Stage
+
+        context = executor.prompt_len + 2
+        expected = sum(
+            executor.layer_transfer_time(layer.index)
+            + executor.layer_compute_time(layer, Stage.DECODE, context)
+            for layer in layers
+        )
+        expected += executor._logits_writeback_time()
+        gap = metrics.token_times[2] - metrics.token_times[1]
+        assert gap == pytest.approx(expected, rel=0.02)
+
+    def test_overlap_never_exceeds_serial_bound(self):
+        """max(load, compute) <= load + compute, layer by layer."""
+        _, fast = run(overlap=True, gen_len=4)
+        _, slow = run(overlap=False, gen_len=4)
+        assert fast.total_s <= slow.total_s
+
+    def test_same_transfer_and_compute_records(self):
+        """Disabling overlap changes scheduling, not the work."""
+        _, fast = run(overlap=True)
+        _, slow = run(overlap=False)
+        assert fast.avg_transfer_s() == pytest.approx(slow.avg_transfer_s())
+        assert fast.avg_compute_s() == pytest.approx(slow.avg_compute_s())

@@ -1,0 +1,258 @@
+"""Tests for the placement algorithms — the paper's central machinery."""
+
+import pytest
+
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.placement.auto import AutoBalancedPlacement
+from repro.core.placement.base import (
+    PlacementResult,
+    get_choice,
+    spill_to_fit,
+)
+from repro.core.placement.baseline import BaselinePlacement
+from repro.core.placement.helm import HelmPlacement
+from repro.core.placement.registry import PLACEMENT_NAMES, placement_algorithm
+from repro.core.policy import DISK_POLICY, HOST_GPU_POLICY
+from repro.devices.device import DeviceKind
+from repro.errors import ConfigurationError, PlacementError
+from repro.models.config import opt_config
+from repro.models.weights import LayerKind
+
+
+@pytest.fixture
+def cfg():
+    return opt_config("opt-175b")
+
+
+class TestGetChoice:
+    """Listing 2's ladder function."""
+
+    def test_bands(self):
+        choices = [DeviceKind.DISK, DeviceKind.CPU, DeviceKind.GPU]
+        percents = [65, 15, 20]
+        assert get_choice(0, percents, choices) is DeviceKind.DISK
+        assert get_choice(64.9, percents, choices) is DeviceKind.DISK
+        assert get_choice(65, percents, choices) is DeviceKind.CPU
+        assert get_choice(79.9, percents, choices) is DeviceKind.CPU
+        assert get_choice(80, percents, choices) is DeviceKind.GPU
+
+    def test_overflow_falls_to_last(self):
+        choices = [DeviceKind.CPU, DeviceKind.GPU]
+        assert get_choice(150, [50, 50], choices) is DeviceKind.GPU
+
+    def test_zero_band_skipped(self):
+        choices = [DeviceKind.DISK, DeviceKind.CPU, DeviceKind.GPU]
+        assert get_choice(0, [0, 80, 20], choices) is DeviceKind.CPU
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            get_choice(0, [100], [])
+
+
+class TestBaseline:
+    """Listing 2 reproduces the paper's Section V-A findings."""
+
+    def test_achieved_split_is_0_917_83(self, cfg):
+        """Input (0, 80, 20) -> achieved (0, 91.7, 8.3)."""
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        disk, cpu, gpu = placement.achieved_percentages()
+        assert disk == pytest.approx(0.0, abs=0.01)
+        assert cpu == pytest.approx(91.7, abs=0.2)
+        assert gpu == pytest.approx(8.3, abs=0.2)
+
+    def test_achieved_split_disk_policy(self, cfg):
+        """Input (65, 15, 20) -> achieved (58.6, 33.1, 8.3)."""
+        placement = BaselinePlacement().place_model(cfg, DISK_POLICY)
+        disk, cpu, gpu = placement.achieved_percentages()
+        assert disk == pytest.approx(58.6, abs=0.5)
+        assert cpu == pytest.approx(33.1, abs=0.5)
+        assert gpu == pytest.approx(8.3, abs=0.2)
+
+    def test_ffn_gets_no_gpu(self, cfg):
+        """The paper's key finding: the larger FFN layer gets no GPU
+        allocation while the smaller MHA layer does (Fig. 7b/7c)."""
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        ffn = placement.kind_distribution(LayerKind.FFN)
+        mha = placement.kind_distribution(LayerKind.MHA)
+        assert ffn[DeviceKind.GPU] < 0.001  # only bias/norm crumbs
+        assert mha[DeviceKind.GPU] == pytest.approx(0.25, abs=0.01)
+
+    def test_fourth_projection_matrix_on_gpu(self, cfg):
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        mha = next(
+            layer for layer in placement.layers
+            if layer.kind is LayerKind.MHA
+        )
+        assert placement.tier_of(mha.index, "w_out") is DeviceKind.GPU
+        for name in ("w_q", "w_k", "w_v"):
+            assert placement.tier_of(mha.index, name) is DeviceKind.CPU
+
+    def test_disk_policy_splits_ffn_between_disk_and_cpu(self, cfg):
+        placement = BaselinePlacement().place_model(cfg, DISK_POLICY)
+        ffn = next(
+            layer for layer in placement.layers
+            if layer.kind is LayerKind.FFN
+        )
+        assert placement.tier_of(ffn.index, "w_fc1") is DeviceKind.DISK
+        assert placement.tier_of(ffn.index, "w_fc2") is DeviceKind.CPU
+
+
+class TestHelm:
+    """Listing 3 reproduces Section V-B / Fig. 10."""
+
+    def test_ffn_half_on_gpu(self, cfg):
+        placement = HelmPlacement().place_model(cfg, HOST_GPU_POLICY)
+        ffn = placement.kind_distribution(LayerKind.FFN)
+        assert ffn[DeviceKind.GPU] == pytest.approx(0.50, abs=0.01)
+
+    def test_first_fc_matrix_chosen(self, cfg):
+        """The stable ascending sort puts w_fc1 (not w_fc2) on the GPU."""
+        placement = HelmPlacement().place_model(cfg, HOST_GPU_POLICY)
+        for layer in placement.layers:
+            if layer.kind is LayerKind.FFN:
+                assert placement.tier_of(layer.index, "w_fc1") is (
+                    DeviceKind.GPU
+                )
+                assert placement.tier_of(layer.index, "w_fc2") is (
+                    DeviceKind.CPU
+                )
+
+    def test_mha_matrices_all_stream(self, cfg):
+        placement = HelmPlacement().place_model(cfg, HOST_GPU_POLICY)
+        for layer in placement.layers:
+            if layer.kind is LayerKind.MHA:
+                for name in ("w_q", "w_k", "w_v", "w_out"):
+                    assert placement.tier_of(layer.index, name) is (
+                        DeviceKind.CPU
+                    )
+
+    def test_mha_vectors_on_gpu(self, cfg):
+        placement = HelmPlacement().place_model(cfg, HOST_GPU_POLICY)
+        mha = next(
+            layer for layer in placement.layers
+            if layer.kind is LayerKind.MHA
+        )
+        for name in ("b_q", "ln_w", "ln_b"):
+            assert placement.tier_of(mha.index, name) is DeviceKind.GPU
+
+    def test_overall_gpu_share_near_one_third(self, cfg):
+        """Section V-C: 'even with HeLM, only 33% of the total weights
+        are held in the GPU memory'."""
+        placement = HelmPlacement().place_model(cfg, HOST_GPU_POLICY)
+        _, _, gpu = placement.achieved_percentages()
+        assert gpu == pytest.approx(33.0, abs=1.5)
+
+
+class TestAllCpu:
+    def test_everything_on_cpu(self, cfg):
+        placement = AllCpuPlacement().place_model(cfg, HOST_GPU_POLICY)
+        disk, cpu, gpu = placement.achieved_percentages()
+        assert gpu == 0.0
+        assert disk == 0.0
+        assert cpu == pytest.approx(100.0)
+
+
+class TestAutoBalanced:
+    def test_solve_balances_streamed_remainder(self, cfg):
+        auto = AutoBalancedPlacement.solve(
+            cfg,
+            host_bandwidth=19e9,
+            mha_compute_s=0.011,
+            ffn_compute_s=0.021,
+            onwire_ratio=0.28125,
+            gpu_weight_budget=10**12,
+        )
+        # FFN remainder should transfer in ~mha_compute: share near
+        # 1 - 0.011*19e9/(2.42e9*0.28125) ~= 0.69.
+        assert 0 <= auto.ffn_gpu_percent <= 100
+        assert auto.ffn_gpu_percent > auto.mha_gpu_percent
+
+    def test_solve_scales_to_budget(self, cfg):
+        unbounded = AutoBalancedPlacement.solve(
+            cfg, host_bandwidth=10e9, mha_compute_s=0.01,
+            ffn_compute_s=0.02, onwire_ratio=1.0,
+            gpu_weight_budget=10**13,
+        )
+        bounded = AutoBalancedPlacement.solve(
+            cfg, host_bandwidth=10e9, mha_compute_s=0.01,
+            ffn_compute_s=0.02, onwire_ratio=1.0,
+            gpu_weight_budget=10**10,
+        )
+        assert bounded.ffn_gpu_percent < unbounded.ffn_gpu_percent
+
+    def test_zero_budget_means_all_host(self, cfg):
+        auto = AutoBalancedPlacement.solve(
+            cfg, host_bandwidth=10e9, mha_compute_s=0.01,
+            ffn_compute_s=0.02, onwire_ratio=1.0, gpu_weight_budget=0,
+        )
+        assert auto.mha_gpu_percent == 0.0
+        assert auto.ffn_gpu_percent == 0.0
+
+    def test_validation(self, cfg):
+        with pytest.raises(PlacementError):
+            AutoBalancedPlacement(mha_gpu_percent=-1, ffn_gpu_percent=10)
+        with pytest.raises(PlacementError):
+            AutoBalancedPlacement.solve(
+                cfg, host_bandwidth=0, mha_compute_s=1, ffn_compute_s=1,
+                onwire_ratio=1, gpu_weight_budget=1,
+            )
+
+
+class TestPlacementResult:
+    def test_tier_totals_sum_to_model(self, cfg):
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        total = sum(
+            placement.tier_total_bytes(tier) for tier in DeviceKind
+        )
+        assert total == placement.total_bytes
+
+    def test_streamed_bytes_excludes_gpu(self, cfg):
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        mha = next(
+            layer for layer in placement.layers
+            if layer.kind is LayerKind.MHA
+        )
+        streamed = placement.layer_streamed_bytes(mha.index)
+        gpu = placement.layer_tier_bytes(mha.index, DeviceKind.GPU)
+        assert streamed + gpu == mha.total_bytes
+
+    def test_unknown_assignment_raises(self, cfg):
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        with pytest.raises(PlacementError):
+            placement.tier_of(0, "nonexistent")
+
+    def test_demote_group(self, cfg):
+        placement = BaselinePlacement().place_model(cfg, HOST_GPU_POLICY)
+        before = placement.tier_total_bytes(DeviceKind.GPU)
+        demoted = placement.demote_group(LayerKind.MHA, "w_out")
+        assert demoted > 0
+        assert placement.tier_total_bytes(DeviceKind.GPU) == before - demoted
+
+    def test_spill_to_fit_demotes_largest_first(self, cfg):
+        placement = HelmPlacement().place_model(cfg, HOST_GPU_POLICY)
+        gpu_before = placement.tier_total_bytes(DeviceKind.GPU)
+        log = spill_to_fit(placement, gpu_before // 2)
+        assert log  # something was demoted
+        assert "ffn/w_fc1" in log[0]  # the largest class goes first
+        assert placement.tier_total_bytes(DeviceKind.GPU) <= gpu_before // 2
+
+    def test_spill_to_fit_noop_when_fitting(self, cfg):
+        placement = AllCpuPlacement().place_model(cfg, HOST_GPU_POLICY)
+        assert spill_to_fit(placement, 0) == []
+
+    def test_spill_impossible_budget_raises(self, cfg):
+        placement = AllCpuPlacement().place_model(cfg, HOST_GPU_POLICY)
+        with pytest.raises(PlacementError):
+            spill_to_fit(placement, -1)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(PLACEMENT_NAMES) == {"allcpu", "baseline", "helm"}
+
+    def test_lookup(self):
+        assert isinstance(placement_algorithm("HELM"), HelmPlacement)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            placement_algorithm("magic")

@@ -1,0 +1,105 @@
+"""Property-based fuzzing of the placement machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.placement.auto import AutoBalancedPlacement
+from repro.core.placement.baseline import BaselinePlacement
+from repro.core.placement.helm import HelmPlacement
+from repro.core.policy import Policy
+from repro.devices.device import DeviceKind
+from repro.models.config import opt_config
+
+
+def policy_strategy():
+    """Random valid weight-percentage policies."""
+
+    @st.composite
+    def build(draw):
+        gpu = draw(st.integers(min_value=0, max_value=100))
+        cpu = draw(st.integers(min_value=0, max_value=100 - gpu))
+        disk = 100 - gpu - cpu
+        return Policy(
+            gpu_percent=float(gpu),
+            cpu_percent=float(cpu),
+            disk_percent=float(disk),
+        )
+
+    return build()
+
+
+ALGORITHMS = [
+    BaselinePlacement(),
+    HelmPlacement(),
+    AllCpuPlacement(),
+    AutoBalancedPlacement(mha_gpu_percent=15, ffn_gpu_percent=45),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(policy=policy_strategy(), algo_index=st.integers(0, 3))
+def test_every_weight_assigned_exactly_once(policy, algo_index):
+    config = opt_config("opt-mini")
+    placement = ALGORITHMS[algo_index].place_model(config, policy)
+    for layer in placement.layers:
+        for spec in layer.weights:
+            tier = placement.tier_of(layer.index, spec.name)
+            assert tier in DeviceKind
+
+
+@settings(max_examples=40, deadline=None)
+@given(policy=policy_strategy(), algo_index=st.integers(0, 3))
+def test_tier_bytes_conserve_model_size(policy, algo_index):
+    config = opt_config("opt-mini")
+    placement = ALGORITHMS[algo_index].place_model(config, policy)
+    total = sum(placement.tier_total_bytes(tier) for tier in DeviceKind)
+    assert total == placement.total_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(policy=policy_strategy())
+def test_achieved_percentages_sum_to_100(policy):
+    config = opt_config("opt-125m")
+    placement = BaselinePlacement().place_model(config, policy)
+    disk, cpu, gpu = placement.achieved_percentages()
+    assert disk + cpu + gpu == pytest.approx(100.0)
+    assert min(disk, cpu, gpu) >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(policy=policy_strategy())
+def test_baseline_gpu_share_moves_with_target(policy):
+    """More GPU budget in the policy never yields *less* GPU bytes."""
+    config = opt_config("opt-125m")
+    baseline = BaselinePlacement()
+    placement = baseline.place_model(config, policy)
+    if policy.gpu_percent > 95:
+        # A (0, 0, 100)-ish policy must put essentially everything on
+        # the GPU.
+        _, _, gpu = placement.achieved_percentages()
+        assert gpu > 90
+    if policy.gpu_percent == 0 and policy.disk_percent == 0:
+        _, cpu, gpu = placement.achieved_percentages()
+        assert gpu == 0.0
+        assert cpu == pytest.approx(100.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mha=st.floats(min_value=0, max_value=100),
+    ffn=st.floats(min_value=0, max_value=100),
+)
+def test_auto_placement_share_monotone(mha, ffn):
+    """Requesting a larger per-kind share never reduces GPU bytes."""
+    config = opt_config("opt-mini")
+    policy = Policy(gpu_percent=0, cpu_percent=100, disk_percent=0)
+    small = AutoBalancedPlacement(
+        mha_gpu_percent=mha / 2, ffn_gpu_percent=ffn / 2
+    ).place_model(config, policy)
+    large = AutoBalancedPlacement(
+        mha_gpu_percent=mha, ffn_gpu_percent=ffn
+    ).place_model(config, policy)
+    assert large.tier_total_bytes(DeviceKind.GPU) >= small.tier_total_bytes(
+        DeviceKind.GPU
+    )

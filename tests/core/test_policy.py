@@ -1,0 +1,71 @@
+"""Tests for FlexGen policies."""
+
+import pytest
+
+from repro.core.policy import (
+    DISK_POLICY,
+    HOST_GPU_POLICY,
+    OPT30B_POLICY,
+    Policy,
+    default_policy,
+)
+from repro.devices.device import DeviceKind
+from repro.errors import ConfigurationError
+from repro.quant.spec import FP16, INT4_GROUPWISE
+
+
+class TestPolicy:
+    def test_percentages_must_sum_to_100(self):
+        with pytest.raises(ConfigurationError):
+            Policy(gpu_percent=50, cpu_percent=30, disk_percent=30)
+
+    def test_percentages_must_be_in_range(self):
+        with pytest.raises(ConfigurationError):
+            Policy(gpu_percent=-10, cpu_percent=110, disk_percent=0)
+
+    def test_kv_percent_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            Policy(
+                gpu_percent=0, cpu_percent=100, disk_percent=0,
+                kv_gpu_percent=150,
+            )
+
+    def test_cpu_attention_needs_host_resident_cache(self):
+        with pytest.raises(ConfigurationError):
+            Policy(
+                gpu_percent=0, cpu_percent=100, disk_percent=0,
+                cpu_attention=True,
+            )
+
+    def test_gpu_batches_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Policy(
+                gpu_percent=0, cpu_percent=100, disk_percent=0,
+                num_gpu_batches=0,
+            )
+
+    def test_compression_spec_selection(self):
+        assert HOST_GPU_POLICY.compression is FP16
+        assert HOST_GPU_POLICY.with_compression(True).compression is (
+            INT4_GROUPWISE
+        )
+
+    def test_with_compression_preserves_fields(self):
+        compressed = DISK_POLICY.with_compression(True)
+        assert compressed.disk_percent == DISK_POLICY.disk_percent
+        assert compressed.compress_weights
+        assert DISK_POLICY.with_compression(False) == DISK_POLICY
+
+    def test_paper_policies(self):
+        """Section V-A's input distributions."""
+        assert (DISK_POLICY.disk_percent, DISK_POLICY.cpu_percent,
+                DISK_POLICY.gpu_percent) == (65, 15, 20)
+        assert (HOST_GPU_POLICY.disk_percent, HOST_GPU_POLICY.cpu_percent,
+                HOST_GPU_POLICY.gpu_percent) == (0, 80, 20)
+
+    def test_default_policy_routing(self):
+        assert default_policy("opt-30b", "DRAM") is OPT30B_POLICY
+        assert default_policy("opt-175b", "SSD") is DISK_POLICY
+        assert default_policy("opt-175b", "FSDAX") is DISK_POLICY
+        assert default_policy("opt-175b", "NVDRAM") is HOST_GPU_POLICY
+        assert default_policy("opt-175b", "CXL-ASIC") is HOST_GPU_POLICY

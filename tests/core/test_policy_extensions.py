@@ -1,0 +1,127 @@
+"""Tests for the extended FlexGen policy surface: KV placement/
+quantization, CPU attention, and zig-zag micro-batching."""
+
+import pytest
+
+from repro.core.batching import host_memory_bytes, max_batch_size
+from repro.core.engine import OffloadEngine
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.policy import HOST_GPU_POLICY
+from repro.models.config import opt_config
+from repro.quant.spec import INT4_GROUPWISE
+
+
+def engine_with(policy, batch=1, model="opt-175b", host="NVDRAM"):
+    return OffloadEngine(
+        model=model, host=host, placement="allcpu",
+        policy=policy, batch_size=batch, prompt_len=128, gen_len=3,
+    )
+
+
+@pytest.fixture
+def base():
+    return HOST_GPU_POLICY.with_compression(True)
+
+
+class TestKvPlacement:
+    def test_offloading_kv_raises_max_batch(self, base):
+        on_gpu = engine_with(base).max_batch_size()
+        half = engine_with(base.with_kv(gpu_percent=50)).max_batch_size()
+        assert half > 1.5 * on_gpu
+
+    def test_offloading_kv_costs_decode_latency(self, base):
+        on_gpu = engine_with(base, batch=8).run_timing()
+        offloaded = engine_with(
+            base.with_kv(gpu_percent=0), batch=8
+        ).run_timing()
+        assert offloaded.tbt_s > on_gpu.tbt_s
+
+    def test_kv_quantization_shrinks_footprint(self, base):
+        from repro.devices.device import DeviceKind
+
+        placement = AllCpuPlacement().place_model(
+            opt_config("opt-175b"), base
+        )
+        fp16 = host_memory_bytes(
+            placement, base.with_kv(gpu_percent=0), 8, 128, 21
+        )
+        quant = host_memory_bytes(
+            placement, base.with_kv(gpu_percent=0, compress=True),
+            8, 128, 21,
+        )
+        weights = int(
+            placement.tier_total_bytes(DeviceKind.CPU)
+            * INT4_GROUPWISE.ratio
+        )
+        kv_fp16 = fp16 - weights
+        kv_quant = quant - weights
+        assert kv_quant == pytest.approx(
+            kv_fp16 * INT4_GROUPWISE.ratio, rel=0.02
+        )
+
+    def test_kv_quantization_raises_max_batch(self, base):
+        plain = engine_with(base).max_batch_size()
+        quant = engine_with(base.with_kv(compress=True)).max_batch_size()
+        assert quant >= 3 * plain
+
+    def test_host_capacity_bounds_offloaded_batches(self, base):
+        """With the KV cache in host memory, host capacity (not GPU)
+        eventually binds."""
+        policy = base.with_kv(gpu_percent=0)
+        placement = AllCpuPlacement().place_model(
+            opt_config("opt-175b"), policy
+        )
+        unbounded = max_batch_size(placement, policy, 128, 21, limit=3000)
+        bounded = max_batch_size(
+            placement, policy, 128, 21, limit=3000,
+            host_capacity_bytes=200 * 10**9,
+        )
+        assert bounded < unbounded
+
+
+class TestCpuAttention:
+    def test_cpu_attention_avoids_kv_streaming(self, base):
+        offload = base.with_kv(gpu_percent=0)
+        with_cpu = base.with_kv(gpu_percent=0, cpu_attention=True)
+        stream = engine_with(offload, batch=32).run_timing()
+        delegated = engine_with(with_cpu, batch=32).run_timing()
+        # On a DRAM host the CPU reads the cache faster than PCIe can
+        # stream it.
+        stream_dram = engine_with(
+            offload, batch=32, host="DRAM"
+        ).run_timing()
+        delegated_dram = engine_with(
+            with_cpu, batch=32, host="DRAM"
+        ).run_timing()
+        assert delegated_dram.tbt_s < stream_dram.tbt_s
+        # On Optane it lands near parity (host reads at Optane speed).
+        assert delegated.tbt_s == pytest.approx(stream.tbt_s, rel=0.25)
+
+
+class TestGpuBatches:
+    def test_effective_batch_in_metrics(self, base):
+        metrics = engine_with(
+            base.with_gpu_batches(4), batch=2
+        ).run_timing()
+        assert metrics.num_gpu_batches == 4
+        assert metrics.effective_batch_size == 8
+
+    def test_blocking_raises_throughput_at_fixed_micro_batch(self, base):
+        one = engine_with(base, batch=8).run_timing()
+        four = engine_with(base.with_gpu_batches(4), batch=8).run_timing()
+        assert four.throughput_tps > 2 * one.throughput_tps
+
+    def test_blocking_counts_against_kv_budget(self, base):
+        single = engine_with(base).max_batch_size()
+        blocked_engine = engine_with(base.with_gpu_batches(4))
+        assert blocked_engine.max_batch_size() <= single // 3
+
+    def test_dequant_amortized_once_per_layer_pass(self, base):
+        """Compute grows sublinearly with blocks under compression:
+        kernels repeat per micro-batch but dequantization does not."""
+        one = engine_with(base, batch=8).run_timing()
+        two = engine_with(base.with_gpu_batches(2), batch=8).run_timing()
+        single_compute = one.avg_compute_s()
+        double_compute = two.avg_compute_s()
+        assert double_compute < 2 * single_compute
+        assert double_compute > 1.2 * single_compute

@@ -1,0 +1,81 @@
+"""Tests for the open-loop queueing layer."""
+
+import pytest
+
+from repro.core.queueing import simulate_queue
+from repro.errors import ConfigurationError
+
+
+class TestSimulateQueue:
+    def test_light_load_latency_near_service_time(self):
+        result = simulate_queue(
+            service_time_s=1.0, batch_size=4, arrival_rate_rps=0.1,
+            num_requests=500,
+        )
+        # Almost every request rides alone in an idle server.
+        assert result.mean_wait_s < 0.2
+        assert result.mean_latency_s == pytest.approx(1.0, abs=0.25)
+        assert not result.saturated
+        assert result.utilization < 0.2
+
+    def test_overload_saturates(self):
+        # Capacity = 4 requests/s; offer 8/s.
+        result = simulate_queue(
+            service_time_s=1.0, batch_size=4, arrival_rate_rps=8.0,
+            num_requests=2000,
+        )
+        assert result.saturated
+        assert result.utilization > 0.95
+        assert result.p95_latency_s > 10 * result.service_time_s
+
+    def test_below_capacity_stable(self):
+        # Capacity = 4/s; offer 2/s.
+        result = simulate_queue(
+            service_time_s=1.0, batch_size=4, arrival_rate_rps=2.0,
+            num_requests=4000,
+        )
+        assert not result.saturated
+        assert result.p95_latency_s < 6 * result.service_time_s
+
+    def test_batching_absorbs_load(self):
+        """At the same arrival rate, a larger batch cuts waiting — the
+        queueing restatement of the All-CPU result."""
+        small = simulate_queue(
+            service_time_s=10.0, batch_size=8, arrival_rate_rps=0.9,
+            num_requests=2000,
+        )
+        large = simulate_queue(
+            service_time_s=13.0, batch_size=46, arrival_rate_rps=0.9,
+            num_requests=2000,
+        )
+        assert small.saturated          # 0.9 rps > 8/10 s capacity
+        assert not large.saturated      # 46/13 s = 3.5 rps capacity
+        assert large.p95_latency_s < small.p95_latency_s
+
+    def test_deterministic_with_seed(self):
+        a = simulate_queue(1.0, 4, 1.0, num_requests=200, seed=3)
+        b = simulate_queue(1.0, 4, 1.0, num_requests=200, seed=3)
+        assert a == b
+
+    def test_completed_counts_all_requests(self):
+        result = simulate_queue(1.0, 4, 1.0, num_requests=333)
+        assert result.completed == 333
+
+    def test_percentiles_ordered(self):
+        result = simulate_queue(1.0, 2, 1.5, num_requests=1000)
+        assert result.p50_latency_s <= result.p95_latency_s
+        assert result.mean_latency_s >= result.service_time_s
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_queue(0.0, 4, 1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_queue(1.0, 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_queue(1.0, 4, -1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_queue(1.0, 4, 1.0, num_requests=0)
+
+    def test_summary_keys(self):
+        result = simulate_queue(1.0, 4, 1.0, num_requests=100)
+        assert "p95_latency_s" in result.summary()

@@ -1,0 +1,158 @@
+"""Tests for the zig-zag schedule and metrics containers."""
+
+import pytest
+
+from repro.core.metrics import (
+    GenerationMetrics,
+    LayerTimingRecord,
+    Stage,
+    mean_excluding_first,
+    percent_change,
+    ratio,
+)
+from repro.core.scheduler import ScheduleStep, schedule_length, zigzag_schedule
+from repro.errors import ConfigurationError
+from repro.models.weights import LayerKind
+
+
+class TestSchedule:
+    def test_listing1_order(self):
+        steps = list(zigzag_schedule(num_layers=3, gen_len=2))
+        assert [(s.token_index, s.layer_index) for s in steps] == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_prefetch_is_next_layer(self):
+        steps = list(zigzag_schedule(3, 2))
+        assert steps[0].prefetch == (0, 1)
+        assert steps[1].prefetch == (0, 2)
+
+    def test_prefetch_wraps_to_next_token(self):
+        steps = list(zigzag_schedule(3, 2))
+        assert steps[2].prefetch == (1, 0)
+
+    def test_last_step_has_no_prefetch(self):
+        steps = list(zigzag_schedule(3, 2))
+        assert steps[-1].prefetch is None
+
+    def test_length(self):
+        assert schedule_length(194, 21) == 194 * 21
+        assert len(list(zigzag_schedule(194, 21))) == 194 * 21
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(zigzag_schedule(0, 1))
+        with pytest.raises(ConfigurationError):
+            schedule_length(1, 0)
+
+
+def make_metrics(token_times, records=()):
+    return GenerationMetrics(
+        model_name="opt-tiny",
+        host_label="DRAM",
+        placement_name="baseline",
+        batch_size=4,
+        prompt_len=8,
+        gen_len=len(token_times),
+        token_times=list(token_times),
+        records=list(records),
+        total_s=token_times[-1],
+    )
+
+
+class TestMetrics:
+    def test_ttft_is_first_token(self):
+        metrics = make_metrics([2.0, 3.0, 4.0])
+        assert metrics.ttft_s == 2.0
+
+    def test_tbt_discards_first_gap(self):
+        # gaps: 2.0 (cold), then 1.0, 1.0
+        metrics = make_metrics([1.0, 3.0, 4.0, 5.0])
+        assert metrics.tbt_s == pytest.approx(1.0)
+
+    def test_tbt_single_gap_used_as_is(self):
+        metrics = make_metrics([1.0, 2.5])
+        assert metrics.tbt_s == pytest.approx(1.5)
+
+    def test_tbt_zero_for_single_token(self):
+        metrics = make_metrics([1.0])
+        assert metrics.tbt_s == 0.0
+
+    def test_throughput(self):
+        metrics = make_metrics([1.0, 2.0])  # batch 4, 2 tokens, 2 s
+        assert metrics.throughput_tps == pytest.approx(4.0)
+
+    def test_token_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            GenerationMetrics(
+                model_name="m", host_label="h", placement_name="p",
+                batch_size=1, prompt_len=1, gen_len=3,
+                token_times=[1.0], records=[], total_s=1.0,
+            )
+
+    def test_stage_and_kind_selection(self):
+        records = [
+            LayerTimingRecord(0, 1, LayerKind.MHA, Stage.PREFILL,
+                              transfer_s=0.2, compute_s=0.1),
+            LayerTimingRecord(0, 2, LayerKind.FFN, Stage.PREFILL,
+                              transfer_s=0.4, compute_s=0.3),
+            LayerTimingRecord(1, 1, LayerKind.MHA, Stage.DECODE,
+                              transfer_s=0.6, compute_s=0.5),
+            LayerTimingRecord(1, 0, LayerKind.EMBED, Stage.DECODE,
+                              transfer_s=9.9, compute_s=9.9),
+        ]
+        metrics = make_metrics([1.0, 2.0], records)
+        assert metrics.avg_transfer_s(Stage.PREFILL) == pytest.approx(0.3)
+        assert metrics.avg_transfer_s(
+            Stage.PREFILL, LayerKind.FFN
+        ) == pytest.approx(0.4)
+        assert metrics.avg_compute_s(Stage.DECODE) == pytest.approx(0.5)
+        # hidden_only (default) excludes the EMBED record
+        assert metrics.avg_transfer_s(Stage.DECODE) == pytest.approx(0.6)
+        assert metrics.avg_transfer_s(
+            Stage.DECODE, hidden_only=False
+        ) == pytest.approx((0.6 + 9.9) / 2)
+
+    def test_empty_selection_returns_zero(self):
+        metrics = make_metrics([1.0])
+        assert metrics.avg_transfer_s(Stage.DECODE) == 0.0
+
+    def test_per_layer_transfer(self):
+        records = [
+            LayerTimingRecord(0, 0, LayerKind.EMBED, Stage.PREFILL,
+                              transfer_s=0.1),
+            LayerTimingRecord(0, 1, LayerKind.MHA, Stage.PREFILL,
+                              transfer_s=0.2),
+        ]
+        metrics = make_metrics([1.0], records)
+        loads = metrics.per_layer_transfer(0)
+        assert loads == [
+            (0, LayerKind.EMBED, 0.1), (1, LayerKind.MHA, 0.2)
+        ]
+
+    def test_summary_keys(self):
+        metrics = make_metrics([1.0, 2.0])
+        assert set(metrics.summary()) == {
+            "ttft_s", "tbt_s", "throughput_tps", "total_s"
+        }
+
+
+class TestHelpers:
+    def test_percent_change_is_improvement_positive(self):
+        assert percent_change(new=0.75, old=1.0) == pytest.approx(25.0)
+        assert percent_change(new=1.25, old=1.0) == pytest.approx(-25.0)
+
+    def test_percent_change_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            percent_change(1.0, 0.0)
+
+    def test_ratio(self):
+        assert ratio(1.0, 2.0) == 0.5
+        with pytest.raises(ConfigurationError):
+            ratio(1.0, 0.0)
+
+    def test_mean_excluding_first(self):
+        assert mean_excluding_first([10.0, 2.0, 4.0]) == pytest.approx(3.0)
+        assert mean_excluding_first([7.0]) == 7.0
+        with pytest.raises(ConfigurationError):
+            mean_excluding_first([])

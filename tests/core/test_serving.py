@@ -1,0 +1,77 @@
+"""Tests for serving sessions (the paper's repeat-and-discard
+methodology)."""
+
+import pytest
+
+from repro.core.engine import OffloadEngine
+from repro.core.serving import ServingReport, serve, startup_time
+from repro.errors import ConfigurationError
+
+
+def make_engine(host="NVDRAM", placement="baseline"):
+    return OffloadEngine(
+        model="opt-175b", host=host, placement=placement,
+        compress_weights=True, batch_size=1, prompt_len=128, gen_len=3,
+    )
+
+
+class TestStartup:
+    def test_gpu_resident_weights_cost_startup(self):
+        baseline = make_engine(placement="baseline")
+        allcpu = make_engine(placement="allcpu")
+        assert startup_time(baseline) > startup_time(allcpu)
+
+    def test_allcpu_startup_near_zero_without_disk(self):
+        assert startup_time(make_engine(placement="allcpu")) == 0.0
+
+    def test_storage_tier_adds_host_staging(self):
+        ssd = OffloadEngine(
+            model="opt-175b", host="SSD", placement="baseline",
+            batch_size=1, prompt_len=128, gen_len=3,
+        )
+        nvdram = OffloadEngine(
+            model="opt-175b", host="NVDRAM", placement="baseline",
+            batch_size=1, prompt_len=128, gen_len=3,
+        )
+        assert startup_time(ssd) > startup_time(nvdram)
+
+
+class TestServe:
+    def test_report_shape(self):
+        report = serve(make_engine(), repeats=3)
+        assert isinstance(report, ServingReport)
+        assert report.repeats == 3
+        assert len(report.runs) == 3
+
+    def test_first_run_cold_start_discarded(self):
+        """Aggregate TTFT equals the steady-state TTFT, not the cold
+        one, per Section III-C."""
+        engine = make_engine()
+        report = serve(engine, repeats=3)
+        steady = report.runs[1].ttft_s
+        assert report.ttft_s == pytest.approx(steady)
+        assert report.startup_s > 0
+
+    def test_single_repeat_keeps_cold_value(self):
+        engine = make_engine()
+        report = serve(engine, repeats=1)
+        assert report.ttft_s == pytest.approx(
+            report.runs[0].ttft_s + report.startup_s
+        )
+
+    def test_total_includes_startup(self):
+        report = serve(make_engine(), repeats=2)
+        assert report.total_s == pytest.approx(
+            report.startup_s + sum(run.total_s for run in report.runs)
+        )
+
+    def test_summary_keys(self):
+        report = serve(make_engine(), repeats=2)
+        assert set(report.summary()) == {
+            "repeats", "startup_s", "ttft_s", "tbt_s",
+            "throughput_tps", "total_s",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            serve(make_engine(), repeats=0)

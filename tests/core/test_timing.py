@@ -1,0 +1,180 @@
+"""Tests for the discrete-event timing executor."""
+
+import pytest
+
+from repro.core.metrics import Stage
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.placement.baseline import BaselinePlacement
+from repro.core.policy import HOST_GPU_POLICY, Policy
+from repro.core.timing import TimingExecutor
+from repro.devices.device import DeviceKind
+from repro.errors import ConfigurationError
+from repro.memory.hierarchy import host_config
+from repro.models.config import opt_config
+from repro.models.weights import LayerKind
+
+
+def run_timing(
+    model="opt-mini",
+    host="DRAM",
+    placement_cls=AllCpuPlacement,
+    policy=HOST_GPU_POLICY,
+    batch_size=2,
+    prompt_len=16,
+    gen_len=4,
+):
+    config = opt_config(model)
+    host_cfg = host_config(host)
+    placement = placement_cls().place_model(config, policy)
+    executor = TimingExecutor(
+        host=host_cfg,
+        placement=placement,
+        policy=policy,
+        batch_size=batch_size,
+        prompt_len=prompt_len,
+        gen_len=gen_len,
+    )
+    return executor, executor.run()
+
+
+class TestBasicInvariants:
+    def test_one_record_per_token_layer(self):
+        _, metrics = run_timing()
+        config = opt_config("opt-mini")
+        assert len(metrics.records) == config.num_layers * 4
+
+    def test_token_times_monotone(self):
+        _, metrics = run_timing()
+        times = metrics.token_times
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_total_at_least_last_token(self):
+        _, metrics = run_timing()
+        assert metrics.total_s >= metrics.token_times[-1] - 1e-12
+
+    def test_stage_labels(self):
+        _, metrics = run_timing()
+        for record in metrics.records:
+            expected = Stage.PREFILL if record.token_index == 0 else (
+                Stage.DECODE
+            )
+            assert record.stage is expected
+
+    def test_records_have_wall_clock_spans(self):
+        _, metrics = run_timing()
+        for record in metrics.records:
+            assert record.end_s >= record.start_s >= 0.0
+
+    def test_deterministic(self):
+        _, a = run_timing()
+        _, b = run_timing()
+        assert a.token_times == b.token_times
+
+    def test_validation(self):
+        config = opt_config("opt-mini")
+        placement = AllCpuPlacement().place_model(config, HOST_GPU_POLICY)
+        with pytest.raises(ConfigurationError):
+            TimingExecutor(
+                host=host_config("DRAM"),
+                placement=placement,
+                policy=HOST_GPU_POLICY,
+                batch_size=0,
+            )
+
+
+class TestCostStructure:
+    def test_tbt_equals_sum_of_stepwise_maxima(self):
+        """The DES must agree with the analytic per-layer max(load,
+        compute) model for a steady decode token."""
+        executor, metrics = run_timing(gen_len=5)
+        layers = executor.placement.layers
+        context = executor.prompt_len + 3  # token index 3
+        expected = 0.0
+        for layer in layers:
+            load = executor.layer_transfer_time(layer.index)
+            compute = executor.layer_compute_time(
+                layer, Stage.DECODE, context
+            )
+            expected += max(load, compute)
+        # plus the logits write-back of the head layer
+        expected += executor._logits_writeback_time()
+        gap = metrics.token_times[3] - metrics.token_times[2]
+        assert gap == pytest.approx(expected, rel=0.02)
+
+    def test_gpu_resident_layers_transfer_nothing(self):
+        policy = Policy(gpu_percent=100, cpu_percent=0, disk_percent=0)
+        executor, metrics = run_timing(
+            placement_cls=BaselinePlacement, policy=policy
+        )
+        assert executor.placement.tier_total_bytes(DeviceKind.CPU) == 0
+        assert metrics.avg_transfer_s() == 0.0
+
+    def test_slower_host_means_slower_tbt(self):
+        _, dram = run_timing(host="DRAM")
+        _, nv = run_timing(host="NVDRAM")
+        assert nv.tbt_s > dram.tbt_s
+
+    def test_compression_shrinks_transfers_and_grows_compute(self):
+        _, fp16 = run_timing()
+        _, compressed = run_timing(
+            policy=HOST_GPU_POLICY.with_compression(True)
+        )
+        assert compressed.avg_transfer_s() < fp16.avg_transfer_s()
+        assert compressed.avg_compute_s() > fp16.avg_compute_s()
+
+    def test_prefill_compute_exceeds_decode(self):
+        _, metrics = run_timing(batch_size=4, prompt_len=32)
+        assert metrics.avg_compute_s(Stage.PREFILL) > metrics.avg_compute_s(
+            Stage.DECODE
+        )
+
+    def test_disk_tier_slower_than_host_tier(self):
+        from repro.core.policy import DISK_POLICY
+
+        # Needs a model large enough that transfers dominate launch
+        # overheads: opt-1.3b streams MB-scale layers.
+        _, host_only = run_timing(
+            model="opt-1.3b", host="FSDAX", placement_cls=AllCpuPlacement,
+            batch_size=1, gen_len=2,
+        )
+        _, with_disk = run_timing(
+            model="opt-1.3b", host="FSDAX", placement_cls=BaselinePlacement,
+            policy=DISK_POLICY, batch_size=1, gen_len=2,
+        )
+        assert with_disk.tbt_s > host_only.tbt_s
+
+    def test_kv_on_cpu_adds_mha_traffic(self):
+        cpu_kv = Policy(
+            gpu_percent=0, cpu_percent=100, disk_percent=0,
+            kv_gpu_percent=0,
+        )
+        _, with_kv_offload = run_timing(policy=cpu_kv)
+        _, gpu_kv = run_timing()
+        assert with_kv_offload.tbt_s > gpu_kv.tbt_s
+
+    def test_working_set_configured_on_host(self):
+        executor, _ = run_timing(host="NVDRAM")
+        tech = executor.host.host_region.technology
+        assert tech.working_set_bytes > 0
+
+    def test_batch_scaling_leaves_memory_bound_tbt_flat(self):
+        _, small = run_timing(batch_size=1)
+        _, large = run_timing(batch_size=8)
+        # Decode stays memory bound at these sizes: TBT nearly equal.
+        assert large.tbt_s == pytest.approx(small.tbt_s, rel=0.15)
+
+
+class TestSpillLogPropagation:
+    def test_spill_log_attached_to_metrics(self):
+        config = opt_config("opt-mini")
+        placement = AllCpuPlacement().place_model(config, HOST_GPU_POLICY)
+        executor = TimingExecutor(
+            host=host_config("DRAM"),
+            placement=placement,
+            policy=HOST_GPU_POLICY,
+            batch_size=1,
+            prompt_len=8,
+            gen_len=2,
+            spill_log=("demoted x",),
+        )
+        assert executor.run().spill_log == ("demoted x",)

@@ -1,0 +1,116 @@
+"""Property-based tests on the timing machinery's monotonicities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batching import max_batch_size
+from repro.core.placement.allcpu import AllCpuPlacement
+from repro.core.policy import HOST_GPU_POLICY
+from repro.core.timing import TimingExecutor
+from repro.experiments.ablation_bandwidth import flat_host
+from repro.interconnect.path import TransferKind, TransferPathSolver
+from repro.memory.hierarchy import host_config
+from repro.models.config import opt_config
+
+
+@pytest.fixture(scope="module")
+def placement_175b():
+    return AllCpuPlacement().place_model(
+        opt_config("opt-175b"), HOST_GPU_POLICY
+    )
+
+
+class TestSolverProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.floats(min_value=1e3, max_value=1e11),
+        b=st.floats(min_value=1e3, max_value=1e11),
+        label=st.sampled_from(["DRAM", "NVDRAM", "MemoryMode", "FSDAX"]),
+    )
+    def test_transfer_time_monotone_in_bytes(self, a, b, label):
+        solver = TransferPathSolver(config=host_config(label))
+        lo, hi = min(a, b), max(a, b)
+        assert solver.host_to_gpu_time(lo) <= solver.host_to_gpu_time(hi) + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        nbytes=st.floats(min_value=1e3, max_value=1e11),
+        label=st.sampled_from(["DRAM", "NVDRAM", "MemoryMode"]),
+    )
+    def test_host_to_gpu_never_exceeds_pcie(self, nbytes, label):
+        solver = TransferPathSolver(config=host_config(label))
+        assert solver.host_to_gpu_bandwidth(nbytes) <= (
+            solver.pcie.h2d_bandwidth + 1e-6
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(nbytes=st.floats(min_value=1e6, max_value=1e10))
+    def test_disk_path_slower_than_host_path(self, nbytes):
+        solver = TransferPathSolver(config=host_config("FSDAX"))
+        assert solver.disk_to_gpu_time(nbytes) >= solver.host_to_gpu_time(
+            nbytes
+        )
+
+
+class TestTimingProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        slow=st.floats(min_value=2, max_value=16),
+        factor=st.floats(min_value=1.1, max_value=4.0),
+    )
+    def test_more_bandwidth_never_hurts(self, slow, factor, placement_175b):
+        def tbt(gbps):
+            executor = TimingExecutor(
+                host=flat_host(gbps),
+                placement=placement_175b,
+                policy=HOST_GPU_POLICY.with_compression(True),
+                batch_size=1,
+                prompt_len=32,
+                gen_len=2,
+            )
+            return executor.run().tbt_s
+
+        assert tbt(slow * factor) <= tbt(slow) + 1e-9
+
+    def test_compression_never_slows_transfers(self, placement_175b):
+        def avg_transfer(compress):
+            executor = TimingExecutor(
+                host=host_config("NVDRAM"),
+                placement=placement_175b,
+                policy=HOST_GPU_POLICY.with_compression(compress),
+                batch_size=1,
+                prompt_len=32,
+                gen_len=2,
+            )
+            return executor.run().avg_transfer_s()
+
+        assert avg_transfer(True) < avg_transfer(False)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        short=st.integers(min_value=16, max_value=256),
+        extra=st.integers(min_value=16, max_value=512),
+    )
+    def test_max_batch_nonincreasing_in_prompt_len(
+        self, short, extra, placement_175b
+    ):
+        policy = HOST_GPU_POLICY.with_compression(True)
+        small = max_batch_size(placement_175b, policy, short, 21)
+        large = max_batch_size(placement_175b, policy, short + extra, 21)
+        assert large <= small
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch=st.integers(min_value=1, max_value=16))
+    def test_ttft_nondecreasing_in_batch(self, batch, placement_175b):
+        def ttft(size):
+            executor = TimingExecutor(
+                host=host_config("NVDRAM"),
+                placement=placement_175b,
+                policy=HOST_GPU_POLICY.with_compression(True),
+                batch_size=size,
+                prompt_len=64,
+                gen_len=2,
+            )
+            return executor.run().ttft_s
+
+        assert ttft(batch + 1) >= ttft(batch) - 1e-9

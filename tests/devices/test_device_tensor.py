@@ -1,0 +1,128 @@
+"""Tests for device allocation accounting and SimTensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.device import Device, DeviceKind
+from repro.devices.tensor import SimTensor, dtype_bytes
+from repro.errors import AllocationError, CapacityError
+
+
+def make_device(capacity=1000):
+    return Device("dev", DeviceKind.GPU, capacity)
+
+
+class TestDevice:
+    def test_allocate_and_free(self):
+        dev = make_device()
+        handle = dev.allocate(400)
+        assert dev.used_bytes == 400
+        assert dev.free_bytes == 600
+        dev.free(handle)
+        assert dev.used_bytes == 0
+
+    def test_over_allocation_raises_capacity_error(self):
+        dev = make_device()
+        dev.allocate(900)
+        with pytest.raises(CapacityError) as excinfo:
+            dev.allocate(200)
+        assert excinfo.value.requested == 200
+        assert excinfo.value.available == 100
+
+    def test_double_free_rejected(self):
+        dev = make_device()
+        handle = dev.allocate(10)
+        dev.free(handle)
+        with pytest.raises(AllocationError):
+            dev.free(handle)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(AllocationError):
+            make_device().allocate(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(AllocationError):
+            Device("d", DeviceKind.CPU, 0)
+
+    def test_reset(self):
+        dev = make_device()
+        dev.allocate(500)
+        dev.reset()
+        assert dev.used_bytes == 0
+
+    def test_can_fit(self):
+        dev = make_device()
+        assert dev.can_fit(1000)
+        assert not dev.can_fit(1001)
+        assert not dev.can_fit(-1)
+
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=100), max_size=30)
+    )
+    def test_usage_is_sum_of_live_allocations(self, sizes):
+        dev = Device("d", DeviceKind.CPU, 10_000)
+        handles = [dev.allocate(size) for size in sizes]
+        assert dev.used_bytes == sum(sizes)
+        for handle in handles[::2]:
+            dev.free(handle)
+        assert dev.used_bytes == sum(sizes) - sum(sizes[::2])
+
+
+class TestSimTensor:
+    def test_virtual_tensor_size_from_shape(self):
+        tensor = SimTensor("t", (4, 8), dtype="float16")
+        assert tensor.nbytes == 64
+        assert tensor.is_virtual
+
+    def test_explicit_nbytes_override(self):
+        tensor = SimTensor("t", (4,), nbytes=999)
+        assert tensor.nbytes == 999
+
+    def test_real_tensor_shape_checked(self):
+        with pytest.raises(AllocationError):
+            SimTensor("t", (4, 4), data=np.zeros((2, 2), dtype=np.float16))
+
+    def test_place_and_release(self):
+        dev = make_device(capacity=128)
+        tensor = SimTensor("t", (4, 8))
+        tensor.place_on(dev)
+        assert dev.used_bytes == 64
+        assert tensor.is_placed
+        tensor.release()
+        assert dev.used_bytes == 0
+        assert not tensor.is_placed
+
+    def test_move_between_devices(self):
+        a = make_device()
+        b = make_device()
+        tensor = SimTensor("t", (4, 8))
+        tensor.place_on(a)
+        tensor.place_on(b)
+        assert a.used_bytes == 0
+        assert b.used_bytes == 64
+
+    def test_release_is_idempotent(self):
+        tensor = SimTensor("t", (4,))
+        tensor.release()
+        tensor.release()
+
+    def test_placement_rejected_when_full(self):
+        dev = make_device(capacity=32)
+        tensor = SimTensor("t", (4, 8))
+        with pytest.raises(CapacityError):
+            tensor.place_on(dev)
+
+    def test_failed_move_keeps_old_placement(self):
+        big = make_device(capacity=64)
+        small = make_device(capacity=32)
+        tensor = SimTensor("t", (4, 8))
+        tensor.place_on(big)
+        with pytest.raises(CapacityError):
+            tensor.place_on(small)
+        assert tensor.device is big
+        assert big.used_bytes == 64
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(AllocationError):
+            dtype_bytes("complex128")

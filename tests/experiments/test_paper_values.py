@@ -1,0 +1,90 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.paper_values import (
+    PAPER_CLAIMS,
+    ClaimResult,
+    Grade,
+    PaperClaim,
+    render_scorecard,
+    scorecard,
+)
+
+
+class TestClaimMechanics:
+    def test_locate_walks_nested_paths(self):
+        claim = PaperClaim(
+            "x", "d", "e", ("a", "b"), paper_value=1.0, tolerance=0.1
+        )
+        assert claim.locate({"a": {"b": 2.5}}) == 2.5
+
+    def test_locate_missing_path_raises(self):
+        claim = PaperClaim(
+            "x", "d", "e", ("a", "zz"), paper_value=1.0, tolerance=0.1
+        )
+        with pytest.raises(ExperimentError):
+            claim.locate({"a": {}})
+
+    def test_grading_bands(self):
+        claim = PaperClaim(
+            "x", "d", "e", ("a",), paper_value=10.0, tolerance=1.0
+        )
+        assert claim.grade(10.5) is Grade.MATCH
+        assert claim.grade(11.5) is Grade.CLOSE
+        assert claim.grade(12.5) is Grade.DIVERGENT
+
+
+class TestRegistry:
+    def test_claims_cover_every_evaluation_artifact(self):
+        experiments = {claim.experiment for claim in PAPER_CLAIMS}
+        assert {
+            "fig3_bandwidth", "fig4_llm_perf", "fig5_overlap",
+            "fig6_compression", "fig7_placement", "fig11_helm",
+            "fig12_allcpu", "table4_ratios", "fig13_cxl",
+        } <= experiments
+
+    def test_claim_ids_unique(self):
+        ids = [claim.claim_id for claim in PAPER_CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_at_least_forty_claims(self):
+        assert len(PAPER_CLAIMS) >= 40
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return scorecard()
+
+    def test_no_divergent_claims(self, results):
+        """The headline reproduction quality bar: every published claim
+        lands within twice its tolerance band."""
+        divergent = [
+            result.claim.claim_id
+            for result in results
+            if result.grade is Grade.DIVERGENT
+        ]
+        assert divergent == []
+
+    def test_large_majority_match(self, results):
+        matches = sum(
+            1 for result in results if result.grade is Grade.MATCH
+        )
+        assert matches >= 0.8 * len(results)
+
+    def test_every_close_claim_documented(self, results):
+        for result in results:
+            if result.grade is not Grade.MATCH:
+                # fig6.mm_reduction drifts benignly; everything else
+                # carries an explanation.
+                assert result.claim.note or result.claim.claim_id == (
+                    "fig6.mm_reduction"
+                )
+
+    def test_render(self, results):
+        text = render_scorecard(results)
+        assert "Reproduction scorecard" in text
+        assert "MATCH" in text
+        assert text.count("\n") > len(results)

@@ -1,0 +1,72 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.cli import main
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+)
+
+PAPER_ARTIFACTS = {
+    "table1_system", "table2_configs", "table3_cxl", "table4_ratios",
+    "fig3_bandwidth", "fig4_llm_perf", "fig5_overlap", "fig6_compression",
+    "fig7_placement", "fig8_mha_ffn", "fig10_helm_dist", "fig11_helm",
+    "fig12_allcpu", "fig13_cxl",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert PAPER_ARTIFACTS <= set(EXPERIMENTS)
+
+    def test_ablations_registered(self):
+        ablations = {
+            name for name in EXPERIMENTS if name.startswith("ablation_")
+        }
+        assert len(ablations) >= 4
+
+    def test_every_runner_importable(self):
+        for name in EXPERIMENTS:
+            runner = get_experiment(name)
+            assert callable(runner)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_run_cheap_experiment(self):
+        result = run_experiment("table3_cxl")
+        assert result.name == "table3_cxl"
+        assert result.tables
+        assert "CXL-ASIC" in result.data
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11_helm" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1_system"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "finished in" in out
+
+    def test_run_unknown_fails(self, capsys):
+        assert main(["run", "fig99"]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_json_dump(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "out.json"
+        assert main(["run", "table3_cxl", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert "table3_cxl" in payload
+        assert payload["table3_cxl"]["data"]["CXL-ASIC"][
+            "bandwidth_gbps"
+        ] == pytest.approx(28.0)

@@ -1,0 +1,226 @@
+"""Integration tests: the paper's headline claims must reproduce.
+
+Tolerance bands are deliberately generous — the substrate is a
+calibrated simulator, not the authors' testbed — but each check pins
+the *direction* and rough *magnitude* of a published result.
+EXPERIMENTS.md records the exact measured values.
+"""
+
+import pytest
+
+from repro.core.engine import OffloadEngine
+
+
+def run(model, host, placement="baseline", batch=1, compress=False):
+    engine = OffloadEngine(
+        model=model, host=host, placement=placement,
+        compress_weights=compress, batch_size=batch,
+        prompt_len=128, gen_len=21,
+    )
+    return engine, engine.run_timing()
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """All headline configurations, computed once."""
+    cache = {}
+
+    def get(model, host, placement="baseline", batch=1, compress=False):
+        key = (model, host, placement, batch, compress)
+        if key not in cache:
+            cache[key] = run(model, host, placement, batch, compress)
+        return cache[key]
+
+    return get
+
+
+class TestCharacterization:
+    def test_opt30b_nvdram_penalty(self, runs):
+        """Abstract/Section IV-B: NVDRAM inflates OPT-30B latency by
+        roughly a third (paper: +33% TTFT/TBT at batch 1)."""
+        _, dram = runs("opt-30b", "DRAM")
+        _, nv = runs("opt-30b", "NVDRAM")
+        ttft_increase = (nv.ttft_s - dram.ttft_s) / dram.ttft_s
+        assert 0.20 <= ttft_increase <= 0.40
+        tbt_increase = (nv.tbt_s - dram.tbt_s) / dram.tbt_s
+        assert 0.20 <= tbt_increase <= 0.40
+
+    def test_opt30b_memorymode_matches_dram(self, runs):
+        """Fig 4: MemoryMode matches DRAM when weights fit the cache."""
+        _, dram = runs("opt-30b", "DRAM")
+        _, mm = runs("opt-30b", "MemoryMode")
+        assert mm.ttft_s == pytest.approx(dram.ttft_s, rel=0.02)
+
+    def test_opt30b_throughput_drop(self, runs):
+        """Fig 4e: NVDRAM cuts OPT-30B throughput ~19-23%."""
+        _, dram = runs("opt-30b", "DRAM", batch=32)
+        _, nv = runs("opt-30b", "NVDRAM", batch=32)
+        drop = 1 - nv.throughput_tps / dram.throughput_tps
+        assert 0.12 <= drop <= 0.30
+
+    def test_opt175b_storage_ladder(self, runs):
+        """Fig 4: SSD < FSDAX < NVDRAM < MemoryMode (TTFT order)."""
+        ttfts = [
+            runs("opt-175b", host)[1].ttft_s
+            for host in ("SSD", "FSDAX", "NVDRAM", "MemoryMode")
+        ]
+        assert ttfts[0] > ttfts[1] > ttfts[2] > ttfts[3]
+
+    def test_fsdax_improves_over_ssd_by_a_third(self, runs):
+        _, ssd = runs("opt-175b", "SSD")
+        _, fsdax = runs("opt-175b", "FSDAX")
+        improvement = (ssd.ttft_s - fsdax.ttft_s) / ssd.ttft_s
+        assert 0.25 <= improvement <= 0.42
+
+    def test_mm_improves_over_nvdram_mildly_for_175b(self, runs):
+        """Fig 4: 7.67% TTFT improvement (the 324 GiB weights overflow
+        the 256 GiB cache)."""
+        _, nv = runs("opt-175b", "NVDRAM")
+        _, mm = runs("opt-175b", "MemoryMode")
+        improvement = (nv.ttft_s - mm.ttft_s) / nv.ttft_s
+        assert 0.02 <= improvement <= 0.15
+
+    def test_175b_prefill_stays_memory_bound(self, runs):
+        """Fig 4b: OPT-175B TTFT does not grow with batch size."""
+        _, b1 = runs("opt-175b", "NVDRAM", batch=1)
+        _, b8 = runs("opt-175b", "NVDRAM", batch=8)
+        assert b8.ttft_s == pytest.approx(b1.ttft_s, rel=0.05)
+
+    def test_throughput_scales_with_batch(self, runs):
+        """Fig 4e/f: near-linear throughput scaling."""
+        _, b1 = runs("opt-30b", "NVDRAM", batch=1)
+        _, b32 = runs("opt-30b", "NVDRAM", batch=32)
+        assert b32.throughput_tps / b1.throughput_tps > 25
+
+
+class TestCompression:
+    def test_transfer_reduction_near_72_74_pct(self, runs):
+        _, fp16 = runs("opt-175b", "NVDRAM")
+        _, compressed = runs("opt-175b", "NVDRAM", compress=True)
+        reduction = 1 - compressed.avg_transfer_s() / fp16.avg_transfer_s()
+        assert 0.65 <= reduction <= 0.80
+
+    def test_compute_inflation_within_paper_band(self, runs):
+        """Fig 6: compute grows 2.5x-13x under compression."""
+        _, fp16 = runs("opt-175b", "NVDRAM")
+        _, compressed = runs("opt-175b", "NVDRAM", compress=True)
+        inflation = compressed.avg_compute_s() / fp16.avg_compute_s()
+        assert 2.5 <= inflation <= 13.0
+
+
+class TestHelm:
+    def test_helm_improves_nvdram_latency_near_27pct(self, runs):
+        """Abstract: 'our strategies improve latency ... by 27%'."""
+        _, base = runs("opt-175b", "NVDRAM", "baseline", 1, True)
+        _, helm = runs("opt-175b", "NVDRAM", "helm", 1, True)
+        ttft = (base.ttft_s - helm.ttft_s) / base.ttft_s
+        tbt = (base.tbt_s - helm.tbt_s) / base.tbt_s
+        assert 0.20 <= ttft <= 0.38
+        assert 0.20 <= tbt <= 0.38
+
+    def test_helm_nvdram_within_15pct_of_dram(self, runs):
+        """Abstract: 'within 9% ... of an all-DRAM system' (we measure
+        ~12% against HeLM-on-DRAM; see EXPERIMENTS.md)."""
+        _, helm_nv = runs("opt-175b", "NVDRAM", "helm", 1, True)
+        _, helm_dram = runs("opt-175b", "DRAM", "helm", 1, True)
+        gap = (helm_nv.tbt_s - helm_dram.tbt_s) / helm_dram.tbt_s
+        assert 0.0 <= gap <= 0.15
+
+    def test_helm_balances_the_pipeline(self, runs):
+        """Fig 11a: FFN transfer drops ~49%, MHA transfer rises ~33%."""
+        from repro.core.metrics import Stage
+        from repro.models.weights import LayerKind
+
+        _, base = runs("opt-175b", "NVDRAM", "baseline", 1, True)
+        _, helm = runs("opt-175b", "NVDRAM", "helm", 1, True)
+        ffn_cut = 1 - (
+            helm.avg_transfer_s(Stage.DECODE, LayerKind.FFN)
+            / base.avg_transfer_s(Stage.DECODE, LayerKind.FFN)
+        )
+        mha_rise = (
+            helm.avg_transfer_s(Stage.DECODE, LayerKind.MHA)
+            / base.avg_transfer_s(Stage.DECODE, LayerKind.MHA)
+            - 1
+        )
+        assert 0.40 <= ffn_cut <= 0.58
+        assert 0.20 <= mha_rise <= 0.45
+
+
+class TestAllCpu:
+    def test_max_batch_rises_from_8_to_about_44(self):
+        baseline = OffloadEngine(
+            model="opt-175b", host="NVDRAM", placement="baseline",
+            batch_size=1, prompt_len=128, gen_len=21,
+        )
+        assert baseline.max_batch_size() == 8
+        allcpu = OffloadEngine(
+            model="opt-175b", host="NVDRAM", placement="allcpu",
+            compress_weights=True, batch_size=1,
+            prompt_len=128, gen_len=21,
+        )
+        assert 40 <= allcpu.max_batch_size() <= 50
+
+    def test_throughput_gain_near_5x(self, runs):
+        """Abstract: '5x' throughput from All-CPU at the larger batch."""
+        allcpu_engine = OffloadEngine(
+            model="opt-175b", host="NVDRAM", placement="allcpu",
+            compress_weights=True, batch_size=1,
+            prompt_len=128, gen_len=21,
+        )
+        bmax = allcpu_engine.max_batch_size()
+        _, base8 = runs("opt-175b", "NVDRAM", "baseline", 8, True)
+        _, big = runs("opt-175b", "NVDRAM", "allcpu", bmax, True)
+        gain = big.throughput_tps / base8.throughput_tps
+        assert 4.0 <= gain <= 6.5
+
+    def test_allcpu_no_latency_cost_at_batch_8(self, runs):
+        """Fig 12: ~1% TBT degradation at matched batch sizes."""
+        _, base8 = runs("opt-175b", "NVDRAM", "baseline", 8, True)
+        _, allcpu8 = runs("opt-175b", "NVDRAM", "allcpu", 8, True)
+        cost = allcpu8.tbt_s / base8.tbt_s - 1
+        assert -0.02 <= cost <= 0.05
+
+    def test_allcpu_nvdram_within_striking_distance_of_dram(self, runs):
+        """Abstract: within 6% of All-CPU DRAM (we measure ~10-14%)."""
+        allcpu_engine = OffloadEngine(
+            model="opt-175b", host="NVDRAM", placement="allcpu",
+            compress_weights=True, batch_size=1,
+            prompt_len=128, gen_len=21,
+        )
+        bmax = allcpu_engine.max_batch_size()
+        _, nv = runs("opt-175b", "NVDRAM", "allcpu", bmax, True)
+        _, dram = runs("opt-175b", "DRAM", "allcpu", bmax, True)
+        gap = 1 - nv.throughput_tps / dram.throughput_tps
+        assert 0.0 <= gap <= 0.20
+
+
+class TestCxlProjections:
+    def test_allcpu_gain_holds_across_cxl_devices(self):
+        """Section V-D: 4.74x / 5.04x on CXL-FPGA / CXL-ASIC."""
+        from repro.analysis.projection import project_cxl
+
+        for label, band in (("CXL-FPGA", (4.0, 6.5)), ("CXL-ASIC", (4.0, 6.5))):
+            base = project_cxl(label, "baseline", batch_size=8)
+            allcpu_probe = OffloadEngine(
+                model="opt-175b", host="NVDRAM", placement="allcpu",
+                compress_weights=True, batch_size=1,
+                prompt_len=128, gen_len=21,
+            )
+            bmax = allcpu_probe.max_batch_size()
+            big = project_cxl(label, "allcpu", batch_size=bmax)
+            gain = (
+                big.metrics.throughput_tps / base.metrics.throughput_tps
+            )
+            assert band[0] <= gain <= band[1]
+
+    def test_helm_improves_both_cxl_devices(self):
+        from repro.analysis.projection import project_cxl
+
+        for label in ("CXL-FPGA", "CXL-ASIC"):
+            base = project_cxl(label, "baseline", batch_size=1)
+            helm = project_cxl(label, "helm", batch_size=1)
+            improvement = (
+                (base.metrics.tbt_s - helm.metrics.tbt_s)
+                / base.metrics.tbt_s
+            )
+            assert 0.15 <= improvement <= 0.35

@@ -1,0 +1,108 @@
+"""Tests for the link models (base, PCIe, DDR, UPI)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interconnect.ddr import DDR4_2933, DdrChannel, socket_bandwidth
+from repro.interconnect.link import Link
+from repro.interconnect.pcie import (
+    A100_PCIE,
+    PcieLink,
+    theoretical_bandwidth,
+)
+from repro.interconnect.upi import UpiLink
+
+
+class TestLink:
+    def test_transfer_time_includes_latencies(self):
+        link = Link(
+            name="l", bandwidth_up=1e9, bandwidth_down=2e9,
+            latency_s=1e-6, setup_latency_s=2e-6,
+        )
+        assert link.transfer_time(1e9, toward_device=True) == pytest.approx(
+            1.000003
+        )
+        assert link.transfer_time(1e9, toward_device=False) == pytest.approx(
+            0.500003
+        )
+
+    def test_zero_bytes_is_free(self):
+        link = Link(name="l", bandwidth_up=1e9, bandwidth_down=1e9)
+        assert link.transfer_time(0, toward_device=True) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        link = Link(name="l", bandwidth_up=1e9, bandwidth_down=1e9)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1, toward_device=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Link(name="l", bandwidth_up=0, bandwidth_down=1e9)
+        with pytest.raises(ConfigurationError):
+            Link(name="l", bandwidth_up=1e9, bandwidth_down=1e9, latency_s=-1)
+
+
+class TestPcie:
+    def test_gen4_x16_theoretical_near_32gbps(self):
+        """Table I quotes 32.0 GB/s for 16 Gen4 lanes."""
+        assert theoretical_bandwidth(4, 16) == pytest.approx(31.5e9, rel=0.02)
+
+    def test_gen5_doubles_gen4(self):
+        assert theoretical_bandwidth(5, 16) == pytest.approx(
+            2 * theoretical_bandwidth(4, 16)
+        )
+
+    def test_gen12_use_8b10b_encoding(self):
+        assert theoretical_bandwidth(1, 16) == pytest.approx(
+            2.5e9 / 8 * 0.8 * 16
+        )
+
+    def test_lane_scaling(self):
+        assert theoretical_bandwidth(4, 8) == pytest.approx(
+            theoretical_bandwidth(4, 16) / 2
+        )
+
+    def test_invalid_generation(self):
+        with pytest.raises(ConfigurationError):
+            theoretical_bandwidth(7, 16)
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ConfigurationError):
+            theoretical_bandwidth(4, 3)
+
+    def test_directional_efficiencies(self):
+        assert A100_PCIE.h2d_bandwidth < A100_PCIE.d2h_bandwidth
+        assert A100_PCIE.h2d_bandwidth == pytest.approx(24.9e9, rel=0.02)
+        assert A100_PCIE.d2h_bandwidth == pytest.approx(27.1e9, rel=0.02)
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ConfigurationError):
+            PcieLink(h2d_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            PcieLink(d2h_efficiency=1.5)
+
+
+class TestDdr:
+    def test_channel_bandwidth(self):
+        assert DDR4_2933.peak_bandwidth == pytest.approx(2933e6 * 8)
+
+    def test_socket_bandwidth_matches_paper(self):
+        """The paper reports 157 GB/s across 8 channels."""
+        assert socket_bandwidth(DDR4_2933, 8) == pytest.approx(
+            157e9, rel=0.02
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DdrChannel(mega_transfers=0)
+        with pytest.raises(ConfigurationError):
+            DdrChannel(mega_transfers=2933, efficiency=0)
+        with pytest.raises(ConfigurationError):
+            socket_bandwidth(DDR4_2933, 0)
+
+
+class TestUpi:
+    def test_upi_defaults(self):
+        upi = UpiLink()
+        assert upi.bandwidth_up == upi.bandwidth_down
+        assert upi.bandwidth_up > 31.5e9  # never the PCIe bottleneck

@@ -1,0 +1,125 @@
+"""Tests for the end-to-end transfer-path solver."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.interconnect.path import TransferKind, TransferPathSolver
+from repro.memory import calibration as cal
+from repro.memory.hierarchy import host_config
+from repro.units import GB
+
+
+def solver_for(label: str) -> TransferPathSolver:
+    return TransferPathSolver(config=host_config(label))
+
+
+class TestHostGpuPaths:
+    def test_dram_h2g_is_pcie_bound(self):
+        solver = solver_for("DRAM")
+        assert solver.host_to_gpu_bandwidth(1 * GB) == pytest.approx(
+            solver.pcie.h2d_bandwidth
+        )
+
+    def test_nvdram_h2g_is_optane_bound(self):
+        solver = solver_for("NVDRAM")
+        assert solver.host_to_gpu_bandwidth(1 * GB) == pytest.approx(
+            cal.OPTANE_READ_PEAK, rel=0.02
+        )
+
+    def test_nvdram_g2h_is_write_bound(self):
+        solver = solver_for("NVDRAM")
+        assert solver.gpu_to_host_bandwidth(1 * GB) == pytest.approx(
+            cal.OPTANE_WRITE_PEAK, rel=0.05
+        )
+
+    def test_times_include_setup_latency(self):
+        solver = solver_for("DRAM")
+        tiny = solver.host_to_gpu_time(1)
+        assert tiny >= cal.PCIE_SETUP_LATENCY
+
+    def test_zero_bytes_free(self):
+        solver = solver_for("DRAM")
+        assert solver.host_to_gpu_time(0) == 0.0
+        assert solver.gpu_to_host_time(0) == 0.0
+
+    def test_region_override_selects_node(self):
+        solver = solver_for("NVDRAM")
+        config = solver.config
+        node0 = solver.gpu_to_host_bandwidth(1 * GB, config.region("nvdram0"))
+        node1 = solver.gpu_to_host_bandwidth(1 * GB, config.region("nvdram1"))
+        assert node0 < node1  # Fig 3b node asymmetry
+
+    def test_memory_mode_blend_capped_by_link(self):
+        solver = solver_for("MemoryMode")
+        config = solver.config
+        config.set_host_working_set(int(320 * GB))
+        rate = solver.host_to_gpu_bandwidth(1 * GB)
+        assert rate < solver.pcie.h2d_bandwidth * 0.95
+
+    def test_memory_mode_fits_cache_equals_dram(self):
+        mm = solver_for("MemoryMode")
+        dram = solver_for("DRAM")
+        mm.config.set_host_working_set(int(32 * GB))
+        assert mm.host_to_gpu_bandwidth(1 * GB) == pytest.approx(
+            dram.host_to_gpu_bandwidth(1 * GB)
+        )
+
+
+class TestDiskPaths:
+    def test_disk_requires_storage_tier(self):
+        solver = solver_for("DRAM")
+        with pytest.raises(RoutingError):
+            solver.disk_to_gpu_time(1 * GB)
+
+    def test_bounce_serializes_hops(self):
+        """With a bounce buffer the two hops mostly add up."""
+        solver = solver_for("FSDAX")
+        nbytes = 1 * GB
+        disk_only = solver.disk_to_host_time(nbytes)
+        pcie_only = nbytes / solver.pcie.h2d_bandwidth
+        combined = solver.disk_to_gpu_time(nbytes)
+        assert combined > max(disk_only, pcie_only)
+        assert combined <= (disk_only + pcie_only + 1e-3)
+
+    def test_ssd_slower_than_fsdax(self):
+        ssd = solver_for("SSD")
+        fsdax = solver_for("FSDAX")
+        assert ssd.disk_to_gpu_time(1 * GB) > fsdax.disk_to_gpu_time(1 * GB)
+
+    def test_gpu_to_disk(self):
+        solver = solver_for("SSD")
+        assert solver.gpu_to_disk_time(1 * GB) > solver.disk_to_gpu_time(
+            1 * GB
+        )  # SSD writes slower than reads
+
+    def test_zero_bytes(self):
+        solver = solver_for("SSD")
+        assert solver.disk_to_gpu_time(0) == 0.0
+        assert solver.gpu_to_disk_time(0) == 0.0
+
+
+class TestGenericEntry:
+    def test_transfer_time_dispatch(self):
+        solver = solver_for("FSDAX")
+        for kind in TransferKind:
+            assert solver.transfer_time(1 * GB, kind) > 0
+
+    def test_host_to_host_uses_memcpy_rate(self):
+        solver = solver_for("DRAM")
+        assert solver.transfer_time(
+            cal.CPU_MEMCPY_BW, TransferKind.HOST_TO_HOST
+        ) == pytest.approx(1.0)
+
+    def test_measured_bandwidth_inverse_of_time(self):
+        solver = solver_for("DRAM")
+        nbytes = 1 * GB
+        bandwidth = solver.measured_bandwidth(
+            nbytes, TransferKind.HOST_TO_GPU
+        )
+        time = solver.transfer_time(nbytes, TransferKind.HOST_TO_GPU)
+        assert bandwidth == pytest.approx(nbytes / time)
+
+    def test_measured_bandwidth_rejects_empty(self):
+        solver = solver_for("DRAM")
+        with pytest.raises(RoutingError):
+            solver.measured_bandwidth(0, TransferKind.HOST_TO_GPU)

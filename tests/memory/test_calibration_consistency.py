@@ -1,0 +1,80 @@
+"""Cross-checks between calibration constants.
+
+These tests guard the *relationships* the reproduction depends on, so
+a future retune of one constant cannot silently break an anchor that
+another constant assumes.
+"""
+
+import pytest
+
+from repro.interconnect.pcie import A100_PCIE
+from repro.memory import calibration as cal
+from repro.units import GIB, MIB
+
+
+class TestDerivedValues:
+    def test_pcie_effective_formula(self):
+        assert cal.PCIE_EFFECTIVE_BW == pytest.approx(
+            cal.PCIE_GEN4_X16_THEORETICAL * cal.PCIE_EFFICIENCY
+        )
+
+    def test_dram_socket_near_157(self):
+        assert cal.DRAM_SOCKET_BW == pytest.approx(157e9, rel=0.02)
+
+    def test_fig3_sweep_shape(self):
+        sizes = cal.FIG3_BUFFER_SIZES
+        assert len(sizes) == 8
+        assert sizes[0] == 256 * MIB
+        assert sizes[-1] == 32 * 1024 * MIB
+        for smaller, larger in zip(sizes, sizes[1:]):
+            assert larger == 2 * smaller
+
+
+class TestOrderings:
+    """The qualitative orderings every figure assumes."""
+
+    def test_optane_read_below_pcie(self):
+        # NVDRAM h2g must be Optane-bound, not PCIe-bound (Fig. 3a).
+        assert cal.OPTANE_READ_PEAK < A100_PCIE.h2d_bandwidth
+
+    def test_optane_write_far_below_read(self):
+        assert cal.OPTANE_WRITE_PEAK < cal.OPTANE_READ_AIT_MISS / 3
+
+    def test_ait_decay_is_a_decay(self):
+        assert cal.OPTANE_READ_AIT_MISS < cal.OPTANE_READ_PEAK
+
+    def test_storage_tier_below_host_tier(self):
+        assert cal.SSD_READ_BW < cal.FSDAX_READ_BW
+        assert cal.FSDAX_READ_BW < cal.OPTANE_READ_PEAK
+
+    def test_cxl_spectrum_brackets_optane(self):
+        # Section V-D: CXL-FPGA is far below, CXL-ASIC above Optane.
+        assert cal.CXL_FPGA_BW < cal.OPTANE_READ_AIT_MISS / 2
+        assert cal.CXL_ASIC_BW > cal.OPTANE_READ_PEAK
+
+    def test_upi_never_the_pcie_bottleneck(self):
+        assert cal.UPI_BANDWIDTH > A100_PCIE.h2d_bandwidth
+
+    def test_hbm_orders_of_magnitude_above_pcie(self):
+        assert cal.GPU_HBM_BANDWIDTH > 40 * A100_PCIE.h2d_bandwidth
+
+    def test_dequant_slower_than_hbm(self):
+        # Dequantization must be the compressed-compute bottleneck
+        # (Fig. 6's 2.5-13x inflation requires it).
+        assert cal.GPU_DEQUANT_THROUGHPUT < (
+            cal.GPU_HBM_BANDWIDTH * cal.GPU_HBM_EFFICIENCY / 10
+        )
+
+    def test_capacities_match_table1(self):
+        assert cal.DRAM_CAPACITY_PER_SOCKET == 128 * GIB
+        assert cal.OPTANE_CAPACITY_PER_SOCKET == 512 * GIB
+
+    def test_energy_write_above_read(self):
+        assert (
+            cal.ENERGY_OPTANE_WRITE_PJ_PER_BIT
+            > cal.ENERGY_OPTANE_READ_PJ_PER_BIT
+            > cal.ENERGY_DRAM_PJ_PER_BIT
+        )
+
+    def test_lrdimm_idle_above_rdimm(self):
+        assert cal.POWER_DRAM_LRDIMM_IDLE_W > cal.POWER_DRAM_IDLE_W

@@ -1,0 +1,41 @@
+"""Tests for interleaved CXL expanders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.cxl import (
+    CXL_FPGA,
+    CXL_INTERLEAVE_EFFICIENCY,
+    CxlInterleavedTechnology,
+    CxlMemoryTechnology,
+)
+
+
+class TestInterleave:
+    def test_single_device_matches_plain_cxl(self):
+        single = CxlInterleavedTechnology(CXL_FPGA, devices=1)
+        plain = CxlMemoryTechnology(CXL_FPGA)
+        assert single.read_bandwidth(1e9) == pytest.approx(
+            plain.read_bandwidth(1e9)
+        )
+        assert single.capacity_bytes == plain.capacity_bytes
+
+    def test_capacity_scales_linearly(self):
+        four = CxlInterleavedTechnology(CXL_FPGA, devices=4)
+        one = CxlInterleavedTechnology(CXL_FPGA, devices=1)
+        assert four.capacity_bytes == 4 * one.capacity_bytes
+
+    def test_bandwidth_scales_sublinearly(self):
+        one = CxlInterleavedTechnology(CXL_FPGA, devices=1)
+        four = CxlInterleavedTechnology(CXL_FPGA, devices=4)
+        scale = four.read_bandwidth(1e9) / one.read_bandwidth(1e9)
+        assert 3.0 < scale < 4.0
+        assert scale == pytest.approx(4 * CXL_INTERLEAVE_EFFICIENCY**3)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CxlInterleavedTechnology(CXL_FPGA, devices=0)
+
+    def test_name_records_width(self):
+        tech = CxlInterleavedTechnology(CXL_FPGA, devices=2)
+        assert "x2" in tech.name

@@ -1,0 +1,83 @@
+"""Tests for the DRAM and Optane technology models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import calibration as cal
+from repro.memory.dram import DramTechnology
+from repro.memory.optane import OptaneTechnology, _footprint_decay
+from repro.units import GB, GIB
+
+
+class TestDram:
+    def test_bandwidth_is_flat_and_symmetric(self):
+        dram = DramTechnology()
+        assert dram.read_bandwidth(256e6) == dram.read_bandwidth(32e9)
+        assert dram.read_bandwidth(1e9) == dram.write_bandwidth(1e9)
+
+    def test_socket_bandwidth_near_paper_157_gbps(self):
+        dram = DramTechnology()
+        assert dram.read_bandwidth(1e9) == pytest.approx(157e9, rel=0.02)
+
+    def test_capacity_default_matches_table1(self):
+        assert DramTechnology().capacity_bytes == 128 * GIB
+
+
+class TestOptane:
+    def test_read_write_asymmetry(self):
+        optane = OptaneTechnology()
+        read = optane.read_bandwidth(1e9)
+        write = optane.write_bandwidth(1e9)
+        # Section II-C: ~2.5x lower reads, ~6x lower writes than DRAM;
+        # the salient property is reads far exceed writes.
+        assert read > 4 * write
+
+    def test_write_peaks_at_one_gb_buffers(self):
+        optane = OptaneTechnology()
+        assert optane.write_bandwidth(1e9) == pytest.approx(
+            cal.OPTANE_WRITE_PEAK
+        )
+        assert optane.write_bandwidth(256e6) < optane.write_bandwidth(1e9)
+        assert optane.write_bandwidth(32e9) < optane.write_bandwidth(1e9)
+
+    def test_read_decays_with_large_single_buffers(self):
+        """Fig 3a: 19.91 GB/s at <= 4 GB down to 15.52 GB/s at 32 GB."""
+        optane = OptaneTechnology()
+        assert optane.read_bandwidth(4 * GB) == pytest.approx(
+            cal.OPTANE_READ_PEAK, rel=0.02
+        )
+        assert optane.read_bandwidth(32 * GB) == pytest.approx(
+            cal.OPTANE_READ_AIT_MISS, rel=0.01
+        )
+
+    def test_footprint_decay_reduces_chunked_read_rate(self):
+        optane = OptaneTechnology()
+        small_ws = optane.read_bandwidth(0.3 * GB)
+        optane.set_working_set(int(300 * GB))
+        large_ws = optane.read_bandwidth(0.3 * GB)
+        assert large_ws < small_ws
+        assert large_ws / small_ws == pytest.approx(0.84, abs=0.03)
+
+    def test_footprint_decay_ignored_for_microbench_buffers(self):
+        """When the buffer IS the working set, only the curve applies."""
+        optane = OptaneTechnology()
+        optane.set_working_set(int(4 * GB))
+        assert optane.read_bandwidth(4 * GB) == pytest.approx(
+            cal.OPTANE_READ_PEAK, rel=0.02
+        )
+
+    @given(ws=st.floats(min_value=1, max_value=2e12))
+    def test_footprint_decay_bounded(self, ws):
+        decay = _footprint_decay(ws)
+        assert 0.80 <= decay <= 1.0
+
+    @given(
+        a=st.floats(min_value=1, max_value=1e12),
+        b=st.floats(min_value=1, max_value=1e12),
+    )
+    def test_footprint_decay_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert _footprint_decay(lo) >= _footprint_decay(hi) - 1e-9
+
+    def test_capacity_default_matches_table1(self):
+        assert OptaneTechnology().capacity_bytes == 512 * GIB

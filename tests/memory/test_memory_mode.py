@@ -1,0 +1,73 @@
+"""Tests for the Optane Memory Mode model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.dram import DramTechnology
+from repro.memory.memory_mode import MemoryModeTechnology
+from repro.memory.optane import OptaneTechnology
+from repro.units import GB, GIB
+
+
+@pytest.fixture
+def mm():
+    return MemoryModeTechnology()
+
+
+class TestMemoryMode:
+    def test_visible_capacity_is_optane_only(self, mm):
+        assert mm.capacity_bytes == mm.optane.capacity_bytes
+
+    def test_requires_cache_smaller_than_backing(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModeTechnology(
+                dram=DramTechnology(capacity_bytes=600 * GIB),
+                optane=OptaneTechnology(capacity_bytes=512 * GIB),
+            )
+
+    def test_fits_in_cache_behaves_like_dram(self, mm):
+        """Fig 3: MM lines overlap DRAM while buffers fit the cache."""
+        mm.set_working_set(int(32 * GB))
+        dram = DramTechnology()
+        assert mm.read_bandwidth(1e9) == pytest.approx(
+            dram.read_bandwidth(1e9)
+        )
+
+    def test_overflowing_working_set_slows_reads(self, mm):
+        mm.set_working_set(int(32 * GB))
+        fast = mm.read_bandwidth(1e9)
+        mm.set_working_set(int(320 * GB))
+        slow = mm.read_bandwidth(1e9)
+        assert slow < fast
+
+    def test_hit_fraction(self, mm):
+        mm.set_working_set(int(mm.cache_bytes * 2))
+        assert mm.hit_fraction(1e9) == pytest.approx(0.5)
+        mm.set_working_set(0)
+        assert mm.hit_fraction(1e9) == 1.0
+
+    def test_hit_fraction_uses_buffer_when_larger(self, mm):
+        assert mm.hit_fraction(mm.cache_bytes * 4) == pytest.approx(0.25)
+
+    def test_link_cap_preserves_miss_penalty(self, mm):
+        """The PCIe-capped blend must stay below the cap whenever some
+        accesses miss: capping *after* blending against 157 GB/s DRAM
+        would hide the miss cost entirely."""
+        mm.set_working_set(int(320 * GB))
+        capped = mm.read_bandwidth(1e9, link_cap=24.6e9)
+        assert capped < 24.6e9 * 0.9
+        uncapped = mm.read_bandwidth(1e9)
+        assert capped < uncapped
+
+    def test_miss_path_slower_than_raw_optane_share(self, mm):
+        """Effective MM bandwidth with misses is below a pure hit run
+        but above the pure miss path."""
+        mm.set_working_set(int(320 * GB))
+        blended = mm.read_bandwidth(1e9, link_cap=24.6e9)
+        optane_read = mm.optane.read_bandwidth(1e9)
+        assert blended > optane_read / 3.5  # better than all-miss
+        assert blended < 24.6e9             # worse than all-hit
+
+    def test_working_set_propagates_to_optane(self, mm):
+        mm.set_working_set(int(320 * GB))
+        assert mm.optane.working_set_bytes == int(320 * GB) - mm.cache_bytes

@@ -1,0 +1,106 @@
+"""Tests for NUMA topology and the assembled host configurations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.hierarchy import HOST_CONFIG_LABELS, host_config
+from repro.memory.numa import NumaNode, NumaTopology
+from repro.memory.technology import Direction
+from repro.units import GIB
+
+
+class TestNumaTopology:
+    def test_default_two_sockets_gpu_on_node0(self):
+        topo = NumaTopology()
+        assert topo.num_nodes == 2
+        assert topo.hops_to_gpu(0) == 0
+        assert topo.hops_to_gpu(1) == 1
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology().hops_to_gpu(7)
+
+    def test_gpu_node_must_exist(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(gpu_node=9)
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaNode(-1)
+
+
+class TestHostConfig:
+    @pytest.mark.parametrize("label", HOST_CONFIG_LABELS)
+    def test_all_labels_construct(self, label):
+        config = host_config(label)
+        assert config.label == label
+        assert config.host_region.capacity_bytes > 0
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ConfigurationError):
+            host_config("HBM3")
+
+    def test_storage_configs_have_disk_and_bounce(self):
+        for label in ("SSD", "FSDAX"):
+            config = host_config(label)
+            assert config.has_disk
+            assert config.disk_bounce
+
+    def test_memory_only_configs_have_no_disk(self):
+        for label in ("DRAM", "NVDRAM", "MemoryMode"):
+            config = host_config(label)
+            assert not config.has_disk
+            assert config.disk_region is None
+
+    def test_microbench_regions_exclude_engine_aggregates(self):
+        config = host_config("NVDRAM")
+        names = {region.name for region in config.microbench_regions()}
+        assert names == {"NVDRAM-0", "NVDRAM-1"}
+
+    def test_nvdram_write_asymmetry_between_nodes(self):
+        """Fig 3b: Optane writes are slower on node 0 than node 1."""
+        config = host_config("NVDRAM")
+        node0 = config.region("nvdram0")
+        node1 = config.region("nvdram1")
+        assert node0.bandwidth(1e9, Direction.WRITE) < node1.bandwidth(
+            1e9, Direction.WRITE
+        )
+
+    def test_mm_write_asymmetry(self):
+        """Fig 3b: MM-0 cannot reach DRAM write bandwidth; MM-1 can."""
+        config = host_config("MemoryMode")
+        mm0 = config.region("mm0")
+        mm1 = config.region("mm1")
+        assert mm0.bandwidth(1e9, Direction.WRITE) < mm1.bandwidth(
+            1e9, Direction.WRITE
+        )
+
+    def test_nvdram_host_capacity_is_1tib(self):
+        assert host_config("NVDRAM").host_region.capacity_bytes == 1024 * GIB
+
+    def test_dram_host_capacity_is_256gib(self):
+        assert host_config("DRAM").host_region.capacity_bytes == 256 * GIB
+
+    def test_set_host_working_set_clamps_to_capacity(self):
+        config = host_config("DRAM")
+        config.set_host_working_set(10**15)
+        assert (
+            config.host_region.technology.working_set_bytes
+            == config.host_region.capacity_bytes
+        )
+
+    def test_region_lookup_error_lists_available(self):
+        config = host_config("DRAM")
+        with pytest.raises(ConfigurationError, match="no region"):
+            config.region("bogus")
+
+    def test_host_region_name_validated(self):
+        from repro.memory.hierarchy import HostMemoryConfig
+
+        with pytest.raises(ConfigurationError):
+            HostMemoryConfig(
+                label="x",
+                description="",
+                regions={},
+                host_region_name="missing",
+            )

@@ -1,0 +1,60 @@
+"""Tests for SSD, FSDAX, and CXL technology models."""
+
+import pytest
+
+from repro.memory import calibration as cal
+from repro.memory.cxl import CXL_ASIC, CXL_FPGA, CxlMemoryTechnology
+from repro.memory.fsdax import FsdaxTechnology
+from repro.memory.ssd import SsdTechnology
+from repro.units import GB
+
+
+class TestSsd:
+    def test_read_ramps_with_request_size(self):
+        ssd = SsdTechnology()
+        assert ssd.read_bandwidth(1e6) < ssd.read_bandwidth(256e6)
+
+    def test_saturates_at_calibrated_rate(self):
+        ssd = SsdTechnology()
+        assert ssd.read_bandwidth(1e9) == pytest.approx(cal.SSD_READ_BW)
+
+    def test_writes_slower_than_reads(self):
+        ssd = SsdTechnology()
+        assert ssd.write_bandwidth(1e9) < ssd.read_bandwidth(1e9)
+
+    def test_latency_dominated_by_reads(self):
+        ssd = SsdTechnology()
+        assert ssd.read_latency_s == cal.SSD_READ_LATENCY
+
+
+class TestFsdax:
+    def test_faster_than_ssd_but_slower_than_raw_optane(self):
+        fsdax = FsdaxTechnology()
+        ssd = SsdTechnology()
+        assert fsdax.read_bandwidth(1e9) > ssd.read_bandwidth(1e9)
+        assert fsdax.read_bandwidth(1e9) < cal.OPTANE_READ_PEAK
+
+    def test_microsecond_latency(self):
+        fsdax = FsdaxTechnology()
+        assert fsdax.read_latency_s < SsdTechnology().read_latency_s
+
+
+class TestCxl:
+    def test_table3_bandwidths(self):
+        assert CXL_FPGA.bandwidth == pytest.approx(5.12 * GB)
+        assert CXL_ASIC.bandwidth == pytest.approx(28 * GB)
+
+    def test_symmetric_flat_bandwidth(self):
+        tech = CxlMemoryTechnology(CXL_ASIC)
+        assert tech.read_bandwidth(1e9) == tech.write_bandwidth(1e9)
+        assert tech.read_bandwidth(1e6) == tech.read_bandwidth(32e9)
+
+    def test_latency_adds_cxl_hop(self):
+        tech = CxlMemoryTechnology(CXL_FPGA)
+        assert tech.read_latency_s == pytest.approx(
+            cal.DRAM_READ_LATENCY + cal.CXL_ADDED_LATENCY
+        )
+
+    def test_spec_string(self):
+        assert "DDR5-4800" in str(CXL_ASIC)
+        assert "28.00 GB/s" in str(CXL_ASIC)

@@ -1,0 +1,130 @@
+"""Tests for the base memory-technology abstractions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.technology import BandwidthCurve, Direction, MemoryTechnology
+from repro.units import GB
+
+
+def make_tech(**overrides):
+    defaults = dict(
+        name="test",
+        capacity_bytes=int(10 * GB),
+        read_curve=BandwidthCurve.flat(20 * GB),
+        write_curve=BandwidthCurve.flat(10 * GB),
+    )
+    defaults.update(overrides)
+    return MemoryTechnology(**defaults)
+
+
+class TestBandwidthCurve:
+    def test_flat_curve_is_size_independent(self):
+        curve = BandwidthCurve.flat(5 * GB)
+        assert curve.at(1) == 5 * GB
+        assert curve.at(1e12) == 5 * GB
+
+    def test_clamps_below_first_breakpoint(self):
+        curve = BandwidthCurve.from_points([(1e9, 10e9), (4e9, 20e9)])
+        assert curve.at(1e6) == 10e9
+
+    def test_clamps_above_last_breakpoint(self):
+        curve = BandwidthCurve.from_points([(1e9, 10e9), (4e9, 20e9)])
+        assert curve.at(1e12) == 20e9
+
+    def test_log_interpolation_midpoint(self):
+        curve = BandwidthCurve.from_points([(1e9, 10e9), (4e9, 20e9)])
+        midpoint = math.sqrt(1e9 * 4e9)  # halfway in log space
+        assert curve.at(midpoint) == pytest.approx(15e9)
+
+    def test_exact_breakpoints(self):
+        curve = BandwidthCurve.from_points([(1e9, 10e9), (4e9, 20e9)])
+        assert curve.at(1e9) == pytest.approx(10e9)
+        assert curve.at(4e9) == pytest.approx(20e9)
+
+    def test_rejects_unsorted_breakpoints(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthCurve.from_points([(4e9, 1e9), (1e9, 2e9)])
+
+    def test_rejects_duplicate_breakpoints(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthCurve.from_points([(1e9, 1e9), (1e9, 2e9)])
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthCurve.from_points([(0, 1e9)])
+        with pytest.raises(ConfigurationError):
+            BandwidthCurve.from_points([(1e9, -1)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthCurve(points=())
+
+    def test_rejects_nonpositive_query(self):
+        curve = BandwidthCurve.flat(1e9)
+        with pytest.raises(ValueError):
+            curve.at(0)
+
+    def test_scaled(self):
+        curve = BandwidthCurve.from_points([(1e9, 10e9), (4e9, 20e9)])
+        doubled = curve.scaled(2.0)
+        assert doubled.at(1e9) == pytest.approx(20e9)
+        assert doubled.at(4e9) == pytest.approx(40e9)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthCurve.flat(1e9).scaled(0)
+
+    @given(
+        query=st.floats(min_value=1e6, max_value=1e12),
+    )
+    def test_interpolation_stays_within_envelope(self, query):
+        curve = BandwidthCurve.from_points(
+            [(1e9, 10e9), (4e9, 17e9), (32e9, 20e9)]
+        )
+        rates = [rate for _, rate in curve.points]
+        value = curve.at(query)
+        assert min(rates) <= value <= max(rates)
+
+    @given(
+        a=st.floats(min_value=1e6, max_value=1e12),
+        b=st.floats(min_value=1e6, max_value=1e12),
+    )
+    def test_monotone_curve_interpolates_monotonically(self, a, b):
+        curve = BandwidthCurve.from_points(
+            [(1e9, 20e9), (8e9, 17e9), (32e9, 15e9)]
+        )
+        lo, hi = min(a, b), max(a, b)
+        assert curve.at(lo) >= curve.at(hi) - 1e-6
+
+
+class TestMemoryTechnology:
+    def test_direction_dispatch(self):
+        tech = make_tech()
+        assert tech.bandwidth(1e9, Direction.READ) == 20 * GB
+        assert tech.bandwidth(1e9, Direction.WRITE) == 10 * GB
+
+    def test_latency_dispatch(self):
+        tech = make_tech(read_latency_s=1e-7, write_latency_s=2e-7)
+        assert tech.latency(Direction.READ) == 1e-7
+        assert tech.latency(Direction.WRITE) == 2e-7
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            make_tech(capacity_bytes=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            make_tech(read_latency_s=-1)
+
+    def test_working_set_validation(self):
+        tech = make_tech()
+        tech.set_working_set(int(5 * GB))
+        assert tech.working_set_bytes == int(5 * GB)
+        with pytest.raises(ConfigurationError):
+            tech.set_working_set(-1)
+        with pytest.raises(ConfigurationError):
+            tech.set_working_set(int(11 * GB))

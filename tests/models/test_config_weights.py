@@ -1,0 +1,126 @@
+"""Tests for OPT configurations and weight inventories."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.config import OPT_CONFIGS, OptConfig, opt_config
+from repro.models.weights import (
+    LayerKind,
+    WeightCategory,
+    decoder_block_bytes,
+    ffn_weight_specs,
+    mha_weight_specs,
+    model_layers,
+    model_weight_bytes,
+)
+from repro.units import GIB
+
+
+class TestConfig:
+    def test_paper_model_dimensions(self):
+        """Section III-B: 48/96 decoders, 96/192 hidden layers,
+        98/194 total layers."""
+        opt30b = opt_config("opt-30b")
+        opt175b = opt_config("opt-175b")
+        assert opt30b.num_decoder_blocks == 48
+        assert opt30b.num_hidden_layers == 96
+        assert opt30b.num_layers == 98
+        assert opt175b.num_decoder_blocks == 96
+        assert opt175b.num_hidden_layers == 192
+        assert opt175b.num_layers == 194
+
+    def test_paper_hidden_sizes(self):
+        """Section IV-B: hidden 12,288 vs 7,168."""
+        assert opt_config("opt-175b").hidden_size == 12288
+        assert opt_config("opt-30b").hidden_size == 7168
+
+    def test_param_counts_near_names(self):
+        assert opt_config("opt-175b").param_count == pytest.approx(
+            175e9, rel=0.01
+        )
+        assert opt_config("opt-30b").param_count == pytest.approx(
+            30e9, rel=0.05
+        )
+        assert opt_config("opt-6.7b").param_count == pytest.approx(
+            6.7e9, rel=0.05
+        )
+
+    def test_lookup_is_case_insensitive(self):
+        assert opt_config("OPT-175B") is opt_config("opt-175b")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            opt_config("opt-9000b")
+
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(ConfigurationError):
+            OptConfig(
+                name="bad", hidden_size=100, num_decoder_blocks=2, num_heads=3
+            )
+
+    def test_all_registered_configs_valid(self):
+        for config in OPT_CONFIGS.values():
+            assert config.hidden_size % config.num_heads == 0
+            assert config.ffn_dim == 4 * config.hidden_size
+
+
+class TestWeightSpecs:
+    def test_decoder_block_is_3_375_gib_for_175b(self):
+        """Section V: 'the model weights occupy 3.38 GB' per block."""
+        block = decoder_block_bytes(opt_config("opt-175b"))
+        assert block / GIB == pytest.approx(3.375, abs=0.01)
+
+    def test_total_weights_324_gib_for_175b(self):
+        """Section V: 324.48 GB total (decoder blocks alone are 324 GiB)."""
+        config = opt_config("opt-175b")
+        blocks_only = config.num_decoder_blocks * decoder_block_bytes(config)
+        assert blocks_only / GIB == pytest.approx(324.0, abs=0.5)
+
+    def test_mha_weight_order_matches_flexgen(self):
+        specs = mha_weight_specs(opt_config("opt-175b"))
+        names = [spec.name for spec in specs]
+        assert names[:4] == ["w_q", "w_k", "w_v", "w_out"]
+        assert names[-2:] == ["ln_w", "ln_b"]
+
+    def test_ffn_matrices_first(self):
+        specs = ffn_weight_specs(opt_config("opt-175b"))
+        assert [spec.name for spec in specs[:2]] == ["w_fc1", "w_fc2"]
+        assert specs[0].size == specs[1].size
+
+    def test_ffn_is_twice_mha(self):
+        config = opt_config("opt-175b")
+        mha = sum(spec.size for spec in mha_weight_specs(config))
+        ffn = sum(spec.size for spec in ffn_weight_specs(config))
+        assert ffn / mha == pytest.approx(2.0, rel=0.01)
+
+    def test_layer_sequence_structure(self):
+        layers = model_layers(opt_config("opt-30b"))
+        assert layers[0].kind is LayerKind.EMBED
+        assert layers[-1].kind is LayerKind.HEAD
+        kinds = [layer.kind for layer in layers[1:-1]]
+        assert kinds[::2] == [LayerKind.MHA] * 48
+        assert kinds[1::2] == [LayerKind.FFN] * 48
+
+    def test_layer_indices_are_positional(self):
+        layers = model_layers(opt_config("opt-tiny"))
+        assert [layer.index for layer in layers] == list(range(len(layers)))
+
+    def test_model_weight_bytes_matches_param_count(self):
+        config = opt_config("opt-125m")
+        assert model_weight_bytes(config) == config.weight_bytes
+
+    def test_matrix_bytes_excludes_vectors(self):
+        layer = model_layers(opt_config("opt-tiny"))[1]
+        assert layer.matrix_bytes < layer.total_bytes
+        vector_bytes = sum(
+            spec.size
+            for spec in layer.weights
+            if spec.category in (WeightCategory.BIAS, WeightCategory.NORM)
+        )
+        assert layer.matrix_bytes + vector_bytes == layer.total_bytes
+
+    def test_weight_lookup(self):
+        layer = model_layers(opt_config("opt-tiny"))[1]
+        assert layer.weight("w_q").shape == (64, 64)
+        with pytest.raises(ConfigurationError):
+            layer.weight("w_missing")

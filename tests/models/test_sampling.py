@@ -1,0 +1,50 @@
+"""Tests for sampling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.sampling import greedy_sample, top_k_sample
+
+
+class TestGreedy:
+    def test_picks_argmax(self):
+        logits = np.array([[0.1, 5.0, 0.2], [9.0, 0.0, 0.0]])
+        assert greedy_sample(logits).tolist() == [1, 0]
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ConfigurationError):
+            greedy_sample(np.zeros(3))
+
+
+class TestTopK:
+    def test_k1_equals_greedy(self):
+        logits = np.random.default_rng(0).normal(size=(4, 10))
+        assert (
+            top_k_sample(logits, k=1) == greedy_sample(logits)
+        ).all()
+
+    def test_samples_within_top_k(self):
+        logits = np.zeros((1, 10))
+        logits[0, [2, 5, 7]] = 10.0
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            token = top_k_sample(logits, k=3, rng=rng)[0]
+            assert token in (2, 5, 7)
+
+    def test_deterministic_with_seeded_rng(self):
+        logits = np.random.default_rng(2).normal(size=(3, 50))
+        a = top_k_sample(logits, k=5, rng=np.random.default_rng(42))
+        b = top_k_sample(logits, k=5, rng=np.random.default_rng(42))
+        assert (a == b).all()
+
+    def test_validation(self):
+        logits = np.zeros((1, 4))
+        with pytest.raises(ConfigurationError):
+            top_k_sample(logits, k=0)
+        with pytest.raises(ConfigurationError):
+            top_k_sample(logits, k=5)
+        with pytest.raises(ConfigurationError):
+            top_k_sample(logits, k=2, temperature=0)
+        with pytest.raises(ConfigurationError):
+            top_k_sample(np.zeros(4), k=1)

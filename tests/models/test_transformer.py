@@ -1,0 +1,157 @@
+"""Tests for the numpy OPT implementation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.config import opt_config
+from repro.models.transformer import (
+    OptWeights,
+    embed_forward,
+    ffn_forward,
+    forward_layer,
+    head_forward,
+    layer_norm,
+    mha_forward,
+    reference_generate,
+    softmax,
+)
+from repro.models.weights import LayerKind, model_layers
+
+
+@pytest.fixture
+def cfg():
+    return opt_config("opt-tiny")
+
+
+@pytest.fixture
+def weights(cfg):
+    return OptWeights.init_random(cfg, seed=3)
+
+
+class TestPrimitives:
+    def test_layer_norm_normalizes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(3.0, 5.0, size=(2, 4, 16)).astype(np.float32)
+        out = layer_norm(x, np.ones(16), np.zeros(16))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.var(axis=-1), 1.0, atol=1e-2)
+
+    def test_layer_norm_affine(self):
+        x = np.random.default_rng(1).normal(size=(1, 2, 8)).astype(np.float32)
+        shifted = layer_norm(x, np.ones(8) * 2.0, np.ones(8) * 3.0)
+        base = layer_norm(x, np.ones(8), np.zeros(8))
+        assert np.allclose(shifted, base * 2.0 + 3.0, atol=1e-5)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(2).normal(size=(3, 7))
+        out = softmax(x)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_softmax_handles_large_values(self):
+        out = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(out).all()
+
+
+class TestLayers:
+    def test_embed_shapes_and_offset(self, cfg, weights):
+        payload = weights.layer_payload(0)
+        ids = np.array([[1, 2, 3]])
+        out = embed_forward(cfg, payload, ids, past_len=0)
+        assert out.shape == (1, 3, cfg.hidden_size)
+        # Position offset: the same token at a different past_len
+        # embeds differently.
+        later = embed_forward(cfg, payload, ids[:, :1], past_len=5)
+        first = embed_forward(cfg, payload, ids[:, :1], past_len=0)
+        assert not np.allclose(later, first)
+
+    def test_embed_rejects_overflow_positions(self, cfg, weights):
+        payload = weights.layer_payload(0)
+        ids = np.zeros((1, 4), dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            embed_forward(cfg, payload, ids, past_len=cfg.max_position)
+
+    def test_mha_kv_cache_matches_full_recompute(self, cfg, weights):
+        """Incremental decoding with the KV cache must equal a full
+        forward pass over the whole sequence."""
+        payload = weights.layer_payload(1)
+        rng = np.random.default_rng(4)
+        hidden = rng.normal(0, 0.1, size=(2, 6, cfg.hidden_size)).astype(
+            np.float32
+        )
+        full, _ = mha_forward(cfg, payload, hidden, kv=None)
+
+        prefix, kv = mha_forward(cfg, payload, hidden[:, :5, :], kv=None)
+        last, _ = mha_forward(cfg, payload, hidden[:, 5:, :], kv=kv)
+        assert np.allclose(last, full[:, 5:, :], atol=1e-4)
+        assert np.allclose(prefix, full[:, :5, :], atol=1e-4)
+
+    def test_mha_causality(self, cfg, weights):
+        """Changing a later token must not affect earlier outputs."""
+        payload = weights.layer_payload(1)
+        rng = np.random.default_rng(5)
+        hidden = rng.normal(0, 0.1, size=(1, 5, cfg.hidden_size)).astype(
+            np.float32
+        )
+        out_a, _ = mha_forward(cfg, payload, hidden, kv=None)
+        perturbed = hidden.copy()
+        perturbed[:, -1, :] += 1.0
+        out_b, _ = mha_forward(cfg, payload, perturbed, kv=None)
+        assert np.allclose(out_a[:, :-1, :], out_b[:, :-1, :], atol=1e-5)
+        assert not np.allclose(out_a[:, -1, :], out_b[:, -1, :])
+
+    def test_mha_residual_connection(self, cfg, weights):
+        payload = {key: np.zeros_like(value) for key, value in
+                   weights.layer_payload(1).items()}
+        payload["ln_w"] = np.ones_like(payload["ln_w"])
+        hidden = np.ones((1, 2, cfg.hidden_size), dtype=np.float32)
+        out, _ = mha_forward(cfg, payload, hidden, kv=None)
+        # Zero weights -> attention contributes nothing; residual passes.
+        assert np.allclose(out, hidden, atol=1e-5)
+
+    def test_ffn_relu_and_residual(self, cfg, weights):
+        payload = weights.layer_payload(2)
+        hidden = np.random.default_rng(6).normal(
+            0, 0.1, size=(1, 3, cfg.hidden_size)
+        ).astype(np.float32)
+        out = ffn_forward(cfg, payload, hidden)
+        assert out.shape == hidden.shape
+        assert not np.allclose(out, hidden)
+
+    def test_head_logits_shape(self, cfg, weights):
+        payload = weights.layer_payload(len(weights.layers) - 1)
+        hidden = np.zeros((2, 3, cfg.hidden_size), dtype=np.float32)
+        logits = head_forward(cfg, payload, hidden)
+        assert logits.shape == (2, 3, cfg.vocab_size)
+
+    def test_forward_layer_requires_tokens_for_embed(self, cfg, weights):
+        layer = model_layers(cfg)[0]
+        with pytest.raises(ConfigurationError):
+            forward_layer(cfg, layer, weights.layer_payload(0), None, None)
+
+
+class TestGeneration:
+    def test_reference_generate_shapes(self, cfg, weights):
+        ids = np.array([[1, 2, 3, 4], [4, 3, 2, 1]])
+        out = reference_generate(weights, ids, gen_len=3)
+        assert out.shape == (2, 7)
+        assert (out[:, :4] == ids).all()
+        assert (out[:, 4:] < cfg.vocab_size).all()
+
+    def test_reference_generate_deterministic(self, cfg, weights):
+        ids = np.array([[5, 6, 7, 8]])
+        a = reference_generate(weights, ids, gen_len=4)
+        b = reference_generate(weights, ids, gen_len=4)
+        assert (a == b).all()
+
+    def test_different_prompts_diverge(self, cfg, weights):
+        a = reference_generate(weights, np.array([[1, 2, 3, 4]]), 4)
+        b = reference_generate(weights, np.array([[9, 8, 7, 6]]), 4)
+        assert not (a[:, 4:] == b[:, 4:]).all()
+
+    def test_init_random_respects_spec_shapes(self, cfg, weights):
+        for layer in model_layers(cfg):
+            payload = weights.layer_payload(layer.index)
+            for spec in layer.weights:
+                assert payload[spec.name].shape == spec.shape
+                assert payload[spec.name].dtype == np.float16

@@ -1,0 +1,132 @@
+"""Tests for group-wise quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import QuantizationError
+from repro.quant.groupwise import (
+    dequantize,
+    max_group_error,
+    quantize,
+)
+from repro.quant.spec import FP16, INT4_GROUPWISE, CompressionSpec
+
+
+class TestRoundTrip:
+    def test_shape_and_dtype_preserved(self):
+        array = np.random.default_rng(0).normal(size=(8, 12)).astype(
+            np.float16
+        )
+        restored = dequantize(quantize(array))
+        assert restored.shape == array.shape
+        assert restored.dtype == np.float16
+
+    def test_error_within_half_step(self):
+        array = np.random.default_rng(1).normal(size=(64, 64)).astype(
+            np.float16
+        )
+        quantized = quantize(array, bits=4, group_size=64)
+        restored = dequantize(quantized)
+        bound = max_group_error(array, bits=4, group_size=64)
+        error = np.abs(
+            restored.astype(np.float32) - array.astype(np.float32)
+        ).max()
+        # Allow fp16 storage rounding on top of the quantization step.
+        assert error <= bound + 2e-3
+
+    def test_constant_array_is_exact(self):
+        array = np.full((100,), 1.25, dtype=np.float16)
+        restored = dequantize(quantize(array))
+        assert np.allclose(restored, array)
+
+    def test_eight_bit_is_tighter_than_four(self):
+        array = np.random.default_rng(2).normal(size=(256,)).astype(
+            np.float16
+        )
+        err4 = np.abs(
+            dequantize(quantize(array, bits=4)).astype(np.float32)
+            - array.astype(np.float32)
+        ).max()
+        err8 = np.abs(
+            dequantize(quantize(array, bits=8)).astype(np.float32)
+            - array.astype(np.float32)
+        ).max()
+        assert err8 <= err4
+
+    def test_non_multiple_group_size(self):
+        array = np.random.default_rng(3).normal(size=(77,)).astype(
+            np.float16
+        )
+        restored = dequantize(quantize(array, group_size=64))
+        assert restored.shape == (77,)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        array=hnp.arrays(
+            dtype=np.float16,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=17),
+            elements=st.floats(
+                min_value=-100, max_value=100, width=16
+            ),
+        ),
+        bits=st.sampled_from([2, 4, 8]),
+        group_size=st.sampled_from([8, 64, 256]),
+    )
+    def test_roundtrip_error_bound_property(self, array, bits, group_size):
+        quantized = quantize(array, bits=bits, group_size=group_size)
+        restored = dequantize(quantized)
+        bound = max_group_error(array, bits=bits, group_size=group_size)
+        error = np.abs(
+            restored.astype(np.float32) - array.astype(np.float32)
+        ).max()
+        # fp16 rounding of scales/values adds a small slack term.
+        slack = 1e-2 + 1e-2 * np.abs(array.astype(np.float32)).max()
+        assert error <= bound + slack
+
+
+class TestCompressedSize:
+    def test_four_bit_near_quarter(self):
+        array = np.zeros((1024, 1024), dtype=np.float16)
+        quantized = quantize(array, bits=4, group_size=64)
+        ratio = quantized.nbytes / array.nbytes
+        assert ratio == pytest.approx(INT4_GROUPWISE.ratio, rel=0.05)
+        assert 0.25 < ratio < 0.30
+
+    def test_spec_ratio_formula(self):
+        # 4 bits per 16-bit element plus an fp16 scale and min per
+        # 64-element group.
+        assert INT4_GROUPWISE.ratio == pytest.approx(
+            4 / 16 + (2 + 2) / (64 * 2)
+        )
+        assert FP16.ratio == 1.0
+
+    def test_spec_compressed_bytes(self):
+        assert INT4_GROUPWISE.compressed_bytes(1000) == pytest.approx(
+            1000 * INT4_GROUPWISE.ratio
+        )
+        with pytest.raises(QuantizationError):
+            INT4_GROUPWISE.compressed_bytes(-1)
+
+    def test_spec_validation(self):
+        with pytest.raises(QuantizationError):
+            CompressionSpec(enabled=True, bits=0)
+        with pytest.raises(QuantizationError):
+            CompressionSpec(enabled=True, group_size=0)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(QuantizationError):
+            quantize(np.array([], dtype=np.float16))
+
+    def test_rejects_odd_bit_widths(self):
+        array = np.zeros(8, dtype=np.float16)
+        with pytest.raises(QuantizationError):
+            quantize(array, bits=3)
+
+    def test_rejects_bad_group_size(self):
+        array = np.zeros(8, dtype=np.float16)
+        with pytest.raises(QuantizationError):
+            quantize(array, group_size=0)

@@ -1,0 +1,80 @@
+"""Tests for the Chrome trace exporter."""
+
+import json
+
+import pytest
+
+from repro.core.engine import OffloadEngine
+from repro.errors import SimulationError
+from repro.sim.chrome_trace import save_chrome_trace, trace_to_chrome_events
+from repro.sim.trace import Trace, TraceRecord
+
+
+def make_trace():
+    trace = Trace()
+    trace.record(
+        TraceRecord(
+            label="load L0", stream="h2d", category="transfer",
+            start=0.0, end=0.010, meta={"layer": 0},
+        )
+    )
+    trace.record(
+        TraceRecord(
+            label="compute L0", stream="compute", category="compute",
+            start=0.010, end=0.012, meta={},
+        )
+    )
+    return trace
+
+
+class TestExport:
+    def test_events_carry_durations_in_us(self):
+        events = trace_to_chrome_events(make_trace())
+        spans = [event for event in events if event["ph"] == "X"]
+        assert len(spans) == 2
+        assert spans[0]["ts"] == 0.0
+        assert spans[0]["dur"] == pytest.approx(10_000)
+
+    def test_thread_metadata_per_stream(self):
+        events = trace_to_chrome_events(make_trace())
+        names = [
+            event["args"]["name"]
+            for event in events
+            if event["ph"] == "M"
+        ]
+        assert names == ["h2d", "compute"]
+
+    def test_meta_stringified(self):
+        events = trace_to_chrome_events(make_trace())
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["args"] == {"layer": "0"}
+
+    def test_invalid_interval_rejected(self):
+        trace = Trace()
+        trace.record(
+            TraceRecord(
+                label="bad", stream="s", category="c", start=2.0, end=1.0
+            )
+        )
+        with pytest.raises(SimulationError):
+            trace_to_chrome_events(trace)
+
+    def test_save_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(make_trace(), str(path))
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == 4
+
+    def test_engine_run_exposes_trace(self, tmp_path):
+        engine = OffloadEngine(
+            model="opt-mini", host="DRAM", placement="allcpu",
+            batch_size=1, prompt_len=8, gen_len=2,
+        )
+        engine.run_timing()
+        path = tmp_path / "run.json"
+        save_chrome_trace(engine.last_trace, str(path))
+        payload = json.loads(path.read_text())
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        # one load + one compute per (token, layer), plus logits ops
+        assert len(spans) > 2 * 10

@@ -1,0 +1,90 @@
+"""Tests for trace recording and interval analysis."""
+
+import pytest
+
+from repro.sim.trace import Trace, TraceRecord, _intersection_length, _merge_intervals
+
+
+def record(label, stream, start, end, category="op", **meta):
+    return TraceRecord(
+        label=label, stream=stream, category=category,
+        start=start, end=end, meta=meta,
+    )
+
+
+class TestTrace:
+    def test_filter_by_category_and_stream(self):
+        trace = Trace()
+        trace.record(record("a", "s1", 0, 1, category="compute"))
+        trace.record(record("b", "s2", 0, 1, category="transfer"))
+        assert len(trace.filter(category="compute")) == 1
+        assert len(trace.filter(stream="s2")) == 1
+        assert len(trace.filter(category="compute", stream="s2")) == 0
+
+    def test_filter_by_meta(self):
+        trace = Trace()
+        trace.record(record("a", "s", 0, 1, stage="prefill"))
+        trace.record(record("b", "s", 1, 2, stage="decode"))
+        assert len(trace.filter(stage="decode")) == 1
+
+    def test_filter_predicate(self):
+        trace = Trace()
+        trace.record(record("a", "s", 0, 1))
+        trace.record(record("b", "s", 1, 3))
+        long_ones = trace.filter(predicate=lambda r: r.duration > 1.5)
+        assert [r.label for r in long_ones] == ["b"]
+
+    def test_totals_and_means(self):
+        trace = Trace()
+        trace.record(record("a", "s", 0, 1))
+        trace.record(record("b", "s", 1, 4))
+        assert trace.total_time() == pytest.approx(4.0)
+        assert trace.mean_duration() == pytest.approx(2.0)
+        assert trace.mean_duration(category="missing") == 0.0
+
+    def test_makespan(self):
+        trace = Trace()
+        assert trace.makespan() == 0.0
+        trace.record(record("a", "s", 0, 2))
+        trace.record(record("b", "s", 1, 5))
+        assert trace.makespan() == 5.0
+
+    def test_stream_busy_time(self):
+        trace = Trace()
+        trace.record(record("a", "x", 0, 2))
+        trace.record(record("b", "y", 0, 3))
+        assert trace.stream_busy_time("x") == pytest.approx(2.0)
+
+    def test_overlap_fraction_full(self):
+        trace = Trace()
+        trace.record(record("a", "x", 0, 2))
+        trace.record(record("b", "y", 0, 4))
+        assert trace.overlap_fraction("x", "y") == pytest.approx(1.0)
+        assert trace.overlap_fraction("y", "x") == pytest.approx(0.5)
+
+    def test_overlap_fraction_disjoint(self):
+        trace = Trace()
+        trace.record(record("a", "x", 0, 1))
+        trace.record(record("b", "y", 2, 3))
+        assert trace.overlap_fraction("x", "y") == 0.0
+
+    def test_overlap_fraction_empty_stream(self):
+        trace = Trace()
+        assert trace.overlap_fraction("x", "y") == 0.0
+
+
+class TestIntervalHelpers:
+    def test_merge_overlapping(self):
+        merged = _merge_intervals([(0, 2), (1, 3), (5, 6)])
+        assert merged == [(0, 3), (5, 6)]
+
+    def test_merge_touching(self):
+        assert _merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_merge_drops_empty(self):
+        assert _merge_intervals([(1, 1), (2, 1)]) == []
+
+    def test_intersection(self):
+        a = [(0, 2), (4, 6)]
+        b = [(1, 5)]
+        assert _intersection_length(a, b) == pytest.approx(2.0)

@@ -1,0 +1,52 @@
+"""Tests for the MLC-style latency/bandwidth microbenchmark."""
+
+import pytest
+
+from repro.bench.mlc import MlcSample, mlc_sweep
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return mlc_sweep()
+
+
+def pick(samples, region, remote):
+    for sample in samples:
+        if sample.region_name == region and sample.remote == remote:
+            return sample
+    raise AssertionError((region, remote))
+
+
+class TestMlc:
+    def test_covers_local_and_remote(self, samples):
+        assert {s.remote for s in samples} == {False, True}
+
+    def test_optane_idle_latency_above_dram(self, samples):
+        dram = pick(samples, "DRAM-0", remote=False)
+        optane = pick(samples, "NVDRAM-0", remote=False)
+        assert optane.idle_latency_ns > 1.5 * dram.idle_latency_ns
+
+    def test_remote_adds_upi_latency(self, samples):
+        local = pick(samples, "DRAM-0", remote=False)
+        remote = pick(samples, "DRAM-0", remote=True)
+        assert remote.idle_latency_ns > local.idle_latency_ns + 50
+
+    def test_remote_dram_bandwidth_upi_capped(self, samples):
+        local = pick(samples, "DRAM-0", remote=False)
+        remote = pick(samples, "DRAM-0", remote=True)
+        assert local.read_bandwidth_gbps > 100
+        assert remote.read_bandwidth_gbps < 70
+
+    def test_optane_write_far_below_read(self, samples):
+        optane = pick(samples, "NVDRAM-0", remote=False)
+        assert optane.write_bandwidth_gbps < optane.read_bandwidth_gbps / 4
+
+    def test_paper_mm_remote_observation(self, samples):
+        """'remote MM's inability to reach remote DRAM bandwidth':
+        node-0 MM writes trail DRAM writes even before the UPI cap."""
+        mm = pick(samples, "MM-0", remote=False)
+        dram = pick(samples, "DRAM-0", remote=False)
+        assert mm.write_bandwidth_gbps < dram.write_bandwidth_gbps
+
+    def test_sample_type(self, samples):
+        assert all(isinstance(s, MlcSample) for s in samples)

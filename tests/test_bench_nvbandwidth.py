@@ -1,0 +1,100 @@
+"""Tests for the Fig. 3 bandwidth microbenchmark."""
+
+import pytest
+
+from repro.bench.nvbandwidth import FIG3_CONFIGS, bandwidth_sweep
+from repro.errors import ExperimentError
+from repro.units import MIB
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return bandwidth_sweep()
+
+
+def pick(samples, region, direction, buffer_bytes):
+    for sample in samples:
+        if (
+            sample.region_name == region
+            and sample.direction == direction
+            and sample.buffer_bytes == buffer_bytes
+        ):
+            return sample
+    raise AssertionError("sample not found")
+
+
+class TestSweepStructure:
+    def test_covers_all_configs_regions_directions(self, samples):
+        configs = {s.config_label for s in samples}
+        assert configs == set(FIG3_CONFIGS)
+        directions = {s.direction for s in samples}
+        assert directions == {"h2g", "g2h"}
+        regions = {s.region_name for s in samples}
+        assert regions == {
+            "DRAM-0", "DRAM-1", "NVDRAM-0", "NVDRAM-1", "MM-0", "MM-1",
+        }
+
+    def test_buffer_range_256mib_to_32gib(self, samples):
+        sizes = sorted({s.buffer_bytes for s in samples})
+        assert sizes[0] == 256 * MIB
+        assert sizes[-1] == 32 * 1024 * MIB
+        assert len(sizes) == 8
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ExperimentError):
+            bandwidth_sweep(buffer_sizes=[0])
+
+
+class TestPaperObservations:
+    def test_nvdram_h2g_plateau_then_decay(self, samples):
+        """Fig 3a: 19.91 GB/s up to 4 GB, 15.52 GB/s at 32 GB."""
+        at_4g = pick(samples, "NVDRAM-0", "h2g", 4096 * MIB)
+        at_32g = pick(samples, "NVDRAM-0", "h2g", 32768 * MIB)
+        assert at_4g.gb_per_s == pytest.approx(19.9, abs=0.5)
+        assert at_32g.gb_per_s == pytest.approx(15.5, abs=0.3)
+
+    def test_nvdram_h2g_20pct_below_dram_small_buffers(self, samples):
+        nv = pick(samples, "NVDRAM-0", "h2g", 1024 * MIB)
+        dram = pick(samples, "DRAM-0", "h2g", 1024 * MIB)
+        assert 1 - nv.gb_per_s / dram.gb_per_s == pytest.approx(0.20, abs=0.03)
+
+    def test_nvdram_h2g_37pct_below_dram_at_32g(self, samples):
+        nv = pick(samples, "NVDRAM-0", "h2g", 32768 * MIB)
+        dram = pick(samples, "DRAM-0", "h2g", 32768 * MIB)
+        assert 1 - nv.gb_per_s / dram.gb_per_s == pytest.approx(0.37, abs=0.04)
+
+    def test_nvdram_g2h_88pct_below_dram(self, samples):
+        """Fig 3b: GPU->host into Optane peaks at 3.26 GB/s, ~88% below
+        DRAM."""
+        nv = pick(samples, "NVDRAM-1", "g2h", 1024 * MIB)
+        dram = pick(samples, "DRAM-0", "g2h", 1024 * MIB)
+        assert nv.gb_per_s == pytest.approx(3.26, abs=0.15)
+        assert 1 - nv.gb_per_s / dram.gb_per_s == pytest.approx(0.88, abs=0.02)
+
+    def test_nvdram_g2h_peaks_at_1gb(self, samples):
+        node1 = [
+            s for s in samples
+            if s.region_name == "NVDRAM-1" and s.direction == "g2h"
+        ]
+        best = max(node1, key=lambda s: s.gb_per_s)
+        assert best.buffer_bytes == 1024 * MIB
+
+    def test_mm_h2g_overlaps_dram(self, samples):
+        """Fig 3a caption: DRAM-0/1 and MM-0/1 overlap perfectly."""
+        for node in (0, 1):
+            mm = pick(samples, f"MM-{node}", "h2g", 4096 * MIB)
+            dram = pick(samples, f"DRAM-{node}", "h2g", 4096 * MIB)
+            assert mm.gb_per_s == pytest.approx(dram.gb_per_s, rel=0.01)
+
+    def test_mm1_g2h_overlaps_dram_but_mm0_lower(self, samples):
+        """Fig 3b caption: DRAM-0, DRAM-1, MM-1 overlap; MM-0 is lower."""
+        mm1 = pick(samples, "MM-1", "g2h", 1024 * MIB)
+        mm0 = pick(samples, "MM-0", "g2h", 1024 * MIB)
+        dram = pick(samples, "DRAM-0", "g2h", 1024 * MIB)
+        assert mm1.gb_per_s == pytest.approx(dram.gb_per_s, rel=0.01)
+        assert mm0.gb_per_s < dram.gb_per_s * 0.9
+
+    def test_nvdram_writes_faster_on_node1(self, samples):
+        node0 = pick(samples, "NVDRAM-0", "g2h", 1024 * MIB)
+        node1 = pick(samples, "NVDRAM-1", "g2h", 1024 * MIB)
+        assert node1.gb_per_s > node0.gb_per_s

@@ -1,0 +1,76 @@
+"""Tests for the repro-simulate CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulateCli:
+    def test_basic_run(self, capsys):
+        assert main([
+            "--model", "opt-175b", "--host", "NVDRAM",
+            "--placement", "helm", "--compress", "--gen-len", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "helm" in out
+        assert "tbt_s" in out
+
+    def test_batch_max(self, capsys):
+        assert main([
+            "--placement", "allcpu", "--compress", "--batch", "max",
+            "--gen-len", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        batch = int(out.splitlines()[0].rsplit("batch ", 1)[1].rstrip(":"))
+        assert batch >= 40  # the paper's 44-class maximum
+
+    def test_json_output(self, tmp_path, capsys):
+        target = tmp_path / "run.json"
+        assert main([
+            "--placement", "baseline", "--compress", "--gen-len", "3",
+            "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["placement"] == "baseline"
+        assert payload["tbt_s"] > 0
+
+    def test_repeats_uses_serving_report(self, tmp_path):
+        target = tmp_path / "serve.json"
+        assert main([
+            "--placement", "helm", "--compress", "--gen-len", "3",
+            "--repeats", "3", "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["repeats"] == 3
+        assert payload["startup_s"] > 0
+
+    def test_trace_output(self, tmp_path):
+        target = tmp_path / "trace.json"
+        assert main([
+            "--model", "opt-mini", "--host", "DRAM",
+            "--placement", "allcpu", "--prompt-len", "8",
+            "--gen-len", "2", "--trace", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["traceEvents"]
+
+    def test_energy_flag(self, capsys):
+        assert main([
+            "--placement", "baseline", "--compress", "--gen-len", "3",
+            "--energy",
+        ]) == 0
+        assert "joules_per_token" in capsys.readouterr().out
+
+    def test_qos_planning_exit_codes(self, capsys):
+        assert main([
+            "--target-tbt", "4.5", "--compress", "--gen-len", "3",
+        ]) == 0
+        assert main([
+            "--target-tbt", "0.0001", "--compress", "--gen-len", "3",
+        ]) == 2  # best effort, target unmet
+
+    def test_bad_host_reports_error(self, capsys):
+        assert main(["--host", "HBM9"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,76 @@
+"""Tests for CSV export, the output generator, and oversubscription."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.core.engine import OffloadEngine
+
+
+class TestCsvExport:
+    def test_roundtrip(self):
+        table = Table(title="T", columns=("a", "b"))
+        table.add_row(1, "x,y")
+        table.add_row(2.5, "plain")
+        rows = list(csv.reader(io.StringIO(table.to_csv())))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "x,y"]  # comma survives quoting
+        assert rows[2] == ["2.5", "plain"]
+
+
+class TestOutputScript:
+    def test_slug(self):
+        import importlib.util
+        import os
+
+        spec = importlib.util.spec_from_file_location(
+            "generate_output",
+            os.path.join(
+                os.path.dirname(__file__), "..", "scripts",
+                "generate_output.py",
+            ),
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module._slug("Fig 4: TTFT, TBT, and throughput") == (
+            "fig_4_ttft_tbt_and_throughput"
+        )
+        assert module._slug("***") == "table"
+
+
+class TestHostOversubscription:
+    def test_dram_ideal_is_flagged(self):
+        """The hypothetical all-DRAM OPT-175B (Section IV-B: 'no DRAM
+        optima to compare against') is simulated but flagged."""
+        engine = OffloadEngine(
+            model="opt-175b", host="DRAM", placement="baseline"
+        )
+        assert engine.host_oversubscribed
+
+    def test_real_configurations_fit(self):
+        for host in ("NVDRAM", "MemoryMode"):
+            engine = OffloadEngine(
+                model="opt-175b", host=host, placement="baseline"
+            )
+            assert not engine.host_oversubscribed
+
+    def test_compression_fits_dram(self):
+        engine = OffloadEngine(
+            model="opt-175b", host="DRAM", placement="baseline",
+            compress_weights=True,
+        )
+        assert not engine.host_oversubscribed
+
+    def test_kv_offload_counts_against_host(self):
+        from repro.core.policy import HOST_GPU_POLICY
+
+        policy = HOST_GPU_POLICY.with_compression(True).with_kv(
+            gpu_percent=0
+        )
+        engine = OffloadEngine(
+            model="opt-175b", host="DRAM", placement="allcpu",
+            policy=policy, batch_size=300,
+        )
+        assert engine.host_oversubscribed

@@ -1,0 +1,43 @@
+"""Tests for unit constants and formatting."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_prefixes_are_powers_of_two():
+    assert units.KIB == 2**10
+    assert units.MIB == 2**20
+    assert units.GIB == 2**30
+    assert units.TIB == 2**40
+
+
+def test_decimal_prefixes_are_powers_of_ten():
+    assert units.GB == 10**9
+    assert units.TB == 10**12
+
+
+def test_fmt_bytes_picks_readable_unit():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(units.KIB) == "1.00 KiB"
+    assert units.fmt_bytes(3 * units.GIB) == "3.00 GiB"
+    assert units.fmt_bytes(1.5 * units.TIB) == "1.50 TiB"
+
+
+def test_fmt_bytes_handles_negative():
+    assert units.fmt_bytes(-units.MIB) == "-1.00 MiB"
+
+
+def test_fmt_time_scales():
+    assert units.fmt_time(2.5) == "2.500 s"
+    assert units.fmt_time(0.002) == "2.000 ms"
+    assert units.fmt_time(3e-6) == "3.000 us"
+    assert units.fmt_time(5e-9) == "5.0 ns"
+
+
+def test_fmt_time_negative():
+    assert units.fmt_time(-0.002) == "-2.000 ms"
+
+
+def test_fmt_rate_in_decimal_gb():
+    assert units.fmt_rate(25e9) == "25.00 GB/s"

@@ -1,0 +1,161 @@
+"""Tests for the SVG chart primitives."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz.charts import (
+    Series,
+    _nice_ticks,
+    grouped_bar_chart,
+    line_chart,
+    stacked_bar_chart,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def count(root: ET.Element, tag: str) -> int:
+    return len(root.findall(f".//{SVG_NS}{tag}"))
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0, 27)
+        assert ticks[0] <= 0
+        assert ticks[-1] >= 27
+
+    def test_round_steps(self):
+        ticks = _nice_ticks(0, 100)
+        steps = {round(b - a, 6) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5, 5)
+        assert ticks[-1] >= 5
+
+
+class TestLineChart:
+    def make(self, **kwargs):
+        series = [
+            Series("a", ((1, 1.0), (2, 4.0), (4, 2.0))),
+            Series("b", ((1, 3.0), (2, 1.0), (4, 5.0))),
+        ]
+        defaults = dict(title="T", x_label="x", y_label="y")
+        defaults.update(kwargs)
+        return line_chart(series, **defaults)
+
+    def test_valid_xml_with_one_polyline_per_series(self):
+        root = parse(self.make())
+        assert count(root, "polyline") == 2
+
+    def test_markers_per_point(self):
+        root = parse(self.make())
+        assert count(root, "circle") == 6
+
+    def test_title_and_labels_present(self):
+        svg = self.make(title="Bandwidth sweep")
+        assert "Bandwidth sweep" in svg
+        assert ">x<" in svg and ">y<" in svg
+
+    def test_log_axis_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            line_chart(
+                [Series("a", ((0.0, 1.0), (1.0, 2.0)))],
+                title="T", x_label="x", y_label="y", log_x=True,
+            )
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series("a", ())
+        with pytest.raises(ConfigurationError):
+            line_chart([], title="T", x_label="x", y_label="y")
+
+    def test_labels_xml_escaped(self):
+        svg = line_chart(
+            [Series("a<b", ((1, 1),))],
+            title="T&T", x_label="x", y_label="y",
+        )
+        parse(svg)  # must stay valid XML
+        assert "a&lt;b" in svg
+        assert "T&amp;T" in svg
+
+
+class TestGroupedBars:
+    def make(self, **kwargs):
+        defaults = dict(
+            categories=["A", "B", "C"],
+            series=[("s1", [1.0, 2.0, 3.0]), ("s2", [3.0, 2.0, 1.0])],
+            title="T", y_label="y",
+        )
+        defaults.update(kwargs)
+        return grouped_bar_chart(
+            defaults.pop("categories"), defaults.pop("series"), **defaults
+        )
+
+    def test_one_rect_per_bar(self):
+        root = parse(self.make())
+        # 6 bars + background + 2 legend swatches
+        assert count(root, "rect") == 6 + 1 + 2
+
+    def test_bar_heights_proportional(self):
+        root = parse(self.make())
+        rects = [
+            r for r in root.findall(f".//{SVG_NS}rect")
+            if r.get("fill") not in ("white",)
+        ]
+        bars = rects[:6]
+        heights = [float(r.get("height")) for r in bars]
+        # s1's A (=1.0) vs s1's C (=3.0): 3x taller.
+        assert heights[4] == pytest.approx(heights[0] * 3, rel=0.02)
+
+    def test_overlay_line(self):
+        root = parse(self.make(overlay=[2.0, 2.0, 2.0], overlay_name="c"))
+        assert count(root, "polyline") == 1
+        assert count(root, "circle") == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grouped_bar_chart(
+                ["A"], [("s", [1.0, 2.0])], title="T", y_label="y"
+            )
+        with pytest.raises(ConfigurationError):
+            grouped_bar_chart(
+                ["A"], [("s", [1.0])], overlay=[1.0, 2.0],
+                title="T", y_label="y",
+            )
+
+
+class TestStackedBars:
+    def test_layers_stack_to_total(self):
+        svg = stacked_bar_chart(
+            ["MHA", "FFN"],
+            [("gpu", [0.25, 0.0]), ("cpu", [0.75, 1.0])],
+            title="T", y_label="share",
+        )
+        root = parse(svg)
+        rects = [
+            r for r in root.findall(f".//{SVG_NS}rect")
+            if r.get("fill") != "white"
+        ]
+        # 4 stacked segments + 2 legend swatches
+        assert len(rects) == 6
+        segments = rects[:4]
+        mha = [r for r in segments[:2]]
+        total_height = sum(float(r.get("height")) for r in mha)
+        ffn = segments[2:]
+        ffn_height = sum(float(r.get("height")) for r in ffn)
+        assert total_height == pytest.approx(ffn_height, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            stacked_bar_chart([], [], title="T", y_label="y")
+        with pytest.raises(ConfigurationError):
+            stacked_bar_chart(
+                ["A"], [("l", [1.0, 2.0])], title="T", y_label="y"
+            )

@@ -1,0 +1,51 @@
+"""Tests for the figure builders and the figures CLI path."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.viz.figures import FIGURES, render_all_figures, render_figure
+
+
+class TestRegistry:
+    def test_every_paper_plot_has_a_family(self):
+        assert {"fig3", "fig4", "fig5", "fig6", "fig7", "fig10",
+                "fig11", "fig12", "fig13"} == set(FIGURES)
+
+    def test_unknown_figure(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            render_figure("fig99", str(tmp_path))
+
+
+class TestRendering:
+    def test_fig3_renders_two_valid_svgs(self, tmp_path):
+        paths = render_figure("fig3", str(tmp_path))
+        assert len(paths) == 2
+        for path in paths:
+            root = ET.parse(path).getroot()
+            assert root.tag.endswith("svg")
+
+    def test_fig7_includes_sawtooth_and_distributions(self, tmp_path):
+        paths = render_figure("fig7", str(tmp_path))
+        names = {p.rsplit("/", 1)[-1] for p in paths}
+        assert "fig7a_sawtooth.svg" in names
+        assert "achieved_nvdram_mm.svg" in names
+
+    def test_fig10_distribution(self, tmp_path):
+        (path,) = render_figure("fig10", str(tmp_path))
+        content = open(path).read()
+        assert "HeLM weight distribution" in content
+
+    def test_render_all_covers_every_family(self, tmp_path):
+        paths = render_all_figures(str(tmp_path))
+        assert len(paths) >= 20
+        for path in paths:
+            ET.parse(path)  # all valid XML
+
+    def test_cli_figures_subcommand(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["figures", str(tmp_path), "--only", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10_helm_distribution.svg" in out

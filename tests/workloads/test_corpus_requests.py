@@ -1,0 +1,82 @@
+"""Tests for the synthetic corpus and request batching."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.corpus import SyntheticCorpus
+from repro.workloads.requests import (
+    PAPER_GEN_LEN,
+    PAPER_PROMPT_LEN,
+    GenerationRequest,
+    RequestBatch,
+    paper_workload,
+)
+
+
+class TestCorpus:
+    def test_documents_are_deterministic(self):
+        a = SyntheticCorpus(seed=1).document(3)
+        b = SyntheticCorpus(seed=1).document(3)
+        assert a == b
+
+    def test_documents_differ_by_index_and_seed(self):
+        corpus = SyntheticCorpus(seed=1)
+        assert corpus.document(0) != corpus.document(1)
+        assert corpus.document(0) != SyntheticCorpus(seed=2).document(0)
+
+    def test_sentence_count(self):
+        doc = SyntheticCorpus().document(0, sentences=5)
+        assert doc.count(".") == 5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SyntheticCorpus().document(-1)
+        with pytest.raises(WorkloadError):
+            SyntheticCorpus().documents(0)
+
+
+class TestRequests:
+    def test_paper_shape_constants(self):
+        """Section III-B: 128 input tokens, 21 output tokens."""
+        assert PAPER_PROMPT_LEN == 128
+        assert PAPER_GEN_LEN == 21
+
+    def test_paper_workload_shapes(self):
+        batch = paper_workload(batch_size=4)
+        assert batch.batch_size == 4
+        assert batch.prompt_len == 128
+        assert batch.gen_len == 21
+        ids = batch.token_ids()
+        assert ids.shape == (4, 128)
+
+    def test_vocab_clipping(self):
+        batch = paper_workload(batch_size=2, vocab_size=100)
+        assert batch.token_ids().max() < 100
+
+    def test_deterministic(self):
+        a = paper_workload(batch_size=2, seed=5).token_ids()
+        b = paper_workload(batch_size=2, seed=5).token_ids()
+        assert (a == b).all()
+
+    def test_request_validation(self):
+        with pytest.raises(WorkloadError):
+            GenerationRequest(prompt_ids=(), gen_len=1)
+        with pytest.raises(WorkloadError):
+            GenerationRequest(prompt_ids=(1,), gen_len=0)
+
+    def test_batch_uniformity_enforced(self):
+        uneven = (
+            GenerationRequest((1, 2), 4),
+            GenerationRequest((1, 2, 3), 4),
+        )
+        with pytest.raises(WorkloadError):
+            RequestBatch(uneven)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(WorkloadError):
+            RequestBatch(())
+
+    def test_custom_lengths(self):
+        batch = paper_workload(batch_size=1, prompt_len=16, gen_len=4)
+        assert batch.prompt_len == 16
+        assert batch.gen_len == 4

@@ -1,0 +1,101 @@
+"""Tests for the WordPiece-style tokenizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.tokenizer import (
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    WordPieceTokenizer,
+)
+
+CORPUS = [
+    "the quick brown fox jumps over the lazy dog",
+    "the dog barks at the quick fox",
+    "pack my box with five dozen liquor jugs",
+]
+
+
+@pytest.fixture
+def tokenizer():
+    return WordPieceTokenizer.train(CORPUS, vocab_size=128)
+
+
+class TestTraining:
+    def test_specials_present(self, tokenizer):
+        for token in SPECIAL_TOKENS:
+            assert token in tokenizer.vocab
+
+    def test_vocab_ids_dense(self, tokenizer):
+        ids = sorted(tokenizer.vocab.values())
+        assert ids == list(range(len(ids)))
+
+    def test_vocab_size_bounded(self, tokenizer):
+        assert tokenizer.vocab_size <= 128
+
+    def test_frequent_words_become_whole_tokens(self, tokenizer):
+        assert "the" in tokenizer.vocab
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(WorkloadError):
+            WordPieceTokenizer.train(CORPUS, vocab_size=4)
+
+
+class TestEncodeDecode:
+    def test_known_word_single_token(self, tokenizer):
+        ids = tokenizer.encode("the")
+        assert len(ids) == 1
+        assert tokenizer.inverse[ids[0]] == "the"
+
+    def test_unknown_word_falls_to_characters(self, tokenizer):
+        ids = tokenizer.encode("zebra")
+        assert len(ids) > 1
+        assert tokenizer.vocab[UNK_TOKEN] not in ids
+
+    def test_decode_roundtrip_for_known_text(self, tokenizer):
+        text = "the quick brown fox"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_truncation(self, tokenizer):
+        ids = tokenizer.encode(" ".join(CORPUS), max_tokens=5)
+        assert len(ids) == 5
+
+    def test_case_folding(self, tokenizer):
+        assert tokenizer.encode("THE") == tokenizer.encode("the")
+
+    def test_deterministic(self, tokenizer):
+        assert tokenizer.encode(CORPUS[0]) == tokenizer.encode(CORPUS[0])
+
+    def test_decode_rejects_unknown_id(self, tokenizer):
+        with pytest.raises(WorkloadError):
+            tokenizer.decode([10**9])
+
+    @given(
+        text=st.text(
+            alphabet=st.sampled_from("abcdefg "), min_size=0, max_size=60
+        )
+    )
+    def test_encode_decode_word_roundtrip(self, text):
+        tokenizer = WordPieceTokenizer.train(
+            CORPUS + ["a b c d e f g abc def"], vocab_size=256
+        )
+        ids = tokenizer.encode(text)
+        decoded = tokenizer.decode(ids)
+        # Round trip preserves the word sequence (whitespace folded).
+        assert decoded.split() == text.lower().split()
+
+
+class TestValidation:
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(WorkloadError):
+            WordPieceTokenizer({})
+
+    def test_missing_special_rejected(self):
+        with pytest.raises(WorkloadError):
+            WordPieceTokenizer({"a": 0})
+
+    def test_sparse_ids_rejected(self):
+        vocab = {token: i * 2 for i, token in enumerate(SPECIAL_TOKENS)}
+        with pytest.raises(WorkloadError):
+            WordPieceTokenizer(vocab)
