@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the online-serving ablation."""
+
+
+def test_ablation_serving(regenerate):
+    regenerate("ablation_serving")

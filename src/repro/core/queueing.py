@@ -40,6 +40,7 @@ class QueueingResult:
     mean_latency_s: float
     p50_latency_s: float
     p95_latency_s: float
+    p99_latency_s: float
     #: True when the queue kept growing over the run (offered load
     #: above capacity).
     saturated: bool
@@ -54,6 +55,7 @@ class QueueingResult:
             "mean_latency_s": self.mean_latency_s,
             "p50_latency_s": self.p50_latency_s,
             "p95_latency_s": self.p95_latency_s,
+            "p99_latency_s": self.p99_latency_s,
             "saturated": self.saturated,
         }
 
@@ -102,7 +104,7 @@ def simulate_queue(
     span = max(arrivals[-1], server_free_at)
     utilization = min(1.0, num_batches * service_time_s / span)
 
-    ordered = sorted(latencies)
+    p50, p95, p99 = np.percentile(latencies, (50.0, 95.0, 99.0))
     # Saturation heuristic: the last decile waits far longer than the
     # first decile.
     decile = max(1, len(waits) // 10)
@@ -117,8 +119,9 @@ def simulate_queue(
         utilization=utilization,
         mean_wait_s=statistics.fmean(waits),
         mean_latency_s=statistics.fmean(latencies),
-        p50_latency_s=ordered[len(ordered) // 2],
-        p95_latency_s=ordered[int(len(ordered) * 0.95) - 1],
+        p50_latency_s=float(p50),
+        p95_latency_s=float(p95),
+        p99_latency_s=float(p99),
         saturated=saturated,
     )
 

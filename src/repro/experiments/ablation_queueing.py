@@ -44,7 +44,7 @@ def run() -> ExperimentResult:
         ),
         columns=(
             "placement", "batch", "arrival_rps",
-            "p50_s", "p95_s", "utilization", "saturated",
+            "p50_s", "p95_s", "p99_s", "utilization", "saturated",
         ),
     )
     data: Dict[str, Dict] = {"max_batch": bmax}
@@ -58,6 +58,7 @@ def run() -> ExperimentResult:
                 placement, batch, rate,
                 round(result.p50_latency_s, 2),
                 round(result.p95_latency_s, 2),
+                round(result.p99_latency_s, 2),
                 round(result.utilization, 3),
                 result.saturated,
             )

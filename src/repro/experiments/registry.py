@@ -39,6 +39,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation_qos": "repro.experiments.ablation_qos",
     "ablation_schedule_order": "repro.experiments.ablation_schedule_order",
     "ablation_queueing": "repro.experiments.ablation_queueing",
+    "ablation_serving": "repro.experiments.ablation_serving",
 }
 
 

@@ -1,0 +1,74 @@
+"""``repro.serve`` — request-level online serving simulation.
+
+The paper (and this repo's closed-loop core) measures fixed batches;
+this package models what a *deployment* of those placements sees: an
+open arrival stream, continuous batching at iteration boundaries,
+multi-tenant QoS classes, and per-request latency percentiles.
+
+Entry points:
+
+* :func:`simulate_serving` — one placement under open-loop load.
+* ``repro-serve`` — the CLI wrapper (:mod:`repro.serve.cli`).
+"""
+
+from repro.serve.arrivals import (
+    MmppProcess,
+    PoissonProcess,
+    TraceReplay,
+    generate_requests,
+    load_trace,
+    save_trace,
+)
+from repro.serve.costs import FixedCostModel, IterationCostModel
+from repro.serve.metrics import (
+    ClassReport,
+    LatencyStats,
+    ServingMetrics,
+    build_metrics,
+)
+from repro.serve.request import (
+    BATCH,
+    DEFAULT_CLASSES,
+    INTERACTIVE,
+    STANDARD,
+    QosClass,
+    RequestRecord,
+    RequestSpec,
+)
+from repro.serve.scheduler import ContinuousBatchingScheduler, SchedulerRun
+from repro.serve.simulator import (
+    ServingResult,
+    ServingSimulator,
+    make_arrival_process,
+    simulate_serving,
+)
+from repro.workloads.lengths import LengthDistribution
+
+__all__ = [
+    "PoissonProcess",
+    "MmppProcess",
+    "TraceReplay",
+    "generate_requests",
+    "save_trace",
+    "load_trace",
+    "IterationCostModel",
+    "FixedCostModel",
+    "QosClass",
+    "RequestSpec",
+    "RequestRecord",
+    "INTERACTIVE",
+    "BATCH",
+    "STANDARD",
+    "DEFAULT_CLASSES",
+    "ContinuousBatchingScheduler",
+    "SchedulerRun",
+    "LatencyStats",
+    "ClassReport",
+    "ServingMetrics",
+    "build_metrics",
+    "ServingSimulator",
+    "ServingResult",
+    "simulate_serving",
+    "make_arrival_process",
+    "LengthDistribution",
+]

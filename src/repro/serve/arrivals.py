@@ -1,0 +1,202 @@
+"""Arrival processes for the open-loop serving simulator.
+
+Three workload shapes:
+
+* :class:`PoissonProcess` — memoryless arrivals at a constant rate,
+  the standard open-loop load model.
+* :class:`MmppProcess` — a two-state Markov-modulated Poisson process
+  alternating between a base rate and a burst rate; reproduces the
+  bursty traffic tiered-memory serving studies (ITME) evaluate under.
+* :class:`TraceReplay` — replays a recorded request trace verbatim,
+  for production traces or regression workloads.
+
+:func:`generate_requests` samples a full request stream (arrival
+times, per-request prompt/gen lengths, tenant classes)
+deterministically from one seed; :func:`save_trace` /
+:func:`load_trace` round-trip streams through JSONL files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.serve.request import STANDARD, QosClass, RequestSpec
+from repro.workloads.lengths import LengthDistribution
+
+#: Default mix: one tenant, the paper's shape.
+DEFAULT_MIX: Tuple[Tuple[QosClass, float], ...] = ((STANDARD, 1.0),)
+
+
+@dataclass(frozen=True)
+class PoissonProcess:
+    """Constant-rate memoryless arrivals."""
+
+    rate_rps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise WorkloadError("arrival rate must be positive")
+
+    def arrival_times(
+        self, num_requests: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        gaps = rng.exponential(1.0 / self.rate_rps, size=num_requests)
+        return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class MmppProcess:
+    """Two-state Markov-modulated Poisson process (bursty arrivals).
+
+    The process alternates between a *base* state and a *burst* state;
+    sojourn times in each state are exponential with the given means,
+    and arrivals within a state are Poisson at that state's rate.
+    """
+
+    base_rate_rps: float
+    burst_rate_rps: float
+    mean_base_s: float
+    mean_burst_s: float
+
+    def __post_init__(self) -> None:
+        if self.base_rate_rps <= 0 or self.burst_rate_rps <= 0:
+            raise WorkloadError("MMPP rates must be positive")
+        if self.burst_rate_rps <= self.base_rate_rps:
+            raise WorkloadError("burst rate must exceed the base rate")
+        if self.mean_base_s <= 0 or self.mean_burst_s <= 0:
+            raise WorkloadError("MMPP sojourn times must be positive")
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Time-averaged arrival rate across both states."""
+        total = self.mean_base_s + self.mean_burst_s
+        return (
+            self.base_rate_rps * self.mean_base_s
+            + self.burst_rate_rps * self.mean_burst_s
+        ) / total
+
+    def arrival_times(
+        self, num_requests: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        times: List[float] = []
+        now = 0.0
+        burst = False
+        while len(times) < num_requests:
+            rate = self.burst_rate_rps if burst else self.base_rate_rps
+            mean = self.mean_burst_s if burst else self.mean_base_s
+            state_end = now + rng.exponential(mean)
+            clock = now
+            while len(times) < num_requests:
+                clock += rng.exponential(1.0 / rate)
+                if clock >= state_end:
+                    break
+                times.append(clock)
+            now = state_end
+            burst = not burst
+        return np.asarray(times[:num_requests])
+
+
+@dataclass(frozen=True)
+class TraceReplay:
+    """A pre-recorded request stream, replayed verbatim."""
+
+    specs: Tuple[RequestSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise WorkloadError("a trace replay needs at least one request")
+
+
+ArrivalProcess = Union[PoissonProcess, MmppProcess]
+
+
+def generate_requests(
+    process: Union[ArrivalProcess, TraceReplay],
+    num_requests: int,
+    prompt_lengths: LengthDistribution = LengthDistribution.fixed(128),
+    gen_lengths: LengthDistribution = LengthDistribution.fixed(21),
+    class_mix: Sequence[Tuple[QosClass, float]] = DEFAULT_MIX,
+    seed: int = 0,
+) -> Tuple[RequestSpec, ...]:
+    """Sample one deterministic request stream.
+
+    A :class:`TraceReplay` process short-circuits sampling and returns
+    its recorded stream (truncated to ``num_requests`` when shorter).
+    """
+    if isinstance(process, TraceReplay):
+        specs = process.specs[:num_requests] if num_requests else process.specs
+        return tuple(sorted(specs, key=lambda s: (s.arrival_s, s.request_id)))
+    if num_requests < 1:
+        raise WorkloadError("request count must be positive")
+    if not class_mix:
+        raise WorkloadError("class mix cannot be empty")
+    weights = np.asarray([weight for _, weight in class_mix], dtype=float)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise WorkloadError("class weights must be non-negative, sum > 0")
+
+    rng = np.random.default_rng(seed)
+    times = process.arrival_times(num_requests, rng)
+    prompts = prompt_lengths.sample(rng, num_requests)
+    gens = gen_lengths.sample(rng, num_requests)
+    names = [qos.name for qos, _ in class_mix]
+    picks = rng.choice(len(names), size=num_requests, p=weights / weights.sum())
+    return tuple(
+        RequestSpec(
+            request_id=index,
+            arrival_s=float(times[index]),
+            prompt_len=int(prompts[index]),
+            gen_len=int(gens[index]),
+            qos_class=names[picks[index]],
+        )
+        for index in range(num_requests)
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace files (JSONL, one request per line)
+# ----------------------------------------------------------------------
+
+_TRACE_FIELDS = ("request_id", "arrival_s", "prompt_len", "gen_len", "qos_class")
+
+
+def save_trace(specs: Sequence[RequestSpec], path: str) -> None:
+    """Write a request stream as a JSONL trace file."""
+    with open(path, "w") as handle:
+        for spec in specs:
+            handle.write(
+                json.dumps({name: getattr(spec, name) for name in _TRACE_FIELDS})
+                + "\n"
+            )
+
+
+def load_trace(path: str) -> Tuple[RequestSpec, ...]:
+    """Read a JSONL trace file back into a request stream."""
+    specs: List[RequestSpec] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                specs.append(
+                    RequestSpec(
+                        request_id=int(payload["request_id"]),
+                        arrival_s=float(payload["arrival_s"]),
+                        prompt_len=int(payload["prompt_len"]),
+                        gen_len=int(payload["gen_len"]),
+                        qos_class=str(payload.get("qos_class", STANDARD.name)),
+                    )
+                )
+            except (KeyError, ValueError, json.JSONDecodeError) as error:
+                raise WorkloadError(
+                    f"{path}:{line_no}: bad trace record: {error}"
+                ) from None
+    if not specs:
+        raise WorkloadError(f"{path}: empty trace")
+    return tuple(specs)

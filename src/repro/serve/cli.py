@@ -1,0 +1,257 @@
+"""``repro-serve`` — open-loop online serving simulation from the shell.
+
+Examples::
+
+    repro-serve --placement helm --arrival poisson --rate 2.0
+    repro-serve --placement allcpu --arrival bursty --rate 0.1 \
+        --requests 300 --classes interactive:0.7,batch:0.3
+    repro-serve --placement helm --rate 0.005 --vary-lengths \
+        --save-trace stream.jsonl --chrome-trace run.json
+    repro-serve --replay stream.jsonl --placement allcpu --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.memory.hierarchy import HOST_CONFIG_LABELS
+from repro.serve.arrivals import TraceReplay, load_trace, save_trace
+from repro.serve.request import DEFAULT_CLASSES, STANDARD, QosClass
+from repro.serve.simulator import simulate_serving
+from repro.workloads.lengths import LengthDistribution
+
+
+def parse_class_mix(spec: str) -> Tuple[Tuple[QosClass, float], ...]:
+    """Parse ``name:weight,name:weight`` over the predefined classes."""
+    known = {qos.name: qos for qos in DEFAULT_CLASSES}
+    mix: List[Tuple[QosClass, float]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight_text = part.partition(":")
+        if name not in known:
+            raise ConfigurationError(
+                f"unknown QoS class {name!r}; available: "
+                f"{', '.join(sorted(known))}"
+            )
+        try:
+            weight = float(weight_text) if weight_text else 1.0
+        except ValueError:
+            raise ConfigurationError(
+                f"bad class weight in {part!r}"
+            ) from None
+        mix.append((known[name], weight))
+    if not mix:
+        raise ConfigurationError(f"empty class mix {spec!r}")
+    return tuple(mix)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Simulate an open-loop online serving deployment (continuous "
+            "batching, multi-tenant QoS) of out-of-core LLM inference on "
+            "heterogeneous host memory."
+        ),
+    )
+    parser.add_argument("--model", default="opt-175b")
+    parser.add_argument(
+        "--host", default="NVDRAM",
+        help=f"one of {', '.join(HOST_CONFIG_LABELS)}",
+    )
+    parser.add_argument(
+        "--placement", default="helm", help="baseline | helm | allcpu"
+    )
+    parser.add_argument(
+        "--compress", action=argparse.BooleanOptionalAction, default=True,
+        help="4-bit group-wise weight quantization (default: on)",
+    )
+    parser.add_argument(
+        "--arrival", default="poisson", choices=("poisson", "bursty"),
+        help="arrival process (ignored with --replay)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.01,
+        help="mean arrival rate, requests/s",
+    )
+    parser.add_argument(
+        "--burst-rate", type=float, default=None,
+        help="bursty arrivals: burst-state rate (default 5x --rate)",
+    )
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--prompt-len", default="128",
+        help="prompt length distribution: N | fixed:N | uniform:LO:HI | "
+        "lognormal:MEDIAN[:SIGMA]",
+    )
+    parser.add_argument(
+        "--gen-len", default="21",
+        help="generation length distribution (same formats)",
+    )
+    parser.add_argument(
+        "--vary-lengths", action="store_true",
+        help="shortcut: lognormal lengths around --prompt-len/--gen-len",
+    )
+    parser.add_argument(
+        "--classes", default=STANDARD.name,
+        help="tenant mix, e.g. 'interactive:0.7,batch:0.3' "
+        f"(classes: {', '.join(sorted(q.name for q in DEFAULT_CLASSES))})",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=None,
+        help="override the KV-cache admission limit",
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE",
+        help="replay a JSONL request trace instead of sampling arrivals",
+    )
+    parser.add_argument(
+        "--save-trace", metavar="FILE",
+        help="write the (sampled or replayed) request stream as JSONL",
+    )
+    parser.add_argument(
+        "--chrome-trace", metavar="FILE",
+        help="write the virtual-time run as chrome://tracing JSON",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="write the summary as JSON"
+    )
+    return parser
+
+
+def _length_dist(spec: str, vary: bool) -> LengthDistribution:
+    dist = LengthDistribution.parse(spec)
+    if vary and dist.kind == "fixed":
+        return LengthDistribution.lognormal(median=float(dist.low))
+    return dist
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _print_report(result) -> None:
+    metrics = result.metrics
+    setup = result.setup
+    print(
+        f"{setup['model']} on {setup['host']}, {setup['placement']} "
+        f"(max batch {setup['max_batch']}), {setup['arrival']} arrivals "
+        f"@ {setup['rate_rps']} req/s, {metrics.num_requests} requests:"
+    )
+    rows = [
+        ("requests completed", f"{metrics.num_requests}"),
+        ("simulated span", f"{metrics.duration_s:.1f} s"),
+        ("throughput", f"{metrics.throughput_rps:.4f} req/s "
+         f"({metrics.token_throughput_tps:.3f} tok/s)"),
+        ("goodput (SLO met)", f"{metrics.goodput_rps:.4f} req/s "
+         f"({metrics.slo_attainment:.1%} attainment)"),
+        ("GPU utilization", f"{metrics.utilization:.1%}"),
+        ("mean/peak queue depth",
+         f"{metrics.mean_queue_depth:.1f} / {metrics.peak_queue_depth}"),
+        ("mean decode batch", f"{metrics.mean_batch:.1f}"),
+        ("saturated", str(metrics.saturated)),
+    ]
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"  {name:<{width}} : {value}")
+    print("  latency (p50 / p95 / p99, seconds):")
+    for label, stats in (
+        ("TTFT", metrics.ttft), ("TBT", metrics.tbt), ("E2E", metrics.e2e),
+    ):
+        print(
+            f"    {label:<4} : {_fmt(stats.p50_s)} / {_fmt(stats.p95_s)} / "
+            f"{_fmt(stats.p99_s)}"
+        )
+    if len(metrics.per_class) > 1:
+        print("  per QoS class:")
+        for name, report in sorted(metrics.per_class.items()):
+            print(
+                f"    {name:<12} : {report.completed} done, "
+                f"SLO {report.slo_attainment:.1%}, "
+                f"TTFT p95 {_fmt(report.ttft.p95_s)} s, "
+                f"TBT p95 {_fmt(report.tbt.p95_s)} s"
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        class_mix = parse_class_mix(args.classes)
+        if args.replay:
+            specs = load_trace(args.replay)
+            arrival = TraceReplay(specs=specs)
+            # Replayed requests keep their recorded classes; make sure
+            # every class named by the trace is configured.
+            named = {spec.qos_class for spec in specs}
+            known = {qos.name for qos, _ in class_mix}
+            missing = named - known
+            if missing:
+                class_mix = class_mix + tuple(
+                    (qos, 0.0)
+                    for qos in DEFAULT_CLASSES
+                    if qos.name in missing
+                )
+            num_requests = args.requests if args.requests else 0
+        else:
+            arrival = args.arrival
+            num_requests = args.requests
+
+        result = simulate_serving(
+            model=args.model,
+            host=args.host,
+            placement=args.placement,
+            compress_weights=args.compress,
+            arrival=arrival,
+            rate_rps=args.rate,
+            burst_rate_rps=args.burst_rate,
+            num_requests=num_requests,
+            prompt_lengths=_length_dist(args.prompt_len, args.vary_lengths),
+            gen_lengths=_length_dist(args.gen_len, args.vary_lengths),
+            class_mix=class_mix,
+            seed=args.seed,
+            max_batch=args.max_batch,
+        )
+        _print_report(result)
+
+        if args.save_trace:
+            save_trace(_specs_of(result), args.save_trace)
+            print(f"request trace written to {args.save_trace}")
+        if args.chrome_trace:
+            from repro.sim.chrome_trace import save_chrome_trace
+
+            save_chrome_trace(result.trace, args.chrome_trace)
+            print(f"chrome trace written to {args.chrome_trace}")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(result.summary(), handle, indent=1)
+            print(f"summary written to {args.json}")
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _specs_of(result) -> Sequence:
+    from repro.serve.request import RequestSpec
+
+    return [
+        RequestSpec(
+            request_id=record.request_id,
+            arrival_s=record.arrival_s,
+            prompt_len=record.prompt_len,
+            gen_len=record.gen_len,
+            qos_class=record.qos_class,
+        )
+        for record in result.records
+    ]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

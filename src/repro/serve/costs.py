@@ -1,0 +1,168 @@
+"""Per-iteration prefill/decode costs from the closed-loop timing backend.
+
+Continuous batching schedules *iterations* (one forward pass over all
+decoder layers), not whole closed-loop batches.  This module prices a
+single iteration with the same platform models the paper's
+:class:`~repro.core.timing.TimingExecutor` uses — weight transfers
+via the interconnect path solver, kernels via the GPU roofline — by
+instantiating executors per (batch size, prompt bucket) and summing
+per-layer step times.  With FlexGen's overlap (Listing 1) a layer
+step takes ``max(transfer, compute)``; without it, their sum.
+
+The KV-cache admission limit — how many sequences may decode
+concurrently — comes from :mod:`repro.core.batching`'s GPU memory
+plan via :meth:`OffloadEngine.max_batch_size`, which is what turns
+the paper's HeLM-vs-All-CPU maximum-batch frontier into a
+throughput/latency frontier under open load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.engine import OffloadEngine
+from repro.core.metrics import Stage
+from repro.core.timing import TimingExecutor
+from repro.errors import ConfigurationError
+
+
+class IterationCostModel:
+    """Prices single prefill/decode iterations for one engine config."""
+
+    def __init__(
+        self,
+        engine: OffloadEngine,
+        bucket_tokens: int = 32,
+        overlap: bool = True,
+    ) -> None:
+        if bucket_tokens < 1:
+            raise ConfigurationError("bucket_tokens must be >= 1")
+        self.engine = engine
+        self.bucket_tokens = bucket_tokens
+        self.overlap = overlap
+        self._executors: Dict[Tuple[int, int], TimingExecutor] = {}
+        self._prefill_cache: Dict[Tuple[int, int], float] = {}
+        self._decode_cache: Dict[Tuple[int, int], float] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def max_position(self) -> int:
+        return self.engine.config.max_position
+
+    def _bucket(self, tokens: int, cap: int) -> int:
+        """Round ``tokens`` up to the bucket grid, clipped to ``cap``."""
+        step = self.bucket_tokens
+        rounded = max(step, ((int(tokens) + step - 1) // step) * step)
+        return min(rounded, cap)
+
+    def _executor(self, batch: int, prompt_len: int) -> TimingExecutor:
+        key = (batch, prompt_len)
+        if key not in self._executors:
+            engine = self.engine
+            self._executors[key] = TimingExecutor(
+                host=engine.host,
+                placement=engine.placement_result,
+                policy=engine.policy,
+                batch_size=batch,
+                prompt_len=prompt_len,
+                gen_len=engine.gen_len,
+                gpu_spec=engine.gpu_spec,
+            )
+        return self._executors[key]
+
+    def _iteration_time(
+        self, executor: TimingExecutor, stage: Stage, context_len: int
+    ) -> float:
+        total = 0.0
+        for index, layer in enumerate(executor.placement.layers):
+            transfer = executor.layer_transfer_time(index)
+            compute = executor.layer_compute_time(layer, stage, context_len)
+            total += max(transfer, compute) if self.overlap else transfer + compute
+        return total
+
+    # -- public API --------------------------------------------------------
+
+    def max_concurrency(self, limit: int = 512) -> int:
+        """KV-gated number of concurrently decoding sequences.
+
+        Uses the engine's reference sequence shape against the GPU
+        memory plan of :mod:`repro.core.batching` (weights, staging,
+        dequant scratch, pre-allocated KV, hidden buffers).
+        """
+        return self.engine.max_batch_size(limit=limit)
+
+    def prefill_time(self, batch: int, prompt_len: int) -> float:
+        """One prefill iteration over ``batch`` admitted prompts."""
+        if batch < 1 or prompt_len < 1:
+            raise ConfigurationError("batch and prompt_len must be >= 1")
+        # Leave room for at least one generated token in the KV plan.
+        prompt = self._bucket(
+            prompt_len, self.max_position - self.engine.gen_len
+        )
+        key = (batch, prompt)
+        if key not in self._prefill_cache:
+            executor = self._executor(batch, prompt)
+            self._prefill_cache[key] = self._iteration_time(
+                executor, Stage.PREFILL, prompt
+            )
+        return self._prefill_cache[key]
+
+    def decode_time(self, batch: int, context_len: int) -> float:
+        """One decode iteration: one new token per running sequence."""
+        if batch < 1 or context_len < 1:
+            raise ConfigurationError("batch and context_len must be >= 1")
+        context = self._bucket(context_len, self.max_position)
+        key = (batch, context)
+        if key not in self._decode_cache:
+            executor = self._executor(batch, self.engine.prompt_len)
+            self._decode_cache[key] = self._iteration_time(
+                executor, Stage.DECODE, context
+            )
+        return self._decode_cache[key]
+
+    def reference_service_time(
+        self, prompt_len: int, gen_len: int, batch: int
+    ) -> float:
+        """Per-request service time at occupancy ``batch``.
+
+        The prefill runs once for the request; every decode iteration
+        is shared by the whole running batch, so only the full
+        iteration cost (not its per-request share) bounds latency.
+        Used as the saturation-detection yardstick.
+        """
+        prefill = self.prefill_time(1, prompt_len)
+        decode = self.decode_time(max(1, batch), prompt_len + gen_len)
+        return prefill + max(0, gen_len - 1) * decode
+
+
+class FixedCostModel:
+    """Constant-cost stand-in for tests and analytic studies."""
+
+    def __init__(
+        self,
+        prefill_s: float = 1.0,
+        decode_s: float = 0.5,
+        slots: int = 4,
+    ) -> None:
+        if prefill_s <= 0 or decode_s <= 0 or slots < 1:
+            raise ConfigurationError(
+                "costs must be positive and slots >= 1"
+            )
+        self.prefill_s = prefill_s
+        self.decode_s = decode_s
+        self.slots = slots
+
+    def max_concurrency(self, limit: int = 512) -> int:
+        return min(self.slots, limit)
+
+    def prefill_time(self, batch: int, prompt_len: int) -> float:
+        return self.prefill_s
+
+    def decode_time(self, batch: int, context_len: int) -> float:
+        return self.decode_s
+
+    def reference_service_time(
+        self, prompt_len: int, gen_len: int, batch: int
+    ) -> float:
+        return self.prefill_s + max(0, gen_len - 1) * self.decode_s

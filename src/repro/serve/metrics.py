@@ -1,0 +1,208 @@
+"""Per-request serving metrics: latency percentiles, SLO goodput.
+
+Aggregates a scheduler run into the numbers a serving operator
+watches — p50/p95/p99 TTFT, time-between-tokens, and end-to-end
+latency, per QoS class and overall; goodput (SLO-compliant requests
+per second); queue-depth and utilization summaries; and a saturation
+flag using the same last-decile-vs-first-decile wait heuristic as
+:mod:`repro.core.queueing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.request import QosClass, RequestRecord
+from repro.serve.scheduler import SchedulerRun
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Mean and tail percentiles of one latency series."""
+
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencyStats":
+        if not len(values):
+            return cls(0.0, 0.0, 0.0, 0.0)
+        array = np.asarray(values, dtype=float)
+        p50, p95, p99 = np.percentile(array, (50.0, 95.0, 99.0))
+        return cls(
+            mean_s=float(array.mean()),
+            p50_s=float(p50),
+            p95_s=float(p95),
+            p99_s=float(p99),
+        )
+
+    def summary(self, prefix: str) -> Dict[str, float]:
+        return {
+            f"{prefix}_mean_s": self.mean_s,
+            f"{prefix}_p50_s": self.p50_s,
+            f"{prefix}_p95_s": self.p95_s,
+            f"{prefix}_p99_s": self.p99_s,
+        }
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """One QoS class's share of the run."""
+
+    name: str
+    completed: int
+    slo_attainment: float
+    goodput_rps: float
+    ttft: LatencyStats
+    tbt: LatencyStats
+    e2e: LatencyStats
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "completed": self.completed,
+            "slo_attainment": self.slo_attainment,
+            "goodput_rps": self.goodput_rps,
+            **self.ttft.summary("ttft"),
+            **self.tbt.summary("tbt"),
+            **self.e2e.summary("e2e"),
+        }
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Aggregate results of one open-loop serving simulation."""
+
+    num_requests: int
+    duration_s: float
+    throughput_rps: float
+    token_throughput_tps: float
+    utilization: float
+    mean_queue_depth: float
+    peak_queue_depth: int
+    mean_batch: float
+    saturated: bool
+    goodput_rps: float
+    slo_attainment: float
+    ttft: LatencyStats
+    tbt: LatencyStats
+    e2e: LatencyStats
+    per_class: Dict[str, ClassReport]
+
+    def summary(self) -> Dict[str, object]:
+        flat: Dict[str, object] = {
+            "num_requests": self.num_requests,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "token_throughput_tps": self.token_throughput_tps,
+            "utilization": self.utilization,
+            "mean_queue_depth": self.mean_queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "mean_batch": self.mean_batch,
+            "saturated": self.saturated,
+            "goodput_rps": self.goodput_rps,
+            "slo_attainment": self.slo_attainment,
+            **self.ttft.summary("ttft"),
+            **self.tbt.summary("tbt"),
+            **self.e2e.summary("e2e"),
+        }
+        flat["classes"] = {
+            name: report.summary()
+            for name, report in sorted(self.per_class.items())
+        }
+        return flat
+
+
+def _class_report(
+    name: str, records: Sequence[RequestRecord], duration_s: float
+) -> ClassReport:
+    met = sum(1 for record in records if record.slo_met)
+    return ClassReport(
+        name=name,
+        completed=len(records),
+        slo_attainment=met / len(records) if records else 0.0,
+        goodput_rps=met / duration_s if duration_s > 0 else 0.0,
+        ttft=LatencyStats.from_values([r.ttft_s for r in records]),
+        tbt=LatencyStats.from_values(
+            [r.tbt_s for r in records if r.gen_len > 1]
+        ),
+        e2e=LatencyStats.from_values([r.e2e_s for r in records]),
+    )
+
+
+def detect_saturation(
+    waits_by_arrival: Sequence[float], service_ref_s: float
+) -> bool:
+    """Offered load above capacity: queueing delay keeps growing.
+
+    Two signals, either of which flags saturation: the
+    decile heuristic of :func:`repro.core.queueing.simulate_queue`
+    (the last decile of admission waits, in arrival order, dwarfs the
+    first decile plus one reference service time), and a wait-trend
+    fit (admission waits grew by more than two service times across
+    the run — the short-burst signature the deciles can miss).
+    """
+    if len(waits_by_arrival) < 10:
+        return False
+    waits = np.asarray(waits_by_arrival, dtype=float)
+    decile = max(1, len(waits) // 10)
+    head = float(waits[:decile].mean())
+    tail = float(waits[-decile:].mean())
+    if tail > 3.0 * (head + service_ref_s):
+        return True
+    slope = float(np.polyfit(np.arange(len(waits)), waits, 1)[0])
+    growth = slope * (len(waits) - 1)
+    return growth > 2.0 * service_ref_s and tail > head + service_ref_s
+
+
+def build_metrics(
+    run: SchedulerRun,
+    classes: Sequence[QosClass],
+    service_ref_s: float,
+) -> ServingMetrics:
+    """Aggregate one scheduler run into :class:`ServingMetrics`."""
+    records = run.records
+    duration = run.span_s
+    tokens = sum(record.gen_len for record in records)
+    met = sum(1 for record in records if record.slo_met)
+
+    by_class: Dict[str, list] = {qos.name: [] for qos in classes}
+    for record in records:
+        by_class.setdefault(record.qos_class, []).append(record)
+    per_class = {
+        name: _class_report(name, class_records, duration)
+        for name, class_records in by_class.items()
+        if class_records
+    }
+
+    waits = [
+        record.wait_s
+        for record in sorted(records, key=lambda r: (r.arrival_s, r.request_id))
+    ]
+    depths = [sample.waiting for sample in run.timeline]
+    batches = [
+        sample.batch for sample in run.timeline if sample.kind == "decode"
+    ]
+    return ServingMetrics(
+        num_requests=len(records),
+        duration_s=duration,
+        throughput_rps=len(records) / duration if duration > 0 else 0.0,
+        token_throughput_tps=tokens / duration if duration > 0 else 0.0,
+        utilization=run.utilization,
+        mean_queue_depth=float(np.mean(depths)) if depths else 0.0,
+        peak_queue_depth=max(depths) if depths else 0,
+        mean_batch=float(np.mean(batches)) if batches else 0.0,
+        saturated=detect_saturation(waits, service_ref_s),
+        goodput_rps=met / duration if duration > 0 else 0.0,
+        slo_attainment=met / len(records) if records else 0.0,
+        ttft=LatencyStats.from_values([r.ttft_s for r in records]),
+        tbt=LatencyStats.from_values(
+            [r.tbt_s for r in records if r.gen_len > 1]
+        ),
+        e2e=LatencyStats.from_values([r.e2e_s for r in records]),
+        per_class=per_class,
+    )

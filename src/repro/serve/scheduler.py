@@ -1,0 +1,255 @@
+"""Continuous batching over the discrete-event engine.
+
+vLLM-style iteration-level scheduling: the GPU runs one *iteration*
+at a time (a prefill pass over newly admitted prompts, or a decode
+pass producing one token for every running sequence), and scheduling
+decisions happen only at iteration boundaries:
+
+* arrivals whose time has come join the waiting queue;
+* waiting requests are admitted — highest QoS priority first, FIFO
+  within a class — while the running batch has free KV slots (the
+  admission limit from :mod:`repro.core.batching`'s GPU memory plan);
+* newly admitted requests run a dedicated prefill iteration (decode
+  pauses, as in vLLM's default prefill-prioritizing scheduler); their
+  first token appears when it completes;
+* otherwise the running batch decodes one token each; finished
+  sequences retire and free their slots.
+
+Every iteration is an operation on the
+:class:`~repro.sim.engine.SimEngine`'s ``gpu`` stream, so the run
+leaves a full virtual-time trace; per-request spans are appended per
+QoS class, which makes the whole run exportable through
+:func:`repro.sim.chrome_trace.save_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.serve.request import (
+    QosClass,
+    RequestRecord,
+    RequestSpec,
+    ServeRequest,
+    class_index,
+)
+from repro.sim.engine import SimEngine
+from repro.sim.trace import Trace, TraceRecord
+
+
+@dataclass(frozen=True)
+class IterationSample:
+    """Queue/batch occupancy at one iteration boundary."""
+
+    time_s: float
+    kind: str  # "prefill" | "decode"
+    batch: int
+    waiting: int
+    running_after: int
+
+
+@dataclass(frozen=True)
+class SchedulerRun:
+    """Everything one scheduler pass produced."""
+
+    records: Tuple[RequestRecord, ...]
+    timeline: Tuple[IterationSample, ...]
+    trace: Trace
+    span_s: float
+    gpu_busy_s: float
+    prefill_iterations: int
+    decode_iterations: int
+
+    @property
+    def iterations(self) -> int:
+        return self.prefill_iterations + self.decode_iterations
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of virtual time the GPU spent on iterations."""
+        if self.span_s <= 0:
+            return 0.0
+        return min(1.0, self.gpu_busy_s / self.span_s)
+
+
+class ContinuousBatchingScheduler:
+    """Iteration-level scheduler with multi-tenant priority admission."""
+
+    def __init__(
+        self,
+        costs,
+        classes: Sequence[QosClass],
+        max_batch: Optional[int] = None,
+    ) -> None:
+        self.costs = costs
+        self.classes = class_index(classes)
+        if max_batch is None:
+            max_batch = costs.max_concurrency()
+        if max_batch < 1:
+            raise ConfigurationError(
+                "the placement admits no sequences (max_batch < 1); "
+                "even a single prompt's KV cache does not fit"
+            )
+        self.max_batch = int(max_batch)
+
+    def _request(self, spec: RequestSpec) -> ServeRequest:
+        try:
+            qos = self.classes[spec.qos_class]
+        except KeyError:
+            raise WorkloadError(
+                f"request {spec.request_id} names unknown QoS class "
+                f"{spec.qos_class!r}; configured: "
+                f"{', '.join(sorted(self.classes))}"
+            ) from None
+        return ServeRequest(spec=spec, qos=qos)
+
+    def run(self, specs: Sequence[RequestSpec]) -> SchedulerRun:
+        """Serve the whole stream; returns per-request records."""
+        if not specs:
+            raise WorkloadError("nothing to serve: empty request stream")
+        pending = sorted(specs, key=lambda s: (s.arrival_s, s.request_id))
+        engine = SimEngine()
+        gpu = engine.stream("gpu")
+
+        #: (priority, arrival, id) heap of waiting requests.
+        waiting: List[Tuple[int, float, int, ServeRequest]] = []
+        running: List[ServeRequest] = []
+        records: List[RequestRecord] = []
+        timeline: List[IterationSample] = []
+        next_arrival = 0
+        prefills = decodes = 0
+        gpu_busy = 0.0
+
+        def absorb_arrivals(now: float) -> int:
+            nonlocal next_arrival
+            while (
+                next_arrival < len(pending)
+                and pending[next_arrival].arrival_s <= now
+            ):
+                request = self._request(pending[next_arrival])
+                heapq.heappush(
+                    waiting,
+                    (
+                        request.qos.priority,
+                        request.spec.arrival_s,
+                        request.spec.request_id,
+                        request,
+                    ),
+                )
+                next_arrival += 1
+            return next_arrival
+
+        def finish(request: ServeRequest) -> None:
+            record = RequestRecord.from_request(request)
+            records.append(record)
+            engine.trace.record(
+                TraceRecord(
+                    label=f"req {record.request_id}",
+                    stream=f"qos:{record.qos_class}",
+                    category="request",
+                    start=record.arrival_s,
+                    end=record.finished_s,
+                    meta={
+                        "ttft_s": round(record.ttft_s, 6),
+                        "tbt_s": round(record.tbt_s, 6),
+                        "e2e_s": round(record.e2e_s, 6),
+                        "wait_s": round(record.wait_s, 6),
+                        "slo_met": record.slo_met,
+                        "qos": record.qos_class,
+                    },
+                )
+            )
+
+        while len(records) < len(pending):
+            now = engine.now
+            absorb_arrivals(now)
+
+            if not waiting and not running:
+                # Idle server: jump to the next arrival.
+                engine.clock.advance_to(pending[next_arrival].arrival_s)
+                continue
+
+            free = self.max_batch - len(running)
+            if waiting and free > 0:
+                admitted: List[ServeRequest] = []
+                while waiting and len(admitted) < free:
+                    admitted.append(heapq.heappop(waiting)[-1])
+                prompt_max = max(r.spec.prompt_len for r in admitted)
+                duration = self.costs.prefill_time(len(admitted), prompt_max)
+                gpu.enqueue(
+                    duration,
+                    label=f"prefill x{len(admitted)}",
+                    category="prefill",
+                    meta={
+                        "batch": len(admitted),
+                        "prompt_len": prompt_max,
+                        "requests": [r.spec.request_id for r in admitted],
+                    },
+                )
+                engine.run()
+                done_at = engine.now
+                gpu_busy += duration
+                prefills += 1
+                for request in admitted:
+                    request.admitted_s = now
+                    request.token_times.append(done_at)
+                    if request.done:
+                        finish(request)
+                    else:
+                        running.append(request)
+                timeline.append(
+                    IterationSample(
+                        time_s=done_at,
+                        kind="prefill",
+                        batch=len(admitted),
+                        waiting=len(waiting),
+                        running_after=len(running),
+                    )
+                )
+                continue
+
+            # Decode: one token for every running sequence.
+            decode_batch = len(running)
+            context = max(request.context_len for request in running)
+            duration = self.costs.decode_time(decode_batch, context)
+            gpu.enqueue(
+                duration,
+                label=f"decode x{decode_batch}",
+                category="decode",
+                meta={"batch": decode_batch, "context_len": context},
+            )
+            engine.run()
+            done_at = engine.now
+            gpu_busy += duration
+            decodes += 1
+            still_running: List[ServeRequest] = []
+            for request in running:
+                request.token_times.append(done_at)
+                if request.done:
+                    finish(request)
+                else:
+                    still_running.append(request)
+            running = still_running
+            timeline.append(
+                IterationSample(
+                    time_s=done_at,
+                    kind="decode",
+                    batch=decode_batch,
+                    waiting=len(waiting),
+                    running_after=len(running),
+                )
+            )
+
+        records.sort(key=lambda record: record.request_id)
+        return SchedulerRun(
+            records=tuple(records),
+            timeline=tuple(timeline),
+            trace=engine.trace,
+            span_s=engine.now,
+            gpu_busy_s=gpu_busy,
+            prefill_iterations=prefills,
+            decode_iterations=decodes,
+        )

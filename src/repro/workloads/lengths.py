@@ -1,0 +1,122 @@
+"""Per-request sequence-length distributions.
+
+The paper's closed-loop batches fix every request to 128 prompt / 21
+generated tokens (Section III-B).  An open arrival stream is not that
+uniform: production traces (and the agentic workloads ITME studies)
+mix short chat turns with long documents.  This module models token
+counts as integer distributions the serving simulator samples per
+request — fixed (the paper's shape), uniform, or lognormal (the usual
+fit for production prompt lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+#: Supported distribution families.
+KINDS = ("fixed", "uniform", "lognormal")
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """A distribution over integer token counts, clipped to [low, high]."""
+
+    kind: str
+    low: int
+    high: int
+    #: Median of the lognormal family (ignored otherwise).
+    median: float = 0.0
+    #: Shape parameter of the lognormal family.
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise WorkloadError(
+                f"unknown length distribution {self.kind!r}; "
+                f"expected one of {', '.join(KINDS)}"
+            )
+        if self.low < 1 or self.high < self.low:
+            raise WorkloadError(
+                f"invalid length bounds [{self.low}, {self.high}]"
+            )
+        if self.kind == "lognormal" and (self.median <= 0 or self.sigma <= 0):
+            raise WorkloadError("lognormal needs positive median and sigma")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def fixed(cls, tokens: int) -> "LengthDistribution":
+        """Every request gets exactly ``tokens`` tokens."""
+        return cls(kind="fixed", low=tokens, high=tokens)
+
+    @classmethod
+    def uniform(cls, low: int, high: int) -> "LengthDistribution":
+        return cls(kind="uniform", low=low, high=high)
+
+    @classmethod
+    def lognormal(
+        cls,
+        median: float,
+        sigma: float = 0.6,
+        low: int = 1,
+        high: Optional[int] = None,
+    ) -> "LengthDistribution":
+        """Lognormal with the given median, clipped to [low, high]."""
+        if high is None:
+            high = max(int(median * 8), low)
+        return cls(
+            kind="lognormal", low=low, high=high, median=median, sigma=sigma
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "LengthDistribution":
+        """Parse a CLI spec.
+
+        Formats: ``128`` or ``fixed:128``; ``uniform:64:256``;
+        ``lognormal:128:0.6`` (median, sigma).
+        """
+        parts = spec.split(":")
+        try:
+            if len(parts) == 1:
+                return cls.fixed(int(parts[0]))
+            if parts[0] == "fixed" and len(parts) == 2:
+                return cls.fixed(int(parts[1]))
+            if parts[0] == "uniform" and len(parts) == 3:
+                return cls.uniform(int(parts[1]), int(parts[2]))
+            if parts[0] == "lognormal" and len(parts) in (2, 3):
+                sigma = float(parts[2]) if len(parts) == 3 else 0.6
+                return cls.lognormal(float(parts[1]), sigma)
+        except ValueError as error:
+            raise WorkloadError(
+                f"bad length distribution spec {spec!r}: {error}"
+            ) from None
+        raise WorkloadError(f"bad length distribution spec {spec!r}")
+
+    # -- sampling ----------------------------------------------------------
+
+    @property
+    def mean_estimate(self) -> float:
+        """Closed-form mean (pre-clipping for the lognormal family)."""
+        if self.kind == "fixed":
+            return float(self.low)
+        if self.kind == "uniform":
+            return (self.low + self.high) / 2.0
+        return self.median * float(np.exp(self.sigma**2 / 2.0))
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` integer lengths."""
+        if size < 1:
+            raise WorkloadError("sample size must be positive")
+        if self.kind == "fixed":
+            return np.full(size, self.low, dtype=np.int64)
+        if self.kind == "uniform":
+            return rng.integers(self.low, self.high + 1, size=size)
+        values = rng.lognormal(
+            mean=float(np.log(self.median)), sigma=self.sigma, size=size
+        )
+        return np.clip(np.rint(values), self.low, self.high).astype(np.int64)

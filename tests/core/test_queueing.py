@@ -64,7 +64,12 @@ class TestSimulateQueue:
     def test_percentiles_ordered(self):
         result = simulate_queue(1.0, 2, 1.5, num_requests=1000)
         assert result.p50_latency_s <= result.p95_latency_s
+        assert result.p95_latency_s <= result.p99_latency_s
         assert result.mean_latency_s >= result.service_time_s
+
+    def test_p99_above_p95_under_load(self):
+        result = simulate_queue(1.0, 2, 1.8, num_requests=2000)
+        assert result.p99_latency_s > result.p95_latency_s
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):
@@ -78,4 +83,6 @@ class TestSimulateQueue:
 
     def test_summary_keys(self):
         result = simulate_queue(1.0, 4, 1.0, num_requests=100)
-        assert "p95_latency_s" in result.summary()
+        summary = result.summary()
+        assert "p95_latency_s" in summary
+        assert "p99_latency_s" in summary

@@ -143,6 +143,19 @@ class TestQosAblation:
         assert checks["combined_target_met"]
 
 
+class TestServingAblation:
+    def test_checks(self, results):
+        checks = results("ablation_serving").data["checks"]
+        assert checks["helm_wins_p50_ttft_at_low_load"]
+        assert checks["allcpu_outlasts_helm"]
+        assert checks["interactive_ttft_leq_batch"]
+
+    def test_saturation_frontier_recorded(self, results):
+        data = results("ablation_serving").data
+        sustained = data["max_sustained_rps"]
+        assert sustained["allcpu"] > sustained["helm"]
+
+
 class TestContextLength:
     def test_checks(self, results):
         checks = results("ablation_context_length").data["checks"]

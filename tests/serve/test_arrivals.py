@@ -1,0 +1,154 @@
+"""Tests for arrival processes, length sampling, and trace files."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.serve.arrivals import (
+    MmppProcess,
+    PoissonProcess,
+    TraceReplay,
+    generate_requests,
+    load_trace,
+    save_trace,
+)
+from repro.serve.request import BATCH, INTERACTIVE, RequestSpec
+from repro.workloads.lengths import LengthDistribution
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        process = PoissonProcess(rate_rps=2.0)
+        times = process.arrival_times(4000, np.random.default_rng(0))
+        assert times[-1] == pytest.approx(4000 / 2.0, rel=0.1)
+        assert np.all(np.diff(times) > 0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PoissonProcess(rate_rps=0.0)
+
+
+class TestMmpp:
+    def test_burstier_than_poisson(self):
+        """MMPP interarrival times have a higher coefficient of
+        variation than the memoryless process at the same mean rate."""
+        mmpp = MmppProcess(
+            base_rate_rps=1.0, burst_rate_rps=20.0,
+            mean_base_s=50.0, mean_burst_s=10.0,
+        )
+        poisson = PoissonProcess(rate_rps=mmpp.mean_rate_rps)
+        rng = np.random.default_rng(7)
+        gaps_m = np.diff(mmpp.arrival_times(4000, rng))
+        gaps_p = np.diff(poisson.arrival_times(4000, rng))
+        cv_m = gaps_m.std() / gaps_m.mean()
+        cv_p = gaps_p.std() / gaps_p.mean()
+        assert cv_m > cv_p * 1.2
+
+    def test_mean_rate_blends_states(self):
+        mmpp = MmppProcess(
+            base_rate_rps=1.0, burst_rate_rps=5.0,
+            mean_base_s=30.0, mean_burst_s=10.0,
+        )
+        assert mmpp.mean_rate_rps == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MmppProcess(1.0, 0.5, 10.0, 10.0)   # burst below base
+
+
+class TestGenerateRequests:
+    def test_deterministic(self):
+        kwargs = dict(
+            process=PoissonProcess(0.5),
+            num_requests=100,
+            prompt_lengths=LengthDistribution.lognormal(128),
+            gen_lengths=LengthDistribution.uniform(8, 64),
+            class_mix=((INTERACTIVE, 0.5), (BATCH, 0.5)),
+            seed=11,
+        )
+        assert generate_requests(**kwargs) == generate_requests(**kwargs)
+
+    def test_seed_changes_stream(self):
+        a = generate_requests(PoissonProcess(0.5), 50, seed=1)
+        b = generate_requests(PoissonProcess(0.5), 50, seed=2)
+        assert a != b
+
+    def test_lengths_and_classes_sampled(self):
+        specs = generate_requests(
+            PoissonProcess(1.0),
+            200,
+            prompt_lengths=LengthDistribution.uniform(32, 256),
+            gen_lengths=LengthDistribution.uniform(4, 40),
+            class_mix=((INTERACTIVE, 0.7), (BATCH, 0.3)),
+            seed=3,
+        )
+        assert len({spec.prompt_len for spec in specs}) > 10
+        assert {spec.qos_class for spec in specs} == {"interactive", "batch"}
+        assert all(32 <= spec.prompt_len <= 256 for spec in specs)
+        assert all(4 <= spec.gen_len <= 40 for spec in specs)
+
+
+class TestTraceFiles:
+    def test_round_trip(self, tmp_path):
+        specs = generate_requests(
+            PoissonProcess(1.0), 40,
+            prompt_lengths=LengthDistribution.lognormal(100),
+            class_mix=((INTERACTIVE, 1.0),),
+            seed=5,
+        )
+        path = str(tmp_path / "stream.jsonl")
+        save_trace(specs, path)
+        assert load_trace(path) == specs
+
+    def test_replay_preserves_stream(self):
+        specs = generate_requests(PoissonProcess(1.0), 30, seed=9)
+        replayed = generate_requests(TraceReplay(specs=specs), 0)
+        assert replayed == specs
+
+    def test_bad_trace_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"request_id": 1}\n')
+        with pytest.raises(WorkloadError):
+            load_trace(str(path))
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(WorkloadError):
+            load_trace(str(path))
+
+
+class TestLengthDistribution:
+    def test_parse_formats(self):
+        assert LengthDistribution.parse("128") == LengthDistribution.fixed(128)
+        assert LengthDistribution.parse("fixed:64").low == 64
+        uniform = LengthDistribution.parse("uniform:16:48")
+        assert (uniform.low, uniform.high) == (16, 48)
+        lognormal = LengthDistribution.parse("lognormal:100:0.4")
+        assert lognormal.median == 100 and lognormal.sigma == 0.4
+
+    def test_parse_rejects_garbage(self):
+        for spec in ("", "normal:5", "uniform:abc:2", "fixed"):
+            with pytest.raises(WorkloadError):
+                LengthDistribution.parse(spec)
+
+    def test_sampling_respects_bounds(self):
+        rng = np.random.default_rng(0)
+        values = LengthDistribution.lognormal(
+            128, sigma=1.0, low=16, high=512
+        ).sample(rng, 1000)
+        assert values.min() >= 16 and values.max() <= 512
+        fixed = LengthDistribution.fixed(21).sample(rng, 10)
+        assert np.all(fixed == 21)
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            LengthDistribution.uniform(10, 5)
+        with pytest.raises(WorkloadError):
+            LengthDistribution(kind="lognormal", low=1, high=10)
+
+    def test_request_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            RequestSpec(request_id=0, arrival_s=-1.0, prompt_len=8, gen_len=4)
+        with pytest.raises(WorkloadError):
+            RequestSpec(request_id=0, arrival_s=0.0, prompt_len=0, gen_len=4)

@@ -1,0 +1,96 @@
+"""Tests for the ``repro-serve`` command line."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.cli import main, parse_class_mix
+
+
+def run_cli(capsys, *extra):
+    argv = [
+        "--placement", "allcpu",
+        "--rate", "0.2",
+        "--requests", "8",
+        "--gen-len", "4",
+    ]
+    argv.extend(extra)
+    code = main(argv)
+    return code, capsys.readouterr()
+
+
+class TestCli:
+    def test_basic_run_reports_percentiles(self, capsys):
+        code, captured = run_cli(capsys)
+        assert code == 0
+        for token in ("TTFT", "TBT", "E2E", "goodput", "p50 / p95 / p99"):
+            assert token in captured.out, token
+
+    def test_json_output(self, capsys, tmp_path):
+        path = tmp_path / "summary.json"
+        code, _ = run_cli(capsys, "--json", str(path))
+        assert code == 0
+        summary = json.loads(path.read_text())
+        assert "ttft_p99_s" in summary
+        assert summary["placement"] == "allcpu"
+
+    def test_save_and_replay_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "stream.jsonl"
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        code, _ = run_cli(
+            capsys, "--save-trace", str(trace), "--json", str(out_a)
+        )
+        assert code == 0
+        code = main([
+            "--placement", "allcpu",
+            "--replay", str(trace),
+            "--requests", "0",
+            "--json", str(out_b),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        a = json.loads(out_a.read_text())
+        b = json.loads(out_b.read_text())
+        for key in ("ttft_p95_s", "e2e_p95_s", "throughput_rps"):
+            assert b[key] == pytest.approx(a[key])
+
+    def test_chrome_trace_flag(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        code, _ = run_cli(capsys, "--chrome-trace", str(path))
+        assert code == 0
+        assert "traceEvents" in json.loads(path.read_text())
+
+    def test_class_mix_flag(self, capsys):
+        code, captured = run_cli(
+            capsys, "--classes", "interactive:0.5,batch:0.5", "--seed", "3"
+        )
+        assert code == 0
+        assert "per QoS class" in captured.out
+
+    def test_bad_placement_is_reported_not_raised(self, capsys):
+        code = main(["--placement", "nonsense", "--requests", "4"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+
+
+class TestParseClassMix:
+    def test_parses_weights(self):
+        mix = parse_class_mix("interactive:0.7,batch:0.3")
+        assert [(qos.name, weight) for qos, weight in mix] == [
+            ("interactive", 0.7), ("batch", 0.3),
+        ]
+
+    def test_default_weight_is_one(self):
+        ((qos, weight),) = parse_class_mix("standard")
+        assert qos.name == "standard" and weight == 1.0
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_class_mix("vip:1.0")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_class_mix(" , ")
