@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the fault-injection ablation."""
+
+
+def test_ablation_faults(regenerate):
+    result = regenerate("ablation_faults")
+    checks = result.data["checks"]
+    assert checks["zero_intensity_identical"]
+    assert checks["deterministic_replay"]
+    assert checks["resilience_preserves_interactive_slo"]
+    assert not any(
+        value.get("aborted")
+        for value in result.data.values()
+        if isinstance(value, dict) and "aborted" in value
+    )

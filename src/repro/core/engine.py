@@ -33,6 +33,10 @@ from repro.core.policy import Policy, default_policy
 from repro.core.timing import TimingExecutor
 from repro.devices.gpu import A100_SPEC, GpuSpec
 from repro.errors import CapacityError, ConfigurationError
+from repro.faults.degrade import degraded_host_config
+from repro.faults.injector import FaultInjector, make_injector
+from repro.faults.models import FaultSchedule
+from repro.faults.retry import RetryPolicy
 from repro.memory.hierarchy import HostMemoryConfig, host_config
 from repro.models.config import OptConfig, opt_config
 from repro.models.transformer import OptWeights
@@ -66,6 +70,9 @@ class OffloadEngine:
         gen_len: int = 21,
         gpu_spec: GpuSpec = A100_SPEC,
         allow_spill: bool = True,
+        faults: Optional[Union[FaultSchedule, FaultInjector, str]] = None,
+        fault_seed: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.config = model if isinstance(model, OptConfig) else opt_config(model)
         self.host = (
@@ -85,6 +92,11 @@ class OffloadEngine:
         self.prompt_len = int(prompt_len)
         self.gen_len = int(gen_len)
         self.gpu_spec = gpu_spec
+        #: Optional fault injection, threaded into every timing run.
+        #: ``faults`` accepts a schedule, a ready injector, or a path
+        #: to a schedule JSON; ``None`` keeps the fault-free path.
+        self.injector = make_injector(faults, seed=fault_seed)
+        self.retry = retry
 
         self.placement_result: PlacementResult = self.algorithm.place_model(
             self.config, self.policy
@@ -185,10 +197,42 @@ class OffloadEngine:
             gen_len=self.gen_len,
             gpu_spec=self.gpu_spec,
             spill_log=tuple(self.spill_log),
+            injector=self.injector,
+            retry=self.retry,
         )
         metrics = executor.run()
         self.last_trace = executor.trace
         return metrics
+
+    def replan_for_degradation(
+        self,
+        host_slowdown: float = 1.0,
+        disk_slowdown: float = 1.0,
+    ) -> "OffloadEngine":
+        """Re-run placement against a degraded bandwidth map.
+
+        Builds a sibling engine whose host configuration delivers
+        ``1/host_slowdown`` (and ``1/disk_slowdown``) of the nominal
+        tier bandwidth, then re-runs this engine's placement algorithm
+        against it.  This is the re-planning step the serving layer
+        triggers on sustained tier degradation: the new engine's cost
+        model and admission limit price the degraded reality.
+        """
+        degraded = degraded_host_config(
+            self.host,
+            host_factor=host_slowdown,
+            disk_factor=disk_slowdown,
+        )
+        return OffloadEngine(
+            model=self.config,
+            host=degraded,
+            placement=self.algorithm,
+            policy=self.policy,
+            batch_size=self.batch_size,
+            prompt_len=self.prompt_len,
+            gen_len=self.gen_len,
+            gpu_spec=self.gpu_spec,
+        )
 
     def run_functional(
         self,

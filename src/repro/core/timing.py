@@ -22,6 +22,9 @@ from repro.devices.cpu import CpuComputeModel
 from repro.devices.device import DeviceKind
 from repro.devices.gpu import A100_SPEC, GpuComputeModel, GpuSpec
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import DISK_TARGET, HOST_TARGET, PCIE_TARGET
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.interconnect.path import TransferPathSolver
 from repro.interconnect.pcie import PcieLink
 from repro.memory.hierarchy import HostMemoryConfig
@@ -51,6 +54,13 @@ class TimingExecutor:
     #: step (load layer j+1 only after computing layer j) — the
     #: counterfactual FlexGen's schedule exists to avoid.
     overlap: bool = True
+    #: Optional fault injection: when set, every weight/KV/activation
+    #: transfer is priced through the injector (degradation slowdowns,
+    #: transient-failure retries under ``retry``, outages).  ``None``
+    #: — and any zero-intensity schedule — leaves every duration
+    #: byte-identical to the fault-free path.
+    injector: Optional[FaultInjector] = None
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -73,7 +83,23 @@ class TimingExecutor:
             gen_len=self.gen_len,
             dtype_bytes=self.policy.kv_dtype_bytes,
         )
-        self._transfer_cache: Dict[int, float] = {}
+        self._transfer_cache: Dict[int, Tuple[float, float]] = {}
+        if self.retry is None:
+            self.retry = DEFAULT_RETRY_POLICY
+        #: Names the injector matches fault models against: the
+        #: generic tier aliases plus this configuration's own labels.
+        self._host_targets = (
+            HOST_TARGET,
+            self.host.host_region.name,
+            self.host.label,
+            PCIE_TARGET,
+        )
+        disk = self.host.disk_region
+        self._disk_targets = (
+            (DISK_TARGET, disk.name, PCIE_TARGET)
+            if disk is not None
+            else (DISK_TARGET, PCIE_TARGET)
+        )
         self._configure_working_set()
 
     # ------------------------------------------------------------------
@@ -87,8 +113,10 @@ class TimingExecutor:
         host_bytes += self.kv_plan.total_bytes * self.policy.kv_cpu_fraction
         self.host.set_host_working_set(int(host_bytes))
 
-    def layer_transfer_time(self, layer_index: int) -> float:
-        """Time to stage one layer's non-resident weights onto the GPU."""
+    def layer_transfer_parts(self, layer_index: int) -> Tuple[float, float]:
+        """Nominal (host, disk) times to stage one layer's non-resident
+        weights onto the GPU — split by source tier so fault models can
+        target each tier independently."""
         if layer_index in self._transfer_cache:
             return self._transfer_cache[layer_index]
         ratio = self.policy.compression.ratio
@@ -100,13 +128,21 @@ class TimingExecutor:
             self.placement.layer_tier_bytes(layer_index, DeviceKind.DISK)
             * ratio
         )
-        time = 0.0
-        if cpu_bytes > 0:
-            time += self.solver.host_to_gpu_time(cpu_bytes)
-        if disk_bytes > 0:
-            time += self.solver.disk_to_gpu_time(disk_bytes)
-        self._transfer_cache[layer_index] = time
-        return time
+        host_time = (
+            self.solver.host_to_gpu_time(cpu_bytes) if cpu_bytes > 0 else 0.0
+        )
+        disk_time = (
+            self.solver.disk_to_gpu_time(disk_bytes)
+            if disk_bytes > 0
+            else 0.0
+        )
+        self._transfer_cache[layer_index] = (host_time, disk_time)
+        return host_time, disk_time
+
+    def layer_transfer_time(self, layer_index: int) -> float:
+        """Time to stage one layer's non-resident weights onto the GPU."""
+        host_time, disk_time = self.layer_transfer_parts(layer_index)
+        return host_time + disk_time
 
     def _dequant_bytes(self, layer: LayerSpec) -> float:
         """Compressed bytes the GPU dequantizes to compute this layer."""
@@ -242,6 +278,37 @@ class TimingExecutor:
         records: Dict[Tuple[int, int], LayerTimingRecord] = {}
         token_ops: List[Operation] = []
 
+        # Fault pricing needs each transfer's *start* time, which the
+        # engine only resolves during its event loop.  Because streams
+        # are in-order and ops only gate on explicit deps, the start
+        # times are statically determined — we mirror the engine's
+        # arithmetic here (per-stream tails + dep ends) so fault
+        # windows are evaluated at the exact virtual instant the
+        # transfer begins.  All bookkeeping is skipped without an
+        # injector, leaving the nominal path untouched.
+        injector = self.injector
+        tails: Dict[str, float] = {}
+        est_end: Dict[int, float] = {}
+
+        def estimate_start(stream_name: str, deps) -> float:
+            start = tails.get(stream_name, 0.0)
+            for dep in deps:
+                start = max(start, est_end.get(dep.op_id, 0.0))
+            return start
+
+        def track(op: Operation, stream_name: str, start: float) -> None:
+            end = start + op.duration
+            tails[stream_name] = end
+            est_end[op.op_id] = end
+
+        def priced(targets, nominal: float, start: float) -> float:
+            if nominal <= 0:
+                return 0.0
+            outcome = injector.price_transfer(
+                targets, nominal, start, self.retry
+            )
+            return outcome.duration_s
+
         def stage_of(token_index: int) -> Stage:
             return Stage.PREFILL if token_index == 0 else Stage.DECODE
 
@@ -260,7 +327,8 @@ class TimingExecutor:
             return records[key]
 
         def enqueue_load(token: int, layer_index: int, deps) -> Operation:
-            duration = self.layer_transfer_time(layer_index)
+            host_s, disk_s = self.layer_transfer_parts(layer_index)
+            duration = host_s + disk_s
             kv_load, _ = (
                 self._kv_traffic_times(stage_of(token), context_at(token))
                 if layers[layer_index].kind is LayerKind.MHA
@@ -268,8 +336,21 @@ class TimingExecutor:
             )
             hidden_load, _ = self._hidden_traffic_times(stage_of(token))
             kv_load += hidden_load
+            total = duration + kv_load
+            start = 0.0
+            if injector is not None:
+                start = estimate_start("h2d", deps)
+                host_total = host_s + kv_load
+                priced_host = priced(self._host_targets, host_total, start)
+                priced_disk = priced(
+                    self._disk_targets, disk_s, start + priced_host
+                )
+                # Keep the nominal summation order when the faults
+                # were inert, so zero-intensity runs stay bit-exact.
+                if priced_host != host_total or priced_disk != disk_s:
+                    total = priced_host + priced_disk
             op = h2d.enqueue(
-                duration + kv_load,
+                total,
                 label=f"load t{token} L{layer_index}",
                 category="transfer",
                 deps=deps,
@@ -280,7 +361,9 @@ class TimingExecutor:
                     "stage": stage_of(token).value,
                 },
             )
-            record_for(token, layer_index).transfer_s = duration + kv_load
+            if injector is not None:
+                track(op, "h2d", start)
+            record_for(token, layer_index).transfer_s = total
             return op
 
         # Initial load of (token 0, layer 0), before the loop starts.
@@ -298,6 +381,11 @@ class TimingExecutor:
                 load_op = enqueue_load(pf_token, pf_layer, deps=sync_deps)
 
             compute_duration = self.layer_compute_time(layer, stage, context)
+            compute_start = (
+                estimate_start("compute", sync_deps)
+                if injector is not None
+                else 0.0
+            )
             compute_op = compute_stream.enqueue(
                 compute_duration,
                 label=f"compute t{step.token_index} L{step.layer_index}",
@@ -310,6 +398,8 @@ class TimingExecutor:
                     "stage": stage.value,
                 },
             )
+            if injector is not None:
+                track(compute_op, "compute", compute_start)
             record = record_for(step.token_index, step.layer_index)
             record.compute_s = compute_duration
 
@@ -322,6 +412,14 @@ class TimingExecutor:
             _, hidden_store = self._hidden_traffic_times(stage)
             store_back += hidden_store
             if store_back > 0:
+                store_start = 0.0
+                if injector is not None:
+                    store_start = estimate_start("d2h", [compute_op])
+                    repriced = priced(
+                        self._host_targets, store_back, store_start
+                    )
+                    if repriced != store_back:
+                        store_back = repriced
                 store_op = d2h.enqueue(
                     store_back,
                     label=f"store t{step.token_index} L{step.layer_index}",
@@ -329,16 +427,29 @@ class TimingExecutor:
                     deps=[compute_op],
                     meta={"stage": stage.value, "kind": "writeback"},
                 )
+                if injector is not None:
+                    track(store_op, "d2h", store_start)
                 step_sync.append(store_op)
 
             if layer.kind is LayerKind.HEAD:
+                logits_s = self._logits_writeback_time()
+                logits_start = 0.0
+                if injector is not None:
+                    logits_start = estimate_start("d2h", [compute_op])
+                    repriced = priced(
+                        self._host_targets, logits_s, logits_start
+                    )
+                    if repriced != logits_s:
+                        logits_s = repriced
                 logits_op = d2h.enqueue(
-                    self._logits_writeback_time(),
+                    logits_s,
                     label=f"logits t{step.token_index}",
                     category="transfer",
                     deps=[compute_op],
                     meta={"stage": stage.value, "kind": "logits"},
                 )
+                if injector is not None:
+                    track(logits_op, "d2h", logits_start)
                 token_ops.append(logits_op)
                 step_sync.append(logits_op)
 

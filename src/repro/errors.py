@@ -52,5 +52,57 @@ class WorkloadError(ReproError):
     """A workload/request specification is invalid."""
 
 
+class TransferError(ReproError):
+    """A data transfer failed under fault injection.
+
+    Carries enough context for an operator (or a test) to reconstruct
+    what happened: which device/link failed, how many attempts were
+    made, and how much virtual time the attempts consumed.
+    """
+
+    def __init__(
+        self,
+        device: str,
+        attempts: int,
+        elapsed_s: float,
+        message: str = "",
+    ) -> None:
+        self.device = device
+        self.attempts = int(attempts)
+        self.elapsed_s = float(elapsed_s)
+        detail = message or (
+            f"transfer on {device!r} failed after {attempts} attempt(s) "
+            f"({elapsed_s:.3f} s of virtual time)"
+        )
+        super().__init__(detail)
+
+
+class RetryExhaustedError(TransferError):
+    """Every retry attempt of a transfer failed within the policy."""
+
+    def __init__(self, device: str, attempts: int, elapsed_s: float) -> None:
+        super().__init__(
+            device,
+            attempts,
+            elapsed_s,
+            f"retries exhausted on {device!r}: {attempts} attempt(s) "
+            f"failed over {elapsed_s:.3f} s of virtual time",
+        )
+
+
+class DegradedTierError(TransferError):
+    """A memory/storage tier stayed unusable past the retry budget."""
+
+    def __init__(self, device: str, attempts: int, elapsed_s: float) -> None:
+        super().__init__(
+            device,
+            attempts,
+            elapsed_s,
+            f"tier {device!r} unavailable: still down after "
+            f"{attempts} attempt(s) spanning {elapsed_s:.3f} s "
+            "of virtual time",
+        )
+
+
 class ExperimentError(ReproError):
     """An experiment was requested with unsupported parameters."""

@@ -52,6 +52,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="also dump every experiment's structured data to FILE",
     )
+    run_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sweeps for smoke tests (sets REPRO_QUICK=1)",
+    )
     figures_parser = sub.add_parser(
         "figures", help="render the paper's figures as SVG"
     )
@@ -105,6 +110,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 1 if undocumented else 0
 
+    if getattr(args, "quick", False):
+        import os
+
+        os.environ["REPRO_QUICK"] = "1"
     names = sorted(EXPERIMENTS) if args.names == ["all"] else args.names
     failures = 0
     dump: Dict[str, object] = {}

@@ -40,6 +40,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation_schedule_order": "repro.experiments.ablation_schedule_order",
     "ablation_queueing": "repro.experiments.ablation_queueing",
     "ablation_serving": "repro.experiments.ablation_serving",
+    "ablation_faults": "repro.experiments.ablation_faults",
 }
 
 

@@ -1,0 +1,51 @@
+"""Degraded-tier modeling: bandwidth maps under active faults.
+
+When the serving layer reacts to sustained degradation it re-runs
+placement ("re-plan") against the bandwidths the hardware *currently*
+delivers, not the nominal calibration.  This module builds that
+degraded bandwidth map: a deep copy of a
+:class:`~repro.memory.hierarchy.HostMemoryConfig` whose tier scale
+factors are divided by the observed slowdown, so every downstream
+consumer — placement, the GPU memory plan, the transfer-path solver —
+prices the degraded reality consistently.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.errors import ConfigurationError
+from repro.memory.hierarchy import HostMemoryConfig
+
+
+def degraded_host_config(
+    config: HostMemoryConfig,
+    host_factor: float = 1.0,
+    disk_factor: float = 1.0,
+) -> HostMemoryConfig:
+    """A copy of ``config`` with tier bandwidths divided by the factors.
+
+    ``host_factor``/``disk_factor`` are slowdowns (>= 1): the factor a
+    :class:`~repro.faults.models.DegradationWindow` or
+    :class:`~repro.faults.models.WearDerate` reports for the tier.
+    The copy shares nothing with the original, so mutating working-set
+    state on one cannot leak into the other.
+    """
+    if host_factor < 1.0 or disk_factor < 1.0:
+        raise ConfigurationError(
+            "degradation factors are slowdowns and must be >= 1"
+        )
+    degraded = copy.deepcopy(config)
+    host = degraded.host_region
+    host.read_scale /= host_factor
+    host.write_scale /= host_factor
+    disk = degraded.disk_region
+    if disk is not None and disk_factor > 1.0:
+        disk.read_scale /= disk_factor
+        disk.write_scale /= disk_factor
+    degraded.description = (
+        f"{config.description} [degraded: host /{host_factor:g}"
+        + (f", disk /{disk_factor:g}" if disk_factor > 1.0 else "")
+        + "]"
+    )
+    return degraded

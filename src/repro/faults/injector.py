@@ -1,0 +1,193 @@
+"""The seeded fault injector: schedules priced into virtual time.
+
+The injector is the single point where the engine asks "what does
+this transfer cost under the configured faults?".  It owns one seeded
+RNG; because every consumer consults it in deterministic (virtual
+time) order, identical seeds and schedules reproduce identical runs
+bit for bit.  Zero-intensity schedules never touch the RNG and never
+change a priced duration, so attaching one is exactly equivalent to
+running without faults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import DegradedTierError, RetryExhaustedError
+from repro.faults.models import FaultSchedule
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """How one (possibly retried) transfer was priced."""
+
+    #: Total virtual time: wasted attempts + backoffs + the successful
+    #: (slowed) transfer itself.
+    duration_s: float
+    attempts: int
+    #: Backoff waits between attempts.
+    retry_delay_s: float
+    #: Transfer time spent on attempts that failed.
+    wasted_s: float
+    #: Slowdown applied to the successful attempt (1.0 = nominal).
+    slowdown: float
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+
+@dataclass(frozen=True)
+class TierHealth:
+    """Snapshot of one target set at one instant."""
+
+    slowdown: float
+    down: bool
+
+    @property
+    def nominal(self) -> bool:
+        return not self.down and self.slowdown <= 1.0
+
+
+@dataclass
+class FaultStats:
+    """Mutable counters accumulated over one injector's lifetime."""
+
+    transfers: int = 0
+    degraded_transfers: int = 0
+    failures: int = 0
+    retried_transfers: int = 0
+    retry_delay_s: float = 0.0
+    wasted_s: float = 0.0
+    exhausted: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "transfers": self.transfers,
+            "degraded_transfers": self.degraded_transfers,
+            "failures": self.failures,
+            "retried_transfers": self.retried_transfers,
+            "retry_delay_s": self.retry_delay_s,
+            "wasted_s": self.wasted_s,
+            "exhausted": self.exhausted,
+        }
+
+
+@dataclass
+class FaultInjector:
+    """Prices transfers under one :class:`FaultSchedule`."""
+
+    schedule: FaultSchedule
+    #: Overrides the schedule's own seed when given.
+    seed: Optional[int] = None
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    def __post_init__(self) -> None:
+        if self.seed is None:
+            self.seed = self.schedule.seed
+        self._rng = random.Random(self.seed)
+
+    # -- queries --------------------------------------------------------
+
+    def slowdown(self, targets: Sequence[str], now: float) -> float:
+        return self.schedule.slowdown(targets, now)
+
+    def down(self, targets: Sequence[str], now: float) -> bool:
+        return self.schedule.down(targets, now)
+
+    def health(self, targets: Sequence[str], now: float) -> TierHealth:
+        return TierHealth(
+            slowdown=self.schedule.slowdown(targets, now),
+            down=self.schedule.down(targets, now),
+        )
+
+    def is_zero(self) -> bool:
+        return self.schedule.is_zero()
+
+    # -- pricing --------------------------------------------------------
+
+    def price_transfer(
+        self,
+        targets: Sequence[str],
+        nominal_s: float,
+        now: float,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
+    ) -> TransferOutcome:
+        """Price one transfer of nominal duration ``nominal_s``
+        starting at virtual time ``now``.
+
+        Degradations slow the attempt in flight; transient faults and
+        outages force retries under ``retry``.  Raises
+        :class:`~repro.errors.RetryExhaustedError` when every attempt
+        failed, or :class:`~repro.errors.DegradedTierError` when the
+        target was still down at the final attempt.
+        """
+        device = targets[0] if targets else "?"
+        if nominal_s <= 0:
+            return TransferOutcome(0.0, 1, 0.0, 0.0, 1.0)
+        schedule = self.schedule
+        elapsed = 0.0
+        attempts = 0
+        wasted = 0.0
+        delay = 0.0
+        while True:
+            attempts += 1
+            instant = now + elapsed
+            was_down = schedule.down(targets, instant)
+            if was_down:
+                cost = retry.probe_s
+            else:
+                slowdown = schedule.slowdown(targets, instant)
+                duration = nominal_s * slowdown
+                probability = schedule.failure_probability(targets, instant)
+                failed = probability >= 1.0 or (
+                    probability > 0.0 and self._rng.random() < probability
+                )
+                if not failed:
+                    self.stats.transfers += 1
+                    if slowdown > 1.0:
+                        self.stats.degraded_transfers += 1
+                    if attempts > 1:
+                        self.stats.retried_transfers += 1
+                    self.stats.retry_delay_s += delay
+                    self.stats.wasted_s += wasted
+                    return TransferOutcome(
+                        duration_s=elapsed + duration,
+                        attempts=attempts,
+                        retry_delay_s=delay,
+                        wasted_s=wasted,
+                        slowdown=slowdown,
+                    )
+                cost = duration
+            self.stats.failures += 1
+            elapsed += cost
+            wasted += cost
+            if attempts >= retry.max_attempts or elapsed >= retry.timeout_s:
+                self.stats.exhausted += 1
+                if was_down:
+                    raise DegradedTierError(device, attempts, elapsed)
+                raise RetryExhaustedError(device, attempts, elapsed)
+            u = self._rng.random() if retry.jitter > 0 else 0.0
+            backoff = retry.backoff_s(attempts, u)
+            elapsed += backoff
+            delay += backoff
+
+
+def make_injector(
+    faults: "FaultSchedule | FaultInjector | str | None",
+    seed: Optional[int] = None,
+) -> Optional[FaultInjector]:
+    """Coerce user input (schedule, injector, JSON path, or None)."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, str):
+        faults = FaultSchedule.load(faults)
+    return FaultInjector(schedule=faults, seed=seed)
+
+
+Targets = Tuple[str, ...]

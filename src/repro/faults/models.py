@@ -1,0 +1,330 @@
+"""Fault models and reproducible fault schedules.
+
+A *fault model* describes one failure process attached to a device or
+interconnect link by name.  All processes are functions of virtual
+time only (plus a seed for the stochastic ones), so a schedule replays
+identically across runs — chaos here is deterministic by construction.
+
+The taxonomy mirrors what heterogeneous host tiers actually do in
+production:
+
+* :class:`TransientFaults` — i.i.d. per-transfer failure probability
+  (bit flips, ECC retries, flaky cables); each failed attempt is
+  retried under a :class:`~repro.faults.retry.RetryPolicy`.
+* :class:`DegradationWindow` — bandwidth multiplied down for a window,
+  optionally periodic (SSD garbage-collection pauses, thermal
+  throttling).
+* :class:`WearDerate` — permanent fractional bandwidth loss from a
+  point in time onward (Optane media wear).
+* :class:`LinkOutage` — the link is down for an interval, optionally
+  periodic (CXL link flaps); transfers fail deterministically while
+  down.
+
+A :class:`FaultSchedule` bundles models with a seed and round-trips
+through JSON so chaos scenarios can be scripted and shared::
+
+    {"seed": 7, "faults": [
+        {"kind": "degradation", "target": "host", "slowdown": 10.0,
+         "start_s": 30.0, "duration_s": 5.0, "period_s": 60.0}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Sequence, Tuple, Type
+
+from repro.errors import ConfigurationError
+
+#: Conventional target names the engine consults (a schedule may also
+#: name concrete regions, e.g. ``NVDRAM``; ``*`` matches everything).
+HOST_TARGET = "host"
+DISK_TARGET = "disk"
+PCIE_TARGET = "pcie"
+WILDCARD = "*"
+
+
+def _in_window(
+    now: float,
+    start_s: float,
+    duration_s: Optional[float],
+    period_s: Optional[float],
+) -> bool:
+    """Whether ``now`` falls inside the (possibly periodic) window."""
+    if now < start_s:
+        return False
+    if duration_s is None:
+        return True
+    offset = now - start_s
+    if period_s is not None and period_s > 0:
+        offset = offset % period_s
+    return offset < duration_s
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Base class: one failure process bound to one target name."""
+
+    target: str
+
+    def matches(self, target: str) -> bool:
+        return self.target == WILDCARD or self.target == target
+
+    # -- the three questions the injector asks -------------------------
+
+    def slowdown_at(self, now: float) -> float:
+        """Multiplicative bandwidth penalty (1.0 = nominal)."""
+        return 1.0
+
+    def failure_probability_at(self, now: float) -> float:
+        """Per-attempt transfer failure probability."""
+        return 0.0
+
+    def down_at(self, now: float) -> bool:
+        """Whether the target is entirely unusable."""
+        return False
+
+    def is_zero(self) -> bool:
+        """True when the model can never perturb a run."""
+        return True
+
+    # -- JSON ----------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"kind": self.kind()}
+        payload.update(
+            {
+                key: value
+                for key, value in asdict(self).items()
+                if value is not None
+            }
+        )
+        return payload
+
+    @classmethod
+    def kind(cls) -> str:
+        return _KINDS_BY_CLASS[cls]
+
+
+@dataclass(frozen=True)
+class TransientFaults(FaultModel):
+    """Each transfer attempt fails independently with ``probability``."""
+
+    probability: float = 0.0
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"transient fault probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.end_s is not None and self.end_s < self.start_s:
+            raise ConfigurationError("end_s must be >= start_s")
+
+    def failure_probability_at(self, now: float) -> float:
+        if now < self.start_s:
+            return 0.0
+        if self.end_s is not None and now >= self.end_s:
+            return 0.0
+        return self.probability
+
+    def is_zero(self) -> bool:
+        return self.probability <= 0.0
+
+
+@dataclass(frozen=True)
+class DegradationWindow(FaultModel):
+    """Bandwidth divided by ``slowdown`` inside the window.
+
+    ``period_s`` repeats the window (an SSD GC pause every N seconds);
+    ``duration_s=None`` degrades from ``start_s`` onward.
+    """
+
+    slowdown: float = 1.0
+    start_s: float = 0.0
+    duration_s: Optional[float] = None
+    period_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ConfigurationError(
+                f"slowdown must be >= 1 (a penalty), got {self.slowdown}"
+            )
+        if self.duration_s is not None and self.duration_s < 0:
+            raise ConfigurationError("duration_s must be >= 0")
+        if (
+            self.period_s is not None
+            and self.duration_s is not None
+            and self.period_s < self.duration_s
+        ):
+            raise ConfigurationError(
+                "period_s must be >= duration_s (windows cannot overlap)"
+            )
+
+    def slowdown_at(self, now: float) -> float:
+        if _in_window(now, self.start_s, self.duration_s, self.period_s):
+            return self.slowdown
+        return 1.0
+
+    def is_zero(self) -> bool:
+        return self.slowdown <= 1.0 or (
+            self.duration_s is not None and self.duration_s == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class WearDerate(FaultModel):
+    """Permanent media wear: the tier retains ``fraction`` of its
+    nominal bandwidth from ``start_s`` onward."""
+
+    fraction: float = 1.0
+    start_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"wear fraction must be in (0, 1], got {self.fraction}"
+            )
+
+    def slowdown_at(self, now: float) -> float:
+        if now < self.start_s:
+            return 1.0
+        return 1.0 / self.fraction
+
+    def is_zero(self) -> bool:
+        return self.fraction >= 1.0
+
+
+@dataclass(frozen=True)
+class LinkOutage(FaultModel):
+    """The target is down (all transfers fail) inside the window."""
+
+    start_s: float = 0.0
+    duration_s: Optional[float] = None
+    period_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s is not None and self.duration_s < 0:
+            raise ConfigurationError("duration_s must be >= 0")
+        if (
+            self.period_s is not None
+            and self.duration_s is not None
+            and self.period_s < self.duration_s
+        ):
+            raise ConfigurationError(
+                "period_s must be >= duration_s (outages cannot overlap)"
+            )
+
+    def down_at(self, now: float) -> bool:
+        return _in_window(now, self.start_s, self.duration_s, self.period_s)
+
+    def is_zero(self) -> bool:
+        return self.duration_s is not None and self.duration_s == 0.0
+
+
+_MODEL_KINDS: Dict[str, Type[FaultModel]] = {
+    "transient": TransientFaults,
+    "degradation": DegradationWindow,
+    "wear": WearDerate,
+    "outage": LinkOutage,
+}
+_KINDS_BY_CLASS: Dict[Type[FaultModel], str] = {
+    cls: kind for kind, cls in _MODEL_KINDS.items()
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seed plus a set of fault models — one reproducible scenario."""
+
+    faults: Tuple[FaultModel, ...] = ()
+    seed: int = 0
+
+    # -- aggregate queries ---------------------------------------------
+
+    def slowdown(self, targets: Sequence[str], now: float) -> float:
+        """Product of all matching degradations active at ``now``."""
+        factor = 1.0
+        for fault in self.faults:
+            if any(fault.matches(target) for target in targets):
+                factor *= fault.slowdown_at(now)
+        return factor
+
+    def failure_probability(
+        self, targets: Sequence[str], now: float
+    ) -> float:
+        """Combined per-attempt failure probability at ``now``."""
+        survive = 1.0
+        for fault in self.faults:
+            if any(fault.matches(target) for target in targets):
+                survive *= 1.0 - fault.failure_probability_at(now)
+        return 1.0 - survive
+
+    def down(self, targets: Sequence[str], now: float) -> bool:
+        return any(
+            fault.down_at(now)
+            for fault in self.faults
+            if any(fault.matches(target) for target in targets)
+        )
+
+    def is_zero(self) -> bool:
+        """True when the schedule can never perturb a run."""
+        return all(fault.is_zero() for fault in self.faults)
+
+    # -- JSON round-trip -----------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_json() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "FaultSchedule":
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                "a fault schedule must be a JSON object with a "
+                "'faults' list"
+            )
+        faults = []
+        for entry in payload.get("faults", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            if kind not in _MODEL_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; expected one of "
+                    f"{', '.join(sorted(_MODEL_KINDS))}"
+                )
+            try:
+                faults.append(_MODEL_KINDS[kind](**entry))
+            except TypeError as error:
+                raise ConfigurationError(
+                    f"bad parameters for fault kind {kind!r}: {error}"
+                ) from None
+        return cls(faults=tuple(faults), seed=int(payload.get("seed", 0)))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=1)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSchedule":
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read fault schedule {path!r}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"fault schedule {path!r} is not valid JSON: {error}"
+            ) from error
+        return cls.from_json(payload)
+
+
+#: The strictly-inert schedule (handy as an explicit opt-out).
+ZERO_SCHEDULE = FaultSchedule()

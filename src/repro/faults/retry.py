@@ -1,0 +1,67 @@
+"""Retry policy for faulted transfers: exponential backoff + jitter.
+
+All delays are *virtual* seconds — the policy prices how long a real
+runtime would spend retrying, it never sleeps.  The accounting is
+closed-form so tests can assert exact totals:
+
+* failed attempt ``i`` (1-based) wastes the attempt's transfer time
+  (the failure is detected at completion, e.g. a checksum mismatch) —
+  or :attr:`probe_s` when the link is down and the attempt fails fast;
+* the runtime then backs off ``backoff_base_s * multiplier**(i-1)``
+  seconds, stretched by up to ``jitter`` (a seeded uniform draw);
+* the transfer is abandoned after :attr:`max_attempts` attempts, or
+  as soon as the accumulated virtual time exceeds :attr:`timeout_s`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient transfer failures."""
+
+    max_attempts: int = 4
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    #: Fractional jitter: the backoff is stretched by ``1 + jitter*u``
+    #: with ``u`` drawn uniformly from [0, 1) by the injector's RNG.
+    jitter: float = 0.1
+    #: Give up once the attempts + backoffs exceed this much virtual
+    #: time, even with attempts remaining.
+    timeout_s: float = 30.0
+    #: Fast-failure cost of probing a link that is down.
+    probe_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.probe_s < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ConfigurationError("jitter must be >= 0")
+        if self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+
+    def backoff_s(self, failure_index: int, u: float = 0.0) -> float:
+        """Backoff after the ``failure_index``-th failure (1-based)."""
+        base = self.backoff_base_s * self.backoff_multiplier ** (
+            failure_index - 1
+        )
+        return base * (1.0 + self.jitter * u)
+
+    def total_backoff_s(self, failures: int) -> float:
+        """Jitter-free closed form: sum of the first ``failures``
+        backoff delays (geometric series)."""
+        return sum(
+            self.backoff_s(index) for index in range(1, failures + 1)
+        )
+
+
+#: The default policy used when none is configured explicitly.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -34,8 +34,20 @@ from repro.serve.request import (
     QosClass,
     RequestRecord,
     RequestSpec,
+    ShedRecord,
 )
-from repro.serve.scheduler import ContinuousBatchingScheduler, SchedulerRun
+from repro.serve.resilience import (
+    DEFAULT_RESILIENCE,
+    NO_RESILIENCE,
+    ReplanOutcome,
+    ResiliencePolicy,
+    engine_replanner,
+)
+from repro.serve.scheduler import (
+    ContinuousBatchingScheduler,
+    FaultSummary,
+    SchedulerRun,
+)
 from repro.serve.simulator import (
     ServingResult,
     ServingSimulator,
@@ -62,6 +74,13 @@ __all__ = [
     "DEFAULT_CLASSES",
     "ContinuousBatchingScheduler",
     "SchedulerRun",
+    "FaultSummary",
+    "ShedRecord",
+    "ResiliencePolicy",
+    "DEFAULT_RESILIENCE",
+    "NO_RESILIENCE",
+    "ReplanOutcome",
+    "engine_replanner",
     "LatencyStats",
     "ClassReport",
     "ServingMetrics",

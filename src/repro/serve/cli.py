@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.memory.hierarchy import HOST_CONFIG_LABELS
 from repro.serve.arrivals import TraceReplay, load_trace, save_trace
 from repro.serve.request import DEFAULT_CLASSES, STANDARD, QosClass
+from repro.serve.resilience import NO_RESILIENCE
 from repro.serve.simulator import simulate_serving
 from repro.workloads.lengths import LengthDistribution
 
@@ -109,6 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the KV-cache admission limit",
     )
     parser.add_argument(
+        "--faults", metavar="FILE", default=None,
+        help="fault schedule JSON: inject transfer faults (degradation "
+        "windows, transient failures, outages) into the run",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="override the schedule's RNG seed for the fault process",
+    )
+    parser.add_argument(
+        "--resilience", action=argparse.BooleanOptionalAction, default=True,
+        help="graceful degradation (shed/shrink/re-plan) under --faults "
+        "(default: on; --no-resilience prices faults but never reacts)",
+    )
+    parser.add_argument(
         "--replay", metavar="FILE",
         help="replay a JSONL request trace instead of sampling arrivals",
     )
@@ -172,12 +187,28 @@ def _print_report(result) -> None:
     if len(metrics.per_class) > 1:
         print("  per QoS class:")
         for name, report in sorted(metrics.per_class.items()):
+            shed = f", {report.shed} shed" if report.shed else ""
             print(
-                f"    {name:<12} : {report.completed} done, "
+                f"    {name:<12} : {report.completed} done{shed}, "
                 f"SLO {report.slo_attainment:.1%}, "
                 f"TTFT p95 {_fmt(report.ttft.p95_s)} s, "
                 f"TBT p95 {_fmt(report.tbt.p95_s)} s"
             )
+    faults = metrics.faults
+    if "fault_stats" in setup:
+        print("  faults:")
+        print(
+            f"    degradation events {faults.degradation_events} "
+            f"(re-plans {faults.replans}), degraded iterations "
+            f"{faults.degraded_iterations}, retried iterations "
+            f"{faults.retried_iterations} "
+            f"({faults.retry_overhead_s:.3f} s overhead)"
+        )
+        print(
+            f"    stalls {faults.stalls} ({faults.stall_s:.1f} s), "
+            f"shed {faults.shed_requests} request(s), "
+            f"aborted {faults.aborted}"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -217,6 +248,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             class_mix=class_mix,
             seed=args.seed,
             max_batch=args.max_batch,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            resilience=(
+                None if args.resilience else NO_RESILIENCE
+            ) if args.faults else None,
         )
         _print_report(result)
 

@@ -18,12 +18,49 @@ throughput/latency frontier under open load.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.core.engine import OffloadEngine
 from repro.core.metrics import Stage
 from repro.core.timing import TimingExecutor
 from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IterationParts:
+    """One iteration's per-layer transfer/compute decomposition.
+
+    The fault layer needs the split because faults act on *transfers*
+    (bandwidth degradation, retries) while kernels keep running at
+    nominal speed; with FlexGen overlap the slowdown only shows once a
+    layer's (slowed) transfer outruns its compute, which is why
+    :meth:`total_s` re-applies the per-layer ``max`` instead of
+    scaling the summed total.
+    """
+
+    transfers: Tuple[float, ...]
+    computes: Tuple[float, ...]
+    overlap: bool
+
+    @property
+    def transfer_s(self) -> float:
+        return sum(self.transfers)
+
+    @property
+    def compute_s(self) -> float:
+        return sum(self.computes)
+
+    def total_s(self, transfer_scale: float = 1.0) -> float:
+        if self.overlap:
+            return sum(
+                max(transfer * transfer_scale, compute)
+                for transfer, compute in zip(self.transfers, self.computes)
+            )
+        return sum(
+            transfer * transfer_scale + compute
+            for transfer, compute in zip(self.transfers, self.computes)
+        )
 
 
 class IterationCostModel:
@@ -41,8 +78,8 @@ class IterationCostModel:
         self.bucket_tokens = bucket_tokens
         self.overlap = overlap
         self._executors: Dict[Tuple[int, int], TimingExecutor] = {}
-        self._prefill_cache: Dict[Tuple[int, int], float] = {}
-        self._decode_cache: Dict[Tuple[int, int], float] = {}
+        self._prefill_cache: Dict[Tuple[int, int], IterationParts] = {}
+        self._decode_cache: Dict[Tuple[int, int], IterationParts] = {}
 
     # -- helpers -----------------------------------------------------------
 
@@ -71,15 +108,21 @@ class IterationCostModel:
             )
         return self._executors[key]
 
-    def _iteration_time(
+    def _iteration_parts(
         self, executor: TimingExecutor, stage: Stage, context_len: int
-    ) -> float:
-        total = 0.0
+    ) -> IterationParts:
+        transfers = []
+        computes = []
         for index, layer in enumerate(executor.placement.layers):
-            transfer = executor.layer_transfer_time(index)
-            compute = executor.layer_compute_time(layer, stage, context_len)
-            total += max(transfer, compute) if self.overlap else transfer + compute
-        return total
+            transfers.append(executor.layer_transfer_time(index))
+            computes.append(
+                executor.layer_compute_time(layer, stage, context_len)
+            )
+        return IterationParts(
+            transfers=tuple(transfers),
+            computes=tuple(computes),
+            overlap=self.overlap,
+        )
 
     # -- public API --------------------------------------------------------
 
@@ -92,8 +135,8 @@ class IterationCostModel:
         """
         return self.engine.max_batch_size(limit=limit)
 
-    def prefill_time(self, batch: int, prompt_len: int) -> float:
-        """One prefill iteration over ``batch`` admitted prompts."""
+    def prefill_parts(self, batch: int, prompt_len: int) -> IterationParts:
+        """Per-layer decomposition of one prefill iteration."""
         if batch < 1 or prompt_len < 1:
             raise ConfigurationError("batch and prompt_len must be >= 1")
         # Leave room for at least one generated token in the KV plan.
@@ -103,23 +146,31 @@ class IterationCostModel:
         key = (batch, prompt)
         if key not in self._prefill_cache:
             executor = self._executor(batch, prompt)
-            self._prefill_cache[key] = self._iteration_time(
+            self._prefill_cache[key] = self._iteration_parts(
                 executor, Stage.PREFILL, prompt
             )
         return self._prefill_cache[key]
 
-    def decode_time(self, batch: int, context_len: int) -> float:
-        """One decode iteration: one new token per running sequence."""
+    def decode_parts(self, batch: int, context_len: int) -> IterationParts:
+        """Per-layer decomposition of one decode iteration."""
         if batch < 1 or context_len < 1:
             raise ConfigurationError("batch and context_len must be >= 1")
         context = self._bucket(context_len, self.max_position)
         key = (batch, context)
         if key not in self._decode_cache:
             executor = self._executor(batch, self.engine.prompt_len)
-            self._decode_cache[key] = self._iteration_time(
+            self._decode_cache[key] = self._iteration_parts(
                 executor, Stage.DECODE, context
             )
         return self._decode_cache[key]
+
+    def prefill_time(self, batch: int, prompt_len: int) -> float:
+        """One prefill iteration over ``batch`` admitted prompts."""
+        return self.prefill_parts(batch, prompt_len).total_s()
+
+    def decode_time(self, batch: int, context_len: int) -> float:
+        """One decode iteration: one new token per running sequence."""
+        return self.decode_parts(batch, context_len).total_s()
 
     def reference_service_time(
         self, prompt_len: int, gen_len: int, batch: int
@@ -144,17 +195,39 @@ class FixedCostModel:
         prefill_s: float = 1.0,
         decode_s: float = 0.5,
         slots: int = 4,
+        transfer_fraction: float = 1.0,
     ) -> None:
         if prefill_s <= 0 or decode_s <= 0 or slots < 1:
             raise ConfigurationError(
                 "costs must be positive and slots >= 1"
             )
+        if not 0.0 <= transfer_fraction <= 1.0:
+            raise ConfigurationError(
+                "transfer_fraction must be in [0, 1]"
+            )
         self.prefill_s = prefill_s
         self.decode_s = decode_s
         self.slots = slots
+        #: Share of each iteration that is data movement (the part
+        #: fault injection can slow down or force to retry).
+        self.transfer_fraction = transfer_fraction
 
     def max_concurrency(self, limit: int = 512) -> int:
         return min(self.slots, limit)
+
+    def _parts(self, total_s: float) -> IterationParts:
+        transfer = total_s * self.transfer_fraction
+        return IterationParts(
+            transfers=(transfer,),
+            computes=(total_s - transfer,),
+            overlap=False,
+        )
+
+    def prefill_parts(self, batch: int, prompt_len: int) -> IterationParts:
+        return self._parts(self.prefill_s)
+
+    def decode_parts(self, batch: int, context_len: int) -> IterationParts:
+        return self._parts(self.decode_s)
 
     def prefill_time(self, batch: int, prompt_len: int) -> float:
         return self.prefill_s

@@ -16,7 +16,7 @@ from typing import Dict, Sequence, Tuple
 import numpy as np
 
 from repro.serve.request import QosClass, RequestRecord
-from repro.serve.scheduler import SchedulerRun
+from repro.serve.scheduler import FaultSummary, SchedulerRun
 
 
 @dataclass(frozen=True)
@@ -61,10 +61,15 @@ class ClassReport:
     ttft: LatencyStats
     tbt: LatencyStats
     e2e: LatencyStats
+    #: Requests of this class rejected by load shedding.  Shed
+    #: requests count against :attr:`slo_attainment` (the tenant got
+    #: no answer) but contribute no latency samples.
+    shed: int = 0
 
     def summary(self) -> Dict[str, float]:
         return {
             "completed": self.completed,
+            "shed": self.shed,
             "slo_attainment": self.slo_attainment,
             "goodput_rps": self.goodput_rps,
             **self.ttft.summary("ttft"),
@@ -92,6 +97,11 @@ class ServingMetrics:
     tbt: LatencyStats
     e2e: LatencyStats
     per_class: Dict[str, ClassReport]
+    #: Requests rejected by load shedding / outage abort.
+    shed_requests: int = 0
+    #: Resilience accounting from the scheduler (all zero without
+    #: fault injection).
+    faults: FaultSummary = FaultSummary()
 
     def summary(self) -> Dict[str, object]:
         flat: Dict[str, object] = {
@@ -106,9 +116,21 @@ class ServingMetrics:
             "saturated": self.saturated,
             "goodput_rps": self.goodput_rps,
             "slo_attainment": self.slo_attainment,
+            "shed_requests": self.shed_requests,
             **self.ttft.summary("ttft"),
             **self.tbt.summary("tbt"),
             **self.e2e.summary("e2e"),
+        }
+        flat["faults"] = {
+            "degradation_events": self.faults.degradation_events,
+            "degraded_iterations": self.faults.degraded_iterations,
+            "retried_iterations": self.faults.retried_iterations,
+            "retry_overhead_s": self.faults.retry_overhead_s,
+            "replans": self.faults.replans,
+            "stalls": self.faults.stalls,
+            "stall_s": self.faults.stall_s,
+            "shed_requests": self.faults.shed_requests,
+            "aborted": self.faults.aborted,
         }
         flat["classes"] = {
             name: report.summary()
@@ -118,19 +140,24 @@ class ServingMetrics:
 
 
 def _class_report(
-    name: str, records: Sequence[RequestRecord], duration_s: float
+    name: str,
+    records: Sequence[RequestRecord],
+    duration_s: float,
+    shed: int = 0,
 ) -> ClassReport:
     met = sum(1 for record in records if record.slo_met)
+    offered = len(records) + shed
     return ClassReport(
         name=name,
         completed=len(records),
-        slo_attainment=met / len(records) if records else 0.0,
+        slo_attainment=met / offered if offered else 0.0,
         goodput_rps=met / duration_s if duration_s > 0 else 0.0,
         ttft=LatencyStats.from_values([r.ttft_s for r in records]),
         tbt=LatencyStats.from_values(
             [r.tbt_s for r in records if r.gen_len > 1]
         ),
         e2e=LatencyStats.from_values([r.e2e_s for r in records]),
+        shed=shed,
     )
 
 
@@ -145,8 +172,13 @@ def detect_saturation(
     first decile plus one reference service time), and a wait-trend
     fit (admission waits grew by more than two service times across
     the run — the short-burst signature the deciles can miss).
+
+    Runs shorter than two full deciles (20 samples) are never flagged:
+    below that each "decile" is a single request, and one slow
+    straggler at either end makes the heuristic fire on a workload
+    that is nowhere near capacity.
     """
-    if len(waits_by_arrival) < 10:
+    if len(waits_by_arrival) < 20:
         return False
     waits = np.asarray(waits_by_arrival, dtype=float)
     decile = max(1, len(waits) // 10)
@@ -173,10 +205,17 @@ def build_metrics(
     by_class: Dict[str, list] = {qos.name: [] for qos in classes}
     for record in records:
         by_class.setdefault(record.qos_class, []).append(record)
+    shed_by_class: Dict[str, int] = {}
+    for shed in run.shed:
+        shed_by_class[shed.qos_class] = (
+            shed_by_class.get(shed.qos_class, 0) + 1
+        )
     per_class = {
-        name: _class_report(name, class_records, duration)
+        name: _class_report(
+            name, class_records, duration, shed_by_class.get(name, 0)
+        )
         for name, class_records in by_class.items()
-        if class_records
+        if class_records or shed_by_class.get(name)
     }
 
     waits = [
@@ -198,11 +237,17 @@ def build_metrics(
         mean_batch=float(np.mean(batches)) if batches else 0.0,
         saturated=detect_saturation(waits, service_ref_s),
         goodput_rps=met / duration if duration > 0 else 0.0,
-        slo_attainment=met / len(records) if records else 0.0,
+        slo_attainment=(
+            met / (len(records) + len(run.shed))
+            if records or run.shed
+            else 0.0
+        ),
         ttft=LatencyStats.from_values([r.ttft_s for r in records]),
         tbt=LatencyStats.from_values(
             [r.tbt_s for r in records if r.gen_len > 1]
         ),
         e2e=LatencyStats.from_values([r.e2e_s for r in records]),
         per_class=per_class,
+        shed_requests=len(run.shed),
+        faults=run.faults,
     )

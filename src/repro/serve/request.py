@@ -131,6 +131,24 @@ class ServeRequest:
 
 
 @dataclass(frozen=True)
+class ShedRecord:
+    """A request the scheduler rejected under degraded operation.
+
+    Shed requests never ran: they count against their class's SLO
+    attainment but produce no latency samples.
+    """
+
+    request_id: int
+    qos_class: str
+    arrival_s: float
+    #: Virtual time of the rejection decision.
+    shed_s: float
+    #: Why it was shed: ``"degraded"`` (load shedding while a tier is
+    #: slow) or ``"outage"`` (tier down past the stall budget).
+    reason: str
+
+
+@dataclass(frozen=True)
 class RequestRecord:
     """Immutable per-request result."""
 

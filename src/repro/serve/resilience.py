@@ -1,0 +1,128 @@
+"""Graceful-degradation policy for the serving scheduler.
+
+When a host tier degrades (GC pause, media wear, link flap), an
+unprepared scheduler keeps admitting work the hardware can no longer
+serve: every class's latency balloons together and the interactive
+SLO is lost along with everything else.  The resilience policy
+encodes the operator playbook instead:
+
+1. **Shed** — reject waiting/arriving requests of the lowest-priority
+   (batch) classes while degraded, and preempt running ones on entry
+   into the event, preserving capacity for interactive tenants.
+2. **Shrink** — cap the admitted batch at the degraded tier's
+   effective capacity (``nominal / slowdown``).
+3. **Re-plan** — re-run the placement algorithm against the degraded
+   bandwidth map (:func:`repro.faults.degraded_host_config`), pricing
+   iterations and the admission limit off what the hardware actually
+   delivers.  Triggered at most once per degradation event.
+
+All reactions are driven by the same seeded
+:class:`~repro.faults.injector.FaultInjector` that prices the faults,
+so a resilient chaos run is exactly as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs for the scheduler's degraded-mode behavior."""
+
+    #: Transfer slowdown at which a tier counts as degraded.
+    degraded_threshold: float = 2.0
+    #: Consecutive degraded iteration boundaries before reacting
+    #: (debounces sub-second blips).
+    sustain_iterations: int = 3
+    #: Consecutive healthy boundaries before leaving degraded mode.
+    recover_iterations: int = 3
+    #: Reject waiting/arriving requests of sheddable classes while
+    #: degraded.
+    shed: bool = True
+    #: Also preempt *running* sheddable requests on entry into a
+    #: degradation event, freeing their KV slots for interactive
+    #: admissions.  Without eviction, batch-tier sequences admitted
+    #: before the event hold every slot for the whole (slowed) rest of
+    #: their generation, and rejecting waiting work alone cannot
+    #: protect the interactive tier.
+    evict: bool = True
+    #: QoS priorities >= this are sheddable (default: everything below
+    #: the interactive tier, whose priority is 0).
+    shed_priority_floor: int = 1
+    #: Shrink the admitted batch to ``nominal / slowdown``.
+    shrink_batch: bool = True
+    #: Re-run placement against the degraded bandwidth map on entry
+    #: into a degradation event (needs a replanner).
+    replan: bool = True
+    #: Consecutive fully-stalled boundaries (tier down) before the run
+    #: aborts by shedding all outstanding work — the backstop that
+    #: keeps a permanent outage from hanging the simulation.
+    stall_limit: int = 20
+
+    def __post_init__(self) -> None:
+        if self.degraded_threshold < 1.0:
+            raise ConfigurationError("degraded_threshold must be >= 1")
+        if self.sustain_iterations < 1 or self.recover_iterations < 1:
+            raise ConfigurationError(
+                "sustain/recover iteration counts must be >= 1"
+            )
+        if self.stall_limit < 1:
+            raise ConfigurationError("stall_limit must be >= 1")
+
+
+#: The default playbook: shed + shrink + re-plan.
+DEFAULT_RESILIENCE = ResiliencePolicy()
+
+#: Price the faults honestly but react to nothing — the baseline the
+#: ablation compares against.
+NO_RESILIENCE = ResiliencePolicy(
+    shed=False, evict=False, shrink_batch=False, replan=False
+)
+
+
+@dataclass
+class ReplanOutcome:
+    """What a placement re-plan produced."""
+
+    #: A cost model priced against the degraded bandwidth map.
+    costs: object
+    #: The degraded admission limit.
+    max_batch: int
+    label: str = ""
+
+
+#: severity (observed slowdown) -> degraded cost model + limit.
+Replanner = Callable[[float], ReplanOutcome]
+
+
+def engine_replanner(engine, overlap: bool = True) -> Replanner:
+    """A :data:`Replanner` that re-runs ``engine``'s placement against
+    the degraded bandwidth map via
+    :meth:`~repro.core.engine.OffloadEngine.replan_for_degradation`.
+
+    Outcomes are cached per rounded severity so repeated degradation
+    events at the same intensity reuse one degraded engine.
+    """
+    from repro.serve.costs import IterationCostModel
+
+    cache: dict = {}
+
+    def replan(severity: float) -> ReplanOutcome:
+        key = round(max(1.0, severity), 2)
+        if key not in cache:
+            degraded_engine = engine.replan_for_degradation(
+                host_slowdown=key
+            )
+            costs = IterationCostModel(degraded_engine, overlap=overlap)
+            cache[key] = ReplanOutcome(
+                costs=costs,
+                max_batch=costs.max_concurrency(),
+                label=f"replan@{key:g}x",
+            )
+        return cache[key]
+
+    return replan

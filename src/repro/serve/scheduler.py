@@ -20,24 +20,53 @@ Every iteration is an operation on the
 leaves a full virtual-time trace; per-request spans are appended per
 QoS class, which makes the whole run exportable through
 :func:`repro.sim.chrome_trace.save_chrome_trace`.
+
+**Fault injection and graceful degradation.**  With a
+:class:`~repro.faults.injector.FaultInjector` attached, every
+iteration's transfer component is priced through the injector
+(degradation slowdowns, transient-failure retries, outages), and a
+:class:`~repro.serve.resilience.ResiliencePolicy` drives the
+degraded-mode playbook: shed low-priority waiting requests, shrink
+the admitted batch, optionally re-plan placement against the degraded
+bandwidth map — at most once per degradation event.  A tier that
+stays down past the stall budget aborts the run by shedding all
+outstanding work instead of hanging.  Without an injector the code
+path is bit-identical to the fault-free scheduler.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, WorkloadError
+from repro.errors import (
+    ConfigurationError,
+    TransferError,
+    WorkloadError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.models import HOST_TARGET, PCIE_TARGET
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.serve.request import (
     QosClass,
     RequestRecord,
     RequestSpec,
     ServeRequest,
+    ShedRecord,
     class_index,
+)
+from repro.serve.resilience import (
+    DEFAULT_RESILIENCE,
+    Replanner,
+    ResiliencePolicy,
 )
 from repro.sim.engine import SimEngine
 from repro.sim.trace import Trace, TraceRecord
+
+#: Targets consulted when the caller does not name the platform's own
+#: link/region labels.
+DEFAULT_FAULT_TARGETS: Tuple[str, ...] = (HOST_TARGET, PCIE_TARGET)
 
 
 @dataclass(frozen=True)
@@ -49,6 +78,33 @@ class IterationSample:
     batch: int
     waiting: int
     running_after: int
+    #: Whether the scheduler was in degraded mode at this boundary.
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Resilience/fault accounting for one scheduler pass."""
+
+    #: OK -> degraded transitions (each may trigger one re-plan).
+    degradation_events: int = 0
+    #: Iterations executed while in degraded mode.
+    degraded_iterations: int = 0
+    #: Iterations whose transfers needed at least one retry.
+    retried_iterations: int = 0
+    #: Virtual time spent in backoffs and wasted (failed) attempts.
+    retry_overhead_s: float = 0.0
+    #: Placement re-plans performed.
+    replans: int = 0
+    #: Boundaries where the tier was unusable and the scheduler
+    #: stalled for a retry budget.
+    stalls: int = 0
+    stall_s: float = 0.0
+    #: Requests rejected by load shedding / outage abort.
+    shed_requests: int = 0
+    #: The run was abandoned because a tier stayed down past the
+    #: stall budget.
+    aborted: bool = False
 
 
 @dataclass(frozen=True)
@@ -62,6 +118,10 @@ class SchedulerRun:
     gpu_busy_s: float
     prefill_iterations: int
     decode_iterations: int
+    #: Requests rejected under degraded operation (empty without
+    #: fault injection).
+    shed: Tuple[ShedRecord, ...] = ()
+    faults: FaultSummary = field(default_factory=FaultSummary)
 
     @property
     def iterations(self) -> int:
@@ -83,6 +143,11 @@ class ContinuousBatchingScheduler:
         costs,
         classes: Sequence[QosClass],
         max_batch: Optional[int] = None,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        replanner: Optional[Replanner] = None,
+        fault_targets: Sequence[str] = DEFAULT_FAULT_TARGETS,
     ) -> None:
         self.costs = costs
         self.classes = class_index(classes)
@@ -94,6 +159,13 @@ class ContinuousBatchingScheduler:
                 "even a single prompt's KV cache does not fit"
             )
         self.max_batch = int(max_batch)
+        self.injector = injector
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        if resilience is None and injector is not None:
+            resilience = DEFAULT_RESILIENCE
+        self.resilience = resilience
+        self.replanner = replanner
+        self.fault_targets = tuple(fault_targets)
 
     def _request(self, spec: RequestSpec) -> ServeRequest:
         try:
@@ -114,14 +186,31 @@ class ContinuousBatchingScheduler:
         engine = SimEngine()
         gpu = engine.stream("gpu")
 
+        injector = self.injector
+        resilience = self.resilience
+        retry = self.retry
+
         #: (priority, arrival, id) heap of waiting requests.
         waiting: List[Tuple[int, float, int, ServeRequest]] = []
         running: List[ServeRequest] = []
         records: List[RequestRecord] = []
+        shed_records: List[ShedRecord] = []
         timeline: List[IterationSample] = []
         next_arrival = 0
         prefills = decodes = 0
         gpu_busy = 0.0
+
+        # Degraded-mode state machine.
+        active_costs = self.costs
+        effective_max = self.max_batch
+        degraded_mode = False
+        replanned = False
+        degraded_streak = ok_streak = stall_streak = 0
+        events = replans = stalls = 0
+        stall_s = 0.0
+        degraded_iterations = retried_iterations = 0
+        retry_overhead_s = 0.0
+        aborted = False
 
         def absorb_arrivals(now: float) -> int:
             nonlocal next_arrival
@@ -163,22 +252,219 @@ class ContinuousBatchingScheduler:
                 )
             )
 
-        while len(records) < len(pending):
+        def shed_one(spec: RequestSpec, now: float, reason: str) -> None:
+            shed_records.append(
+                ShedRecord(
+                    request_id=spec.request_id,
+                    qos_class=spec.qos_class,
+                    arrival_s=spec.arrival_s,
+                    shed_s=now,
+                    reason=reason,
+                )
+            )
+            engine.trace.record(
+                TraceRecord(
+                    label=f"shed {spec.request_id}",
+                    stream=f"qos:{spec.qos_class}",
+                    category="shed",
+                    start=spec.arrival_s,
+                    end=now,
+                    meta={"reason": reason, "qos": spec.qos_class},
+                )
+            )
+
+        def shed_waiting(
+            now: float, reason: str, sheddable_only: bool
+        ) -> None:
+            nonlocal waiting
+            kept: List[Tuple[int, float, int, ServeRequest]] = []
+            for entry in waiting:
+                request = entry[-1]
+                if (
+                    sheddable_only
+                    and request.qos.priority
+                    < resilience.shed_priority_floor
+                ):
+                    kept.append(entry)
+                else:
+                    shed_one(request.spec, now, reason)
+            heapq.heapify(kept)
+            waiting = kept
+
+        def priced_iteration(
+            kind: str, batch: int, tokens: int, now: float, health
+        ) -> float:
+            """Price one iteration's duration under the injector."""
+            nonlocal retried_iterations, retry_overhead_s
+            # A re-planned cost model bakes the derated bandwidths into
+            # its parts, so it is used (at scale 1.0 — re-applying the
+            # live slowdown would double-count) only while the tier is
+            # actually degraded; healthy boundaries inside a
+            # not-yet-recovered event are priced off the nominal model.
+            degraded_now = health is not None and health.slowdown > 1.0
+            model = active_costs if (replanned and degraded_now) else self.costs
+            nominal = (
+                self.costs.prefill_parts(batch, tokens)
+                if kind == "prefill"
+                else self.costs.decode_parts(batch, tokens)
+            )
+            # Retries and failed attempts are always priced off the
+            # *nominal* transfer time — the injector applies the live
+            # slowdown itself, and the degraded model's parts already
+            # include it (feeding them in would double-count).
+            outcome = injector.price_transfer(
+                self.fault_targets, nominal.transfer_s, now, retry
+            )
+            if model is self.costs:
+                parts, scale = nominal, outcome.slowdown
+            else:
+                parts = (
+                    model.prefill_parts(batch, tokens)
+                    if kind == "prefill"
+                    else model.decode_parts(batch, tokens)
+                )
+                scale = 1.0
+            extra = outcome.wasted_s + outcome.retry_delay_s
+            if outcome.retried:
+                retried_iterations += 1
+                retry_overhead_s += extra
+            return parts.total_s(scale) + extra
+
+        def evict_running(now: float) -> None:
+            """Preempt sheddable running requests, freeing KV slots."""
+            nonlocal running
+            kept: List[ServeRequest] = []
+            for request in running:
+                if request.qos.priority < resilience.shed_priority_floor:
+                    kept.append(request)
+                else:
+                    shed_one(request.spec, now, "degraded")
+            running = kept
+
+        def abort_run(now: float) -> None:
+            """Permanent outage: fail everything outstanding."""
+            nonlocal aborted, running
+            shed_waiting(now, "outage", sheddable_only=False)
+            for request in running:
+                shed_one(request.spec, now, "outage")
+            running = []
+            for index in range(next_arrival, len(pending)):
+                spec = pending[index]
+                shed_one(spec, max(now, spec.arrival_s), "outage")
+            aborted = True
+
+        while len(records) + len(shed_records) < len(pending):
             now = engine.now
             absorb_arrivals(now)
 
+            health = None
+            if injector is not None:
+                health = injector.health(self.fault_targets, now)
+                degraded_now = (
+                    health.down
+                    or health.slowdown >= resilience.degraded_threshold
+                )
+                if degraded_now:
+                    degraded_streak += 1
+                    ok_streak = 0
+                else:
+                    ok_streak += 1
+                    degraded_streak = 0
+                if (
+                    not degraded_mode
+                    and degraded_streak >= resilience.sustain_iterations
+                ):
+                    degraded_mode = True
+                    events += 1
+                    if resilience.evict and running:
+                        evict_running(now)
+                    severity = max(1.0, health.slowdown)
+                    if (
+                        resilience.replan
+                        and self.replanner is not None
+                        and severity >= resilience.degraded_threshold
+                    ):
+                        outcome = self.replanner(severity)
+                        active_costs = outcome.costs
+                        effective_max = max(
+                            1, min(self.max_batch, outcome.max_batch)
+                        )
+                        replanned = True
+                        replans += 1
+                    elif resilience.shrink_batch and severity > 1.0:
+                        effective_max = max(
+                            1, int(self.max_batch / severity)
+                        )
+                elif (
+                    degraded_mode
+                    and ok_streak >= resilience.recover_iterations
+                ):
+                    degraded_mode = False
+                    replanned = False
+                    active_costs = self.costs
+                    effective_max = self.max_batch
+                if degraded_mode and resilience.shed and waiting:
+                    shed_waiting(now, "degraded", sheddable_only=True)
+
             if not waiting and not running:
+                if next_arrival >= len(pending):
+                    # Shedding just emptied the queue and every
+                    # request is accounted for; nothing left to serve.
+                    break
                 # Idle server: jump to the next arrival.
                 engine.clock.advance_to(pending[next_arrival].arrival_s)
                 continue
 
-            free = self.max_batch - len(running)
+            if health is not None and health.down:
+                # The tier is unusable: no iteration can run.  Spend
+                # one retry budget discovering that, then reassess.
+                stall_streak += 1
+                stalls += 1
+                stall_s += retry.timeout_s
+                if stall_streak >= resilience.stall_limit:
+                    abort_run(now)
+                    break
+                engine.clock.advance_to(now + retry.timeout_s)
+                continue
+
+            free = effective_max - len(running)
             if waiting and free > 0:
                 admitted: List[ServeRequest] = []
                 while waiting and len(admitted) < free:
                     admitted.append(heapq.heappop(waiting)[-1])
                 prompt_max = max(r.spec.prompt_len for r in admitted)
-                duration = self.costs.prefill_time(len(admitted), prompt_max)
+                if injector is None:
+                    duration = self.costs.prefill_time(
+                        len(admitted), prompt_max
+                    )
+                else:
+                    try:
+                        duration = priced_iteration(
+                            "prefill", len(admitted), prompt_max,
+                            now, health,
+                        )
+                    except TransferError as error:
+                        # Exhausted retries: put the batch back, stall
+                        # for the time the attempts consumed.
+                        for request in admitted:
+                            heapq.heappush(
+                                waiting,
+                                (
+                                    request.qos.priority,
+                                    request.spec.arrival_s,
+                                    request.spec.request_id,
+                                    request,
+                                ),
+                            )
+                        stall_streak += 1
+                        stalls += 1
+                        stall_s += error.elapsed_s
+                        if stall_streak >= resilience.stall_limit:
+                            abort_run(now)
+                            break
+                        engine.clock.advance_to(now + error.elapsed_s)
+                        continue
+                stall_streak = 0
                 gpu.enqueue(
                     duration,
                     label=f"prefill x{len(admitted)}",
@@ -187,12 +473,15 @@ class ContinuousBatchingScheduler:
                         "batch": len(admitted),
                         "prompt_len": prompt_max,
                         "requests": [r.spec.request_id for r in admitted],
+                        "degraded": degraded_mode,
                     },
                 )
                 engine.run()
                 done_at = engine.now
                 gpu_busy += duration
                 prefills += 1
+                if degraded_mode:
+                    degraded_iterations += 1
                 for request in admitted:
                     request.admitted_s = now
                     request.token_times.append(done_at)
@@ -207,6 +496,7 @@ class ContinuousBatchingScheduler:
                         batch=len(admitted),
                         waiting=len(waiting),
                         running_after=len(running),
+                        degraded=degraded_mode,
                     )
                 )
                 continue
@@ -214,17 +504,39 @@ class ContinuousBatchingScheduler:
             # Decode: one token for every running sequence.
             decode_batch = len(running)
             context = max(request.context_len for request in running)
-            duration = self.costs.decode_time(decode_batch, context)
+            if injector is None:
+                duration = self.costs.decode_time(decode_batch, context)
+            else:
+                try:
+                    duration = priced_iteration(
+                        "decode", decode_batch, context, now, health,
+                    )
+                except TransferError as error:
+                    stall_streak += 1
+                    stalls += 1
+                    stall_s += error.elapsed_s
+                    if stall_streak >= resilience.stall_limit:
+                        abort_run(now)
+                        break
+                    engine.clock.advance_to(now + error.elapsed_s)
+                    continue
+            stall_streak = 0
             gpu.enqueue(
                 duration,
                 label=f"decode x{decode_batch}",
                 category="decode",
-                meta={"batch": decode_batch, "context_len": context},
+                meta={
+                    "batch": decode_batch,
+                    "context_len": context,
+                    "degraded": degraded_mode,
+                },
             )
             engine.run()
             done_at = engine.now
             gpu_busy += duration
             decodes += 1
+            if degraded_mode:
+                degraded_iterations += 1
             still_running: List[ServeRequest] = []
             for request in running:
                 request.token_times.append(done_at)
@@ -240,10 +552,12 @@ class ContinuousBatchingScheduler:
                     batch=decode_batch,
                     waiting=len(waiting),
                     running_after=len(running),
+                    degraded=degraded_mode,
                 )
             )
 
         records.sort(key=lambda record: record.request_id)
+        shed_records.sort(key=lambda record: record.request_id)
         return SchedulerRun(
             records=tuple(records),
             timeline=tuple(timeline),
@@ -252,4 +566,16 @@ class ContinuousBatchingScheduler:
             gpu_busy_s=gpu_busy,
             prefill_iterations=prefills,
             decode_iterations=decodes,
+            shed=tuple(shed_records),
+            faults=FaultSummary(
+                degradation_events=events,
+                degraded_iterations=degraded_iterations,
+                retried_iterations=retried_iterations,
+                retry_overhead_s=retry_overhead_s,
+                replans=replans,
+                stalls=stalls,
+                stall_s=stall_s,
+                shed_requests=len(shed_records),
+                aborted=aborted,
+            ),
         )

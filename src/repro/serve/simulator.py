@@ -26,6 +26,9 @@ import statistics
 
 from repro.core.engine import OffloadEngine
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector, make_injector
+from repro.faults.models import FaultSchedule
+from repro.faults.retry import RetryPolicy
 from repro.serve.arrivals import (
     DEFAULT_MIX,
     ArrivalProcess,
@@ -36,7 +39,13 @@ from repro.serve.arrivals import (
 )
 from repro.serve.costs import IterationCostModel
 from repro.serve.metrics import ServingMetrics, build_metrics
-from repro.serve.request import QosClass, RequestRecord, RequestSpec
+from repro.serve.request import (
+    QosClass,
+    RequestRecord,
+    RequestSpec,
+    ShedRecord,
+)
+from repro.serve.resilience import Replanner, ResiliencePolicy
 from repro.serve.scheduler import (
     ContinuousBatchingScheduler,
     IterationSample,
@@ -57,6 +66,9 @@ class ServingResult:
     #: Full virtual-time trace (iterations + per-request spans); pass
     #: to :func:`repro.sim.chrome_trace.save_chrome_trace`.
     trace: Trace
+    #: Requests rejected under degraded operation (empty without
+    #: fault injection).
+    shed: Tuple[ShedRecord, ...] = ()
 
     def summary(self) -> Dict[str, object]:
         return {**self.setup, **self.metrics.summary()}
@@ -70,11 +82,26 @@ class ServingSimulator:
         costs,
         classes: Sequence[QosClass] = tuple(qos for qos, _ in DEFAULT_MIX),
         max_batch: Optional[int] = None,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        replanner: Optional[Replanner] = None,
+        fault_targets: Optional[Sequence[str]] = None,
     ) -> None:
         self.costs = costs
         self.classes = tuple(classes)
+        scheduler_kwargs: Dict[str, object] = {}
+        if fault_targets is not None:
+            scheduler_kwargs["fault_targets"] = tuple(fault_targets)
         self.scheduler = ContinuousBatchingScheduler(
-            costs, self.classes, max_batch=max_batch
+            costs,
+            self.classes,
+            max_batch=max_batch,
+            injector=injector,
+            retry=retry,
+            resilience=resilience,
+            replanner=replanner,
+            **scheduler_kwargs,
         )
 
     def run(
@@ -100,6 +127,8 @@ class ServingSimulator:
             "prefill_iterations": outcome.prefill_iterations,
             "decode_iterations": outcome.decode_iterations,
         }
+        if self.scheduler.injector is not None:
+            info["fault_stats"] = self.scheduler.injector.stats.as_dict()
         if setup:
             info.update(setup)
         return ServingResult(
@@ -108,6 +137,7 @@ class ServingSimulator:
             records=outcome.records,
             timeline=outcome.timeline,
             trace=outcome.trace,
+            shed=outcome.shed,
         )
 
 
@@ -156,12 +186,23 @@ def simulate_serving(
     seed: int = 0,
     max_batch: Optional[int] = None,
     overlap: bool = True,
+    faults: Optional[Union[FaultSchedule, FaultInjector, str]] = None,
+    fault_seed: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> ServingResult:
     """Simulate one placement under open-loop load, end to end.
 
     ``arrival`` may be a process name (``"poisson"``/``"bursty"``), a
     ready-made process, or a :class:`TraceReplay`; in the replay case
     the sampled lengths/classes come from the trace itself.
+
+    ``faults`` (a :class:`FaultSchedule`, ready injector, or path to a
+    schedule JSON) turns on fault injection: every iteration's
+    transfer component is priced under the schedule, and
+    ``resilience`` (default :data:`~repro.serve.resilience.DEFAULT_RESILIENCE`)
+    governs shedding, batch shrinking, and placement re-planning.
+    ``None`` keeps the fault-free path bit-identical to a plain run.
     """
     engine = OffloadEngine(
         model=model,
@@ -171,6 +212,20 @@ def simulate_serving(
         batch_size=1,
     )
     costs = IterationCostModel(engine, overlap=overlap)
+    injector = make_injector(faults, seed=fault_seed)
+    replanner: Optional[Replanner] = None
+    fault_targets: Optional[Tuple[str, ...]] = None
+    if injector is not None:
+        from repro.faults.models import HOST_TARGET, PCIE_TARGET
+        from repro.serve.resilience import engine_replanner
+
+        fault_targets = (
+            HOST_TARGET,
+            PCIE_TARGET,
+            engine.host.host_region.name,
+            engine.host.label,
+        )
+        replanner = engine_replanner(engine, overlap=overlap)
     if isinstance(arrival, str):
         process: Union[ArrivalProcess, TraceReplay] = make_arrival_process(
             arrival, rate_rps, burst_rate_rps
@@ -189,6 +244,11 @@ def simulate_serving(
         costs,
         classes=tuple(qos for qos, _ in class_mix),
         max_batch=max_batch,
+        injector=injector,
+        retry=retry,
+        resilience=resilience,
+        replanner=replanner,
+        fault_targets=fault_targets,
     )
     setup = {
         "model": model,
@@ -200,4 +260,9 @@ def simulate_serving(
         "num_requests": len(specs),
         "seed": seed,
     }
+    if injector is not None:
+        setup["faults"] = (
+            faults if isinstance(faults, str) else "schedule"
+        )
+        setup["fault_seed"] = injector.seed
     return simulator.run(specs, setup=setup)

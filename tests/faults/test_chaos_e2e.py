@@ -1,0 +1,97 @@
+"""End-to-end chaos runs through the full serving simulator.
+
+Slow-ish (each run builds real placements for a small model), so the
+scenarios are kept compact: one chaos schedule, one platform.
+"""
+
+import pytest
+
+from repro.core.qos import QosTarget
+from repro.faults.models import (
+    ZERO_SCHEDULE,
+    DegradationWindow,
+    FaultSchedule,
+    TransientFaults,
+)
+from repro.serve.request import QosClass
+from repro.serve.simulator import simulate_serving
+
+INTERACTIVE = QosClass(
+    name="interactive", priority=0, target=QosTarget(max_ttft_s=60.0)
+)
+BATCH = QosClass(
+    name="batch",
+    priority=1,
+    target=QosTarget(max_tbt_s=3600.0),
+    max_e2e_s=3600.0,
+)
+MIX = ((INTERACTIVE, 0.5), (BATCH, 0.5))
+
+CHAOS = FaultSchedule(
+    faults=(
+        DegradationWindow(
+            target="host", slowdown=8.0, start_s=60.0, duration_s=120.0
+        ),
+        TransientFaults(target="host", probability=0.02),
+    ),
+    seed=3,
+)
+
+
+def serve(**kwargs):
+    return simulate_serving(
+        model="opt-1.3b",
+        host="DRAM",
+        placement="allcpu",
+        rate_rps=0.5,
+        num_requests=60,
+        class_mix=MIX,
+        seed=5,
+        max_batch=8,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    return serve(faults=CHAOS)
+
+
+class TestChaosEndToEnd:
+    def test_zero_schedule_matches_fault_free_run(self):
+        plain = serve()
+        zero = serve(faults=ZERO_SCHEDULE)
+        assert zero.records == plain.records
+        assert zero.metrics.duration_s == plain.metrics.duration_s
+        assert (
+            zero.metrics.summary()["ttft_p99_s"]
+            == plain.metrics.summary()["ttft_p99_s"]
+        )
+        assert zero.shed == ()
+
+    def test_identical_seeds_replay_identically(self, chaos_run):
+        replay = serve(faults=CHAOS)
+        assert replay.records == chaos_run.records
+        assert replay.shed == chaos_run.shed
+        assert replay.summary() == chaos_run.summary()
+
+    def test_interactive_outlives_batch_under_chaos(self, chaos_run):
+        """Shedding protects the interactive tier at batch's expense."""
+        assert not chaos_run.metrics.faults.aborted
+        assert all(
+            record.qos_class != INTERACTIVE.name
+            for record in chaos_run.shed
+        )
+        by_class = chaos_run.metrics.per_class
+        interactive = by_class[INTERACTIVE.name]
+        batch = by_class[BATCH.name]
+        assert interactive.slo_attainment >= batch.slo_attainment
+        assert interactive.slo_attainment > 0.5
+
+    def test_fault_accounting_is_surfaced(self, chaos_run):
+        summary = chaos_run.summary()
+        assert "fault_stats" in chaos_run.setup
+        faults = summary["faults"]
+        assert faults["degradation_events"] >= 1
+        assert faults["shed_requests"] == len(chaos_run.shed)
+        assert chaos_run.setup["fault_seed"] == CHAOS.seed

@@ -1,0 +1,113 @@
+"""Injector determinism, zero-schedule inertness, and coercion."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector, make_injector
+from repro.faults.models import (
+    ZERO_SCHEDULE,
+    DegradationWindow,
+    FaultSchedule,
+    TransientFaults,
+)
+
+
+def flaky_schedule(seed=0):
+    return FaultSchedule(
+        faults=(TransientFaults(target="host", probability=0.3),),
+        seed=seed,
+    )
+
+
+def price_sequence(injector, n=50):
+    out = []
+    now = 0.0
+    for _ in range(n):
+        outcome = injector.price_transfer(("host",), 1.0, now)
+        out.append((outcome.duration_s, outcome.attempts))
+        now += outcome.duration_s
+    return out
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcomes(self):
+        a = price_sequence(FaultInjector(flaky_schedule(seed=5)))
+        b = price_sequence(FaultInjector(flaky_schedule(seed=5)))
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        a = price_sequence(FaultInjector(flaky_schedule(seed=5)))
+        b = price_sequence(FaultInjector(flaky_schedule(seed=6)))
+        assert a != b
+
+    def test_seed_override_beats_schedule_seed(self):
+        a = price_sequence(FaultInjector(flaky_schedule(seed=5), seed=9))
+        b = price_sequence(FaultInjector(flaky_schedule(seed=6), seed=9))
+        assert a == b
+
+
+class TestZeroSchedule:
+    def test_never_draws_from_rng(self):
+        """Zero-intensity pricing must not consume RNG state."""
+        injector = FaultInjector(ZERO_SCHEDULE)
+        before = injector._rng.getstate()
+        for now in (0.0, 1.0, 100.0):
+            outcome = injector.price_transfer(("host",), 3.0, now)
+            assert outcome.duration_s == 3.0
+            assert outcome.attempts == 1
+        assert injector._rng.getstate() == before
+
+    def test_pure_degradation_never_draws_either(self):
+        injector = FaultInjector(
+            FaultSchedule(
+                faults=(DegradationWindow(target="host", slowdown=2.0),)
+            )
+        )
+        before = injector._rng.getstate()
+        injector.price_transfer(("host",), 3.0, 0.0)
+        assert injector._rng.getstate() == before
+
+    def test_stats_accumulate(self):
+        injector = FaultInjector(flaky_schedule(seed=1))
+        price_sequence(injector, n=30)
+        stats = injector.stats.as_dict()
+        assert stats["transfers"] == 30
+        assert stats["failures"] > 0
+        assert stats["retried_transfers"] > 0
+
+
+class TestMakeInjector:
+    def test_none_passthrough(self):
+        assert make_injector(None) is None
+
+    def test_schedule_and_injector_coercion(self):
+        injector = make_injector(flaky_schedule(), seed=3)
+        assert isinstance(injector, FaultInjector)
+        assert injector.seed == 3
+        assert make_injector(injector) is injector
+
+    def test_load_from_path(self, tmp_path):
+        path = str(tmp_path / "chaos.json")
+        flaky_schedule(seed=4).save(path)
+        injector = make_injector(path)
+        assert injector.schedule == flaky_schedule(seed=4)
+        assert injector.seed == 4
+
+    def test_health_snapshot(self):
+        injector = FaultInjector(
+            FaultSchedule(
+                faults=(
+                    DegradationWindow(
+                        target="host", slowdown=5.0,
+                        start_s=10.0, duration_s=5.0,
+                    ),
+                )
+            )
+        )
+        assert injector.health(("host",), 0.0).nominal
+        degraded = injector.health(("host",), 12.0)
+        assert degraded.slowdown == 5.0
+        assert not degraded.down
+        assert not degraded.nominal

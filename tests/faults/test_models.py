@@ -1,0 +1,145 @@
+"""Fault model and schedule semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.models import (
+    ZERO_SCHEDULE,
+    DegradationWindow,
+    FaultSchedule,
+    LinkOutage,
+    TransientFaults,
+    WearDerate,
+)
+
+
+class TestModels:
+    def test_degradation_window_is_periodic(self):
+        window = DegradationWindow(
+            target="host", slowdown=10.0,
+            start_s=30.0, duration_s=5.0, period_s=60.0,
+        )
+        assert window.slowdown_at(0.0) == 1.0
+        assert window.slowdown_at(31.0) == 10.0
+        assert window.slowdown_at(36.0) == 1.0
+        # Next period: 90..95 degraded again.
+        assert window.slowdown_at(92.0) == 10.0
+        assert window.slowdown_at(96.0) == 1.0
+
+    def test_open_ended_window(self):
+        window = DegradationWindow(target="host", slowdown=2.0, start_s=10.0)
+        assert window.slowdown_at(9.9) == 1.0
+        assert window.slowdown_at(1e9) == 2.0
+
+    def test_wear_derate_is_permanent(self):
+        wear = WearDerate(target="NVDRAM", fraction=0.5, start_s=100.0)
+        assert wear.slowdown_at(99.0) == 1.0
+        assert wear.slowdown_at(100.0) == pytest.approx(2.0)
+        assert wear.slowdown_at(1e12) == pytest.approx(2.0)
+
+    def test_outage_window(self):
+        outage = LinkOutage(
+            target="pcie", start_s=5.0, duration_s=1.0, period_s=10.0
+        )
+        assert not outage.down_at(4.0)
+        assert outage.down_at(5.5)
+        assert not outage.down_at(7.0)
+        assert outage.down_at(15.5)
+
+    def test_transient_window(self):
+        transient = TransientFaults(
+            target="host", probability=0.25, start_s=10.0, end_s=20.0
+        )
+        assert transient.failure_probability_at(5.0) == 0.0
+        assert transient.failure_probability_at(15.0) == 0.25
+        assert transient.failure_probability_at(20.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransientFaults(target="host", probability=1.5)
+        with pytest.raises(ConfigurationError):
+            DegradationWindow(target="host", slowdown=0.5)
+        with pytest.raises(ConfigurationError):
+            DegradationWindow(
+                target="host", slowdown=2.0, duration_s=10.0, period_s=5.0
+            )
+        with pytest.raises(ConfigurationError):
+            WearDerate(target="host", fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkOutage(target="host", duration_s=-1.0)
+
+
+class TestSchedule:
+    def test_slowdowns_multiply_and_probabilities_combine(self):
+        schedule = FaultSchedule(
+            faults=(
+                DegradationWindow(target="host", slowdown=3.0),
+                WearDerate(target="host", fraction=0.5),
+                TransientFaults(target="host", probability=0.5),
+                TransientFaults(target="host", probability=0.5),
+                DegradationWindow(target="disk", slowdown=100.0),
+            )
+        )
+        assert schedule.slowdown(("host",), 1.0) == pytest.approx(6.0)
+        assert schedule.failure_probability(("host",), 1.0) == pytest.approx(
+            0.75
+        )
+        assert schedule.slowdown(("disk",), 1.0) == pytest.approx(100.0)
+        assert schedule.slowdown(("gpu",), 1.0) == 1.0
+
+    def test_wildcard_matches_everything(self):
+        schedule = FaultSchedule(
+            faults=(DegradationWindow(target="*", slowdown=2.0),)
+        )
+        assert schedule.slowdown(("anything",), 0.0) == 2.0
+
+    def test_is_zero(self):
+        assert ZERO_SCHEDULE.is_zero()
+        assert FaultSchedule(
+            faults=(
+                TransientFaults(target="host", probability=0.0),
+                DegradationWindow(target="host", slowdown=1.0),
+                WearDerate(target="host", fraction=1.0),
+                LinkOutage(target="host", duration_s=0.0),
+            )
+        ).is_zero()
+        assert not FaultSchedule(
+            faults=(TransientFaults(target="host", probability=0.1),)
+        ).is_zero()
+
+    def test_json_round_trip(self, tmp_path):
+        schedule = FaultSchedule(
+            faults=(
+                DegradationWindow(
+                    target="host", slowdown=10.0,
+                    start_s=30.0, duration_s=5.0, period_s=60.0,
+                ),
+                TransientFaults(target="pcie", probability=0.01),
+                LinkOutage(target="NVDRAM", start_s=100.0, duration_s=2.0),
+                WearDerate(target="host", fraction=0.8),
+            ),
+            seed=7,
+        )
+        path = str(tmp_path / "chaos.json")
+        schedule.save(path)
+        assert FaultSchedule.load(path) == schedule
+
+    def test_load_wraps_io_and_parse_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            FaultSchedule.load(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"faults": [')
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultSchedule.load(str(bad))
+
+    def test_from_json_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_json(
+                {"faults": [{"kind": "meteor", "target": "host"}]}
+            )
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_json(
+                {"faults": [{"kind": "wear", "target": "host", "bogus": 1}]}
+            )
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_json([1, 2])

@@ -1,0 +1,272 @@
+"""Graceful degradation in the continuous-batching scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    ZERO_SCHEDULE,
+    DegradationWindow,
+    FaultSchedule,
+    LinkOutage,
+)
+from repro.faults.retry import RetryPolicy
+from repro.serve.costs import FixedCostModel
+from repro.serve.request import QosClass, RequestSpec
+from repro.serve.resilience import (
+    NO_RESILIENCE,
+    ReplanOutcome,
+    ResiliencePolicy,
+)
+from repro.serve.scheduler import ContinuousBatchingScheduler
+
+from repro.core.qos import QosTarget
+
+INTERACTIVE = QosClass(
+    name="interactive", priority=0, target=QosTarget(max_ttft_s=30.0)
+)
+BATCH = QosClass(
+    name="batch", priority=1, target=QosTarget(max_tbt_s=600.0)
+)
+CLASSES = (INTERACTIVE, BATCH)
+
+FAST = ResiliencePolicy(sustain_iterations=1, recover_iterations=1)
+
+
+def spec(request_id, arrival_s, qos, gen_len=4, prompt_len=32):
+    return RequestSpec(
+        request_id=request_id,
+        arrival_s=arrival_s,
+        prompt_len=prompt_len,
+        gen_len=gen_len,
+        qos_class=qos.name,
+    )
+
+
+def scheduler(injector=None, resilience=None, slots=4, replanner=None):
+    return ContinuousBatchingScheduler(
+        FixedCostModel(prefill_s=1.0, decode_s=0.5, slots=slots),
+        CLASSES,
+        injector=injector,
+        resilience=resilience,
+        replanner=replanner,
+    )
+
+
+def degradation(slowdown=4.0, start_s=0.0, **kwargs):
+    return FaultInjector(
+        FaultSchedule(
+            faults=(
+                DegradationWindow(
+                    target="host",
+                    slowdown=slowdown,
+                    start_s=start_s,
+                    **kwargs,
+                ),
+            )
+        )
+    )
+
+
+class TestZeroInjector:
+    def test_zero_schedule_is_bit_identical(self):
+        specs = [
+            spec(i, i * 0.3, INTERACTIVE if i % 2 else BATCH)
+            for i in range(10)
+        ]
+        plain = scheduler().run(specs)
+        zero = scheduler(injector=FaultInjector(ZERO_SCHEDULE)).run(specs)
+        assert plain.records == zero.records
+        assert plain.span_s == zero.span_s
+        assert plain.timeline == zero.timeline
+        assert zero.shed == ()
+        assert zero.faults.degradation_events == 0
+        assert zero.faults.retried_iterations == 0
+
+
+class TestShedding:
+    def test_batch_is_shed_before_interactive(self):
+        specs = [
+            spec(0, 0.0, INTERACTIVE),
+            spec(1, 0.0, INTERACTIVE),
+            spec(2, 0.0, BATCH),
+            spec(3, 0.0, BATCH),
+        ]
+        run = scheduler(injector=degradation(), resilience=FAST).run(specs)
+        assert {r.qos_class for r in run.shed} == {BATCH.name}
+        assert {r.request_id for r in run.shed} == {2, 3}
+        assert all(r.reason == "degraded" for r in run.shed)
+        assert {r.qos_class for r in run.records} == {INTERACTIVE.name}
+        assert run.faults.shed_requests == 2
+        assert run.faults.degradation_events == 1
+
+    def test_shedding_the_last_waiter_terminates_cleanly(self):
+        """Regression: when the degraded-mode shed empties the queue
+        and every request is accounted for, the boundary used to fall
+        through to the idle jump and index past the stream's end."""
+        specs = [spec(0, 0.0, BATCH)]
+        run = scheduler(injector=degradation(), resilience=FAST).run(specs)
+        assert run.records == ()
+        assert {r.request_id for r in run.shed} == {0}
+        # Mixed tail: the batch straggler is shed while the earlier
+        # interactive work has already finished.
+        specs = [spec(0, 0.0, INTERACTIVE, gen_len=2), spec(1, 8.0, BATCH)]
+        run = scheduler(injector=degradation(), resilience=FAST).run(specs)
+        assert {r.request_id for r in run.records} == {0}
+        assert {r.request_id for r in run.shed} == {1}
+
+    def test_no_resilience_never_sheds(self):
+        specs = [
+            spec(0, 0.0, INTERACTIVE),
+            spec(1, 0.0, BATCH),
+            spec(2, 0.0, BATCH),
+        ]
+        run = scheduler(
+            injector=degradation(), resilience=NO_RESILIENCE
+        ).run(specs)
+        assert run.shed == ()
+        assert len(run.records) == 3
+        # Faults are still priced honestly: the run is slower than the
+        # fault-free one.
+        clean = scheduler().run(specs)
+        assert run.span_s > clean.span_s
+
+    def test_eviction_frees_slots_for_interactive(self):
+        """Running batch work is preempted on a degradation event."""
+        specs = [
+            spec(0, 0.0, BATCH, gen_len=100),
+            spec(1, 0.0, BATCH, gen_len=100),
+            spec(2, 6.0, INTERACTIVE, gen_len=4),
+        ]
+
+        def run_with(resilience):
+            return scheduler(
+                injector=degradation(slowdown=4.0, start_s=5.0),
+                resilience=resilience,
+                slots=2,
+            ).run(specs)
+
+        evicting = run_with(FAST)
+        assert {r.request_id for r in evicting.shed} == {0, 1}
+        assert all(r.reason == "degraded" for r in evicting.shed)
+        holding = run_with(
+            ResiliencePolicy(
+                sustain_iterations=1, recover_iterations=1, evict=False
+            )
+        )
+        assert holding.shed == ()
+        ttft = {r.request_id: r.ttft_s for r in evicting.records}
+        ttft_holding = {r.request_id: r.ttft_s for r in holding.records}
+        # Without eviction the interactive request waits out both
+        # 100-token batch generations at degraded speed; with it, the
+        # slots free immediately.
+        assert ttft[2] < 10.0
+        assert ttft_holding[2] > 10 * ttft[2]
+
+
+class TestShrinkAndReplan:
+    def test_shrink_caps_admitted_batch(self):
+        specs = [spec(i, 0.0, INTERACTIVE) for i in range(6)]
+        run = scheduler(
+            injector=degradation(slowdown=4.0),
+            resilience=ResiliencePolicy(
+                sustain_iterations=1, recover_iterations=1, replan=False
+            ),
+        ).run(specs)
+        prefill_batches = [
+            sample.batch
+            for sample in run.timeline
+            if sample.kind == "prefill"
+        ]
+        # slots=4 shrunk by 4x -> one admission at a time.
+        assert max(prefill_batches) == 1
+        assert len(run.records) == 6
+        clean = scheduler().run(specs)
+        clean_batches = [
+            sample.batch
+            for sample in clean.timeline
+            if sample.kind == "prefill"
+        ]
+        assert max(clean_batches) == 4
+
+    def test_replan_fires_once_per_degradation_event(self):
+        severities = []
+        costs = FixedCostModel(prefill_s=1.0, decode_s=0.5, slots=4)
+
+        def replanner(severity):
+            severities.append(severity)
+            return ReplanOutcome(costs=costs, max_batch=2, label="test")
+
+        # Two disjoint degradation windows: [3, 7) and [15, 19).
+        injector = degradation(
+            slowdown=4.0, start_s=3.0, duration_s=4.0, period_s=12.0
+        )
+        specs = [spec(0, 0.0, INTERACTIVE, gen_len=50)]
+        run = scheduler(
+            injector=injector, resilience=FAST, replanner=replanner
+        ).run(specs)
+        assert run.faults.degradation_events == 2
+        assert run.faults.replans == 2
+        assert severities == [4.0, 4.0]
+        assert len(run.records) == 1
+
+    def test_recovery_restores_admission(self):
+        """After the window closes, later work runs at full batch."""
+        specs = [spec(0, 0.0, INTERACTIVE, gen_len=30)] + [
+            spec(i, 40.0, INTERACTIVE) for i in range(1, 5)
+        ]
+        run = scheduler(
+            injector=degradation(slowdown=4.0, start_s=2.0, duration_s=4.0),
+            resilience=ResiliencePolicy(
+                sustain_iterations=1, recover_iterations=1, replan=False
+            ),
+        ).run(specs)
+        assert len(run.records) == 5
+        assert run.shed == ()
+        late_prefills = [
+            sample.batch
+            for sample in run.timeline
+            if sample.kind == "prefill" and sample.time_s > 40.0
+        ]
+        assert late_prefills == [4]
+        assert not any(
+            sample.degraded for sample in run.timeline
+            if sample.time_s > 40.0
+        )
+
+
+class TestOutage:
+    def test_permanent_outage_aborts_instead_of_hanging(self):
+        injector = FaultInjector(
+            FaultSchedule(
+                faults=(LinkOutage(target="host", start_s=0.0),)
+            )
+        )
+        retry = RetryPolicy(
+            max_attempts=2, timeout_s=1.0, jitter=0.0, probe_s=0.01
+        )
+        specs = [spec(i, 0.0, INTERACTIVE) for i in range(5)]
+        run = ContinuousBatchingScheduler(
+            FixedCostModel(prefill_s=1.0, decode_s=0.5, slots=4),
+            CLASSES,
+            injector=injector,
+            retry=retry,
+            resilience=ResiliencePolicy(
+                sustain_iterations=1, recover_iterations=1, stall_limit=3
+            ),
+        ).run(specs)
+        assert run.faults.aborted
+        assert run.faults.stalls == 3
+        assert run.records == ()
+        assert {r.request_id for r in run.shed} == set(range(5))
+        assert all(r.reason == "outage" for r in run.shed)
+        # Every request is accounted for exactly once.
+        assert len(run.shed) == 5
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(degraded_threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(sustain_iterations=0)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(stall_limit=0)

@@ -1,0 +1,140 @@
+"""Retry policy and injector pricing: closed-form accounting."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DegradedTierError,
+    RetryExhaustedError,
+    TransferError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    DegradationWindow,
+    FaultSchedule,
+    LinkOutage,
+    TransientFaults,
+)
+from repro.faults.retry import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_backoff_closed_form(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_multiplier=3.0, jitter=0.0
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.3)
+        assert policy.backoff_s(3) == pytest.approx(0.9)
+        assert policy.total_backoff_s(3) == pytest.approx(0.1 + 0.3 + 0.9)
+
+    def test_jitter_stretches_backoff(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_multiplier=2.0, jitter=0.5
+        )
+        assert policy.backoff_s(1, u=1.0) == pytest.approx(0.15)
+        assert policy.backoff_s(1, u=0.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestInjectorPricing:
+    def test_degradation_scales_duration(self):
+        injector = FaultInjector(
+            FaultSchedule(
+                faults=(DegradationWindow(target="host", slowdown=4.0),)
+            )
+        )
+        outcome = injector.price_transfer(("host",), 2.0, 0.0)
+        assert outcome.duration_s == pytest.approx(8.0)
+        assert outcome.attempts == 1
+        assert outcome.slowdown == pytest.approx(4.0)
+
+    def test_certain_failure_exhausts_with_exact_accounting(self):
+        """p=1, jitter=0: elapsed time is a closed-form sum."""
+        retry = RetryPolicy(
+            max_attempts=3,
+            backoff_base_s=0.5,
+            backoff_multiplier=2.0,
+            jitter=0.0,
+            timeout_s=1e9,
+        )
+        injector = FaultInjector(
+            FaultSchedule(
+                faults=(TransientFaults(target="host", probability=1.0),)
+            )
+        )
+        with pytest.raises(RetryExhaustedError) as info:
+            injector.price_transfer(("host",), 2.0, 0.0, retry)
+        error = info.value
+        assert error.attempts == 3
+        # 3 wasted 2 s attempts + backoffs 0.5 and 1.0 between them.
+        assert error.elapsed_s == pytest.approx(3 * 2.0 + 0.5 + 1.0)
+        assert error.device == "host"
+        assert isinstance(error, TransferError)
+
+    def test_outage_fails_fast_and_raises_degraded_tier(self):
+        retry = RetryPolicy(
+            max_attempts=2,
+            backoff_base_s=0.5,
+            backoff_multiplier=2.0,
+            jitter=0.0,
+            probe_s=0.01,
+            timeout_s=1e9,
+        )
+        injector = FaultInjector(
+            FaultSchedule(faults=(LinkOutage(target="host", start_s=0.0),))
+        )
+        with pytest.raises(DegradedTierError) as info:
+            injector.price_transfer(("host",), 2.0, 0.0, retry)
+        # Two fast probes + one backoff, not two full transfers.
+        assert info.value.elapsed_s == pytest.approx(2 * 0.01 + 0.5)
+
+    def test_timeout_bounds_elapsed(self):
+        retry = RetryPolicy(
+            max_attempts=100,
+            backoff_base_s=0.1,
+            backoff_multiplier=1.0,
+            jitter=0.0,
+            timeout_s=5.0,
+        )
+        injector = FaultInjector(
+            FaultSchedule(
+                faults=(TransientFaults(target="host", probability=1.0),)
+            )
+        )
+        with pytest.raises(RetryExhaustedError) as info:
+            injector.price_transfer(("host",), 2.0, 0.0, retry)
+        assert info.value.elapsed_s >= 5.0
+        assert info.value.attempts < 100
+
+    def test_recovery_after_outage_window(self):
+        """An outage that ends mid-retry lets a later attempt succeed."""
+        retry = RetryPolicy(
+            max_attempts=10,
+            backoff_base_s=1.0,
+            backoff_multiplier=2.0,
+            jitter=0.0,
+            probe_s=0.01,
+            timeout_s=1e9,
+        )
+        injector = FaultInjector(
+            FaultSchedule(
+                faults=(
+                    LinkOutage(target="host", start_s=0.0, duration_s=2.0),
+                )
+            )
+        )
+        outcome = injector.price_transfer(("host",), 1.0, 0.0, retry)
+        assert outcome.attempts > 1
+        assert outcome.retry_delay_s > 0
+        # The successful attempt itself runs at nominal speed.
+        assert outcome.duration_s == pytest.approx(
+            outcome.wasted_s + outcome.retry_delay_s + 1.0
+        )

@@ -1,0 +1,132 @@
+"""Fault injection through the closed-loop timing backend."""
+
+import pytest
+
+from repro.core.engine import OffloadEngine
+from repro.errors import RetryExhaustedError, TransferError
+from repro.faults.degrade import degraded_host_config
+from repro.faults.models import (
+    ZERO_SCHEDULE,
+    DegradationWindow,
+    FaultSchedule,
+    TransientFaults,
+)
+from repro.memory.hierarchy import host_config
+
+
+def run_metrics(faults=None, fault_seed=None, **kwargs):
+    engine = OffloadEngine(
+        model="opt-1.3b",
+        host="DRAM",
+        placement="allcpu",
+        batch_size=2,
+        prompt_len=32,
+        gen_len=3,
+        faults=faults,
+        fault_seed=fault_seed,
+        **kwargs,
+    )
+    return engine.run_timing()
+
+
+class TestZeroIntensity:
+    def test_zero_schedule_is_byte_identical(self):
+        """Attaching an inert schedule must change nothing at all."""
+        plain = run_metrics()
+        zero = run_metrics(faults=ZERO_SCHEDULE)
+        assert plain.total_s == zero.total_s
+        assert plain.ttft_s == zero.ttft_s
+        assert plain.tbt_s == zero.tbt_s
+        assert plain.token_times == zero.token_times
+
+    def test_out_of_window_schedule_is_byte_identical(self):
+        """A real fault that never fires during the run is inert."""
+        late = FaultSchedule(
+            faults=(
+                DegradationWindow(
+                    target="host", slowdown=100.0, start_s=1e9
+                ),
+            )
+        )
+        assert run_metrics().total_s == run_metrics(faults=late).total_s
+
+
+class TestDegradation:
+    def test_degraded_host_slows_the_run(self):
+        plain = run_metrics()
+        slowed = run_metrics(
+            faults=FaultSchedule(
+                faults=(DegradationWindow(target="host", slowdown=10.0),)
+            )
+        )
+        assert slowed.total_s > plain.total_s * 2
+
+    def test_wildcard_matches_host_region_name(self):
+        by_alias = run_metrics(
+            faults=FaultSchedule(
+                faults=(DegradationWindow(target="host", slowdown=10.0),)
+            )
+        )
+        by_region = run_metrics(
+            faults=FaultSchedule(
+                faults=(DegradationWindow(target="DRAM", slowdown=10.0),)
+            )
+        )
+        assert by_alias.total_s == by_region.total_s
+
+    def test_determinism_under_transients(self):
+        from repro.faults.retry import RetryPolicy
+
+        schedule = FaultSchedule(
+            faults=(TransientFaults(target="host", probability=0.2),),
+            seed=11,
+        )
+        # Generous retries: p=0.2 transients should never exhaust.
+        retry = RetryPolicy(max_attempts=12, timeout_s=1e9)
+        first = run_metrics(faults=schedule, retry=retry)
+        second = run_metrics(faults=schedule, retry=retry)
+        assert first.total_s == second.total_s
+        third = run_metrics(faults=schedule, fault_seed=12, retry=retry)
+        assert third.total_s != first.total_s
+
+    def test_certain_failure_raises(self):
+        with pytest.raises(RetryExhaustedError) as info:
+            run_metrics(
+                faults=FaultSchedule(
+                    faults=(
+                        TransientFaults(target="host", probability=1.0),
+                    )
+                )
+            )
+        assert isinstance(info.value, TransferError)
+        assert info.value.attempts >= 1
+
+
+class TestDegradedConfig:
+    def test_degraded_host_config_scales_bandwidth(self):
+        nominal = host_config("DRAM")
+        degraded = degraded_host_config(nominal, host_factor=4.0)
+        region = nominal.host_region
+        slowed = degraded.host_region
+        assert slowed.read_scale == pytest.approx(region.read_scale / 4.0)
+        assert slowed.write_scale == pytest.approx(region.write_scale / 4.0)
+        # The nominal config is untouched (deep copy).
+        assert nominal.host_region.read_scale == region.read_scale
+        assert "degraded" in degraded.description
+
+    def test_replan_for_degradation_builds_sibling_engine(self):
+        engine = OffloadEngine(
+            model="opt-1.3b",
+            host="DRAM",
+            placement="allcpu",
+            batch_size=2,
+            prompt_len=32,
+            gen_len=3,
+        )
+        replanned = engine.replan_for_degradation(host_slowdown=8.0)
+        assert replanned.config is engine.config
+        assert replanned.algorithm is engine.algorithm
+        assert "degraded" in replanned.host.description
+        slow = replanned.run_timing()
+        fast = engine.run_timing()
+        assert slow.total_s > fast.total_s

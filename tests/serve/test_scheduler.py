@@ -131,6 +131,17 @@ class TestSaturation:
     def test_detector_needs_enough_samples(self):
         assert not detect_saturation([100.0] * 5, 1.0)
 
+    def test_short_run_straggler_is_not_saturation(self):
+        """Regression: below 20 samples each decile is one request, so
+        a single slow straggler at the tail used to flag a run that is
+        nowhere near capacity."""
+        for num in (10, 15, 19):
+            waits = [0.0] * (num - 1) + [50.0]
+            assert not detect_saturation(waits, 1.0)
+        # With two full deciles the same growth pattern still flags.
+        growing = [float(i) for i in range(20)]
+        assert detect_saturation(growing, 1.0)
+
 
 class TestQosPriority:
     def test_interactive_ttft_beats_batch_under_contention(self):
