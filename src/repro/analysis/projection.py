@@ -20,12 +20,12 @@ from repro.core.metrics import GenerationMetrics, Stage
 from repro.core.placement.base import PlacementAlgorithm
 from repro.core.placement.registry import placement_algorithm
 from repro.core.policy import Policy, default_policy
-from repro.core.timing import TimingExecutor
 from repro.core.batching import fit_placement_for_batch
 from repro.errors import ExperimentError
 from repro.interconnect.pcie import PcieLink
 from repro.memory.hierarchy import host_config
 from repro.models.config import opt_config
+from repro.pricing import RunSpec, build_executor
 
 #: A PCIe link wide enough that the projection is governed purely by
 #: the CXL device bandwidth, as in the paper's methodology.
@@ -87,15 +87,17 @@ def project_cxl(
     spill_log = fit_placement_for_batch(
         result, policy, batch_size, prompt_len, gen_len
     )
-    executor = TimingExecutor(
-        host=host,
-        placement=result,
-        policy=policy,
-        batch_size=batch_size,
-        prompt_len=prompt_len,
-        gen_len=gen_len,
-        pcie=_PROJECTION_PCIE,
-        spill_log=tuple(spill_log),
+    executor = build_executor(
+        RunSpec(
+            host=host,
+            placement=result,
+            policy=policy,
+            batch_size=batch_size,
+            prompt_len=prompt_len,
+            gen_len=gen_len,
+            pcie=_PROJECTION_PCIE,
+            spill_log=tuple(spill_log),
+        )
     )
     metrics = executor.run()
     return CxlProjection(

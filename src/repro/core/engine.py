@@ -30,7 +30,6 @@ from repro.core.metrics import GenerationMetrics
 from repro.core.placement.base import PlacementAlgorithm, PlacementResult
 from repro.core.placement.registry import placement_algorithm
 from repro.core.policy import Policy, default_policy
-from repro.core.timing import TimingExecutor
 from repro.devices.gpu import A100_SPEC, GpuSpec
 from repro.errors import CapacityError, ConfigurationError
 from repro.faults.degrade import degraded_host_config
@@ -73,7 +72,17 @@ class OffloadEngine:
         faults: Optional[Union[FaultSchedule, FaultInjector, str]] = None,
         fault_seed: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
+        pricing_backend: str = "event",
     ) -> None:
+        # Imported lazily throughout: repro.pricing's backends resolve
+        # repro.core for the shared layer-cost arithmetic, so a
+        # module-level import here would be circular.
+        from repro.pricing import PriceCache, cost_backend
+
+        # Validate the backend choice up front (clean ConfigurationError
+        # for unknown names), but defer instantiation to cost_model().
+        if isinstance(pricing_backend, str):
+            cost_backend(pricing_backend)
         self.config = model if isinstance(model, OptConfig) else opt_config(model)
         self.host = (
             host if isinstance(host, HostMemoryConfig) else host_config(host)
@@ -97,6 +106,12 @@ class OffloadEngine:
         #: to a schedule JSON; ``None`` keeps the fault-free path.
         self.injector = make_injector(faults, seed=fault_seed)
         self.retry = retry
+        #: Default pricing backend for :meth:`cost_model` (``"event"``
+        #: or ``"analytic"``); inherited by re-planned siblings.
+        self.pricing_backend = pricing_backend
+        #: Shared memoized iteration prices for this engine's
+        #: configuration; invalidated by :meth:`replan_for_degradation`.
+        self.price_cache = PriceCache()
 
         self.placement_result: PlacementResult = self.algorithm.place_model(
             self.config, self.policy
@@ -181,6 +196,62 @@ class OffloadEngine:
     # Backends
     # ------------------------------------------------------------------
 
+    def run_spec(
+        self,
+        batch_size: Optional[int] = None,
+        prompt_len: Optional[int] = None,
+        gen_len: Optional[int] = None,
+        overlap: bool = True,
+        include_faults: bool = True,
+    ):
+        """This engine's configuration as a :class:`repro.pricing.RunSpec`.
+
+        The shape arguments default to the engine's own; the serving
+        cost model overrides them per (batch, context bucket).
+        """
+        from repro.pricing import RunSpec
+
+        return RunSpec(
+            host=self.host,
+            placement=self.placement_result,
+            policy=self.policy,
+            batch_size=(
+                self.batch_size if batch_size is None else int(batch_size)
+            ),
+            prompt_len=(
+                self.prompt_len if prompt_len is None else int(prompt_len)
+            ),
+            gen_len=self.gen_len if gen_len is None else int(gen_len),
+            gpu_spec=self.gpu_spec,
+            overlap=overlap,
+            spill_log=tuple(self.spill_log),
+            injector=self.injector if include_faults else None,
+            retry=self.retry if include_faults else None,
+        )
+
+    def cost_model(
+        self,
+        bucket_tokens: int = 32,
+        overlap: bool = True,
+        backend: Optional[str] = None,
+    ):
+        """An iteration cost model over this engine's configuration.
+
+        ``backend`` defaults to the engine's ``pricing_backend``; the
+        model shares the engine's :class:`~repro.pricing.PriceCache`,
+        so prices survive across cost-model instances and their
+        hit/miss counters are observable from the engine.
+        """
+        from repro.serve.costs import IterationCostModel
+
+        return IterationCostModel(
+            self,
+            bucket_tokens=bucket_tokens,
+            overlap=overlap,
+            backend=backend if backend is not None else self.pricing_backend,
+            cache=self.price_cache,
+        )
+
     def run_timing(self) -> GenerationMetrics:
         """Execute the run on the discrete-event timing backend.
 
@@ -188,18 +259,9 @@ class OffloadEngine:
         inspection or Chrome-trace export
         (:func:`repro.sim.chrome_trace.save_chrome_trace`).
         """
-        executor = TimingExecutor(
-            host=self.host,
-            placement=self.placement_result,
-            policy=self.policy,
-            batch_size=self.batch_size,
-            prompt_len=self.prompt_len,
-            gen_len=self.gen_len,
-            gpu_spec=self.gpu_spec,
-            spill_log=tuple(self.spill_log),
-            injector=self.injector,
-            retry=self.retry,
-        )
+        from repro.pricing import build_executor
+
+        executor = build_executor(self.run_spec())
         metrics = executor.run()
         self.last_trace = executor.trace
         return metrics
@@ -223,6 +285,11 @@ class OffloadEngine:
             host_factor=host_slowdown,
             disk_factor=disk_slowdown,
         )
+        # The nominal prices no longer describe the hardware this
+        # engine is about to plan for — drop them explicitly so cache
+        # consumers observe the invalidation instead of silently
+        # keying past it.
+        self.price_cache.invalidate()
         return OffloadEngine(
             model=self.config,
             host=degraded,
@@ -232,6 +299,7 @@ class OffloadEngine:
             prompt_len=self.prompt_len,
             gen_len=self.gen_len,
             gpu_spec=self.gpu_spec,
+            pricing_backend=self.pricing_backend,
         )
 
     def run_functional(

@@ -23,7 +23,6 @@ from repro.core.metrics import GenerationMetrics
 from repro.core.placement.base import PlacementResult
 from repro.core.policy import Policy
 from repro.core.scheduler import zigzag_schedule
-from repro.core.timing import TimingExecutor
 from repro.devices.cpu import CpuDevice
 from repro.devices.device import Device, DeviceKind
 from repro.devices.disk import DiskDevice
@@ -265,14 +264,20 @@ class FunctionalExecutor:
         finally:
             kv_tensor.release()
 
-        metrics = TimingExecutor(
-            host=self.host,
-            placement=self.placement,
-            policy=self.policy,
-            batch_size=micro,
-            prompt_len=prompt_len,
-            gen_len=gen_len,
-            gpu_spec=self.gpu.spec,
+        # Priced through the pricing layer like every other timing run
+        # (lazy import: repro.pricing resolves repro.core at load time).
+        from repro.pricing import RunSpec, build_executor
+
+        metrics = build_executor(
+            RunSpec(
+                host=self.host,
+                placement=self.placement,
+                policy=self.policy,
+                batch_size=micro,
+                prompt_len=prompt_len,
+                gen_len=gen_len,
+                gpu_spec=self.gpu.spec,
+            )
         ).run()
         return FunctionalResult(
             sequences=np.concatenate(sequences, axis=0), metrics=metrics

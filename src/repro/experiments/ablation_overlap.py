@@ -13,9 +13,9 @@ from typing import Dict
 
 from repro.analysis.reporting import Table
 from repro.core.engine import OffloadEngine
-from repro.core.timing import TimingExecutor
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import GEN_LEN, PROMPT_LEN
+from repro.pricing import build_executor
 
 
 def _tbt(host: str, placement: str, overlap: bool) -> float:
@@ -24,15 +24,7 @@ def _tbt(host: str, placement: str, overlap: bool) -> float:
         compress_weights=True, batch_size=1,
         prompt_len=PROMPT_LEN, gen_len=GEN_LEN,
     )
-    executor = TimingExecutor(
-        host=engine.host,
-        placement=engine.placement_result,
-        policy=engine.policy,
-        batch_size=1,
-        prompt_len=PROMPT_LEN,
-        gen_len=GEN_LEN,
-        overlap=overlap,
-    )
+    executor = build_executor(engine.run_spec(overlap=overlap))
     return executor.run().tbt_s
 
 

@@ -19,10 +19,12 @@ admission keeps the interactive tail TTFT below the batch tenants'.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import os
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import Table
 from repro.experiments.base import ExperimentResult
+from repro.experiments.common import pricing_backend
 from repro.serve.request import BATCH, INTERACTIVE
 from repro.serve.simulator import simulate_serving
 
@@ -34,7 +36,11 @@ NUM_REQUESTS = 150
 SEED = 7
 
 
-def _simulate(placement: str, rate: float, class_mix=None):
+def _quick() -> bool:
+    return os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
+def _simulate(placement: str, rate: float, num_requests: int, class_mix=None):
     kwargs = {"class_mix": class_mix} if class_mix else {}
     return simulate_serving(
         model="opt-175b",
@@ -43,23 +49,34 @@ def _simulate(placement: str, rate: float, class_mix=None):
         compress_weights=True,
         arrival="poisson",
         rate_rps=rate,
-        num_requests=NUM_REQUESTS,
+        num_requests=num_requests,
         seed=SEED,
+        pricing_backend=pricing_backend("analytic"),
         **kwargs,
     )
 
 
-def _max_sustained_rate(data: Dict[str, Dict], placement: str) -> Optional[float]:
+def _max_sustained_rate(
+    data: Dict[str, Dict], placement: str, rates: Sequence[float]
+) -> Optional[float]:
     """Highest swept rate the placement served without saturating."""
     sustained = [
         rate
-        for rate in ARRIVAL_RATES
+        for rate in rates
         if not data[f"{placement}/r{rate}"]["saturated"]
     ]
     return max(sustained) if sustained else None
 
 
 def run() -> ExperimentResult:
+    quick = _quick()
+    # The quick sweep keeps the endpoints that drive the checks: the
+    # trickle where HeLM's resident weights win TTFT and the rate
+    # where HeLM has saturated but All-CPU still absorbs load.
+    rates: Tuple[float, ...] = (
+        (ARRIVAL_RATES[0], ARRIVAL_RATES[2]) if quick else ARRIVAL_RATES
+    )
+    num_requests = 60 if quick else NUM_REQUESTS
     sweep = Table(
         title=(
             "Ablation: online serving under Poisson load "
@@ -73,8 +90,8 @@ def run() -> ExperimentResult:
     )
     data: Dict[str, Dict] = {}
     for placement in PLACEMENTS:
-        for rate in ARRIVAL_RATES:
-            result = _simulate(placement, rate)
+        for rate in rates:
+            result = _simulate(placement, rate, num_requests)
             metrics = result.metrics
             sweep.add_row(
                 placement,
@@ -108,7 +125,8 @@ def run() -> ExperimentResult:
         ),
     )
     contended = _simulate(
-        "allcpu", 0.5, class_mix=((INTERACTIVE, 0.7), (BATCH, 0.3))
+        "allcpu", 0.5, num_requests,
+        class_mix=((INTERACTIVE, 0.7), (BATCH, 0.3)),
     )
     for name, report in sorted(contended.metrics.per_class.items()):
         qos.add_row(
@@ -121,11 +139,11 @@ def run() -> ExperimentResult:
         )
         data[f"qos/{name}"] = report.summary()
 
-    low = ARRIVAL_RATES[0]
-    helm_rate = _max_sustained_rate(data, "helm")
-    allcpu_rate = _max_sustained_rate(data, "allcpu")
+    low = rates[0]
+    helm_rate = _max_sustained_rate(data, "helm", rates)
+    allcpu_rate = _max_sustained_rate(data, "allcpu", rates)
     data["max_sustained_rps"] = {
-        placement: _max_sustained_rate(data, placement)
+        placement: _max_sustained_rate(data, placement, rates)
         for placement in PLACEMENTS
     }
     data["checks"] = {

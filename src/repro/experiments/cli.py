@@ -57,6 +57,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="smaller sweeps for smoke tests (sets REPRO_QUICK=1)",
     )
+    run_parser.add_argument(
+        "--pricing-backend",
+        default=None,
+        metavar="BACKEND",
+        help="iteration pricing backend for the sweep: analytic or "
+        "event (default: each experiment's own — event for paper "
+        "figures, analytic for serving; sets REPRO_PRICING_BACKEND)",
+    )
     figures_parser = sub.add_parser(
         "figures", help="render the paper's figures as SVG"
     )
@@ -114,6 +122,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         import os
 
         os.environ["REPRO_QUICK"] = "1"
+    if getattr(args, "pricing_backend", None):
+        import os
+
+        from repro.errors import ConfigurationError
+        from repro.pricing import cost_backend
+
+        try:
+            cost_backend(args.pricing_backend)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        os.environ["REPRO_PRICING_BACKEND"] = args.pricing_backend
     names = sorted(EXPERIMENTS) if args.names == ["all"] else args.names
     failures = 0
     dump: Dict[str, object] = {}

@@ -36,11 +36,20 @@ class TransferKind(enum.Enum):
 
 @dataclass
 class TransferPathSolver:
-    """Computes transfer times over one host-memory configuration."""
+    """Computes transfer times over one host-memory configuration.
+
+    ``pcie`` may be passed as ``None`` (the common "use the platform
+    default link" case), so callers holding an ``Optional[PcieLink]``
+    can forward it directly instead of building conditional kwargs.
+    """
 
     config: HostMemoryConfig
-    pcie: PcieLink = field(default_factory=PcieLink)
+    pcie: Optional[PcieLink] = None
     upi: UpiLink = field(default_factory=UpiLink)
+
+    def __post_init__(self) -> None:
+        if self.pcie is None:
+            self.pcie = PcieLink()
 
     # ------------------------------------------------------------------
     # Single-hop building blocks

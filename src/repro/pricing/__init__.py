@@ -1,0 +1,51 @@
+"""``repro.pricing`` — the single cost authority.
+
+Everything this reproduction reports — the paper's overlap/latency
+figures, the HeLM-vs-All-CPU frontier, the open-loop serving and
+fault ablations — is a function of iteration prices.  This package
+owns how those prices are produced:
+
+* :class:`RunSpec` — a frozen, hashable bundle of one run
+  configuration (host / placement / policy / batch / lengths / GPU /
+  faults).
+* :func:`build_executor` — the one place run specs become
+  discrete-event :class:`~repro.core.timing.TimingExecutor` instances.
+* :class:`CostBackend` — the pricing contract, with two
+  implementations: :class:`EventBackend` (discrete-event,
+  authoritative) and :class:`AnalyticBackend` (closed-form, exactly
+  equal per layer for fault-free runs, much cheaper).
+* :class:`PriceCache` — shared memoization of
+  ``(RunSpec, stage, context bucket) -> IterationParts`` with
+  observable hit/miss/eviction counters and explicit invalidation on
+  placement re-planning.
+
+See ``docs/pricing.md`` for the backend contract and cache-keying
+rules.
+"""
+
+from repro.pricing.parts import IterationParts
+from repro.pricing.spec import RunSpec
+from repro.pricing.cache import CacheStats, PriceCache
+from repro.pricing.backends import (
+    BACKEND_NAMES,
+    AnalyticBackend,
+    CostBackend,
+    EventBackend,
+    build_executor,
+    cost_backend,
+)
+from repro.core.layercosts import LayerCostModel
+
+__all__ = [
+    "IterationParts",
+    "RunSpec",
+    "CacheStats",
+    "PriceCache",
+    "BACKEND_NAMES",
+    "CostBackend",
+    "AnalyticBackend",
+    "EventBackend",
+    "build_executor",
+    "cost_backend",
+    "LayerCostModel",
+]

@@ -1,0 +1,214 @@
+"""Cost backends: how a :class:`~repro.pricing.spec.RunSpec` is priced.
+
+Two implementations of one contract:
+
+* :class:`EventBackend` — the authoritative path.  Builds the full
+  discrete-event :class:`~repro.core.timing.TimingExecutor` for the
+  spec and prices each iteration by *executing* it: one load op on the
+  copy stream and one kernel op on the compute stream per layer, run
+  through the :class:`~repro.sim.engine.SimEngine`.  This is the
+  backend that can also run whole generations
+  (:meth:`EventBackend.run`) and apply fault injection in virtual
+  time.
+
+* :class:`AnalyticBackend` — the closed form.  Instantiates the bare
+  :class:`~repro.core.layercosts.LayerCostModel` (no executor, no
+  event engine, no fault bookkeeping) and reads the per-layer
+  transfer/compute times straight off the platform models.  Because
+  the executor *inherits* that same class, analytic per-layer parts
+  are **exactly** equal to the event backend's for fault-free runs —
+  same code, not a tolerance — at a fraction of the cost, which is
+  what lets the open-loop serving simulator price thousands of
+  iterations per run.
+
+``cost_backend(name)`` resolves a backend by name and raises a clean
+:class:`~repro.errors.ConfigurationError` for anything unknown.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Protocol, Union, runtime_checkable
+
+from repro.core.layercosts import LayerCostModel
+from repro.core.metrics import GenerationMetrics, Stage
+from repro.errors import ConfigurationError
+from repro.pricing.parts import IterationParts
+from repro.pricing.spec import RunSpec
+from repro.sim.engine import SimEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.timing import TimingExecutor
+
+#: Backend names accepted by :func:`cost_backend` and the CLIs.
+BACKEND_NAMES = ("analytic", "event")
+
+
+def build_executor(spec: RunSpec) -> "TimingExecutor":
+    """The one place run specs become discrete-event executors.
+
+    Every former hand-rolled ``TimingExecutor(...)`` construction site
+    routes through here; nothing outside :mod:`repro.pricing` (and the
+    executor's own tests) should build one directly.
+    """
+    # Imported lazily: repro.core.engine is part of repro.core's
+    # package init and itself consumes repro.pricing, so a module-level
+    # import here would create a cycle.
+    from repro.core.timing import TimingExecutor
+
+    return TimingExecutor(
+        host=spec.host,
+        placement=spec.placement,
+        policy=spec.policy,
+        batch_size=spec.batch_size,
+        prompt_len=spec.prompt_len,
+        gen_len=spec.gen_len,
+        gpu_spec=spec.gpu_spec,
+        pcie=spec.pcie,
+        spill_log=spec.spill_log,
+        overlap=spec.overlap,
+        injector=spec.injector,
+        retry=spec.retry,
+    )
+
+
+@runtime_checkable
+class CostBackend(Protocol):
+    """What the serving cost model and experiments need from a pricer."""
+
+    name: str
+
+    def iteration_parts(
+        self, spec: RunSpec, stage: Stage, context_len: int
+    ) -> IterationParts:
+        """Per-layer (transfer, compute) times for one iteration."""
+        ...
+
+
+class AnalyticBackend:
+    """Closed-form pricing straight off the platform models."""
+
+    name = "analytic"
+
+    def __init__(self) -> None:
+        self._models: Dict[RunSpec, LayerCostModel] = {}
+
+    def layer_model(self, spec: RunSpec) -> LayerCostModel:
+        """The (memoized) bare cost model for one spec."""
+        model = self._models.get(spec)
+        if model is None:
+            model = LayerCostModel(
+                host=spec.host,
+                placement=spec.placement,
+                policy=spec.policy,
+                batch_size=spec.batch_size,
+                prompt_len=spec.prompt_len,
+                gen_len=spec.gen_len,
+                gpu_spec=spec.gpu_spec,
+                pcie=spec.pcie,
+            )
+            self._models[spec] = model
+        return model
+
+    def iteration_parts(
+        self, spec: RunSpec, stage: Stage, context_len: int
+    ) -> IterationParts:
+        transfers, computes = self.layer_model(spec).iteration_layer_times(
+            stage, context_len
+        )
+        return IterationParts(
+            transfers=tuple(transfers),
+            computes=tuple(computes),
+            overlap=spec.overlap,
+        )
+
+
+class EventBackend:
+    """Discrete-event pricing through the full timing executor."""
+
+    name = "event"
+
+    def __init__(self) -> None:
+        self._executors: Dict[RunSpec, "TimingExecutor"] = {}
+        #: Virtual-time trace of the most recent one-iteration pass,
+        #: kept for inspection / Chrome-trace export.
+        self.last_trace = None
+
+    def executor(self, spec: RunSpec) -> "TimingExecutor":
+        """The (memoized) full executor for one spec."""
+        executor = self._executors.get(spec)
+        if executor is None:
+            executor = build_executor(spec)
+            self._executors[spec] = executor
+        return executor
+
+    def iteration_parts(
+        self, spec: RunSpec, stage: Stage, context_len: int
+    ) -> IterationParts:
+        """Price one layer pass by executing it in virtual time.
+
+        Mirrors Listing 1's stream structure for a single iteration:
+        loads land in order on the ``h2d`` stream, each layer's kernel
+        on the ``compute`` stream gated on its own load.  The per-op
+        durations come from the executor's (inherited) cost model, so
+        the extracted parts equal the analytic backend's exactly; what
+        the event pass adds is the authoritative machinery — a real
+        op-by-op schedule and a trace.
+        """
+        executor = self.executor(spec)
+        engine = SimEngine()
+        h2d = engine.stream("h2d")
+        compute_stream = engine.stream("compute")
+        load_ops: List = []
+        compute_ops: List = []
+        for index, layer in enumerate(executor.placement.layers):
+            load = h2d.enqueue(
+                executor.layer_transfer_time(index),
+                label=f"load L{index}",
+                category="transfer",
+                meta={"layer": index, "stage": stage.value},
+            )
+            kernel = compute_stream.enqueue(
+                executor.layer_compute_time(layer, stage, context_len),
+                label=f"compute L{index}",
+                category="compute",
+                deps=[load],
+                meta={"layer": index, "stage": stage.value},
+            )
+            load_ops.append(load)
+            compute_ops.append(kernel)
+        engine.run()
+        self.last_trace = engine.trace
+        return IterationParts(
+            transfers=tuple(op.duration for op in load_ops),
+            computes=tuple(op.duration for op in compute_ops),
+            overlap=spec.overlap,
+        )
+
+    def run(self, spec: RunSpec) -> GenerationMetrics:
+        """Execute the spec's whole generation (zig-zag schedule)."""
+        return self.executor(spec).run()
+
+
+_BACKENDS = {
+    AnalyticBackend.name: AnalyticBackend,
+    EventBackend.name: EventBackend,
+}
+
+
+def cost_backend(backend: Union[str, CostBackend]) -> CostBackend:
+    """Resolve a backend by name (or pass a ready instance through)."""
+    if isinstance(backend, str):
+        try:
+            factory = _BACKENDS[backend]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown pricing backend {backend!r}; choose from "
+                f"{', '.join(BACKEND_NAMES)}"
+            ) from None
+        return factory()
+    if isinstance(backend, CostBackend):
+        return backend
+    raise ConfigurationError(
+        f"not a pricing backend: {backend!r} (expected a name from "
+        f"{', '.join(BACKEND_NAMES)} or a CostBackend instance)"
+    )

@@ -1,0 +1,145 @@
+"""Memoized iteration prices, shared across every pricing consumer.
+
+The serving scheduler asks for the same ``(spec, stage, bucket)``
+price thousands of times per run; before this cache existed each cost
+model kept private ad-hoc dicts, so nothing was observable and
+nothing could be invalidated.  :class:`PriceCache` is the one shared
+table: hit/miss/eviction counters make pricing overhead visible in
+the ``repro-serve`` report, an optional LRU bound keeps long sweeps
+from growing without limit, and :meth:`invalidate` gives
+re-planning (:meth:`~repro.core.engine.OffloadEngine
+.replan_for_degradation`) an explicit way to drop prices that no
+longer describe the hardware.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.metrics import Stage
+from repro.errors import ConfigurationError
+from repro.pricing.parts import IterationParts
+from repro.pricing.spec import RunSpec
+
+#: One memoized price's identity.
+CacheKey = Tuple[RunSpec, str, int]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters for one :class:`PriceCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class PriceCache:
+    """LRU-bounded ``(RunSpec, stage, context bucket) -> IterationParts``."""
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ConfigurationError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[CacheKey, IterationParts]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(spec: RunSpec, stage: Stage, bucket: int) -> CacheKey:
+        return (spec, stage.value, int(bucket))
+
+    def get(
+        self, spec: RunSpec, stage: Stage, bucket: int
+    ) -> Optional[IterationParts]:
+        """Look one price up, counting the hit/miss."""
+        key = self._key(spec, stage, bucket)
+        parts = self._entries.get(key)
+        if parts is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._entries.move_to_end(key)
+        return parts
+
+    def put(
+        self, spec: RunSpec, stage: Stage, bucket: int, parts: IterationParts
+    ) -> None:
+        key = self._key(spec, stage, bucket)
+        self._entries[key] = parts
+        self._entries.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(
+        self,
+        spec: RunSpec,
+        stage: Stage,
+        bucket: int,
+        compute: Callable[[], IterationParts],
+    ) -> IterationParts:
+        """The memoization entry point backends are priced through."""
+        parts = self.get(spec, stage, bucket)
+        if parts is None:
+            parts = compute()
+            self.put(spec, stage, bucket, parts)
+        return parts
+
+    def invalidate(self, spec: Optional[RunSpec] = None) -> int:
+        """Drop every entry (or only ``spec``'s); returns the count.
+
+        Called by :meth:`OffloadEngine.replan_for_degradation
+        <repro.core.engine.OffloadEngine.replan_for_degradation>`:
+        once placement has been re-run against a degraded bandwidth
+        map, previously memoized prices describe hardware that no
+        longer exists.
+        """
+        if spec is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [key for key in self._entries if key[0] == spec]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        self._invalidations += dropped
+        return dropped
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+            size=len(self._entries),
+        )

@@ -1,0 +1,42 @@
+"""Per-iteration cost decomposition shared by every pricing backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class IterationParts:
+    """One iteration's per-layer transfer/compute decomposition.
+
+    The fault layer needs the split because faults act on *transfers*
+    (bandwidth degradation, retries) while kernels keep running at
+    nominal speed; with FlexGen overlap the slowdown only shows once a
+    layer's (slowed) transfer outruns its compute, which is why
+    :meth:`total_s` re-applies the per-layer ``max`` instead of
+    scaling the summed total.
+    """
+
+    transfers: Tuple[float, ...]
+    computes: Tuple[float, ...]
+    overlap: bool
+
+    @property
+    def transfer_s(self) -> float:
+        return sum(self.transfers)
+
+    @property
+    def compute_s(self) -> float:
+        return sum(self.computes)
+
+    def total_s(self, transfer_scale: float = 1.0) -> float:
+        if self.overlap:
+            return sum(
+                max(transfer * transfer_scale, compute)
+                for transfer, compute in zip(self.transfers, self.computes)
+            )
+        return sum(
+            transfer * transfer_scale + compute
+            for transfer, compute in zip(self.transfers, self.computes)
+        )

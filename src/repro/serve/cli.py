@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the KV-cache admission limit",
     )
     parser.add_argument(
+        "--pricing-backend", default="analytic",
+        help="iteration pricing backend: analytic (closed-form, default) "
+        "or event (discrete-event, authoritative)",
+    )
+    parser.add_argument(
         "--faults", metavar="FILE", default=None,
         help="fault schedule JSON: inject transfer faults (degradation "
         "windows, transient failures, outages) into the run",
@@ -173,6 +178,14 @@ def _print_report(result) -> None:
         ("mean decode batch", f"{metrics.mean_batch:.1f}"),
         ("saturated", str(metrics.saturated)),
     ]
+    cache = setup.get("price_cache")
+    if cache is not None:
+        rows.append((
+            "pricing",
+            f"{setup.get('pricing_backend', '?')} backend, cache "
+            f"{cache['hits']} hits / {cache['misses']} misses "
+            f"({cache['hit_rate']:.1%} hit rate)",
+        ))
     width = max(len(name) for name, _ in rows)
     for name, value in rows:
         print(f"  {name:<{width}} : {value}")
@@ -248,6 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             class_mix=class_mix,
             seed=args.seed,
             max_batch=args.max_batch,
+            pricing_backend=args.pricing_backend,
             faults=args.faults,
             fault_seed=args.fault_seed,
             resilience=(

@@ -1,13 +1,20 @@
-"""Per-iteration prefill/decode costs from the closed-loop timing backend.
+"""Per-iteration prefill/decode costs, priced through ``repro.pricing``.
 
 Continuous batching schedules *iterations* (one forward pass over all
 decoder layers), not whole closed-loop batches.  This module prices a
 single iteration with the same platform models the paper's
 :class:`~repro.core.timing.TimingExecutor` uses — weight transfers
-via the interconnect path solver, kernels via the GPU roofline — by
-instantiating executors per (batch size, prompt bucket) and summing
-per-layer step times.  With FlexGen's overlap (Listing 1) a layer
-step takes ``max(transfer, compute)``; without it, their sum.
+via the interconnect path solver, kernels by the GPU roofline — by
+asking a :class:`~repro.pricing.CostBackend` for the per-layer parts
+of one :class:`~repro.pricing.RunSpec` at a (batch, context-bucket)
+shape.  With FlexGen's overlap (Listing 1) a layer step takes
+``max(transfer, compute)``; without it, their sum.
+
+Prices are memoized in the engine's shared
+:class:`~repro.pricing.PriceCache` (hit/miss counters surface in the
+``repro-serve`` report), and the backend is selectable: ``analytic``
+(closed-form, the serving default) or ``event`` (discrete-event,
+authoritative) — exactly equal per layer for fault-free runs.
 
 The KV-cache admission limit — how many sequences may decode
 concurrently — comes from :mod:`repro.core.batching`'s GPU memory
@@ -18,49 +25,20 @@ throughput/latency frontier under open load.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Union
 
 from repro.core.engine import OffloadEngine
 from repro.core.metrics import Stage
-from repro.core.timing import TimingExecutor
 from repro.errors import ConfigurationError
+from repro.pricing import (
+    CostBackend,
+    IterationParts,
+    PriceCache,
+    RunSpec,
+    cost_backend,
+)
 
-
-@dataclass(frozen=True)
-class IterationParts:
-    """One iteration's per-layer transfer/compute decomposition.
-
-    The fault layer needs the split because faults act on *transfers*
-    (bandwidth degradation, retries) while kernels keep running at
-    nominal speed; with FlexGen overlap the slowdown only shows once a
-    layer's (slowed) transfer outruns its compute, which is why
-    :meth:`total_s` re-applies the per-layer ``max`` instead of
-    scaling the summed total.
-    """
-
-    transfers: Tuple[float, ...]
-    computes: Tuple[float, ...]
-    overlap: bool
-
-    @property
-    def transfer_s(self) -> float:
-        return sum(self.transfers)
-
-    @property
-    def compute_s(self) -> float:
-        return sum(self.computes)
-
-    def total_s(self, transfer_scale: float = 1.0) -> float:
-        if self.overlap:
-            return sum(
-                max(transfer * transfer_scale, compute)
-                for transfer, compute in zip(self.transfers, self.computes)
-            )
-        return sum(
-            transfer * transfer_scale + compute
-            for transfer, compute in zip(self.transfers, self.computes)
-        )
+__all__ = ["IterationCostModel", "FixedCostModel", "IterationParts"]
 
 
 class IterationCostModel:
@@ -71,17 +49,29 @@ class IterationCostModel:
         engine: OffloadEngine,
         bucket_tokens: int = 32,
         overlap: bool = True,
+        backend: Union[str, CostBackend] = "analytic",
+        cache: Optional[PriceCache] = None,
     ) -> None:
         if bucket_tokens < 1:
             raise ConfigurationError("bucket_tokens must be >= 1")
         self.engine = engine
         self.bucket_tokens = bucket_tokens
         self.overlap = overlap
-        self._executors: Dict[Tuple[int, int], TimingExecutor] = {}
-        self._prefill_cache: Dict[Tuple[int, int], IterationParts] = {}
-        self._decode_cache: Dict[Tuple[int, int], IterationParts] = {}
+        self.backend: CostBackend = cost_backend(backend)
+        if cache is None:
+            cache = getattr(engine, "price_cache", None) or PriceCache()
+        self.cache = cache
 
     # -- helpers -----------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    @property
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counters of the shared price cache."""
+        return self.cache.stats.as_dict()
 
     @property
     def max_position(self) -> int:
@@ -93,35 +83,29 @@ class IterationCostModel:
         rounded = max(step, ((int(tokens) + step - 1) // step) * step)
         return min(rounded, cap)
 
-    def _executor(self, batch: int, prompt_len: int) -> TimingExecutor:
-        key = (batch, prompt_len)
-        if key not in self._executors:
-            engine = self.engine
-            self._executors[key] = TimingExecutor(
-                host=engine.host,
-                placement=engine.placement_result,
-                policy=engine.policy,
-                batch_size=batch,
-                prompt_len=prompt_len,
-                gen_len=engine.gen_len,
-                gpu_spec=engine.gpu_spec,
-            )
-        return self._executors[key]
+    def _spec(self, batch: int, prompt_len: int) -> RunSpec:
+        """The priceable spec for one (batch, prompt) shape.
 
-    def _iteration_parts(
-        self, executor: TimingExecutor, stage: Stage, context_len: int
-    ) -> IterationParts:
-        transfers = []
-        computes = []
-        for index, layer in enumerate(executor.placement.layers):
-            transfers.append(executor.layer_transfer_time(index))
-            computes.append(
-                executor.layer_compute_time(layer, stage, context_len)
-            )
-        return IterationParts(
-            transfers=tuple(transfers),
-            computes=tuple(computes),
+        Nominal iteration parts are fault-independent — the scheduler
+        prices live faults on top of them — so specs are built without
+        the engine's injector, keeping cache keys stable across fault
+        and fault-free runs of the same configuration.
+        """
+        return self.engine.run_spec(
+            batch_size=batch,
+            prompt_len=prompt_len,
             overlap=self.overlap,
+            include_faults=False,
+        )
+
+    def _parts(
+        self, spec: RunSpec, stage: Stage, context_len: int
+    ) -> IterationParts:
+        return self.cache.get_or_compute(
+            spec,
+            stage,
+            context_len,
+            lambda: self.backend.iteration_parts(spec, stage, context_len),
         )
 
     # -- public API --------------------------------------------------------
@@ -143,26 +127,18 @@ class IterationCostModel:
         prompt = self._bucket(
             prompt_len, self.max_position - self.engine.gen_len
         )
-        key = (batch, prompt)
-        if key not in self._prefill_cache:
-            executor = self._executor(batch, prompt)
-            self._prefill_cache[key] = self._iteration_parts(
-                executor, Stage.PREFILL, prompt
-            )
-        return self._prefill_cache[key]
+        return self._parts(
+            self._spec(batch, prompt), Stage.PREFILL, prompt
+        )
 
     def decode_parts(self, batch: int, context_len: int) -> IterationParts:
         """Per-layer decomposition of one decode iteration."""
         if batch < 1 or context_len < 1:
             raise ConfigurationError("batch and context_len must be >= 1")
         context = self._bucket(context_len, self.max_position)
-        key = (batch, context)
-        if key not in self._decode_cache:
-            executor = self._executor(batch, self.engine.prompt_len)
-            self._decode_cache[key] = self._iteration_parts(
-                executor, Stage.DECODE, context
-            )
-        return self._decode_cache[key]
+        return self._parts(
+            self._spec(batch, self.engine.prompt_len), Stage.DECODE, context
+        )
 
     def prefill_time(self, batch: int, prompt_len: int) -> float:
         """One prefill iteration over ``batch`` admitted prompts."""

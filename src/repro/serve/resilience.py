@@ -105,10 +105,11 @@ def engine_replanner(engine, overlap: bool = True) -> Replanner:
     :meth:`~repro.core.engine.OffloadEngine.replan_for_degradation`.
 
     Outcomes are cached per rounded severity so repeated degradation
-    events at the same intensity reuse one degraded engine.
+    events at the same intensity reuse one degraded engine.  The
+    degraded cost model inherits ``engine``'s pricing backend and uses
+    the sibling engine's own (fresh) price cache — the nominal
+    engine's cache is invalidated by the re-plan itself.
     """
-    from repro.serve.costs import IterationCostModel
-
     cache: dict = {}
 
     def replan(severity: float) -> ReplanOutcome:
@@ -117,7 +118,7 @@ def engine_replanner(engine, overlap: bool = True) -> Replanner:
             degraded_engine = engine.replan_for_degradation(
                 host_slowdown=key
             )
-            costs = IterationCostModel(degraded_engine, overlap=overlap)
+            costs = degraded_engine.cost_model(overlap=overlap)
             cache[key] = ReplanOutcome(
                 costs=costs,
                 max_batch=costs.max_concurrency(),

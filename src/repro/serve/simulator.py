@@ -37,7 +37,6 @@ from repro.serve.arrivals import (
     TraceReplay,
     generate_requests,
 )
-from repro.serve.costs import IterationCostModel
 from repro.serve.metrics import ServingMetrics, build_metrics
 from repro.serve.request import (
     QosClass,
@@ -129,6 +128,12 @@ class ServingSimulator:
         }
         if self.scheduler.injector is not None:
             info["fault_stats"] = self.scheduler.injector.stats.as_dict()
+        backend_name = getattr(self.costs, "backend_name", None)
+        if backend_name is not None:
+            info["pricing_backend"] = backend_name
+        cache_stats = getattr(self.costs, "cache_stats", None)
+        if cache_stats is not None:
+            info["price_cache"] = cache_stats
         if setup:
             info.update(setup)
         return ServingResult(
@@ -190,6 +195,7 @@ def simulate_serving(
     fault_seed: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
     resilience: Optional[ResiliencePolicy] = None,
+    pricing_backend: str = "analytic",
 ) -> ServingResult:
     """Simulate one placement under open-loop load, end to end.
 
@@ -203,6 +209,11 @@ def simulate_serving(
     ``resilience`` (default :data:`~repro.serve.resilience.DEFAULT_RESILIENCE`)
     governs shedding, batch shrinking, and placement re-planning.
     ``None`` keeps the fault-free path bit-identical to a plain run.
+
+    ``pricing_backend`` selects how iterations are priced: the
+    closed-form ``"analytic"`` backend (default — exactly equal to the
+    discrete-event prices fault-free, at a fraction of the cost) or
+    the authoritative ``"event"`` backend.
     """
     engine = OffloadEngine(
         model=model,
@@ -210,8 +221,9 @@ def simulate_serving(
         placement=placement,
         compress_weights=compress_weights,
         batch_size=1,
+        pricing_backend=pricing_backend,
     )
-    costs = IterationCostModel(engine, overlap=overlap)
+    costs = engine.cost_model(overlap=overlap)
     injector = make_injector(faults, seed=fault_seed)
     replanner: Optional[Replanner] = None
     fault_targets: Optional[Tuple[str, ...]] = None
@@ -259,6 +271,7 @@ def simulate_serving(
         "rate_rps": rate_rps,
         "num_requests": len(specs),
         "seed": seed,
+        "pricing_backend": costs.backend_name,
     }
     if injector is not None:
         setup["faults"] = (

@@ -1,0 +1,108 @@
+"""Golden equivalence: analytic parts == event parts, exactly.
+
+The analytic backend's whole claim is that it reads the *same*
+per-layer costs off the *same* code the discrete-event executor
+inherits — so its parts must equal the event backend's to the last
+bit, not within a tolerance, for every placement scheme, model size,
+and (since nominal iteration parts are fault-independent) with a
+fault schedule attached to the spec.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.engine import OffloadEngine
+from repro.core.metrics import Stage
+from repro.faults.models import DegradationWindow, FaultSchedule
+from repro.pricing import AnalyticBackend, EventBackend
+
+PLACEMENTS = ("baseline", "helm", "allcpu")
+MODELS = ("opt-30b", "opt-175b")
+
+_SCHEDULE = FaultSchedule(
+    faults=(
+        DegradationWindow(
+            target="host", slowdown=4.0, start_s=0.0, duration_s=1e6
+        ),
+    ),
+    seed=3,
+)
+
+
+def _spec(model, placement, faulty):
+    engine = OffloadEngine(
+        model=model,
+        host="NVDRAM",
+        placement=placement,
+        compress_weights=True,
+        batch_size=2,
+        faults=_SCHEDULE if faulty else None,
+    )
+    return engine.run_spec()
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("placement", PLACEMENTS)
+@pytest.mark.parametrize("faulty", (False, True), ids=("clean", "faults"))
+def test_analytic_equals_event_exactly(model, placement, faulty):
+    spec = _spec(model, placement, faulty)
+    analytic = AnalyticBackend()
+    event = EventBackend()
+    for stage, context in (
+        (Stage.PREFILL, spec.prompt_len),
+        (Stage.DECODE, spec.prompt_len + spec.gen_len),
+    ):
+        a = analytic.iteration_parts(spec, stage, context)
+        e = event.iteration_parts(spec, stage, context)
+        # Exact equality, not approx: both backends run the same
+        # LayerCostModel arithmetic.
+        assert a.transfers == e.transfers
+        assert a.computes == e.computes
+        assert a.overlap == e.overlap
+        assert a.total_s() == e.total_s()
+        assert len(a.transfers) == len(spec.placement.layers)
+        assert all(t >= 0 for t in a.transfers)
+        assert all(c > 0 for c in a.computes)
+
+
+def test_serial_parts_match_too():
+    spec = _spec("opt-30b", "helm", False).with_shape(batch_size=1)
+    spec = dataclasses.replace(spec, overlap=False)
+    a = AnalyticBackend().iteration_parts(spec, Stage.DECODE, 149)
+    e = EventBackend().iteration_parts(spec, Stage.DECODE, 149)
+    assert a == e
+    assert not a.overlap
+    # Serial totals are the per-layer sum, which exceeds the
+    # overlapped per-layer max.
+    assert a.total_s() == sum(
+        t + c for t, c in zip(a.transfers, a.computes)
+    )
+    overlapped = dataclasses.replace(a, overlap=True)
+    assert a.total_s() > overlapped.total_s()
+
+
+def test_event_backend_runs_full_generation():
+    spec = _spec("opt-30b", "helm", False)
+    backend = EventBackend()
+    metrics = backend.run(spec)
+    assert metrics.ttft_s > 0
+    assert metrics.tbt_s > 0
+    # iteration_parts leaves a one-pass trace behind for inspection.
+    backend.iteration_parts(spec, Stage.DECODE, 149)
+    assert backend.last_trace is not None
+    assert len(backend.last_trace.records) == 2 * len(spec.placement.layers)
+
+
+def test_fault_pricing_stays_on_event_path():
+    """Faulty and fault-free *specs* price identically (nominal parts),
+    while the full event run is slower under the schedule — fault costs
+    live in execution, not in the nominal iteration prices."""
+    clean = _spec("opt-30b", "helm", False)
+    faulty = _spec("opt-30b", "helm", True)
+    a = AnalyticBackend()
+    assert a.iteration_parts(
+        clean, Stage.DECODE, 149
+    ) == a.iteration_parts(faulty, Stage.DECODE, 149)
+    event = EventBackend()
+    assert event.run(faulty).total_s > event.run(clean).total_s

@@ -1,0 +1,112 @@
+"""Pricing through the engine façade and the serving cost model."""
+
+import pytest
+
+from repro.core.engine import OffloadEngine
+from repro.errors import ConfigurationError
+from repro.pricing import (
+    AnalyticBackend,
+    CostBackend,
+    EventBackend,
+    build_executor,
+    cost_backend,
+)
+from repro.serve.costs import IterationCostModel
+
+
+def _engine(**kwargs):
+    defaults = dict(
+        model="opt-30b", host="NVDRAM", placement="helm",
+        compress_weights=True,
+    )
+    defaults.update(kwargs)
+    return OffloadEngine(**defaults)
+
+
+def test_cost_backend_resolution():
+    assert isinstance(cost_backend("analytic"), AnalyticBackend)
+    assert isinstance(cost_backend("event"), EventBackend)
+    ready = AnalyticBackend()
+    assert cost_backend(ready) is ready
+    with pytest.raises(ConfigurationError, match="unknown pricing backend"):
+        cost_backend("bogus")
+    with pytest.raises(ConfigurationError, match="not a pricing backend"):
+        cost_backend(42)
+
+
+def test_backends_satisfy_protocol():
+    assert isinstance(AnalyticBackend(), CostBackend)
+    assert isinstance(EventBackend(), CostBackend)
+
+
+def test_build_executor_forwards_spec():
+    engine = _engine(batch_size=3)
+    executor = build_executor(engine.run_spec(overlap=False))
+    assert executor.host is engine.host
+    assert executor.placement is engine.placement_result
+    assert executor.batch_size == 3
+    assert not executor.overlap
+
+
+def test_engine_rejects_unknown_backend():
+    with pytest.raises(ConfigurationError, match="unknown pricing backend"):
+        _engine(pricing_backend="bogus")
+
+
+def test_cost_model_shares_engine_cache():
+    engine = _engine(pricing_backend="analytic")
+    costs = engine.cost_model()
+    assert costs.cache is engine.price_cache
+    assert costs.backend_name == "analytic"
+    costs.decode_time(1, 149)
+    assert engine.price_cache.stats.misses >= 1
+    # A second model over the same engine reuses the memoized prices.
+    again = engine.cost_model()
+    before = engine.price_cache.stats.hits
+    again.decode_time(1, 149)
+    assert engine.price_cache.stats.hits > before
+
+
+def test_cost_model_backends_agree_exactly():
+    engine = _engine()
+    analytic = IterationCostModel(engine, backend="analytic",
+                                  cache=None)
+    event = IterationCostModel(engine, backend="event",
+                               cache=engine.price_cache)
+    for batch in (1, 4):
+        assert analytic.prefill_parts(batch, 128) == event.prefill_parts(
+            batch, 128
+        )
+        assert analytic.decode_parts(batch, 149) == event.decode_parts(
+            batch, 149
+        )
+    assert analytic.reference_service_time(
+        128, 21, 4
+    ) == event.reference_service_time(128, 21, 4)
+
+
+def test_replan_invalidates_price_cache():
+    engine = _engine(pricing_backend="analytic")
+    costs = engine.cost_model()
+    costs.prefill_time(1, 128)
+    costs.decode_time(1, 149)
+    assert len(engine.price_cache) > 0
+    sibling = engine.replan_for_degradation(host_slowdown=4.0)
+    # The nominal cache was dropped, observably.
+    assert len(engine.price_cache) == 0
+    assert engine.price_cache.stats.invalidations > 0
+    # The sibling prices the degraded platform through its own fresh
+    # cache and inherits the pricing backend.
+    assert sibling.pricing_backend == "analytic"
+    assert sibling.price_cache is not engine.price_cache
+    assert len(sibling.price_cache) == 0
+    degraded = sibling.cost_model()
+    assert degraded.decode_time(1, 149) > costs.decode_time(1, 149)
+
+
+def test_run_timing_unchanged_by_refactor():
+    """The façade still prices whole generations via the event path."""
+    engine = _engine()
+    metrics = engine.run_timing()
+    assert metrics.ttft_s > 0
+    assert engine.last_trace is not None

@@ -1,0 +1,32 @@
+"""Guard: executors are only built through ``pricing.build_executor``.
+
+The tentpole invariant of the pricing package — if another
+``TimingExecutor(...)`` construction site appears in ``src/``, costs
+can drift from the cached prices again.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: The definition site and the single sanctioned construction site.
+ALLOWED = {
+    SRC / "repro" / "core" / "timing.py",
+    SRC / "repro" / "pricing" / "backends.py",
+}
+
+_CONSTRUCTION = re.compile(r"\bTimingExecutor\(")
+
+
+def test_no_stray_executor_construction():
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        if path in ALLOWED:
+            continue
+        if _CONSTRUCTION.search(path.read_text()):
+            offenders.append(str(path))
+    assert not offenders, (
+        "TimingExecutor constructed outside repro.pricing: "
+        f"{offenders}; route through repro.pricing.build_executor"
+    )

@@ -1,0 +1,89 @@
+"""RunSpec: validation, identity hashing, shape siblings."""
+
+import pytest
+
+from repro.core.engine import OffloadEngine
+from repro.errors import ConfigurationError
+from repro.faults.models import DegradationWindow, FaultSchedule
+from repro.pricing import RunSpec
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return OffloadEngine(
+        model="opt-30b", host="NVDRAM", placement="helm",
+        compress_weights=True, batch_size=2,
+    )
+
+
+def test_validation(engine):
+    spec = engine.run_spec()
+    with pytest.raises(ConfigurationError):
+        spec.with_shape(batch_size=0)
+    with pytest.raises(ConfigurationError):
+        spec.with_shape(prompt_len=0)
+    with pytest.raises(ConfigurationError):
+        spec.with_shape(gen_len=-1)
+
+
+def test_hash_and_eq_by_identity(engine):
+    a = engine.run_spec()
+    b = engine.run_spec()
+    # Same live objects, same shape -> same key.
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+    # A different shape is a different key.
+    assert a != a.with_shape(batch_size=a.batch_size + 1)
+    # A replanned sibling engine carries new host/placement objects,
+    # so its specs can never collide with the nominal engine's.
+    sibling = engine.replan_for_degradation(host_slowdown=2.0)
+    assert engine.run_spec() != sibling.run_spec()
+    assert a != object()
+
+
+def test_with_shape_preserves_platform(engine):
+    spec = engine.run_spec()
+    sized = spec.with_shape(batch_size=8, prompt_len=256, gen_len=64)
+    assert sized.batch_size == 8
+    assert sized.prompt_len == 256
+    assert sized.gen_len == 64
+    assert sized.host is spec.host
+    assert sized.placement is spec.placement
+    assert sized.policy == spec.policy
+
+
+def test_fault_free_spec():
+    schedule = FaultSchedule(
+        faults=(
+            DegradationWindow(
+                target="host", slowdown=2.0, start_s=0.0, duration_s=10.0
+            ),
+        ),
+        seed=1,
+    )
+    faulty_engine = OffloadEngine(
+        model="opt-30b", host="NVDRAM", placement="helm",
+        compress_weights=True, faults=schedule,
+    )
+    spec = faulty_engine.run_spec()
+    assert not spec.fault_free
+    stripped = spec.fault_free_spec()
+    assert stripped.fault_free
+    assert stripped.injector is None and stripped.retry is None
+    assert stripped.placement is spec.placement
+    # Already-clean specs pass through unchanged.
+    assert stripped.fault_free_spec() is stripped
+    # include_faults=False builds the nominal spec directly.
+    assert faulty_engine.run_spec(include_faults=False).fault_free
+
+
+def test_engine_run_spec_defaults(engine):
+    spec = engine.run_spec()
+    assert spec.batch_size == engine.batch_size
+    assert spec.prompt_len == engine.prompt_len
+    assert spec.gen_len == engine.gen_len
+    assert spec.host is engine.host
+    assert spec.placement is engine.placement_result
+    assert spec.overlap
+    assert not engine.run_spec(overlap=False).overlap
