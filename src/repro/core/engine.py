@@ -252,19 +252,57 @@ class OffloadEngine:
             cache=self.price_cache,
         )
 
-    def run_timing(self) -> GenerationMetrics:
+    def run_timing(self, telemetry=None) -> GenerationMetrics:
         """Execute the run on the discrete-event timing backend.
 
         The executed trace stays available as :attr:`last_trace` for
         inspection or Chrome-trace export
         (:func:`repro.sim.chrome_trace.save_chrome_trace`).
+
+        ``telemetry`` (a :class:`repro.telemetry.Telemetry`, default:
+        the ambient one) receives an ``engine`` run span plus
+        per-category operation-duration histograms; with the inert
+        default this is a no-op and the run is bit-identical.
         """
         from repro.pricing import build_executor
+        from repro.telemetry import resolve_telemetry
 
+        telemetry = resolve_telemetry(telemetry)
         executor = build_executor(self.run_spec())
         metrics = executor.run()
         self.last_trace = executor.trace
+        if telemetry.enabled:
+            self._record_run_telemetry(telemetry, metrics, executor.trace)
         return metrics
+
+    def _record_run_telemetry(self, telemetry, metrics, trace) -> None:
+        """One timing run's trace, reduced into the registry/tracer."""
+        scope = telemetry.scoped("engine")
+        scope.counter("runs").inc()
+        scope.counter("trace_ops").inc(len(trace.records))
+        histograms = {
+            category: scope.histogram(
+                "op_duration_s", labels={"category": category}
+            )
+            for category in ("compute", "transfer")
+        }
+        for record in trace.records:
+            histogram = histograms.get(record.category)
+            if histogram is not None:
+                histogram.observe(record.duration)
+        telemetry.tracer.span(
+            f"engine run {self.config.name}",
+            0.0,
+            trace.makespan(),
+            category="engine",
+            model=self.config.name,
+            host=self.host.label,
+            placement=self.algorithm.name,
+            batch=self.batch_size,
+            ttft_s=metrics.ttft_s,
+            tbt_s=metrics.tbt_s,
+            throughput_tps=metrics.throughput_tps,
+        )
 
     def replan_for_degradation(
         self,

@@ -106,3 +106,7 @@ class DegradedTierError(TransferError):
 
 class ExperimentError(ReproError):
     """An experiment was requested with unsupported parameters."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry instruments or exports were used incorrectly."""

@@ -58,6 +58,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="smaller sweeps for smoke tests (sets REPRO_QUICK=1)",
     )
     run_parser.add_argument(
+        "--telemetry-out",
+        metavar="FILE",
+        help="capture metrics/spans across the run and write the "
+        "telemetry bundle as JSON, readable by repro-telemetry",
+    )
+    run_parser.add_argument(
         "--pricing-backend",
         default=None,
         metavar="BACKEND",
@@ -135,12 +141,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         os.environ["REPRO_PRICING_BACKEND"] = args.pricing_backend
     names = sorted(EXPERIMENTS) if args.names == ["all"] else args.names
+    telemetry = None
+    if getattr(args, "telemetry_out", None):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.create(
+            tool="repro-experiments", experiments=",".join(names)
+        )
     failures = 0
     dump: Dict[str, object] = {}
     for name in names:
         started = time.time()
         try:
-            result = run_experiment(name)
+            result = _run_one(name, telemetry)
         except Exception as error:  # surface, keep going
             failures += 1
             print(f"### {name}: FAILED: {error}", file=sys.stderr)
@@ -155,7 +168,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.json, "w") as handle:
             json.dump(dump, handle, indent=1)
         print(f"[structured data written to {args.json}]")
+    if telemetry is not None:
+        telemetry.save(args.telemetry_out)
+        print(f"[telemetry bundle written to {args.telemetry_out}]")
     return 1 if failures else 0
+
+
+def _run_one(name: str, telemetry):
+    """Run one experiment, with ``telemetry`` ambient when given.
+
+    Experiments call :func:`repro.serve.simulate_serving` and
+    :meth:`repro.core.OffloadEngine.run_timing` internally; making the
+    bundle ambient captures their metrics without threading a
+    parameter through every experiment body.
+    """
+    if telemetry is None:
+        return run_experiment(name)
+    from repro.telemetry import use_telemetry
+
+    with use_telemetry(telemetry):
+        return run_experiment(name)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -89,6 +89,30 @@ class FaultInjector:
         if self.seed is None:
             self.seed = self.schedule.seed
         self._rng = random.Random(self.seed)
+        #: Optional mirror of :attr:`stats` into a telemetry registry
+        #: (``faults/*``); see :meth:`bind_telemetry`.
+        self._metrics = None
+
+    def bind_telemetry(self, registry) -> None:
+        """Mirror the injector's counters into ``registry``.
+
+        ``registry`` is a :class:`repro.telemetry.MetricsRegistry` (or
+        scoped view); counters land under ``faults/`` and replay any
+        counts accumulated before the bind.  Binding never touches the
+        RNG, so instrumented runs stay bit-identical.
+        """
+        scope = registry.scoped("faults")
+        self._metrics = {
+            "transfers": scope.counter("transfers"),
+            "degraded_transfers": scope.counter("degraded_transfers"),
+            "failures": scope.counter("failures"),
+            "retried_transfers": scope.counter("retried_transfers"),
+            "retry_delay_s": scope.counter("retry_delay_s"),
+            "wasted_s": scope.counter("wasted_s"),
+            "exhausted": scope.counter("exhausted"),
+        }
+        for name, counter in self._metrics.items():
+            counter.inc(getattr(self.stats, name))
 
     # -- queries --------------------------------------------------------
 
@@ -154,6 +178,14 @@ class FaultInjector:
                         self.stats.retried_transfers += 1
                     self.stats.retry_delay_s += delay
                     self.stats.wasted_s += wasted
+                    if self._metrics is not None:
+                        self._metrics["transfers"].inc()
+                        if slowdown > 1.0:
+                            self._metrics["degraded_transfers"].inc()
+                        if attempts > 1:
+                            self._metrics["retried_transfers"].inc()
+                        self._metrics["retry_delay_s"].inc(delay)
+                        self._metrics["wasted_s"].inc(wasted)
                     return TransferOutcome(
                         duration_s=elapsed + duration,
                         attempts=attempts,
@@ -163,10 +195,14 @@ class FaultInjector:
                     )
                 cost = duration
             self.stats.failures += 1
+            if self._metrics is not None:
+                self._metrics["failures"].inc()
             elapsed += cost
             wasted += cost
             if attempts >= retry.max_attempts or elapsed >= retry.timeout_s:
                 self.stats.exhausted += 1
+                if self._metrics is not None:
+                    self._metrics["exhausted"].inc()
                 if was_down:
                     raise DegradedTierError(device, attempts, elapsed)
                 raise RetryExhaustedError(device, attempts, elapsed)

@@ -68,6 +68,32 @@ class PriceCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        #: Optional mirror of the counters into a telemetry registry
+        #: (``pricing/cache/*``); see :meth:`bind_telemetry`.
+        self._metrics = None
+
+    def bind_telemetry(self, registry) -> None:
+        """Mirror this cache's counters into ``registry``.
+
+        ``registry`` is a :class:`repro.telemetry.MetricsRegistry` (or
+        a scoped view); counters land under ``pricing/cache/``.  The
+        registry becomes the one place serving reports read cache
+        counters from — binding also replays counts accumulated before
+        the bind, so late attachment loses nothing.
+        """
+        scope = registry.scoped("pricing/cache")
+        self._metrics = {
+            "hits": scope.counter("hits"),
+            "misses": scope.counter("misses"),
+            "evictions": scope.counter("evictions"),
+            "invalidations": scope.counter("invalidations"),
+            "size": scope.gauge("size"),
+        }
+        self._metrics["hits"].inc(self._hits)
+        self._metrics["misses"].inc(self._misses)
+        self._metrics["evictions"].inc(self._evictions)
+        self._metrics["invalidations"].inc(self._invalidations)
+        self._metrics["size"].set(len(self._entries))
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,8 +110,12 @@ class PriceCache:
         parts = self._entries.get(key)
         if parts is None:
             self._misses += 1
+            if self._metrics is not None:
+                self._metrics["misses"].inc()
             return None
         self._hits += 1
+        if self._metrics is not None:
+            self._metrics["hits"].inc()
         self._entries.move_to_end(key)
         return parts
 
@@ -99,6 +129,10 @@ class PriceCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                if self._metrics is not None:
+                    self._metrics["evictions"].inc()
+        if self._metrics is not None:
+            self._metrics["size"].set(len(self._entries))
 
     def get_or_compute(
         self,
@@ -132,6 +166,9 @@ class PriceCache:
                 del self._entries[key]
             dropped = len(stale)
         self._invalidations += dropped
+        if self._metrics is not None:
+            self._metrics["invalidations"].inc(dropped)
+            self._metrics["size"].set(len(self._entries))
         return dropped
 
     @property

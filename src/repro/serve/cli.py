@@ -23,6 +23,8 @@ from repro.serve.arrivals import TraceReplay, load_trace, save_trace
 from repro.serve.request import DEFAULT_CLASSES, STANDARD, QosClass
 from repro.serve.resilience import NO_RESILIENCE
 from repro.serve.simulator import simulate_serving
+from repro.telemetry import Telemetry
+from repro.telemetry.summary import cache_stats_line
 from repro.workloads.lengths import LengthDistribution
 
 
@@ -138,10 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--chrome-trace", metavar="FILE",
-        help="write the virtual-time run as chrome://tracing JSON",
+        help="write the virtual-time run as chrome://tracing JSON "
+        "(request spans overlaid on the engine's compute/transfer "
+        "tracks)",
     )
     parser.add_argument(
         "--json", metavar="FILE", help="write the summary as JSON"
+    )
+    parser.add_argument(
+        "--telemetry-out", metavar="FILE",
+        help="write the run's telemetry bundle (metrics + spans) as "
+        "JSON, readable by repro-telemetry",
     )
     return parser
 
@@ -157,7 +166,7 @@ def _fmt(value: float) -> str:
     return f"{value:.3f}"
 
 
-def _print_report(result) -> None:
+def _print_report(result, telemetry: Optional[Telemetry] = None) -> None:
     metrics = result.metrics
     setup = result.setup
     print(
@@ -178,14 +187,12 @@ def _print_report(result) -> None:
         ("mean decode batch", f"{metrics.mean_batch:.1f}"),
         ("saturated", str(metrics.saturated)),
     ]
-    cache = setup.get("price_cache")
-    if cache is not None:
-        rows.append((
-            "pricing",
-            f"{setup.get('pricing_backend', '?')} backend, cache "
-            f"{cache['hits']} hits / {cache['misses']} misses "
-            f"({cache['hit_rate']:.1%} hit rate)",
-        ))
+    if telemetry is not None:
+        cache_line = cache_stats_line(
+            telemetry.registry, backend=setup.get("pricing_backend")
+        )
+        if cache_line is not None:
+            rows.append(("pricing", cache_line))
     width = max(len(name) for name, _ in rows)
     for name, value in rows:
         print(f"  {name:<{width}} : {value}")
@@ -247,6 +254,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             arrival = args.arrival
             num_requests = args.requests
 
+        telemetry = Telemetry.create(
+            tool="repro-serve",
+            model=args.model,
+            host=args.host,
+            placement=args.placement,
+            seed=args.seed,
+        )
         result = simulate_serving(
             model=args.model,
             host=args.host,
@@ -267,21 +281,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             resilience=(
                 None if args.resilience else NO_RESILIENCE
             ) if args.faults else None,
+            telemetry=telemetry,
         )
-        _print_report(result)
+        _print_report(result, telemetry=telemetry)
 
         if args.save_trace:
             save_trace(_specs_of(result), args.save_trace)
             print(f"request trace written to {args.save_trace}")
         if args.chrome_trace:
-            from repro.sim.chrome_trace import save_chrome_trace
+            from repro.telemetry.export import save_extended_chrome_trace
 
-            save_chrome_trace(result.trace, args.chrome_trace)
+            save_extended_chrome_trace(
+                telemetry.bundle(), args.chrome_trace, trace=result.trace
+            )
             print(f"chrome trace written to {args.chrome_trace}")
         if args.json:
             with open(args.json, "w") as handle:
                 json.dump(result.summary(), handle, indent=1)
             print(f"summary written to {args.json}")
+        if args.telemetry_out:
+            telemetry.save(args.telemetry_out)
+            print(f"telemetry bundle written to {args.telemetry_out}")
         return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

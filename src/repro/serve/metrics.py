@@ -21,17 +21,24 @@ from repro.serve.scheduler import FaultSummary, SchedulerRun
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Mean and tail percentiles of one latency series."""
+    """Mean, max, and tail percentiles of one latency series.
+
+    The zero-sample case is an explicit sentinel — every field is
+    ``0.0`` and :attr:`count` is ``0`` — never NaN, so summaries stay
+    JSON-clean and comparisons never trip on NaN != NaN.
+    """
 
     mean_s: float
     p50_s: float
     p95_s: float
     p99_s: float
+    max_s: float = 0.0
+    count: int = 0
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "LatencyStats":
         if not len(values):
-            return cls(0.0, 0.0, 0.0, 0.0)
+            return cls(0.0, 0.0, 0.0, 0.0, max_s=0.0, count=0)
         array = np.asarray(values, dtype=float)
         p50, p95, p99 = np.percentile(array, (50.0, 95.0, 99.0))
         return cls(
@@ -39,6 +46,8 @@ class LatencyStats:
             p50_s=float(p50),
             p95_s=float(p95),
             p99_s=float(p99),
+            max_s=float(array.max()),
+            count=int(array.size),
         )
 
     def summary(self, prefix: str) -> Dict[str, float]:
@@ -47,6 +56,8 @@ class LatencyStats:
             f"{prefix}_p50_s": self.p50_s,
             f"{prefix}_p95_s": self.p95_s,
             f"{prefix}_p99_s": self.p99_s,
+            f"{prefix}_max_s": self.max_s,
+            f"{prefix}_count": self.count,
         }
 
 

@@ -32,6 +32,13 @@ bandwidth map — at most once per degradation event.  A tier that
 stays down past the stall budget aborts the run by shedding all
 outstanding work instead of hanging.  Without an injector the code
 path is bit-identical to the fault-free scheduler.
+
+**Telemetry.**  With a :class:`repro.telemetry.Telemetry` attached
+(explicitly or ambiently), the run additionally emits a span tree —
+one run span, one span per iteration, one per request (with
+admission/first-token events) and per shed — plus ``serve/*``
+registry counters and virtual-time histograms.  All instruments are
+no-ops on the inert default and never perturb priced results.
 """
 
 from __future__ import annotations
@@ -63,6 +70,7 @@ from repro.serve.resilience import (
 )
 from repro.sim.engine import SimEngine
 from repro.sim.trace import Trace, TraceRecord
+from repro.telemetry import Telemetry, resolve_telemetry
 
 #: Targets consulted when the caller does not name the platform's own
 #: link/region labels.
@@ -148,6 +156,7 @@ class ContinuousBatchingScheduler:
         resilience: Optional[ResiliencePolicy] = None,
         replanner: Optional[Replanner] = None,
         fault_targets: Sequence[str] = DEFAULT_FAULT_TARGETS,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.costs = costs
         self.classes = class_index(classes)
@@ -166,6 +175,10 @@ class ContinuousBatchingScheduler:
         self.resilience = resilience
         self.replanner = replanner
         self.fault_targets = tuple(fault_targets)
+        #: Explicit telemetry, or None to use the ambient instance at
+        #: :meth:`run` time.  The inert default makes every instrument
+        #: call a no-op, keeping the fault-free path bit-identical.
+        self.telemetry = telemetry
 
     def _request(self, spec: RequestSpec) -> ServeRequest:
         try:
@@ -189,6 +202,29 @@ class ContinuousBatchingScheduler:
         injector = self.injector
         resilience = self.resilience
         retry = self.retry
+
+        # Telemetry: every instrument below is a no-op on the inert
+        # default, and nothing here reads wall-clock time or touches
+        # the RNG — an instrumented run is bit-identical to a bare one.
+        telemetry = resolve_telemetry(self.telemetry)
+        tracer = telemetry.tracer
+        serve_metrics = telemetry.scoped("serve")
+        iteration_counters = {
+            kind: serve_metrics.counter("iterations", labels={"kind": kind})
+            for kind in ("prefill", "decode")
+        }
+        iteration_histograms = {
+            kind: serve_metrics.histogram(
+                "iteration_s", labels={"kind": kind}
+            )
+            for kind in ("prefill", "decode")
+        }
+        admitted_counter = serve_metrics.counter("admitted_requests")
+        completed_counter = serve_metrics.counter("completed_requests")
+        wait_histogram = serve_metrics.histogram("wait_s")
+        run_span = tracer.start(
+            "serve run", 0.0, category="run", requests=len(pending)
+        )
 
         #: (priority, arrival, id) heap of waiting requests.
         waiting: List[Tuple[int, float, int, ServeRequest]] = []
@@ -251,6 +287,32 @@ class ContinuousBatchingScheduler:
                     },
                 )
             )
+            completed_counter.inc()
+            wait_histogram.observe(record.wait_s)
+            serve_metrics.histogram(
+                "ttft_s", labels={"qos": record.qos_class}
+            ).observe(record.ttft_s)
+            serve_metrics.histogram(
+                "e2e_s", labels={"qos": record.qos_class}
+            ).observe(record.e2e_s)
+            tracer.span(
+                f"req {record.request_id}",
+                record.arrival_s,
+                record.finished_s,
+                parent=run_span,
+                category="request",
+                qos=record.qos_class,
+                prompt_len=record.prompt_len,
+                gen_len=record.gen_len,
+                ttft_s=round(record.ttft_s, 6),
+                tbt_s=round(record.tbt_s, 6),
+                wait_s=round(record.wait_s, 6),
+                slo_met=record.slo_met,
+            ).event(
+                "admitted", record.admitted_s
+            ).event(
+                "first_token", record.arrival_s + record.ttft_s
+            )
 
         def shed_one(spec: RequestSpec, now: float, reason: str) -> None:
             shed_records.append(
@@ -271,6 +333,18 @@ class ContinuousBatchingScheduler:
                     end=now,
                     meta={"reason": reason, "qos": spec.qos_class},
                 )
+            )
+            serve_metrics.counter(
+                "shed_requests", labels={"reason": reason}
+            ).inc()
+            tracer.span(
+                f"shed {spec.request_id}",
+                spec.arrival_s,
+                max(now, spec.arrival_s),
+                parent=run_span,
+                category="shed",
+                qos=spec.qos_class,
+                reason=reason,
             )
 
         def shed_waiting(
@@ -341,9 +415,15 @@ class ContinuousBatchingScheduler:
                     shed_one(request.spec, now, "degraded")
             running = kept
 
+        def record_stall(now: float, duration_s: float) -> None:
+            serve_metrics.counter("stalls").inc()
+            serve_metrics.counter("stall_s").inc(duration_s)
+            run_span.event("stall", now, duration_s=round(duration_s, 6))
+
         def abort_run(now: float) -> None:
             """Permanent outage: fail everything outstanding."""
             nonlocal aborted, running
+            run_span.event("abort", now)
             shed_waiting(now, "outage", sheddable_only=False)
             for request in running:
                 shed_one(request.spec, now, "outage")
@@ -376,6 +456,12 @@ class ContinuousBatchingScheduler:
                 ):
                     degraded_mode = True
                     events += 1
+                    serve_metrics.counter("degradation_events").inc()
+                    run_span.event(
+                        "degraded_enter", now,
+                        slowdown=round(health.slowdown, 4),
+                        down=health.down,
+                    )
                     if resilience.evict and running:
                         evict_running(now)
                     severity = max(1.0, health.slowdown)
@@ -391,6 +477,12 @@ class ContinuousBatchingScheduler:
                         )
                         replanned = True
                         replans += 1
+                        serve_metrics.counter("replans").inc()
+                        run_span.event(
+                            "replan", now,
+                            label=outcome.label,
+                            max_batch=effective_max,
+                        )
                     elif resilience.shrink_batch and severity > 1.0:
                         effective_max = max(
                             1, int(self.max_batch / severity)
@@ -403,6 +495,7 @@ class ContinuousBatchingScheduler:
                     replanned = False
                     active_costs = self.costs
                     effective_max = self.max_batch
+                    run_span.event("degraded_exit", now)
                 if degraded_mode and resilience.shed and waiting:
                     shed_waiting(now, "degraded", sheddable_only=True)
 
@@ -421,6 +514,7 @@ class ContinuousBatchingScheduler:
                 stall_streak += 1
                 stalls += 1
                 stall_s += retry.timeout_s
+                record_stall(now, retry.timeout_s)
                 if stall_streak >= resilience.stall_limit:
                     abort_run(now)
                     break
@@ -459,6 +553,7 @@ class ContinuousBatchingScheduler:
                         stall_streak += 1
                         stalls += 1
                         stall_s += error.elapsed_s
+                        record_stall(now, error.elapsed_s)
                         if stall_streak >= resilience.stall_limit:
                             abort_run(now)
                             break
@@ -480,6 +575,15 @@ class ContinuousBatchingScheduler:
                 done_at = engine.now
                 gpu_busy += duration
                 prefills += 1
+                admitted_counter.inc(len(admitted))
+                iteration_counters["prefill"].inc()
+                iteration_histograms["prefill"].observe(duration)
+                tracer.span(
+                    f"prefill x{len(admitted)}", now, done_at,
+                    parent=run_span, category="iteration",
+                    kind="prefill", batch=len(admitted),
+                    tokens=prompt_max, degraded=degraded_mode,
+                )
                 if degraded_mode:
                     degraded_iterations += 1
                 for request in admitted:
@@ -515,6 +619,7 @@ class ContinuousBatchingScheduler:
                     stall_streak += 1
                     stalls += 1
                     stall_s += error.elapsed_s
+                    record_stall(now, error.elapsed_s)
                     if stall_streak >= resilience.stall_limit:
                         abort_run(now)
                         break
@@ -535,6 +640,14 @@ class ContinuousBatchingScheduler:
             done_at = engine.now
             gpu_busy += duration
             decodes += 1
+            iteration_counters["decode"].inc()
+            iteration_histograms["decode"].observe(duration)
+            tracer.span(
+                f"decode x{decode_batch}", now, done_at,
+                parent=run_span, category="iteration",
+                kind="decode", batch=decode_batch,
+                tokens=context, degraded=degraded_mode,
+            )
             if degraded_mode:
                 degraded_iterations += 1
             still_running: List[ServeRequest] = []
@@ -555,6 +668,14 @@ class ContinuousBatchingScheduler:
                     degraded=degraded_mode,
                 )
             )
+
+        run_span.set("completed", len(records))
+        run_span.set("shed", len(shed_records))
+        run_span.set("iterations", prefills + decodes)
+        run_span.set("aborted", aborted)
+        run_span.end(engine.now)
+        serve_metrics.gauge("span_s").set(engine.now)
+        serve_metrics.gauge("gpu_busy_s").set(gpu_busy)
 
         records.sort(key=lambda record: record.request_id)
         shed_records.sort(key=lambda record: record.request_id)

@@ -51,6 +51,7 @@ from repro.serve.scheduler import (
     SchedulerRun,
 )
 from repro.sim.trace import Trace
+from repro.telemetry import Telemetry, resolve_telemetry
 from repro.workloads.lengths import LengthDistribution
 
 
@@ -86,9 +87,11 @@ class ServingSimulator:
         resilience: Optional[ResiliencePolicy] = None,
         replanner: Optional[Replanner] = None,
         fault_targets: Optional[Sequence[str]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.costs = costs
         self.classes = tuple(classes)
+        self.telemetry = telemetry
         scheduler_kwargs: Dict[str, object] = {}
         if fault_targets is not None:
             scheduler_kwargs["fault_targets"] = tuple(fault_targets)
@@ -100,6 +103,7 @@ class ServingSimulator:
             retry=retry,
             resilience=resilience,
             replanner=replanner,
+            telemetry=telemetry,
             **scheduler_kwargs,
         )
 
@@ -136,6 +140,15 @@ class ServingSimulator:
             info["price_cache"] = cache_stats
         if setup:
             info.update(setup)
+        telemetry = resolve_telemetry(self.telemetry)
+        if telemetry.enabled:
+            scope = telemetry.scoped("serve")
+            scope.gauge("max_batch").set(self.scheduler.max_batch)
+            scope.gauge("throughput_rps").set(metrics.throughput_rps)
+            scope.gauge("goodput_rps").set(metrics.goodput_rps)
+            scope.gauge("slo_attainment").set(metrics.slo_attainment)
+            scope.gauge("utilization").set(metrics.utilization)
+            scope.gauge("saturated").set(float(metrics.saturated))
         return ServingResult(
             setup=info,
             metrics=metrics,
@@ -196,6 +209,7 @@ def simulate_serving(
     retry: Optional[RetryPolicy] = None,
     resilience: Optional[ResiliencePolicy] = None,
     pricing_backend: str = "analytic",
+    telemetry: Optional[Telemetry] = None,
 ) -> ServingResult:
     """Simulate one placement under open-loop load, end to end.
 
@@ -214,7 +228,14 @@ def simulate_serving(
     closed-form ``"analytic"`` backend (default — exactly equal to the
     discrete-event prices fault-free, at a fraction of the cost) or
     the authoritative ``"event"`` backend.
+
+    ``telemetry`` (default: the ambient
+    :func:`repro.telemetry.current_telemetry`) receives registry
+    counters from the engine, price cache, fault injector, and
+    scheduler, plus the serving span tree.  The inert default records
+    nothing, and an enabled instance never changes a priced metric.
     """
+    telemetry = resolve_telemetry(telemetry)
     engine = OffloadEngine(
         model=model,
         host=host,
@@ -224,6 +245,13 @@ def simulate_serving(
         pricing_backend=pricing_backend,
     )
     costs = engine.cost_model(overlap=overlap)
+    if telemetry.enabled:
+        engine.price_cache.bind_telemetry(telemetry.registry)
+        scope = telemetry.scoped("engine")
+        scope.gauge("spilled_layers").set(len(engine.spill_log))
+        scope.gauge("host_oversubscribed").set(
+            float(engine.host_oversubscribed)
+        )
     injector = make_injector(faults, seed=fault_seed)
     replanner: Optional[Replanner] = None
     fault_targets: Optional[Tuple[str, ...]] = None
@@ -231,6 +259,8 @@ def simulate_serving(
         from repro.faults.models import HOST_TARGET, PCIE_TARGET
         from repro.serve.resilience import engine_replanner
 
+        if telemetry.enabled:
+            injector.bind_telemetry(telemetry.registry)
         fault_targets = (
             HOST_TARGET,
             PCIE_TARGET,
@@ -261,6 +291,7 @@ def simulate_serving(
         resilience=resilience,
         replanner=replanner,
         fault_targets=fault_targets,
+        telemetry=telemetry,
     )
     setup = {
         "model": model,

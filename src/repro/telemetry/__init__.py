@@ -1,0 +1,159 @@
+"""``repro.telemetry`` — unified observability for the reproduction.
+
+One :class:`Telemetry` object carries the two instruments every
+subsystem shares:
+
+* a :class:`~repro.telemetry.registry.MetricsRegistry` of namespaced
+  counters / gauges / virtual-time histograms (``engine/…``,
+  ``pricing/…``, ``faults/…``, ``serve/…``), and
+* a :class:`~repro.telemetry.spans.Tracer` whose parent/child spans
+  follow one request from arrival through admission, per-iteration
+  pricing, and engine streams to completion.
+
+Telemetry is *deterministic* (virtual-time timestamps only — no
+wall-clock reads on any hot path) and *inert by default*: the module
+ships a disabled singleton, every instrument call on it is a no-op,
+and a disabled-telemetry run is bit-identical to one with no
+telemetry code at all.  Enable it per call site
+(``simulate_serving(telemetry=…)``) or ambiently::
+
+    from repro.telemetry import Telemetry, use_telemetry
+
+    telemetry = Telemetry.create()
+    with use_telemetry(telemetry):
+        simulate_serving(...)           # picks it up automatically
+    telemetry.save("run-telemetry.json")
+
+Bundles saved this way feed ``repro-telemetry summary`` and
+``repro-telemetry export --format {prom,jsonl,chrome}``.  See
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedRegistry,
+)
+from repro.telemetry.spans import NULL_SPAN, Span, SpanEvent, Tracer
+
+#: Bundle schema version, bumped on incompatible layout changes.
+BUNDLE_VERSION = 1
+
+
+@dataclass
+class Telemetry:
+    """The registry + tracer pair one run instruments into."""
+
+    registry: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry(enabled=False)
+    )
+    tracer: Tracer = field(default_factory=lambda: Tracer(enabled=False))
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, enabled: bool = True, **meta: object) -> "Telemetry":
+        return cls(
+            registry=MetricsRegistry(enabled=enabled),
+            tracer=Tracer(enabled=enabled),
+            meta=dict(meta),
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled or self.tracer.enabled
+
+    def scoped(self, namespace: str) -> ScopedRegistry:
+        return self.registry.scoped(namespace)
+
+    # -- persistence ----------------------------------------------------
+
+    def bundle(self, **extra_meta: object) -> Dict[str, object]:
+        """The run's telemetry as one JSON-able dict."""
+        return {
+            "version": BUNDLE_VERSION,
+            "meta": {**self.meta, **extra_meta},
+            "metrics": self.registry.snapshot(),
+            "spans": self.tracer.to_dicts(),
+        }
+
+    def save(self, path: str, **extra_meta: object) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.bundle(**extra_meta), handle, indent=1)
+
+
+def load_bundle(path: str) -> Dict[str, object]:
+    """Read a bundle written by :meth:`Telemetry.save`."""
+    with open(path) as handle:
+        bundle = json.load(handle)
+    if not isinstance(bundle, dict) or "metrics" not in bundle:
+        raise TelemetryError(
+            f"{path}: not a telemetry bundle (missing 'metrics')"
+        )
+    return bundle
+
+
+#: The inert default: all instruments are no-ops.
+NULL_TELEMETRY = Telemetry()
+
+_active: Telemetry = NULL_TELEMETRY
+
+
+def current_telemetry() -> Telemetry:
+    """The ambient telemetry consulted when no instance is passed."""
+    return _active
+
+
+def set_current_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install ``telemetry`` (or the inert default) as ambient."""
+    global _active
+    previous = _active
+    _active = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry):
+    """Scoped :func:`set_current_telemetry`."""
+    previous = set_current_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_current_telemetry(previous)
+
+
+def resolve_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """An explicit instance if given, else the ambient one."""
+    return telemetry if telemetry is not None else current_telemetry()
+
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ScopedRegistry",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "Span",
+    "SpanEvent",
+    "Telemetry",
+    "Tracer",
+    "current_telemetry",
+    "load_bundle",
+    "resolve_telemetry",
+    "set_current_telemetry",
+    "use_telemetry",
+]

@@ -1,0 +1,112 @@
+"""``repro-telemetry`` — inspect and convert saved telemetry bundles.
+
+::
+
+    repro-serve --rate 0.2 --requests 50 --telemetry-out run.json
+    repro-telemetry summary run.json
+    repro-telemetry export run.json --format prom -o metrics.prom
+    repro-telemetry export run.json --format jsonl
+    repro-telemetry export run.json --format chrome -o spans.trace.json
+
+``export --format chrome`` renders the serving-level spans; the
+*merged* trace with engine compute/transfer tracks underneath is
+written live by ``repro-serve --chrome-trace`` (the engine trace is
+not part of the bundle).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.telemetry import load_bundle
+from repro.telemetry.export import (
+    to_chrome_trace,
+    to_jsonl_text,
+    to_prometheus_text,
+)
+from repro.telemetry.summary import render_summary
+
+EXPORT_FORMATS = ("prom", "jsonl", "chrome")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-telemetry",
+        description=(
+            "Summarize or convert a telemetry bundle written by "
+            "repro-serve/repro-experiments --telemetry-out."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser(
+        "summary", help="print registry metrics and span counts"
+    )
+    summary.add_argument("bundle", help="bundle JSON path")
+
+    export = sub.add_parser(
+        "export", help="convert a bundle to an exchange format"
+    )
+    export.add_argument("bundle", help="bundle JSON path")
+    export.add_argument(
+        "--format", dest="fmt", required=True, choices=EXPORT_FORMATS,
+        help="prom (Prometheus text), jsonl (event log), or chrome "
+        "(Perfetto-loadable span trace)",
+    )
+    export.add_argument(
+        "-o", "--out", metavar="FILE", default=None,
+        help="output path (default: stdout)",
+    )
+    return parser
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out is None:
+        sys.stdout.write(text)
+    else:
+        with open(out, "w") as handle:
+            handle.write(text)
+        print(f"written to {out}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        bundle = load_bundle(args.bundle)
+        if args.command == "summary":
+            meta = bundle.get("meta", {})
+            if meta:
+                source = ", ".join(
+                    f"{key}={value}" for key, value in sorted(meta.items())
+                )
+                print(f"[{source}]")
+            print(render_summary(bundle))
+            return 0
+        if args.fmt == "prom":
+            _emit(to_prometheus_text(bundle), args.out)
+        elif args.fmt == "jsonl":
+            _emit(to_jsonl_text(bundle), args.out)
+        else:
+            _emit(
+                json.dumps(to_chrome_trace(bundle)) + "\n", args.out
+            )
+        return 0
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as error:
+        print(
+            f"error: {args.bundle}: not JSON ({error})", file=sys.stderr
+        )
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

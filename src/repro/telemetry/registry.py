@@ -1,0 +1,381 @@
+"""The metrics registry: counters, gauges, and mergeable histograms.
+
+One :class:`MetricsRegistry` is the always-on accounting surface for a
+whole run.  Instruments are named with ``/``-separated namespaces
+(``"pricing/cache/hits"``, ``"serve/iterations"``) so every subsystem
+— engine, pricing, faults, scheduler — lands in one table that the
+exporters (:mod:`repro.telemetry.export`) can render as Prometheus
+text, JSONL, or a summary.
+
+Design constraints, in order:
+
+* **Deterministic.**  Instruments never read wall-clock time; every
+  recorded value is supplied by the caller (virtual-time durations,
+  counts).  Two identical runs produce identical snapshots.
+* **Cheap when disabled.**  A registry built with ``enabled=False``
+  hands out shared no-op instruments; the hot path pays one method
+  call that does nothing.  A disabled-registry run is bit-identical
+  to one with no telemetry at all.
+* **Mergeable.**  Snapshots are plain JSON-able dicts; counters and
+  histogram bucket counts add, gauges take the incoming value — so
+  per-shard registries can be folded into one fleet view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import TelemetryError
+
+#: Default explicit buckets for virtual-time durations, spanning the
+#: microsecond kernels of small models to the hour-long batch E2E
+#: latencies of saturated serving runs (seconds).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+    300.0, 600.0, 3600.0,
+)
+
+#: Canonical (name, labels) identity of one instrument.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help_text", "value")
+
+    def __init__(
+        self, name: str, labels: LabelItems = (), help_text: str = ""
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help_text = help_text
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r}: cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help_text", "value")
+
+    def __init__(
+        self, name: str, labels: LabelItems = (), help_text: str = ""
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help_text = help_text
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Explicit-bucket histogram over virtual-time values.
+
+    ``buckets`` are upper bounds (``le``); one implicit ``+Inf``
+    bucket catches the rest.  Counts, sum, and extrema are tracked so
+    exporters can render both Prometheus histograms and human
+    summaries without NaN sentinels (``count == 0`` means "no data").
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name", "labels", "help_text", "buckets", "counts", "sum",
+        "count", "min", "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        help_text: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise TelemetryError(
+                f"histogram {name!r}: buckets must be a strictly "
+                f"increasing non-empty sequence, got {buckets!r}"
+            )
+        self.name = name
+        self.labels = labels
+        self.help_text = help_text
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self.sum = 0.0
+        self.count = 0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += value
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+_Instrument = (Counter, Gauge, Histogram)
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out by disabled registries."""
+
+    kind = "null"
+    name = ""
+    labels: LabelItems = ()
+    help_text = ""
+    value = 0.0
+    sum = 0.0
+    count = 0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+    buckets: Tuple[float, ...] = ()
+    counts: List[int] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Namespaced instrument table for one run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: "Dict[Tuple[str, LabelItems], object]" = {}
+
+    # -- instrument access ---------------------------------------------
+
+    def _get(
+        self,
+        kind: type,
+        name: str,
+        labels: Optional[Mapping[str, str]],
+        help_text: str,
+        **kwargs,
+    ):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        if not name:
+            raise TelemetryError("instruments need a non-empty name")
+        key = (name, _label_items(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = kind(
+                name, labels=key[1], help_text=help_text, **kwargs
+            )
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, kind):
+            raise TelemetryError(
+                f"instrument {name!r} already registered as "
+                f"{instrument.kind}, requested {kind.kind}"
+            )
+        return instrument
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help_text: str = "",
+    ) -> Counter:
+        return self._get(Counter, name, labels, help_text)
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help_text: str = "",
+    ) -> Gauge:
+        return self._get(Gauge, name, labels, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help_text: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get(
+            Histogram, name, labels, help_text, buckets=buckets
+        )
+
+    def scoped(self, namespace: str) -> "ScopedRegistry":
+        """A view that prefixes every instrument name."""
+        return ScopedRegistry(self, namespace)
+
+    # -- inspection -----------------------------------------------------
+
+    def instruments(self) -> Tuple[object, ...]:
+        """All instruments, sorted by (name, labels) for determinism."""
+        return tuple(
+            self._instruments[key] for key in sorted(self._instruments)
+        )
+
+    def value(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[float]:
+        """A counter/gauge's current value, or None if never created."""
+        instrument = self._instruments.get((name, _label_items(labels)))
+        if instrument is None or isinstance(instrument, Histogram):
+            return None
+        return instrument.value
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """The registry as a JSON-able dict (see module docstring)."""
+        snap: Dict[str, List[Dict[str, object]]] = {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+        for instrument in self.instruments():
+            entry: Dict[str, object] = {
+                "name": instrument.name,
+                "labels": dict(instrument.labels),
+            }
+            if instrument.help_text:
+                entry["help"] = instrument.help_text
+            if isinstance(instrument, Histogram):
+                entry.update(
+                    buckets=list(instrument.buckets),
+                    counts=list(instrument.counts),
+                    sum=instrument.sum,
+                    count=instrument.count,
+                    min=instrument.min,
+                    max=instrument.max,
+                )
+                snap["histograms"].append(entry)
+            else:
+                entry["value"] = instrument.value
+                snap[f"{instrument.kind}s"].append(entry)
+        return snap
+
+    def merge(self, snapshot: Mapping[str, Iterable[Mapping]]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram bucket counts add; gauges take the
+        incoming value.  Histograms with mismatched buckets are a
+        usage error, not silently rebucketed.
+        """
+        if not self.enabled:
+            return
+        for entry in snapshot.get("counters", ()):
+            self.counter(
+                entry["name"], entry.get("labels"),
+                entry.get("help", ""),
+            ).inc(entry["value"])
+        for entry in snapshot.get("gauges", ()):
+            self.gauge(
+                entry["name"], entry.get("labels"),
+                entry.get("help", ""),
+            ).set(entry["value"])
+        for entry in snapshot.get("histograms", ()):
+            histogram = self.histogram(
+                entry["name"], entry.get("labels"),
+                entry.get("help", ""),
+                buckets=tuple(entry["buckets"]),
+            )
+            if tuple(entry["buckets"]) != histogram.buckets:
+                raise TelemetryError(
+                    f"histogram {entry['name']!r}: cannot merge "
+                    f"mismatched buckets"
+                )
+            incoming = list(entry["counts"])
+            if len(incoming) != len(histogram.counts):
+                raise TelemetryError(
+                    f"histogram {entry['name']!r}: malformed snapshot "
+                    f"(bucket/count length mismatch)"
+                )
+            for i, count in enumerate(incoming):
+                histogram.counts[i] += count
+            if entry["count"]:
+                if histogram.count == 0:
+                    histogram.min = entry["min"]
+                    histogram.max = entry["max"]
+                else:
+                    histogram.min = min(histogram.min, entry["min"])
+                    histogram.max = max(histogram.max, entry["max"])
+            histogram.sum += entry["sum"]
+            histogram.count += entry["count"]
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Mapping[str, Iterable[Mapping]]
+    ) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(snapshot)
+        return registry
+
+
+class ScopedRegistry:
+    """A namespace-prefixing view over one :class:`MetricsRegistry`."""
+
+    def __init__(self, registry: MetricsRegistry, namespace: str) -> None:
+        if not namespace:
+            raise TelemetryError("scoped registries need a namespace")
+        self.registry = registry
+        self.namespace = namespace.rstrip("/")
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def _name(self, name: str) -> str:
+        return f"{self.namespace}/{name}"
+
+    def counter(self, name: str, **kwargs) -> Counter:
+        return self.registry.counter(self._name(name), **kwargs)
+
+    def gauge(self, name: str, **kwargs) -> Gauge:
+        return self.registry.gauge(self._name(name), **kwargs)
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        return self.registry.histogram(self._name(name), **kwargs)
+
+    def scoped(self, namespace: str) -> "ScopedRegistry":
+        return ScopedRegistry(self.registry, self._name(namespace))

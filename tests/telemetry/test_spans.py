@@ -1,0 +1,120 @@
+"""Span/tracer semantics: ids, nesting, events, serialization."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import NULL_SPAN, Telemetry, Tracer
+
+
+class TestSpans:
+    def test_sequential_ids(self):
+        tracer = Tracer()
+        spans = [tracer.start(f"s{i}", float(i)) for i in range(3)]
+        assert [span.span_id for span in spans] == [0, 1, 2]
+
+    def test_parent_child_links(self):
+        tracer = Tracer()
+        run = tracer.start("run", 0.0, category="run")
+        req = tracer.start("req", 1.0, parent=run, category="request")
+        child = tracer.start("it", 2.0, parent=req)
+        assert req.parent_id == run.span_id
+        assert tracer.children_of(run) == (req,)
+        assert tracer.children_of(req) == (child,)
+
+    def test_duration_and_virtual_time_ordering(self):
+        tracer = Tracer()
+        span = tracer.span("s", 1.5, 4.0)
+        assert span.duration_s == pytest.approx(2.5)
+        assert span.finished
+
+    def test_unfinished_span_has_no_duration(self):
+        span = Tracer().start("s", 0.0)
+        assert not span.finished
+        with pytest.raises(TelemetryError):
+            span.duration_s
+
+    def test_double_end_raises(self):
+        span = Tracer().span("s", 0.0, 1.0)
+        with pytest.raises(TelemetryError):
+            span.end(2.0)
+
+    def test_end_before_start_raises(self):
+        span = Tracer().start("s", 5.0)
+        with pytest.raises(TelemetryError):
+            span.end(4.0)
+
+    def test_events_and_attrs(self):
+        span = (
+            Tracer()
+            .start("req", 0.0, qos="batch")
+            .event("admitted", 1.0, batch=4)
+            .set("slo_met", True)
+        )
+        assert span.attrs == {"qos": "batch", "slo_met": True}
+        (event,) = span.events
+        assert event.name == "admitted"
+        assert event.time_s == 1.0
+        assert dict(event.attrs) == {"batch": 4}
+
+
+class TestTracer:
+    def test_to_dicts_drops_unfinished(self):
+        tracer = Tracer()
+        tracer.span("done", 0.0, 1.0)
+        tracer.start("open", 0.5)
+        dicts = tracer.to_dicts()
+        assert [entry["name"] for entry in dicts] == ["done"]
+
+    def test_round_trip(self):
+        tracer = Tracer()
+        run = tracer.start("run", 0.0, category="run", requests=2)
+        tracer.span(
+            "req 0", 0.5, 3.0, parent=run, category="request", qos="std"
+        ).event("admitted", 1.0)
+        run.end(3.5)
+        clone = Tracer.from_dicts(tracer.to_dicts())
+        assert clone.to_dicts() == tracer.to_dicts()
+
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.start("s", 0.0)
+        assert span is NULL_SPAN
+        # The null span absorbs the whole fluent API.
+        span.event("e", 1.0).set("k", "v").end(2.0)
+        assert len(tracer) == 0
+
+    def test_null_span_never_becomes_a_parent_id(self):
+        tracer = Tracer()
+        span = tracer.start("s", 0.0, parent=NULL_SPAN)
+        assert span.parent_id is None
+
+
+class TestTelemetryObject:
+    def test_default_is_inert(self):
+        telemetry = Telemetry()
+        assert not telemetry.enabled
+        telemetry.scoped("x").counter("c").inc()
+        telemetry.tracer.start("s", 0.0).end(1.0)
+        bundle = telemetry.bundle()
+        assert bundle["metrics"]["counters"] == []
+        assert bundle["spans"] == []
+
+    def test_create_is_enabled_with_meta(self):
+        telemetry = Telemetry.create(tool="test", seed=7)
+        assert telemetry.enabled
+        assert telemetry.bundle()["meta"] == {"tool": "test", "seed": 7}
+
+    def test_ambient_scoping(self):
+        from repro.telemetry import (
+            current_telemetry,
+            resolve_telemetry,
+            use_telemetry,
+        )
+
+        outer = current_telemetry()
+        telemetry = Telemetry.create()
+        with use_telemetry(telemetry):
+            assert current_telemetry() is telemetry
+            assert resolve_telemetry(None) is telemetry
+        assert current_telemetry() is outer
+        assert resolve_telemetry(telemetry) is telemetry
