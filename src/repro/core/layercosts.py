@@ -39,6 +39,116 @@ from repro.models.hidden import hidden_state_bytes
 from repro.models.kv_cache import KvCachePlan
 from repro.models.weights import LayerKind, LayerSpec
 
+# ----------------------------------------------------------------------
+# Pure cost formulas
+#
+# The scalar model below and the vectorized grid
+# (:mod:`repro.pricing.vector`) evaluate the *same* functions, which is
+# what keeps them float-for-float equal: neither re-derives the
+# arithmetic, they only differ in how many shapes they evaluate it for.
+# Every function is working-set-parameterized — nothing here mutates
+# the shared :class:`~repro.memory.hierarchy.HostMemoryConfig`.
+# ----------------------------------------------------------------------
+
+
+def resolve_working_set_bytes(
+    cpu_tier_bytes: int,
+    compression_ratio: float,
+    kv_total_bytes: int,
+    kv_cpu_fraction: float,
+    host_capacity_bytes: int,
+) -> int:
+    """The host-tier resident footprint one run streams over per token.
+
+    CPU-tier weights (at their stored, possibly compressed size) plus
+    the host-resident KV share, clamped to the host region's capacity
+    (matching what ``HostMemoryConfig.set_host_working_set`` used to
+    store — but as a *per-model* value, never written to the shared
+    config).
+    """
+    host_bytes = cpu_tier_bytes * compression_ratio
+    host_bytes += kv_total_bytes * kv_cpu_fraction
+    return min(int(host_bytes), host_capacity_bytes)
+
+
+def staging_transfer_parts(
+    solver: TransferPathSolver,
+    cpu_weight_bytes: int,
+    disk_weight_bytes: int,
+    compression_ratio: float,
+) -> Tuple[float, float]:
+    """Nominal (host, disk) times to stage one layer's non-resident
+    weights onto the GPU, split by source tier.
+
+    The solver must already carry the run's
+    ``host_working_set_bytes`` — host-tier bandwidth depends on it for
+    Optane and Memory Mode.
+    """
+    cpu_bytes = cpu_weight_bytes * compression_ratio
+    disk_bytes = disk_weight_bytes * compression_ratio
+    host_time = (
+        solver.host_to_gpu_time(cpu_bytes) if cpu_bytes > 0 else 0.0
+    )
+    disk_time = (
+        solver.disk_to_gpu_time(disk_bytes) if disk_bytes > 0 else 0.0
+    )
+    return host_time, disk_time
+
+
+def cpu_attention_seconds(
+    solver: TransferPathSolver,
+    cpu_compute: CpuComputeModel,
+    *,
+    batch: int,
+    new_tokens: int,
+    context_len: int,
+    hidden_size: int,
+    kv_read_bytes: int,
+    kv_cpu_fraction: float,
+    working_set_bytes: Optional[int],
+) -> float:
+    """Attention over the host-resident cache share, computed on the
+    CPU (FlexGen's ``cpu_cache_compute``).
+
+    The kernel streams the cache share out of the *host* memory
+    technology; the query/attention-output vectors cross PCIe both
+    ways.  ``batch`` covers the whole zig-zag block (all micro-batches).
+    """
+    share = kv_cpu_fraction
+    kv_bytes = kv_read_bytes * share
+    attn_flops = 4.0 * batch * new_tokens * context_len * hidden_size * share
+    host_read_bw = solver.config.host_region.bandwidth(
+        max(kv_bytes, 1.0),
+        Direction.READ,
+        working_set_bytes=working_set_bytes,
+    )
+    cpu_time = cpu_compute.kernel_time(
+        attn_flops, kv_bytes, memory_bandwidth=host_read_bw
+    )
+    vector_bytes = batch * new_tokens * hidden_size * 2
+    ship = solver.gpu_to_host_time(vector_bytes)
+    ship += solver.host_to_gpu_time(vector_bytes)
+    return cpu_time + ship
+
+
+def dequant_compressed_bytes(
+    kind: LayerKind,
+    layer_total_bytes: int,
+    *,
+    batch_size: int,
+    hidden_size: int,
+    compress_weights: bool,
+    compression_ratio: float,
+) -> float:
+    """Compressed bytes the GPU dequantizes to compute one layer."""
+    if not compress_weights:
+        return 0.0
+    if kind is LayerKind.EMBED:
+        # Only the gathered rows are dequantized.
+        rows = batch_size * hidden_size * 2
+        return rows * compression_ratio
+    return layer_total_bytes * compression_ratio
+
 
 @dataclass
 class LayerCostModel:
@@ -80,11 +190,24 @@ class LayerCostModel:
     # ------------------------------------------------------------------
 
     def _configure_working_set(self) -> None:
-        """Tell the host technology what streams over it each token."""
-        ratio = self.policy.compression.ratio
-        host_bytes = self.placement.tier_total_bytes(DeviceKind.CPU) * ratio
-        host_bytes += self.kv_plan.total_bytes * self.policy.kv_cpu_fraction
-        self.host.set_host_working_set(int(host_bytes))
+        """Resolve *this model's* host-tier footprint — without mutating
+        the shared host configuration.
+
+        Historically this called ``host.set_host_working_set``, which
+        silently re-priced every other cost model aliasing the same
+        host object (memoized models for different specs would read
+        each other's footprint-dependent bandwidths).  The footprint
+        is now carried per model: on ``self.host_working_set_bytes``
+        and on this model's private solver.
+        """
+        self.host_working_set_bytes = resolve_working_set_bytes(
+            self.placement.tier_total_bytes(DeviceKind.CPU),
+            self.policy.compression.ratio,
+            self.kv_plan.total_bytes,
+            self.policy.kv_cpu_fraction,
+            self.host.host_region.capacity_bytes,
+        )
+        self.solver.host_working_set_bytes = self.host_working_set_bytes
 
     def layer_transfer_parts(self, layer_index: int) -> Tuple[float, float]:
         """Nominal (host, disk) times to stage one layer's non-resident
@@ -92,25 +215,14 @@ class LayerCostModel:
         target each tier independently."""
         if layer_index in self._transfer_cache:
             return self._transfer_cache[layer_index]
-        ratio = self.policy.compression.ratio
-        cpu_bytes = (
-            self.placement.layer_tier_bytes(layer_index, DeviceKind.CPU)
-            * ratio
+        parts = staging_transfer_parts(
+            self.solver,
+            self.placement.layer_tier_bytes(layer_index, DeviceKind.CPU),
+            self.placement.layer_tier_bytes(layer_index, DeviceKind.DISK),
+            self.policy.compression.ratio,
         )
-        disk_bytes = (
-            self.placement.layer_tier_bytes(layer_index, DeviceKind.DISK)
-            * ratio
-        )
-        host_time = (
-            self.solver.host_to_gpu_time(cpu_bytes) if cpu_bytes > 0 else 0.0
-        )
-        disk_time = (
-            self.solver.disk_to_gpu_time(disk_bytes)
-            if disk_bytes > 0
-            else 0.0
-        )
-        self._transfer_cache[layer_index] = (host_time, disk_time)
-        return host_time, disk_time
+        self._transfer_cache[layer_index] = parts
+        return parts
 
     def layer_transfer_time(self, layer_index: int) -> float:
         """Time to stage one layer's non-resident weights onto the GPU."""
@@ -119,39 +231,30 @@ class LayerCostModel:
 
     def _dequant_bytes(self, layer: LayerSpec) -> float:
         """Compressed bytes the GPU dequantizes to compute this layer."""
-        if not self.policy.compress_weights:
-            return 0.0
-        ratio = self.policy.compression.ratio
-        if layer.kind is LayerKind.EMBED:
-            # Only the gathered rows are dequantized.
-            rows = self.batch_size * self.config.hidden_size * 2
-            return rows * ratio
-        return layer.total_bytes * ratio
+        return dequant_compressed_bytes(
+            layer.kind,
+            layer.total_bytes,
+            batch_size=self.batch_size,
+            hidden_size=self.config.hidden_size,
+            compress_weights=self.policy.compress_weights,
+            compression_ratio=self.policy.compression.ratio,
+        )
 
     def _cpu_attention_time(self, stage: Stage, context_len: int) -> float:
         """Attention over the host-resident cache share, computed on
-        the CPU (FlexGen's ``cpu_cache_compute``).
-
-        The kernel streams the cache share out of the *host* memory
-        technology; the query/attention-output vectors cross PCIe both
-        ways.
-        """
+        the CPU (FlexGen's ``cpu_cache_compute``)."""
         new_tokens = self.prompt_len if stage is Stage.PREFILL else 1
-        share = self.policy.kv_cpu_fraction
-        kv_bytes = self.kv_plan.read_bytes_at(context_len) * share
-        batch = self.batch_size * self.policy.num_gpu_batches
-        h = self.config.hidden_size
-        attn_flops = 4.0 * batch * new_tokens * context_len * h * share
-        host_read_bw = self.host.host_region.bandwidth(
-            max(kv_bytes, 1.0), Direction.READ
+        return cpu_attention_seconds(
+            self.solver,
+            self.cpu_compute,
+            batch=self.batch_size * self.policy.num_gpu_batches,
+            new_tokens=new_tokens,
+            context_len=context_len,
+            hidden_size=self.config.hidden_size,
+            kv_read_bytes=self.kv_plan.read_bytes_at(context_len),
+            kv_cpu_fraction=self.policy.kv_cpu_fraction,
+            working_set_bytes=self.host_working_set_bytes,
         )
-        cpu_time = self.cpu_compute.kernel_time(
-            attn_flops, kv_bytes, memory_bandwidth=host_read_bw
-        )
-        vector_bytes = batch * new_tokens * h * 2
-        ship = self.solver.gpu_to_host_time(vector_bytes)
-        ship += self.solver.host_to_gpu_time(vector_bytes)
-        return cpu_time + ship
 
     def layer_compute_time(
         self, layer: LayerSpec, stage: Stage, context_len: int

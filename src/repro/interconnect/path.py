@@ -46,10 +46,34 @@ class TransferPathSolver:
     config: HostMemoryConfig
     pcie: Optional[PcieLink] = None
     upi: UpiLink = field(default_factory=UpiLink)
+    #: Resident footprint (bytes) the *host* region's transfers stream
+    #: over, for technologies whose bandwidth depends on it (Optane's
+    #: AIT decay, Memory Mode's cache hit fraction).  ``None`` falls
+    #: back to the working set stored on the technology itself — the
+    #: microbenchmark path, where callers mutate the shared config via
+    #: :meth:`HostMemoryConfig.set_host_working_set`.  Cost models set
+    #: this *per solver instance* instead, so concurrent models pricing
+    #: different footprints never alias each other's bandwidths.
+    host_working_set_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.pcie is None:
             self.pcie = PcieLink()
+
+    def _host_working_set(
+        self, region: HostRegion
+    ) -> Optional[int]:
+        """The per-solver footprint override, for host-region queries only.
+
+        Disk-region (and other non-host) queries keep the technology's
+        stored working set: the per-model footprint describes what
+        streams over the *host* tier.
+        """
+        if self.host_working_set_bytes is None:
+            return None
+        if region is self.config.host_region:
+            return self.host_working_set_bytes
+        return None
 
     # ------------------------------------------------------------------
     # Single-hop building blocks
@@ -71,6 +95,7 @@ class TransferPathSolver:
         penalty (see ``MemoryModeTechnology._mixed_bandwidth``).
         """
         technology = region.technology
+        working_set = self._host_working_set(region)
         if isinstance(technology, MemoryModeTechnology):
             scale = (
                 region.read_scale
@@ -78,12 +103,18 @@ class TransferPathSolver:
                 else region.write_scale
             )
             if direction is Direction.READ:
-                rate = technology.read_bandwidth(nbytes, link_cap=link_cap)
+                rate = technology.read_bandwidth(
+                    nbytes, link_cap=link_cap, working_set_bytes=working_set
+                )
             else:
-                rate = technology.write_bandwidth(nbytes, link_cap=link_cap)
+                rate = technology.write_bandwidth(
+                    nbytes, link_cap=link_cap, working_set_bytes=working_set
+                )
             rate *= scale
         else:
-            rate = region.bandwidth(nbytes, direction)
+            rate = region.bandwidth(
+                nbytes, direction, working_set_bytes=working_set
+            )
             if link_cap is not None:
                 rate = min(rate, link_cap)
         if self.config.topology.hops_to_gpu(region.node) > 0:

@@ -53,8 +53,15 @@ class HostRegion:
                 f"region {self.name}: scale factors must be positive"
             )
 
-    def bandwidth(self, nbytes: float, direction: Direction) -> float:
-        base = self.technology.bandwidth(nbytes, direction)
+    def bandwidth(
+        self,
+        nbytes: float,
+        direction: Direction,
+        working_set_bytes: Optional[int] = None,
+    ) -> float:
+        base = self.technology.bandwidth(
+            nbytes, direction, working_set_bytes=working_set_bytes
+        )
         scale = (
             self.read_scale if direction is Direction.READ else self.write_scale
         )

@@ -19,6 +19,8 @@ a miss path at Optane bandwidth degraded by the cache-fill overhead.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import ConfigurationError
 from repro.memory import calibration as cal
 from repro.memory.dram import DramTechnology
@@ -63,9 +65,27 @@ class MemoryModeTechnology(MemoryTechnology):
         uncached = max(0, nbytes - self.cache_bytes)
         self.optane.set_working_set(min(uncached, self.optane.capacity_bytes))
 
-    def hit_fraction(self, nbytes: float) -> float:
+    def _working_set(self, working_set_bytes: Optional[int]) -> int:
+        """The footprint one query prices against (override or stored)."""
+        if working_set_bytes is None:
+            return self.working_set_bytes
+        return working_set_bytes
+
+    def uncached_working_set(
+        self, working_set_bytes: Optional[int] = None
+    ) -> int:
+        """Bytes of the working set that overflow the DRAM cache —
+        the footprint the Optane miss path streams over."""
+        uncached = max(0, self._working_set(working_set_bytes) - self.cache_bytes)
+        return min(uncached, self.optane.capacity_bytes)
+
+    def hit_fraction(
+        self, nbytes: float, working_set_bytes: Optional[int] = None
+    ) -> float:
         """Fraction of a streaming access that hits the DRAM cache."""
-        footprint = max(float(nbytes), float(self.working_set_bytes))
+        footprint = max(
+            float(nbytes), float(self._working_set(working_set_bytes))
+        )
         if footprint <= self.cache_bytes:
             return 1.0
         return self.cache_bytes / footprint
@@ -76,6 +96,7 @@ class MemoryModeTechnology(MemoryTechnology):
         hit_bw: float,
         miss_bw: float,
         link_cap: float = None,
+        working_set_bytes: Optional[int] = None,
     ) -> float:
         """Harmonic hit/miss blend.
 
@@ -88,7 +109,7 @@ class MemoryModeTechnology(MemoryTechnology):
         if link_cap is not None:
             hit_bw = min(hit_bw, link_cap)
             miss_bw = min(miss_bw, link_cap)
-        hit = self.hit_fraction(nbytes)
+        hit = self.hit_fraction(nbytes, working_set_bytes=working_set_bytes)
         miss = 1.0 - hit
         if miss <= 0.0:
             return hit_bw
@@ -97,18 +118,46 @@ class MemoryModeTechnology(MemoryTechnology):
         miss_bw = miss_bw / (1.0 + cal.MEMORY_MODE_MISS_OVERHEAD)
         return 1.0 / (hit / hit_bw + miss / miss_bw)
 
-    def read_bandwidth(self, nbytes: float, link_cap: float = None) -> float:
+    def _optane_working_set(
+        self, working_set_bytes: Optional[int]
+    ) -> Optional[int]:
+        """The Optane-side footprint override for the miss path.
+
+        ``None`` (no override) keeps the Optane technology's own
+        stored working set — which :meth:`set_working_set` maintains —
+        so the mutating path stays bit-identical.
+        """
+        if working_set_bytes is None:
+            return None
+        return self.uncached_working_set(working_set_bytes)
+
+    def read_bandwidth(
+        self,
+        nbytes: float,
+        link_cap: float = None,
+        working_set_bytes: Optional[int] = None,
+    ) -> float:
         return self._mixed_bandwidth(
             nbytes,
             self.dram.read_bandwidth(nbytes),
-            self.optane.read_bandwidth(nbytes),
+            self.optane.read_bandwidth(
+                nbytes,
+                working_set_bytes=self._optane_working_set(working_set_bytes),
+            ),
             link_cap,
+            working_set_bytes=working_set_bytes,
         )
 
-    def write_bandwidth(self, nbytes: float, link_cap: float = None) -> float:
+    def write_bandwidth(
+        self,
+        nbytes: float,
+        link_cap: float = None,
+        working_set_bytes: Optional[int] = None,
+    ) -> float:
         return self._mixed_bandwidth(
             nbytes,
             self.dram.write_bandwidth(nbytes),
             self.optane.write_bandwidth(nbytes),
             link_cap,
+            working_set_bytes=working_set_bytes,
         )

@@ -19,6 +19,7 @@ Models the three behaviours the paper leans on (Section II-C, IV-A):
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.memory import calibration as cal
 from repro.memory.technology import BandwidthCurve, MemoryTechnology
@@ -82,8 +83,15 @@ class OptaneTechnology(MemoryTechnology):
             write_latency_s=cal.OPTANE_WRITE_LATENCY,
         )
 
-    def read_bandwidth(self, nbytes: float) -> float:
+    def read_bandwidth(
+        self, nbytes: float, working_set_bytes: Optional[int] = None
+    ) -> float:
         base = self.read_curve.at(nbytes)
-        if self.working_set_bytes > nbytes:
-            base *= _footprint_decay(self.working_set_bytes)
+        working_set = (
+            self.working_set_bytes
+            if working_set_bytes is None
+            else working_set_bytes
+        )
+        if working_set > nbytes:
+            base *= _footprint_decay(working_set)
         return base

@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -142,18 +142,39 @@ class MemoryTechnology:
             )
         self.working_set_bytes = int(nbytes)
 
-    def read_bandwidth(self, nbytes: float) -> float:
-        """Streaming read bandwidth (bytes/s) for an ``nbytes`` buffer."""
+    def read_bandwidth(
+        self, nbytes: float, working_set_bytes: Optional[int] = None
+    ) -> float:
+        """Streaming read bandwidth (bytes/s) for an ``nbytes`` buffer.
+
+        ``working_set_bytes`` overrides the stored
+        :attr:`working_set_bytes` for this one query, so concurrent
+        cost models can price different resident footprints against
+        the *same* technology object without mutating it.  ``None``
+        falls back to the stored value (the microbenchmark path).
+        Technologies with no footprint sensitivity ignore it.
+        """
         return self.read_curve.at(nbytes)
 
-    def write_bandwidth(self, nbytes: float) -> float:
+    def write_bandwidth(
+        self, nbytes: float, working_set_bytes: Optional[int] = None
+    ) -> float:
         """Streaming write bandwidth (bytes/s) for an ``nbytes`` buffer."""
         return self.write_curve.at(nbytes)
 
-    def bandwidth(self, nbytes: float, direction: Direction) -> float:
+    def bandwidth(
+        self,
+        nbytes: float,
+        direction: Direction,
+        working_set_bytes: Optional[int] = None,
+    ) -> float:
         if direction is Direction.READ:
-            return self.read_bandwidth(nbytes)
-        return self.write_bandwidth(nbytes)
+            return self.read_bandwidth(
+                nbytes, working_set_bytes=working_set_bytes
+            )
+        return self.write_bandwidth(
+            nbytes, working_set_bytes=working_set_bytes
+        )
 
     def latency(self, direction: Direction) -> float:
         if direction is Direction.READ:

@@ -1,0 +1,28 @@
+"""``repro.plan`` — grid-backed capacity planning.
+
+Answers the operator's inverse question: which (placement, host,
+batch, arrival rate) configuration meets a TTFT/TBT/throughput QoS
+target at the lowest GPU-seconds per generated token.  Built on the
+vectorized :class:`~repro.pricing.LayerCostGrid`, so a whole batch
+ladder is priced in one pass per stage per candidate; exposed as the
+``repro-plan`` CLI.
+
+See ``docs/planning.md`` for the model and its deliberate
+simplifications.
+"""
+
+from repro.plan.planner import (
+    DEFAULT_PLACEMENTS,
+    CapacityPlan,
+    PlanCandidate,
+    QosTarget,
+    plan_capacity,
+)
+
+__all__ = [
+    "DEFAULT_PLACEMENTS",
+    "CapacityPlan",
+    "PlanCandidate",
+    "QosTarget",
+    "plan_capacity",
+]

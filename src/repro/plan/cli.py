@@ -1,0 +1,156 @@
+"""``repro-plan`` — capacity planning from the shell.
+
+Examples::
+
+    repro-plan --max-tbt 2.0 --model opt-30b --host NVDRAM
+    repro-plan --max-ttft 20 --max-tbt 1.5 --rates 0.005,0.01,0.02 \
+        --hosts NVDRAM,FSDAX --placements helm,allcpu --json plan.json
+    repro-plan --min-throughput 5 --model opt-175b --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.memory.hierarchy import HOST_CONFIG_LABELS
+from repro.plan.planner import (
+    DEFAULT_PLACEMENTS,
+    CapacityPlan,
+    QosTarget,
+    plan_capacity,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description=(
+            "Plan the cheapest out-of-core serving configuration "
+            "(placement, host memory, batch, arrival rate) meeting a "
+            "TTFT/TBT/throughput QoS target, priced through the "
+            "vectorized analytic cost grid."
+        ),
+    )
+    parser.add_argument("--model", default="opt-175b")
+    parser.add_argument(
+        "--hosts", default="NVDRAM",
+        help="comma-separated host configs, from: "
+        f"{', '.join(HOST_CONFIG_LABELS)}",
+    )
+    parser.add_argument(
+        "--placements", default=",".join(DEFAULT_PLACEMENTS),
+        help="comma-separated placement schemes (baseline, helm, allcpu)",
+    )
+    parser.add_argument(
+        "--rates", default="0.01",
+        help="comma-separated arrival rates to plan for, requests/s",
+    )
+    parser.add_argument(
+        "--max-ttft", type=float, default=None,
+        help="QoS bound: maximum time to first token, seconds",
+    )
+    parser.add_argument(
+        "--max-tbt", type=float, default=None,
+        help="QoS bound: maximum time between tokens, seconds",
+    )
+    parser.add_argument(
+        "--min-throughput", type=float, default=None,
+        help="QoS bound: minimum generated tokens/s",
+    )
+    parser.add_argument("--prompt-len", type=int, default=128)
+    parser.add_argument("--gen-len", type=int, default=21)
+    parser.add_argument(
+        "--compress", action=argparse.BooleanOptionalAction, default=True,
+        help="4-bit group-wise weight quantization (default: on)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=512,
+        help="cap on the per-candidate batch ladder",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="number of candidates to print (cheapest first)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="write the full plan as JSON"
+    )
+    return parser
+
+
+def _split(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _print_plan(plan: CapacityPlan, top: int) -> None:
+    print(
+        f"evaluated {len(plan.candidates)} candidate(s), "
+        f"{len(plan.feasible_candidates())} feasible"
+    )
+    if plan.chosen is None:
+        print("no configuration meets the target")
+    else:
+        chosen = plan.chosen
+        print(
+            f"chosen: {chosen.placement} on {chosen.host}, batch "
+            f"{chosen.batch_size} @ {chosen.rate_rps} req/s "
+            f"({chosen.cost_per_token_s * 1e3:.2f} GPU-ms/token)"
+        )
+    rows = plan.candidates[: max(0, top)]
+    if not rows:
+        return
+    print(
+        f"  {'placement':<10} {'host':<10} {'batch':>5} {'rate':>7} "
+        f"{'TTFT s':>8} {'TBT s':>7} {'tok/s':>8} {'rho':>5} "
+        f"{'ms/tok':>7}  status"
+    )
+    for c in rows:
+        ttft = "inf" if c.ttft_s == float("inf") else f"{c.ttft_s:.2f}"
+        status = "ok" if c.feasible else c.infeasible_reason
+        print(
+            f"  {c.placement:<10} {c.host:<10} {c.batch_size:>5} "
+            f"{c.rate_rps:>7.3f} {ttft:>8} {c.tbt_s:>7.3f} "
+            f"{c.throughput_tps:>8.3f} {c.utilization:>5.2f} "
+            f"{c.cost_per_token_s * 1e3:>7.2f}  {status}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        target = QosTarget(
+            max_ttft_s=args.max_ttft,
+            max_tbt_s=args.max_tbt,
+            min_throughput_tps=args.min_throughput,
+        )
+        plan = plan_capacity(
+            target,
+            model=args.model,
+            hosts=_split(args.hosts),
+            placements=_split(args.placements),
+            rates_rps=[float(rate) for rate in _split(args.rates)],
+            compress_weights=args.compress,
+            prompt_len=args.prompt_len,
+            gen_len=args.gen_len,
+            max_batch_limit=args.max_batch,
+        )
+        _print_plan(plan, args.top)
+        if args.json:
+            payload = {
+                **plan.summary(),
+                "candidates": [c.summary() for c in plan.candidates],
+            }
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            print(f"plan written to {args.json}")
+        return 0 if plan.meets_target else 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

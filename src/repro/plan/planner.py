@@ -1,0 +1,295 @@
+"""Grid-backed capacity planning for out-of-core serving deployments.
+
+The serving simulator answers "what happens under this load at this
+configuration"; the capacity planner answers the operator's inverse
+question: *which* configuration — placement scheme, host memory,
+batch size, and tolerable arrival rate — meets a TTFT/TBT/throughput
+QoS target at the lowest cost per token.
+
+The sweep is wide (placements × hosts × batch ladder × rates), and
+every point needs prefill and decode iteration prices.  That is
+exactly the shape :class:`~repro.pricing.LayerCostGrid` vectorizes:
+one grid ``evaluate`` per (placement, host) candidate prices the
+entire batch ladder at once — float-for-float equal to the scalar
+:class:`~repro.pricing.AnalyticBackend` — instead of one scalar model
+walk per (batch, stage) point.
+
+The queueing term is deliberately simple and closed-form (utilization
+``rho = rate x block_time / batch`` with an M/D/1-style waiting
+factor ``rho / (1 - rho)``) so the planner stays deterministic and
+instant; the open-loop simulator remains the authority for the
+configurations the planner shortlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import OffloadEngine
+from repro.core.metrics import Stage
+from repro.core.qos import QosTarget
+from repro.errors import ConfigurationError, ReproError
+from repro.pricing import AnalyticBackend
+
+__all__ = [
+    "CapacityPlan",
+    "PlanCandidate",
+    "QosTarget",
+    "plan_capacity",
+]
+
+DEFAULT_PLACEMENTS = ("baseline", "helm", "allcpu")
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One evaluated (placement, host, batch, rate) configuration."""
+
+    placement: str
+    host: str
+    batch_size: int
+    rate_rps: float
+    prefill_s: float
+    tbt_s: float
+    #: Time to serve one admitted block end to end: prefill plus the
+    #: remaining decode iterations.
+    block_time_s: float
+    #: Queueing-corrected time to first token at ``rate_rps``.
+    ttft_s: float
+    #: Generated tokens per second at full occupancy.
+    throughput_tps: float
+    #: Offered load per decode slot (rho); >= 1 means saturated.
+    utilization: float
+    #: GPU-seconds per generated token — the planner's cost metric.
+    cost_per_token_s: float
+    feasible: bool
+    infeasible_reason: str = ""
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "placement": self.placement,
+            "host": self.host,
+            "batch_size": self.batch_size,
+            "rate_rps": self.rate_rps,
+            "ttft_s": self.ttft_s,
+            "tbt_s": self.tbt_s,
+            "throughput_tps": self.throughput_tps,
+            "utilization": self.utilization,
+            "cost_per_token_s": self.cost_per_token_s,
+            "feasible": self.feasible,
+            "infeasible_reason": self.infeasible_reason,
+        }
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The planner's answer: cheapest feasible point plus the sweep."""
+
+    target: QosTarget
+    chosen: Optional[PlanCandidate]
+    candidates: Tuple[PlanCandidate, ...]
+
+    @property
+    def meets_target(self) -> bool:
+        return self.chosen is not None
+
+    def feasible_candidates(self) -> Tuple[PlanCandidate, ...]:
+        return tuple(c for c in self.candidates if c.feasible)
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "meets_target": self.meets_target,
+            "evaluated": len(self.candidates),
+            "feasible": len(self.feasible_candidates()),
+        }
+        if self.chosen is not None:
+            out["chosen"] = self.chosen.summary()
+        return out
+
+
+def _bucket(tokens: int, cap: int, step: int) -> int:
+    """Round up to the bucket grid, clipped to ``cap`` (the serving
+    cost model's bucketing, reproduced so planner prices hit the same
+    cache keys)."""
+    rounded = max(step, ((int(tokens) + step - 1) // step) * step)
+    return min(rounded, cap)
+
+
+def _batch_ladder(max_batch: int) -> List[int]:
+    ladder = []
+    batch = 1
+    while batch < max_batch:
+        ladder.append(batch)
+        batch *= 2
+    ladder.append(max_batch)
+    return sorted(set(ladder))
+
+
+def _sort_key(candidate: PlanCandidate) -> Tuple:
+    """Deterministic ordering: cheapest first, stable tie-break."""
+    return (
+        candidate.cost_per_token_s,
+        candidate.ttft_s,
+        candidate.host,
+        candidate.placement,
+        candidate.batch_size,
+        candidate.rate_rps,
+    )
+
+
+def _check_target(
+    target: QosTarget, ttft_s: float, tbt_s: float, throughput_tps: float
+) -> str:
+    """Empty string when the point meets every bound, else the reason."""
+    if target.max_ttft_s is not None and ttft_s > target.max_ttft_s:
+        return f"TTFT {ttft_s:.3f}s > {target.max_ttft_s:.3f}s"
+    if target.max_tbt_s is not None and tbt_s > target.max_tbt_s:
+        return f"TBT {tbt_s:.3f}s > {target.max_tbt_s:.3f}s"
+    if (
+        target.min_throughput_tps is not None
+        and throughput_tps < target.min_throughput_tps
+    ):
+        return (
+            f"throughput {throughput_tps:.3f} tok/s < "
+            f"{target.min_throughput_tps:.3f}"
+        )
+    return ""
+
+
+def plan_capacity(
+    target: QosTarget,
+    model: str = "opt-175b",
+    hosts: Sequence[str] = ("NVDRAM",),
+    placements: Sequence[str] = DEFAULT_PLACEMENTS,
+    rates_rps: Sequence[float] = (0.01,),
+    compress_weights: bool = True,
+    prompt_len: int = 128,
+    gen_len: int = 21,
+    bucket_tokens: int = 32,
+    overlap: bool = True,
+    max_batch_limit: int = 512,
+) -> CapacityPlan:
+    """Sweep configurations and pick the cheapest one meeting ``target``.
+
+    For every (placement, host) pair the batch ladder is priced in
+    one vectorized grid pass per stage; each (batch, rate) point then
+    gets closed-form latency/throughput/utilization estimates:
+
+    * ``tbt`` — one decode iteration at the steady-state context.
+    * ``block_time`` — prefill plus the remaining decode iterations.
+    * ``throughput`` — ``batch x gen_len / block_time``.
+    * ``utilization`` — ``rate x block_time / batch``; at or beyond
+      1.0 the queue grows without bound and the point is infeasible.
+    * ``ttft`` — prefill plus an M/D/1-style waiting term
+      ``rho / (1 - rho) x block_time / 2``.
+
+    The chosen candidate minimizes GPU-seconds per generated token
+    among feasible points, with a deterministic tie-break; ``chosen``
+    is ``None`` when nothing meets the target.  Candidates that fail
+    to build (e.g. a placement whose weights cannot fit) are skipped.
+    """
+    if not hosts or not placements or not rates_rps:
+        raise ConfigurationError(
+            "plan_capacity needs at least one host, placement, and rate"
+        )
+    for rate in rates_rps:
+        if rate <= 0:
+            raise ConfigurationError("arrival rates must be positive")
+
+    backend = AnalyticBackend()
+    evaluated: List[PlanCandidate] = []
+    for host in sorted(set(hosts)):
+        for placement in sorted(set(placements)):
+            try:
+                engine = OffloadEngine(
+                    model=model,
+                    host=host,
+                    placement=placement,
+                    compress_weights=compress_weights,
+                    batch_size=1,
+                    prompt_len=prompt_len,
+                    gen_len=gen_len,
+                    pricing_backend="analytic",
+                )
+                max_batch = engine.max_batch_size(limit=max_batch_limit)
+            except ReproError:
+                continue
+            if max_batch < 1:
+                continue
+            ladder = _batch_ladder(max_batch)
+            max_position = engine.config.max_position
+            decode_bucket = _bucket(
+                prompt_len + gen_len, max_position, bucket_tokens
+            )
+            prefill_bucket = _bucket(
+                prompt_len, max_position - gen_len, bucket_tokens
+            )
+            spec = engine.run_spec(
+                batch_size=1,
+                prompt_len=prompt_len,
+                overlap=overlap,
+                include_faults=False,
+            )
+            grid = backend.cost_grid(spec)
+            decode = grid.evaluate(Stage.DECODE, ladder, [decode_bucket])
+            prefill = grid.evaluate(
+                Stage.PREFILL, ladder, [prefill_bucket]
+            )
+            decode_totals = decode.totals()
+            prefill_totals = prefill.totals()
+            for index, batch in enumerate(ladder):
+                tbt = float(decode_totals[index, 0])
+                prefill_s = float(prefill_totals[index, 0])
+                block_time = prefill_s + max(0, gen_len - 1) * tbt
+                throughput = batch * gen_len / block_time
+                cost = block_time / (batch * gen_len)
+                for rate in sorted(rates_rps):
+                    utilization = rate * block_time / batch
+                    if utilization >= 1.0:
+                        evaluated.append(
+                            PlanCandidate(
+                                placement=placement,
+                                host=host,
+                                batch_size=batch,
+                                rate_rps=rate,
+                                prefill_s=prefill_s,
+                                tbt_s=tbt,
+                                block_time_s=block_time,
+                                ttft_s=float("inf"),
+                                throughput_tps=throughput,
+                                utilization=utilization,
+                                cost_per_token_s=cost,
+                                feasible=False,
+                                infeasible_reason=(
+                                    f"saturated (rho = {utilization:.2f})"
+                                ),
+                            )
+                        )
+                        continue
+                    waiting = (
+                        utilization / (1.0 - utilization) * block_time / 2.0
+                    )
+                    ttft = prefill_s + waiting
+                    reason = _check_target(target, ttft, tbt, throughput)
+                    evaluated.append(
+                        PlanCandidate(
+                            placement=placement,
+                            host=host,
+                            batch_size=batch,
+                            rate_rps=rate,
+                            prefill_s=prefill_s,
+                            tbt_s=tbt,
+                            block_time_s=block_time,
+                            ttft_s=ttft,
+                            throughput_tps=throughput,
+                            utilization=utilization,
+                            cost_per_token_s=cost,
+                            feasible=not reason,
+                            infeasible_reason=reason,
+                        )
+                    )
+    candidates = tuple(sorted(evaluated, key=_sort_key))
+    feasible = [c for c in candidates if c.feasible]
+    chosen = feasible[0] if feasible else None
+    return CapacityPlan(target=target, chosen=chosen, candidates=candidates)

@@ -31,9 +31,11 @@ from repro.pricing.backends import (
     AnalyticBackend,
     CostBackend,
     EventBackend,
+    SpecMemo,
     build_executor,
     cost_backend,
 )
+from repro.pricing.vector import CostGrid, LayerCostGrid
 from repro.core.layercosts import LayerCostModel
 
 __all__ = [
@@ -45,7 +47,10 @@ __all__ = [
     "CostBackend",
     "AnalyticBackend",
     "EventBackend",
+    "SpecMemo",
     "build_executor",
     "cost_backend",
+    "CostGrid",
+    "LayerCostGrid",
     "LayerCostModel",
 ]

@@ -27,7 +27,18 @@ Two implementations of one contract:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Protocol, Union, runtime_checkable
+from collections import OrderedDict
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Generic,
+    List,
+    Optional,
+    Protocol,
+    TypeVar,
+    Union,
+    runtime_checkable,
+)
 
 from repro.core.layercosts import LayerCostModel
 from repro.core.metrics import GenerationMetrics, Stage
@@ -38,9 +49,47 @@ from repro.sim.engine import SimEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.timing import TimingExecutor
+    from repro.pricing.vector import LayerCostGrid
 
 #: Backend names accepted by :func:`cost_backend` and the CLIs.
 BACKEND_NAMES = ("analytic", "event")
+
+_V = TypeVar("_V")
+
+
+class SpecMemo(Generic[_V]):
+    """Optionally LRU-bounded per-:class:`RunSpec` memo.
+
+    The same discipline :class:`~repro.pricing.cache.PriceCache`
+    applies to prices, applied to the backends' per-spec model and
+    executor memos: unbounded by default (the historical behavior),
+    but boundable so long sweeps over many shapes cannot grow without
+    limit — with evictions counted so the pressure is observable.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ConfigurationError("memo maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.evictions = 0
+        self._entries: "OrderedDict[RunSpec, _V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, spec: RunSpec) -> Optional[_V]:
+        value = self._entries.get(spec)
+        if value is not None:
+            self._entries.move_to_end(spec)
+        return value
+
+    def put(self, spec: RunSpec, value: _V) -> None:
+        self._entries[spec] = value
+        self._entries.move_to_end(spec)
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
 
 def build_executor(spec: RunSpec) -> "TimingExecutor":
@@ -85,12 +134,26 @@ class CostBackend(Protocol):
 
 
 class AnalyticBackend:
-    """Closed-form pricing straight off the platform models."""
+    """Closed-form pricing straight off the platform models.
+
+    ``maxsize`` optionally LRU-bounds the per-spec model memo (and the
+    per-family grid memo); ``None`` keeps it unbounded.
+    """
 
     name = "analytic"
 
-    def __init__(self) -> None:
-        self._models: Dict[RunSpec, LayerCostModel] = {}
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        self._models: SpecMemo[LayerCostModel] = SpecMemo(maxsize)
+        self._grids: SpecMemo["LayerCostGrid"] = SpecMemo(maxsize)
+
+    @property
+    def cache_info(self) -> Dict[str, Optional[int]]:
+        """Size/bound/eviction counters of the per-spec memos."""
+        return {
+            "entries": len(self._models) + len(self._grids),
+            "evictions": self._models.evictions + self._grids.evictions,
+            "maxsize": self._models.maxsize,
+        }
 
     def layer_model(self, spec: RunSpec) -> LayerCostModel:
         """The (memoized) bare cost model for one spec."""
@@ -106,8 +169,24 @@ class AnalyticBackend:
                 gpu_spec=spec.gpu_spec,
                 pcie=spec.pcie,
             )
-            self._models[spec] = model
+            self._models.put(spec, model)
         return model
+
+    def cost_grid(self, spec: RunSpec) -> "LayerCostGrid":
+        """The (memoized) vectorized grid for one spec *family*.
+
+        A grid prices every (batch, context-bucket) shape of one
+        configuration, so it is keyed with the shape normalized away —
+        all shape siblings share one grid.
+        """
+        from repro.pricing.vector import LayerCostGrid
+
+        key = spec.fault_free_spec().with_shape(batch_size=1)
+        grid = self._grids.get(key)
+        if grid is None:
+            grid = LayerCostGrid(spec)
+            self._grids.put(key, grid)
+        return grid
 
     def iteration_parts(
         self, spec: RunSpec, stage: Stage, context_len: int
@@ -127,18 +206,27 @@ class EventBackend:
 
     name = "event"
 
-    def __init__(self) -> None:
-        self._executors: Dict[RunSpec, "TimingExecutor"] = {}
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        self._executors: SpecMemo["TimingExecutor"] = SpecMemo(maxsize)
         #: Virtual-time trace of the most recent one-iteration pass,
         #: kept for inspection / Chrome-trace export.
         self.last_trace = None
+
+    @property
+    def cache_info(self) -> Dict[str, Optional[int]]:
+        """Size/bound/eviction counters of the per-spec executor memo."""
+        return {
+            "entries": len(self._executors),
+            "evictions": self._executors.evictions,
+            "maxsize": self._executors.maxsize,
+        }
 
     def executor(self, spec: RunSpec) -> "TimingExecutor":
         """The (memoized) full executor for one spec."""
         executor = self._executors.get(spec)
         if executor is None:
             executor = build_executor(spec)
-            self._executors[spec] = executor
+            self._executors.put(spec, executor)
         return executor
 
     def iteration_parts(
@@ -195,8 +283,14 @@ _BACKENDS = {
 }
 
 
-def cost_backend(backend: Union[str, CostBackend]) -> CostBackend:
-    """Resolve a backend by name (or pass a ready instance through)."""
+def cost_backend(
+    backend: Union[str, CostBackend], maxsize: Optional[int] = None
+) -> CostBackend:
+    """Resolve a backend by name (or pass a ready instance through).
+
+    ``maxsize`` optionally LRU-bounds the constructed backend's
+    per-spec memos; it is ignored for ready instances.
+    """
     if isinstance(backend, str):
         try:
             factory = _BACKENDS[backend]
@@ -205,7 +299,7 @@ def cost_backend(backend: Union[str, CostBackend]) -> CostBackend:
                 f"unknown pricing backend {backend!r}; choose from "
                 f"{', '.join(BACKEND_NAMES)}"
             ) from None
-        return factory()
+        return factory(maxsize=maxsize)
     if isinstance(backend, CostBackend):
         return backend
     raise ConfigurationError(

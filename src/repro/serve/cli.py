@@ -117,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
         "or event (discrete-event, authoritative)",
     )
     parser.add_argument(
+        "--prewarm", action=argparse.BooleanOptionalAction, default=True,
+        help="pre-price the session's (batch, bucket) grid in one "
+        "vectorized pass before serving (default: on; analytic "
+        "backend only — never changes a priced metric)",
+    )
+    parser.add_argument(
         "--faults", metavar="FILE", default=None,
         help="fault schedule JSON: inject transfer faults (degradation "
         "windows, transient failures, outages) into the run",
@@ -276,6 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             max_batch=args.max_batch,
             pricing_backend=args.pricing_backend,
+            prewarm=args.prewarm,
             faults=args.faults,
             fault_seed=args.fault_seed,
             resilience=(

@@ -88,10 +88,17 @@ class ServingSimulator:
         replanner: Optional[Replanner] = None,
         fault_targets: Optional[Sequence[str]] = None,
         telemetry: Optional[Telemetry] = None,
+        prewarm: bool = True,
     ) -> None:
         self.costs = costs
         self.classes = tuple(classes)
         self.telemetry = telemetry
+        #: Pre-price the session's (batch, bucket) grid in one
+        #: vectorized pass before serving (no-op for cost models /
+        #: backends without a grid).  Never changes a priced value —
+        #: the grid is float-equal to the scalar backend — only the
+        #: cache hit/miss split.
+        self.prewarm = prewarm
         scheduler_kwargs: Dict[str, object] = {}
         if fault_targets is not None:
             scheduler_kwargs["fault_targets"] = tuple(fault_targets)
@@ -112,6 +119,21 @@ class ServingSimulator:
         specs: Sequence[RequestSpec],
         setup: Optional[Dict[str, object]] = None,
     ) -> ServingResult:
+        prewarmed = 0
+        if self.prewarm and hasattr(self.costs, "prewarm"):
+            batch_ladder = sorted(
+                {
+                    min(1 << power, self.scheduler.max_batch)
+                    for power in range(
+                        max(1, self.scheduler.max_batch).bit_length()
+                    )
+                }
+                | {self.scheduler.max_batch}
+            )
+            prewarmed = self.costs.prewarm(
+                batch_ladder,
+                prompt_lens=[spec.prompt_len for spec in specs],
+            )
         outcome: SchedulerRun = self.scheduler.run(specs)
         service_ref = self.costs.reference_service_time(
             prompt_len=int(
@@ -138,9 +160,20 @@ class ServingSimulator:
         cache_stats = getattr(self.costs, "cache_stats", None)
         if cache_stats is not None:
             info["price_cache"] = cache_stats
+        if prewarmed:
+            info["prewarmed_prices"] = prewarmed
+        backend_memo = getattr(
+            getattr(self.costs, "backend", None), "cache_info", None
+        )
+        if backend_memo is not None:
+            info["backend_memo"] = backend_memo
         if setup:
             info.update(setup)
         telemetry = resolve_telemetry(self.telemetry)
+        if telemetry.enabled and backend_memo is not None:
+            memo_scope = telemetry.scoped("pricing/backend")
+            memo_scope.gauge("entries").set(backend_memo["entries"])
+            memo_scope.gauge("evictions").set(backend_memo["evictions"])
         if telemetry.enabled:
             scope = telemetry.scoped("serve")
             scope.gauge("max_batch").set(self.scheduler.max_batch)
@@ -210,6 +243,7 @@ def simulate_serving(
     resilience: Optional[ResiliencePolicy] = None,
     pricing_backend: str = "analytic",
     telemetry: Optional[Telemetry] = None,
+    prewarm: bool = True,
 ) -> ServingResult:
     """Simulate one placement under open-loop load, end to end.
 
@@ -228,6 +262,14 @@ def simulate_serving(
     closed-form ``"analytic"`` backend (default — exactly equal to the
     discrete-event prices fault-free, at a fraction of the cost) or
     the authoritative ``"event"`` backend.
+
+    ``prewarm`` (default on) pre-prices the session's (batch ladder ×
+    context bucket) grid through the vectorized
+    :class:`~repro.pricing.LayerCostGrid` before the first request is
+    scheduled — one grid pass per stage instead of thousands of
+    scalar misses.  It never changes a priced metric (the grid is
+    float-for-float equal to the scalar backend) and is a no-op for
+    the ``event`` backend.
 
     ``telemetry`` (default: the ambient
     :func:`repro.telemetry.current_telemetry`) receives registry
@@ -292,6 +334,7 @@ def simulate_serving(
         replanner=replanner,
         fault_targets=fault_targets,
         telemetry=telemetry,
+        prewarm=prewarm,
     )
     setup = {
         "model": model,

@@ -97,7 +97,14 @@ def cache_stats_line(
     lookups = hits + misses
     rate = hits / lookups if lookups else 0.0
     prefix = f"{backend} backend, " if backend else ""
-    return (
+    line = (
         f"{prefix}cache {hits} hits / {misses} misses "
         f"({rate:.1%} hit rate)"
     )
+    memo_entries = registry.value("pricing/backend/entries")
+    if memo_entries is not None:
+        line += f", {int(memo_entries)} backend memo entries"
+        memo_evictions = registry.value("pricing/backend/evictions")
+        if memo_evictions:
+            line += f" ({int(memo_evictions)} evicted)"
+    return line

@@ -152,10 +152,18 @@ class TestCostStructure:
         _, gpu_kv = run_timing()
         assert with_kv_offload.tbt_s > gpu_kv.tbt_s
 
-    def test_working_set_configured_on_host(self):
+    def test_working_set_carried_per_model_not_on_host(self):
         executor, _ = run_timing(host="NVDRAM")
+        # The run's footprint lives on the model/solver, so concurrent
+        # models for other specs can never re-price this one...
+        assert executor.host_working_set_bytes > 0
+        assert (
+            executor.solver.host_working_set_bytes
+            == executor.host_working_set_bytes
+        )
+        # ...and the shared host technology is left untouched.
         tech = executor.host.host_region.technology
-        assert tech.working_set_bytes > 0
+        assert tech.working_set_bytes == 0
 
     def test_batch_scaling_leaves_memory_bound_tbt_flat(self):
         _, small = run_timing(batch_size=1)

@@ -1,0 +1,132 @@
+"""The capacity planner: determinism, feasibility logic, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.plan import CapacityPlan, QosTarget, plan_capacity
+from repro.plan.cli import main
+
+MODEL = "opt-1.3b"
+
+
+def _plan(**kwargs):
+    kwargs.setdefault("model", MODEL)
+    kwargs.setdefault("hosts", ("DRAM", "NVDRAM"))
+    kwargs.setdefault("placements", ("helm", "allcpu"))
+    kwargs.setdefault("rates_rps", (0.05, 0.5))
+    return plan_capacity(
+        QosTarget(max_ttft_s=60.0, max_tbt_s=5.0), **kwargs
+    )
+
+
+def test_plan_is_deterministic():
+    first = _plan()
+    second = _plan()
+    assert first.chosen == second.chosen
+    assert first.candidates == second.candidates
+
+
+def test_chosen_is_cheapest_feasible():
+    plan = _plan()
+    assert isinstance(plan, CapacityPlan)
+    assert plan.meets_target
+    feasible = plan.feasible_candidates()
+    assert feasible
+    assert plan.chosen == feasible[0]
+    assert all(
+        plan.chosen.cost_per_token_s <= c.cost_per_token_s
+        for c in feasible
+    )
+    # Candidates are sorted cheapest-first, deterministically.
+    costs = [c.cost_per_token_s for c in plan.candidates]
+    assert costs == sorted(costs)
+
+
+def test_impossible_target_yields_no_choice():
+    plan = plan_capacity(
+        QosTarget(max_tbt_s=1e-9),
+        model=MODEL,
+        hosts=("DRAM",),
+        placements=("helm",),
+        rates_rps=(0.05,),
+    )
+    assert plan.chosen is None
+    assert not plan.meets_target
+    assert all(not c.feasible for c in plan.candidates)
+    assert all("TBT" in c.infeasible_reason for c in plan.candidates)
+
+
+def test_saturating_rate_marked_infeasible():
+    plan = plan_capacity(
+        QosTarget(max_tbt_s=100.0),
+        model=MODEL,
+        hosts=("DRAM",),
+        placements=("helm",),
+        rates_rps=(1e9,),
+    )
+    saturated = [c for c in plan.candidates if "saturated" in
+                 c.infeasible_reason]
+    assert saturated
+    assert all(c.utilization >= 1.0 for c in saturated)
+    assert all(c.ttft_s == float("inf") for c in saturated)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        plan_capacity(QosTarget(max_tbt_s=1.0), hosts=())
+    with pytest.raises(ConfigurationError):
+        plan_capacity(
+            QosTarget(max_tbt_s=1.0), model=MODEL, rates_rps=(0.0,)
+        )
+
+
+def test_unbuildable_candidates_are_skipped():
+    plan = plan_capacity(
+        QosTarget(max_tbt_s=5.0),
+        model=MODEL,
+        hosts=("DRAM",),
+        placements=("helm", "no-such-scheme"),
+        rates_rps=(0.05,),
+    )
+    assert plan.candidates
+    assert {c.placement for c in plan.candidates} == {"helm"}
+
+
+class TestCli:
+    def test_feasible_run_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        code = main(
+            [
+                "--model", MODEL,
+                "--hosts", "DRAM",
+                "--placements", "helm",
+                "--rates", "0.05",
+                "--max-tbt", "5.0",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["meets_target"] is True
+        assert payload["chosen"]["placement"] == "helm"
+        assert payload["candidates"]
+        assert "chosen:" in capsys.readouterr().out
+
+    def test_infeasible_run_exits_2(self, capsys):
+        code = main(
+            [
+                "--model", MODEL,
+                "--hosts", "DRAM",
+                "--placements", "helm",
+                "--rates", "0.05",
+                "--max-tbt", "0.000000001",
+            ]
+        )
+        assert code == 2
+        assert "no configuration meets" in capsys.readouterr().out
+
+    def test_bad_bounds_exit_1(self, capsys):
+        assert main(["--model", MODEL]) == 1  # no QoS bound at all
+        assert "error:" in capsys.readouterr().err

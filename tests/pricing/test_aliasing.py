@@ -1,0 +1,98 @@
+"""Regression: cost models must never alias through the shared host.
+
+``LayerCostModel._configure_working_set`` used to call
+``host.set_host_working_set``, mutating the *shared*
+:class:`~repro.memory.hierarchy.HostMemoryConfig`'s technology.  Any
+later model built for a bigger spec on the same host object silently
+re-priced every memoized model for the smaller one: Optane's
+footprint decay and Memory Mode's hit fraction read the stored
+working set, so spec A's transfer prices changed underneath it.
+
+The footprint is now carried per model (and per solver); these tests
+pin the fix with bit-identical re-pricing.
+"""
+
+from repro.core.engine import OffloadEngine
+from repro.core.metrics import Stage
+from repro.memory.hierarchy import host_config
+from repro.pricing import AnalyticBackend
+
+
+def _engine(model, host, batch=2):
+    return OffloadEngine(
+        model=model,
+        host=host,
+        placement="helm",
+        compress_weights=True,
+        batch_size=batch,
+    )
+
+
+def _price(spec, backend=None):
+    backend = backend or AnalyticBackend()
+    return (
+        backend.iteration_parts(spec, Stage.PREFILL, spec.prompt_len),
+        backend.iteration_parts(
+            spec, Stage.DECODE, spec.prompt_len + spec.gen_len
+        ),
+    )
+
+
+def test_pricing_spec_a_unchanged_by_model_for_spec_b():
+    """Price A, build a model for a much larger B sharing the same
+    host object, re-price A uncached — bit-identical, both backends."""
+    host = host_config("NVDRAM")  # Optane: bandwidth decays with footprint
+    spec_a = _engine("opt-1.3b", host).run_spec(include_faults=False)
+    before = _price(spec_a)
+
+    # Constructing B's model was what used to mutate the shared host:
+    # opt-30b's host-tier footprint is orders of magnitude larger.
+    spec_b = _engine("opt-30b", host, batch=8).run_spec(
+        include_faults=False
+    )
+    backend_b = AnalyticBackend()
+    backend_b.layer_model(spec_b)
+    _price(spec_b, backend_b)
+
+    # A fresh backend means nothing is memoized: A is re-priced from
+    # scratch against the (shared) host object B just used.
+    after = _price(spec_a)
+    assert after == before
+
+    # And the shared technology itself was never written.
+    assert host.host_region.technology.working_set_bytes == 0
+
+
+def test_working_set_carried_per_model():
+    host = host_config("NVDRAM")
+    backend = AnalyticBackend()
+    small = backend.layer_model(
+        _engine("opt-1.3b", host).run_spec(include_faults=False)
+    )
+    large = backend.layer_model(
+        _engine("opt-30b", host, batch=8).run_spec(include_faults=False)
+    )
+    assert small.host_working_set_bytes > 0
+    assert large.host_working_set_bytes > small.host_working_set_bytes
+    # Each model's private solver carries its own footprint.
+    assert (
+        small.solver.host_working_set_bytes == small.host_working_set_bytes
+    )
+    assert (
+        large.solver.host_working_set_bytes == large.host_working_set_bytes
+    )
+    # Interleaved re-pricing of the memoized models stays stable.
+    first = small.layer_transfer_time(0)
+    large.layer_transfer_time(0)
+    small._transfer_cache.clear()
+    assert small.layer_transfer_time(0) == first
+
+
+def test_memory_mode_pricing_also_isolated():
+    host = host_config("MemoryMode")
+    spec_a = _engine("opt-1.3b", host).run_spec(include_faults=False)
+    before = _price(spec_a)
+    AnalyticBackend().layer_model(
+        _engine("opt-30b", host, batch=8).run_spec(include_faults=False)
+    )
+    assert _price(spec_a) == before
