@@ -290,10 +290,9 @@ class OffloadEngine:
             histogram = histograms.get(record.category)
             if histogram is not None:
                 histogram.observe(record.duration)
-        telemetry.tracer.span(
+        run_span = telemetry.tracer.start(
             f"engine run {self.config.name}",
             0.0,
-            trace.makespan(),
             category="engine",
             model=self.config.name,
             host=self.host.label,
@@ -303,6 +302,21 @@ class OffloadEngine:
             tbt_s=metrics.tbt_s,
             throughput_tps=metrics.throughput_tps,
         )
+        # Every trace record (per-layer compute, per-layer host/disk
+        # transfer) becomes a child span, so exporters see the layer
+        # schedule under the run instead of a single opaque box.
+        for record in trace.records:
+            attrs = dict(record.meta)
+            attrs["stream"] = record.stream
+            telemetry.tracer.span(
+                record.label,
+                record.start,
+                record.end,
+                parent=run_span,
+                category=record.category,
+                **attrs,
+            )
+        run_span.end(trace.makespan())
 
     def replan_for_degradation(
         self,

@@ -95,6 +95,42 @@ def staging_transfer_parts(
     return host_time, disk_time
 
 
+def kv_transfer_parts(
+    solver: TransferPathSolver,
+    kv_plan: KvCachePlan,
+    *,
+    stage: Stage,
+    context_len: int,
+    prompt_len: int,
+    kv_cpu_fraction: float,
+    cpu_attention: bool,
+) -> Tuple[float, float]:
+    """Nominal (load, store) times per MHA layer for the host-resident
+    KV share.
+
+    The exact arithmetic :meth:`LayerCostModel._kv_traffic_times` has
+    always used, extracted so the pricing backends (``kv_parts``) and
+    the vectorized grid evaluate the *same* function — float for
+    float, like :func:`staging_transfer_parts`.
+    """
+    share = kv_cpu_fraction
+    if share <= 0.0:
+        return 0.0, 0.0
+    new_tokens = prompt_len if stage is Stage.PREFILL else 1
+    # With CPU attention the cache share never crosses PCIe; only
+    # the freshly-produced K/V entries are written back to host.
+    read_bytes = (
+        0.0
+        if cpu_attention
+        else kv_plan.read_bytes_at(context_len) * share
+    )
+    write_bytes = kv_plan.write_bytes_per_step(new_tokens) * share
+    return (
+        solver.host_to_gpu_time(read_bytes) if read_bytes else 0.0,
+        solver.gpu_to_host_time(write_bytes) if write_bytes else 0.0,
+    )
+
+
 def cpu_attention_seconds(
     solver: TransferPathSolver,
     cpu_compute: CpuComputeModel,
@@ -283,28 +319,24 @@ class LayerCostModel:
             time += self._cpu_attention_time(stage, context_len)
         return time
 
-    def _kv_traffic_times(
+    def kv_traffic_times(
         self, stage: Stage, context_len: int
     ) -> Tuple[float, float]:
         """(load, store) times per MHA layer for the host-resident KV
         share (zero in the paper's experiments, which keep the cache on
         the GPU)."""
-        share = self.policy.kv_cpu_fraction
-        if share <= 0.0:
-            return 0.0, 0.0
-        new_tokens = self.prompt_len if stage is Stage.PREFILL else 1
-        # With CPU attention the cache share never crosses PCIe; only
-        # the freshly-produced K/V entries are written back to host.
-        read_bytes = (
-            0.0
-            if self.policy.cpu_attention
-            else self.kv_plan.read_bytes_at(context_len) * share
+        return kv_transfer_parts(
+            self.solver,
+            self.kv_plan,
+            stage=stage,
+            context_len=context_len,
+            prompt_len=self.prompt_len,
+            kv_cpu_fraction=self.policy.kv_cpu_fraction,
+            cpu_attention=self.policy.cpu_attention,
         )
-        write_bytes = self.kv_plan.write_bytes_per_step(new_tokens) * share
-        return (
-            self.solver.host_to_gpu_time(read_bytes) if read_bytes else 0.0,
-            self.solver.gpu_to_host_time(write_bytes) if write_bytes else 0.0,
-        )
+
+    # Historical (private) name, kept for the timing executor.
+    _kv_traffic_times = kv_traffic_times
 
     def _hidden_bytes(self, stage: Stage) -> int:
         """Size of the residual-stream activation one layer hands the

@@ -111,8 +111,15 @@ def plan_for_qos(
     the target, the plan returns the latency-best point as a
     best-effort choice with ``meets_target == False``.
     """
+    from repro.pricing import build_executor
+
     evaluated: List[QosCandidate] = []
     for placement in candidates:
+        # One probe engine per placement; every batch on the ladder is
+        # priced off the same placement via a re-shaped RunSpec
+        # (float-identical to rebuilding the engine per batch — the
+        # ladder never exceeds the placement's own admission limit, so
+        # no batch can force a different spill/placement outcome).
         probe = OffloadEngine(
             model=model, host=host, placement=placement,
             compress_weights=compress_weights, batch_size=1,
@@ -122,12 +129,8 @@ def plan_for_qos(
         if max_batch < 1:
             continue
         for batch in _batch_ladder(max_batch):
-            engine = OffloadEngine(
-                model=model, host=host, placement=placement,
-                compress_weights=compress_weights, batch_size=batch,
-                prompt_len=prompt_len, gen_len=gen_len,
-            )
-            metrics = engine.run_timing()
+            spec = probe.run_spec(batch_size=batch)
+            metrics = build_executor(spec).run()
             evaluated.append(
                 QosCandidate(
                     placement=placement,

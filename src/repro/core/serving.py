@@ -49,27 +49,33 @@ class ServingReport:
         }
 
 
-def startup_time(engine: OffloadEngine) -> float:
-    """Cold-start staging cost before the first batch.
+def spec_startup_time(spec) -> float:
+    """Cold-start staging cost of one :class:`~repro.pricing.RunSpec`.
 
     GPU-resident weight shares are uploaded from host memory once;
     when a storage tier holds weights, the host-resident shares are
-    first read up from storage.
+    first read up from storage.  Priced off the spec's own platform
+    objects — the same identity every pricing surface keys on.
     """
     from repro.interconnect.path import TransferPathSolver
 
-    placement = engine.placement_result
-    ratio = engine.policy.compression.ratio
-    solver = TransferPathSolver(config=engine.host)
+    placement = spec.placement
+    ratio = spec.policy.compression.ratio
+    solver = TransferPathSolver(config=spec.host, pcie=spec.pcie)
     gpu_bytes = placement.tier_total_bytes(DeviceKind.GPU) * ratio
     time = solver.host_to_gpu_time(gpu_bytes) if gpu_bytes else 0.0
-    if engine.host.has_disk:
+    if spec.host.has_disk:
         # Weights placed on disk stay there, but the host-resident
         # share is initially read up from the model files on that same
         # storage device.
         host_bytes = placement.tier_total_bytes(DeviceKind.CPU) * ratio
         time += solver.disk_to_host_time(host_bytes)
     return time
+
+
+def startup_time(engine: OffloadEngine) -> float:
+    """Cold-start staging cost before ``engine``'s first batch."""
+    return spec_startup_time(engine.run_spec(include_faults=False))
 
 
 def serve(engine: OffloadEngine, repeats: int = 10) -> ServingReport:

@@ -41,6 +41,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation_queueing": "repro.experiments.ablation_queueing",
     "ablation_serving": "repro.experiments.ablation_serving",
     "ablation_faults": "repro.experiments.ablation_faults",
+    "ablation_kv": "repro.experiments.ablation_kv",
 }
 
 

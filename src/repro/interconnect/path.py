@@ -31,6 +31,7 @@ class TransferKind(enum.Enum):
     DISK_TO_GPU = "disk_to_gpu"
     GPU_TO_DISK = "gpu_to_disk"
     DISK_TO_HOST = "disk_to_host"
+    HOST_TO_DISK = "host_to_disk"
     HOST_TO_HOST = "host_to_host"
 
 
@@ -224,6 +225,16 @@ class TransferPathSolver:
             disk, nbytes, Direction.READ
         )
 
+    def host_to_disk_time(self, nbytes: float) -> float:
+        """Host memory -> disk (no PCIe hop; the write mirror of
+        :meth:`disk_to_host_time`, used by KV-cache demotions)."""
+        if nbytes <= 0:
+            return 0.0
+        disk = self._disk_region()
+        return disk.latency(Direction.WRITE) + nbytes / self._memory_rate(
+            disk, nbytes, Direction.WRITE
+        )
+
     def host_to_host_time(self, nbytes: float) -> float:
         """Host-side staging memcpy (e.g. repacking into pinned buffers)."""
         if nbytes <= 0:
@@ -251,6 +262,8 @@ class TransferPathSolver:
             return self.gpu_to_disk_time(nbytes)
         if kind is TransferKind.DISK_TO_HOST:
             return self.disk_to_host_time(nbytes)
+        if kind is TransferKind.HOST_TO_DISK:
+            return self.host_to_disk_time(nbytes)
         if kind is TransferKind.HOST_TO_HOST:
             return self.host_to_host_time(nbytes)
         raise RoutingError(f"unsupported transfer kind {kind!r}")

@@ -1,0 +1,48 @@
+"""``repro.kv`` — tiered KV-cache placement for serving.
+
+A per-(request, layer-range) tier map over HBM / DRAM / CXL / Optane /
+SSD with explicit per-tier capacity accounting, pluggable placement
+policies, and migration pricing routed through the same
+``TransferPathSolver`` arithmetic as every other byte this
+reproduction moves.  See ``docs/kv.md`` for the subsystem guide.
+"""
+
+from repro.kv.manager import KvCacheManager
+from repro.kv.policy import (
+    KV_POLICY_NAMES,
+    HotnessKvPolicy,
+    KvPolicy,
+    StaticKvPolicy,
+    kv_policy,
+)
+from repro.kv.pricing import KvPricer
+from repro.kv.tiermap import (
+    KvExtent,
+    KvTierMap,
+    LayerRange,
+    MigrationRecord,
+)
+from repro.kv.tiers import (
+    KvTier,
+    KvTierTopology,
+    TierBudget,
+    tier_for_technology,
+)
+
+__all__ = [
+    "KV_POLICY_NAMES",
+    "HotnessKvPolicy",
+    "KvCacheManager",
+    "KvExtent",
+    "KvPolicy",
+    "KvPricer",
+    "KvTier",
+    "KvTierMap",
+    "KvTierTopology",
+    "LayerRange",
+    "MigrationRecord",
+    "StaticKvPolicy",
+    "TierBudget",
+    "kv_policy",
+    "tier_for_technology",
+]

@@ -1,0 +1,94 @@
+"""Pluggable KV placement policies.
+
+A :class:`KvPolicy` tells the :class:`~repro.kv.manager.KvCacheManager`
+*how* to place, evict, and promote — the manager owns the mechanism
+(tier map, pricing, telemetry).  Two families ship:
+
+* :class:`StaticKvPolicy` — reproduces today's behavior bit for bit:
+  KV is split per the engine policy's ``kv_gpu_percent`` between HBM
+  and the host tier, accounting only (no enforcement, no migration,
+  zero surcharge).  This is the default, and the golden tests pin its
+  serving metrics byte-identical to a run without ``repro.kv`` at
+  all.
+* :class:`HotnessKvPolicy` — dynamic placement: admission against
+  real tier capacity, LRU demotion of the coldest requests' fast-tier
+  KV when a newcomer needs room, passive promotion of decoding
+  requests' slow KV back to HBM when room frees up, and an
+  inclusive-hierarchy variant (``hotness-inclusive``) whose demotions
+  are free when a slow-tier shadow copy already exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KvPolicy:
+    """Base knobs shared by every KV placement policy."""
+
+    name: str = "static"
+    #: Dynamic policies enforce tier capacity, migrate, and price
+    #: tier-resident reads; the static policy is accounting-only.
+    dynamic: bool = False
+    #: Demote the coldest requests' fast-tier KV to make room for
+    #: newly admitted (hot) requests.
+    evict_cold: bool = False
+    #: Promote decoding requests' slow-tier KV back to the fast tier
+    #: when capacity frees up.
+    promote_on_read: bool = False
+    #: Inclusive tier hierarchy: keep a slow-tier shadow alongside
+    #: promoted/fast extents so demotion is a free copy-drop, at the
+    #: cost of permanently occupied slow-tier capacity.
+    inclusive: bool = False
+    #: Dynamic admission cap as a multiple of the GPU plan's batch
+    #: limit: surplus KV overflows to host tiers (paying their read
+    #: bandwidth each decode), but the decode batch cannot grow
+    #: unboundedly just because slow capacity exists.
+    overcommit: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.overcommit < 1.0:
+            raise ConfigurationError(
+                f"overcommit must be >= 1, got {self.overcommit}"
+            )
+
+
+@dataclass(frozen=True)
+class StaticKvPolicy(KvPolicy):
+    """Today's static percentage split, as a (no-op) policy object."""
+
+    name: str = "static"
+    dynamic: bool = False
+
+
+@dataclass(frozen=True)
+class HotnessKvPolicy(KvPolicy):
+    """LRU eviction + passive promotion over real tier capacity."""
+
+    name: str = "hotness"
+    dynamic: bool = True
+    evict_cold: bool = True
+    promote_on_read: bool = True
+
+
+#: Policy names accepted by :func:`kv_policy` and the CLIs.
+KV_POLICY_NAMES = ("static", "hotness", "hotness-inclusive")
+
+
+def kv_policy(policy) -> KvPolicy:
+    """Resolve a policy by name (or pass a ready instance through)."""
+    if isinstance(policy, KvPolicy):
+        return policy
+    if policy == "static":
+        return StaticKvPolicy()
+    if policy == "hotness":
+        return HotnessKvPolicy()
+    if policy == "hotness-inclusive":
+        return HotnessKvPolicy(name="hotness-inclusive", inclusive=True)
+    raise ConfigurationError(
+        f"unknown KV policy {policy!r}; choose from "
+        f"{', '.join(KV_POLICY_NAMES)}"
+    )

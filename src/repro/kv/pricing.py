@@ -1,0 +1,132 @@
+"""Pricing KV tier residency and migration through ``repro.pricing``.
+
+Every second the KV subsystem adds to an iteration is computed by the
+same :class:`~repro.interconnect.path.TransferPathSolver` instance the
+engine's cost model uses (working-set configuration included), so KV
+costs can never drift from the weight-staging and microbenchmark
+arithmetic.  The solver comes from a pricing backend's
+:class:`~repro.core.layercosts.LayerCostModel` for the run's
+:class:`~repro.pricing.RunSpec` — ``repro.kv`` never builds its own
+bandwidth model.
+
+With a :class:`~repro.faults.injector.FaultInjector` attached,
+migrations are scaled by the live degradation of the tiers involved
+(via the RNG-free ``health`` query, so attaching KV management never
+perturbs the injector's seeded retry stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.layercosts import LayerCostModel
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import DISK_TARGET, HOST_TARGET
+from repro.kv.tiers import KvTierTopology, TierBudget
+
+
+@dataclass
+class KvPricer:
+    """Prices tier-resident KV reads/writes and migrations."""
+
+    model: LayerCostModel
+    topology: KvTierTopology
+    injector: Optional[FaultInjector] = None
+
+    @property
+    def solver(self):
+        return self.model.solver
+
+    # -- tier-resident traffic ----------------------------------------
+
+    def read_time(self, budget: TierBudget, nbytes: float) -> float:
+        """Seconds one decode pass spends pulling ``nbytes`` of KV
+        from ``budget``'s tier to the GPU.
+
+        GPU-resident KV is read by the kernels themselves (already in
+        the compute roofline), so its transfer cost is zero.
+        """
+        if nbytes <= 0 or budget.kind == "gpu":
+            return 0.0
+        if budget.kind == "host":
+            return self.solver.host_to_gpu_time(nbytes)
+        return self.solver.disk_to_gpu_time(nbytes)
+
+    def write_time(self, budget: TierBudget, nbytes: float) -> float:
+        """Seconds to append ``nbytes`` of new KV into ``budget``."""
+        if nbytes <= 0 or budget.kind == "gpu":
+            return 0.0
+        if budget.kind == "host":
+            return self.solver.gpu_to_host_time(nbytes)
+        return self.solver.gpu_to_disk_time(nbytes)
+
+    # -- migration -----------------------------------------------------
+
+    def migration_time(
+        self,
+        src: TierBudget,
+        dst: TierBudget,
+        nbytes: float,
+        now: float = 0.0,
+    ) -> float:
+        """Seconds to move ``nbytes`` of KV from ``src`` to ``dst``.
+
+        Nominal time comes from the solver path matching the (src,
+        dst) tier kinds; under fault injection the live slowdown of
+        the tiers involved is applied on top.
+        """
+        if nbytes <= 0 or src.name == dst.name:
+            return 0.0
+        nominal = self._nominal_migration(src, dst, nbytes)
+        if self.injector is None or nominal <= 0.0:
+            return nominal
+        targets = self._targets(src, dst)
+        slowdown = self.injector.health(targets, now).slowdown
+        if slowdown <= 1.0:
+            return nominal
+        return nominal * slowdown
+
+    def _nominal_migration(
+        self, src: TierBudget, dst: TierBudget, nbytes: float
+    ) -> float:
+        solver = self.solver
+        pair = (src.kind, dst.kind)
+        if pair == ("gpu", "host"):
+            return solver.gpu_to_host_time(nbytes)
+        if pair == ("host", "gpu"):
+            return solver.host_to_gpu_time(nbytes)
+        if pair == ("gpu", "disk"):
+            return solver.gpu_to_disk_time(nbytes)
+        if pair == ("disk", "gpu"):
+            return solver.disk_to_gpu_time(nbytes)
+        if pair == ("host", "disk"):
+            return solver.host_to_disk_time(nbytes)
+        if pair == ("disk", "host"):
+            return solver.disk_to_host_time(nbytes)
+        if pair == ("host", "host"):
+            return solver.host_to_host_time(nbytes)
+        raise ConfigurationError(
+            f"no migration path from {src.name!r} ({src.kind}) to "
+            f"{dst.name!r} ({dst.kind})"
+        )
+
+    def _targets(
+        self, src: TierBudget, dst: TierBudget
+    ) -> Tuple[str, ...]:
+        """Fault targets a migration between two tiers touches."""
+        targets = []
+        for budget in (src, dst):
+            if budget.kind == "host":
+                targets.extend((HOST_TARGET, budget.name))
+            elif budget.kind == "disk":
+                targets.extend((DISK_TARGET, budget.name))
+        # De-duplicate preserving order.
+        seen = set()
+        out = []
+        for target in targets:
+            if target not in seen:
+                seen.add(target)
+                out.append(target)
+        return tuple(out)

@@ -1,0 +1,200 @@
+"""The per-(request, layer-range) KV tier map.
+
+Each live request's KV cache is tracked as a set of
+:class:`KvExtent` s — contiguous decoder-block ranges resident in one
+tier — with explicit per-tier byte accounting.  The map itself is
+policy-free mechanism: it places, moves, and releases extents and
+answers occupancy queries; *which* extents move where (and what that
+costs) is the :mod:`repro.kv.policy` / :mod:`repro.kv.manager` layer.
+
+With ``enforce=True`` a placement that would oversubscribe a tier
+raises :class:`~repro.errors.CapacityError`; with ``enforce=False``
+the map is accounting-only (the static split, which mirrors today's
+cost-model percentages without ever rejecting work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AllocationError, CapacityError, ConfigurationError
+from repro.kv.tiers import KvTierTopology, TierBudget
+
+
+@dataclass(frozen=True)
+class LayerRange:
+    """A half-open ``[start, stop)`` range of decoder blocks."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ConfigurationError(
+                f"invalid layer range [{self.start}, {self.stop})"
+            )
+
+    @property
+    def count(self) -> int:
+        return self.stop - self.start
+
+    def __str__(self) -> str:
+        return f"[{self.start},{self.stop})"
+
+
+@dataclass(frozen=True)
+class KvExtent:
+    """One request's KV for a block range, resident in one tier.
+
+    ``shadow`` marks an inclusive-hierarchy copy: a slow-tier replica
+    kept alongside the authoritative fast-tier extent so a later
+    demotion is free (the fast copy is simply dropped).  Shadows
+    occupy capacity but are never read from while a faster copy
+    exists.
+    """
+
+    request_id: int
+    layers: LayerRange
+    tier_name: str
+    nbytes: int
+    shadow: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ConfigurationError("an extent must hold bytes")
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One KV migration, priced and accounted."""
+
+    request_id: int
+    layers: LayerRange
+    src: str
+    dst: str
+    nbytes: int
+    start_s: float
+    duration_s: float
+    reason: str  # "demote" | "promote" | "degraded"
+
+
+class KvTierMap:
+    """Per-tier KV occupancy over one :class:`KvTierTopology`."""
+
+    def __init__(
+        self, topology: KvTierTopology, enforce: bool = True
+    ) -> None:
+        self.topology = topology
+        self.enforce = enforce
+        self._used: Dict[str, int] = {
+            budget.name: 0 for budget in topology.budgets
+        }
+        self._extents: Dict[int, List[KvExtent]] = {}
+
+    # -- queries -------------------------------------------------------
+
+    def used_bytes(self, tier_name: str) -> int:
+        try:
+            return self._used[tier_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no KV tier named {tier_name!r}"
+            ) from None
+
+    def free_bytes(self, tier_name: str) -> int:
+        budget = self.topology.budget(tier_name)
+        return budget.capacity_bytes - self.used_bytes(tier_name)
+
+    @property
+    def total_free_bytes(self) -> int:
+        return sum(
+            self.free_bytes(budget.name)
+            for budget in self.topology.budgets
+        )
+
+    def occupancy(self) -> Dict[str, int]:
+        """Used bytes per tier, in topology (fast-to-slow) order."""
+        return dict(self._used)
+
+    def extents_of(self, request_id: int) -> Tuple[KvExtent, ...]:
+        return tuple(self._extents.get(request_id, ()))
+
+    def request_ids(self) -> Tuple[int, ...]:
+        """Requests holding KV, in ascending id order."""
+        return tuple(sorted(self._extents))
+
+    # -- mutation ------------------------------------------------------
+
+    def place(
+        self,
+        request_id: int,
+        layers: LayerRange,
+        budget: TierBudget,
+        nbytes: int,
+        shadow: bool = False,
+    ) -> KvExtent:
+        """Account a new extent in ``budget``'s tier.
+
+        Raises :class:`~repro.errors.CapacityError` when enforcing and
+        the tier cannot hold it.
+        """
+        if self.enforce and nbytes > self.free_bytes(budget.name):
+            raise CapacityError(
+                budget.name,
+                nbytes,
+                max(0, self.free_bytes(budget.name)),
+            )
+        extent = KvExtent(
+            request_id=request_id,
+            layers=layers,
+            tier_name=budget.name,
+            nbytes=int(nbytes),
+            shadow=shadow,
+        )
+        self._used[budget.name] += extent.nbytes
+        self._extents.setdefault(request_id, []).append(extent)
+        return extent
+
+    def remove(self, extent: KvExtent) -> None:
+        """Drop one extent (freeing its tier bytes)."""
+        extents = self._extents.get(extent.request_id, [])
+        try:
+            extents.remove(extent)
+        except ValueError:
+            raise AllocationError(
+                f"extent {extent} is not resident in the tier map"
+            ) from None
+        self._used[extent.tier_name] -= extent.nbytes
+        if not extents:
+            self._extents.pop(extent.request_id, None)
+
+    def move(
+        self, extent: KvExtent, dst: TierBudget
+    ) -> KvExtent:
+        """Re-home one extent into ``dst`` (capacity-checked)."""
+        if dst.name == extent.tier_name:
+            return extent
+        if self.enforce and extent.nbytes > self.free_bytes(dst.name):
+            raise CapacityError(
+                dst.name, extent.nbytes, max(0, self.free_bytes(dst.name))
+            )
+        self.remove(extent)
+        return self.place(
+            extent.request_id,
+            extent.layers,
+            dst,
+            extent.nbytes,
+            shadow=extent.shadow,
+        )
+
+    def release_request(self, request_id: int) -> Tuple[KvExtent, ...]:
+        """Free everything a request holds; returns the freed extents.
+
+        Unknown ids are a no-op (requests that finished during their
+        prefill iteration were never placed twice).
+        """
+        extents = tuple(self._extents.pop(request_id, ()))
+        for extent in extents:
+            self._used[extent.tier_name] -= extent.nbytes
+        return extents

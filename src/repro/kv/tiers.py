@@ -1,0 +1,199 @@
+"""KV-cache memory tiers and per-tier capacity budgets.
+
+The paper places *weights* across heterogeneous host memory; at
+serving scale the KV cache is the dominant dynamically-growing
+resident set.  This module names the tiers KV can live in (HBM on the
+GPU, then the host-memory technologies fast to slow, then storage)
+and derives each tier's KV *budget* for one engine configuration:
+whatever capacity remains after the placement's weights (and the GPU
+plan's working buffers) are accounted for.
+
+A :class:`TierBudget`'s ``kind`` ("gpu" | "host" | "disk") selects
+which :class:`~repro.interconnect.path.TransferPathSolver` path prices
+reads, writes, and migrations touching the tier — the same solver
+every other byte moved by this reproduction is priced through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.devices.device import DeviceKind
+from repro.errors import ConfigurationError
+from repro.memory.cxl import CxlMemoryTechnology
+from repro.memory.dram import DramTechnology
+from repro.memory.fsdax import FsdaxTechnology
+from repro.memory.memory_mode import MemoryModeTechnology
+from repro.memory.optane import OptaneTechnology
+from repro.memory.ssd import SsdTechnology
+from repro.memory.technology import MemoryTechnology
+
+
+class KvTier(enum.Enum):
+    """Where a KV extent can live, ordered fast to slow."""
+
+    HBM = "hbm"
+    DRAM = "dram"
+    CXL = "cxl"
+    OPTANE = "optane"
+    SSD = "ssd"
+
+    @property
+    def order(self) -> int:
+        """Rank in the fast-to-slow ordering (0 = fastest)."""
+        return _TIER_ORDER[self]
+
+
+_TIER_ORDER = {
+    KvTier.HBM: 0,
+    KvTier.DRAM: 1,
+    KvTier.CXL: 2,
+    KvTier.OPTANE: 3,
+    KvTier.SSD: 4,
+}
+
+
+def tier_for_technology(technology: MemoryTechnology) -> KvTier:
+    """The KV tier a host-memory technology belongs to.
+
+    Memory Mode and FSDAX are Optane behind different interfaces, so
+    they share Optane's rank; the technology's own bandwidth curves
+    (via the solver) still price them differently.
+    """
+    if isinstance(technology, DramTechnology):
+        return KvTier.DRAM
+    if isinstance(technology, CxlMemoryTechnology):
+        return KvTier.CXL
+    if isinstance(
+        technology, (OptaneTechnology, MemoryModeTechnology, FsdaxTechnology)
+    ):
+        return KvTier.OPTANE
+    if isinstance(technology, SsdTechnology):
+        return KvTier.SSD
+    raise ConfigurationError(
+        f"no KV tier mapping for memory technology "
+        f"{type(technology).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class TierBudget:
+    """One tier's KV capacity in one engine configuration.
+
+    ``kind`` routes pricing: ``"gpu"`` extents are read by the compute
+    roofline itself (no transfer), ``"host"`` extents move over the
+    host<->GPU PCIe path, ``"disk"`` extents over the (possibly
+    bounce-buffered) storage path.
+    """
+
+    tier: KvTier
+    name: str
+    capacity_bytes: int
+    kind: str  # "gpu" | "host" | "disk"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "host", "disk"):
+            raise ConfigurationError(
+                f"tier {self.name!r}: unknown kind {self.kind!r}"
+            )
+        if self.capacity_bytes < 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: capacity must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class KvTierTopology:
+    """The tiers one engine configuration offers, fast to slow."""
+
+    budgets: Tuple[TierBudget, ...]
+
+    def __post_init__(self) -> None:
+        if not self.budgets:
+            raise ConfigurationError("a KV topology needs at least one tier")
+        names = [budget.name for budget in self.budgets]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate tier names in KV topology: {names}"
+            )
+        orders = [budget.tier.order for budget in self.budgets]
+        if orders != sorted(orders):
+            raise ConfigurationError(
+                "KV topology budgets must be ordered fast to slow"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(budget.capacity_bytes for budget in self.budgets)
+
+    @property
+    def fastest(self) -> TierBudget:
+        return self.budgets[0]
+
+    def budget(self, name: str) -> TierBudget:
+        for budget in self.budgets:
+            if budget.name == name:
+                return budget
+        raise ConfigurationError(
+            f"no KV tier named {name!r}; have "
+            f"{[b.name for b in self.budgets]}"
+        )
+
+    @classmethod
+    def from_engine(cls, engine) -> "KvTierTopology":
+        """Derive the KV tier budgets of one configured engine.
+
+        * **HBM** — the GPU plan's pre-allocated KV share plus
+          whatever HBM headroom the plan leaves free at the engine's
+          reference shape.  (An approximation: the plan is computed at
+          the reference batch, and serving shapes vary around it; the
+          budget is a capacity *model*, not an allocator.)
+        * **host** — the host region's capacity minus the CPU-tier
+          weight bytes (post-compression).
+        * **disk** (when the configuration has one) — the storage
+          region's capacity minus the disk-tier weight bytes.
+        """
+        ratio = engine.policy.compression.ratio
+        plan = engine.memory_plan
+        hbm = plan.kv_bytes + max(0, plan.free_bytes)
+        budgets = [
+            TierBudget(
+                tier=KvTier.HBM,
+                name="HBM",
+                capacity_bytes=max(0, hbm),
+                kind="gpu",
+            )
+        ]
+        host_region = engine.host.host_region
+        host_weights = int(
+            engine.placement_result.tier_total_bytes(DeviceKind.CPU) * ratio
+        )
+        budgets.append(
+            TierBudget(
+                tier=tier_for_technology(host_region.technology),
+                name=host_region.name,
+                capacity_bytes=max(
+                    0, host_region.capacity_bytes - host_weights
+                ),
+                kind="host",
+            )
+        )
+        disk_region = engine.host.disk_region
+        if disk_region is not None:
+            disk_weights = int(
+                engine.placement_result.tier_total_bytes(DeviceKind.DISK)
+                * ratio
+            )
+            budgets.append(
+                TierBudget(
+                    tier=tier_for_technology(disk_region.technology),
+                    name=disk_region.name,
+                    capacity_bytes=max(
+                        0, disk_region.capacity_bytes - disk_weights
+                    ),
+                    kind="disk",
+                )
+            )
+        return cls(budgets=tuple(budgets))

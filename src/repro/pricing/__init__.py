@@ -23,7 +23,11 @@ See ``docs/pricing.md`` for the backend contract and cache-keying
 rules.
 """
 
-from repro.pricing.parts import IterationParts
+from repro.pricing.parts import (
+    FaultedIterationParts,
+    IterationParts,
+    KvParts,
+)
 from repro.pricing.spec import RunSpec
 from repro.pricing.cache import CacheStats, PriceCache
 from repro.pricing.backends import (
@@ -39,7 +43,9 @@ from repro.pricing.vector import CostGrid, LayerCostGrid
 from repro.core.layercosts import LayerCostModel
 
 __all__ = [
+    "FaultedIterationParts",
     "IterationParts",
+    "KvParts",
     "RunSpec",
     "CacheStats",
     "PriceCache",

@@ -43,7 +43,7 @@ from typing import (
 from repro.core.layercosts import LayerCostModel
 from repro.core.metrics import GenerationMetrics, Stage
 from repro.errors import ConfigurationError
-from repro.pricing.parts import IterationParts
+from repro.pricing.parts import FaultedIterationParts, IterationParts, KvParts
 from repro.pricing.spec import RunSpec
 from repro.sim.engine import SimEngine
 
@@ -200,6 +200,16 @@ class AnalyticBackend:
             overlap=spec.overlap,
         )
 
+    def kv_parts(
+        self, spec: RunSpec, stage: Stage, context_len: int
+    ) -> KvParts:
+        """Per-MHA-layer (load, store) times for the host-resident KV
+        share — the KV sibling of ``staging_transfer_parts``."""
+        read_s, write_s = self.layer_model(spec).kv_traffic_times(
+            stage, context_len
+        )
+        return KvParts(read_s=read_s, write_s=write_s)
+
 
 class EventBackend:
     """Discrete-event pricing through the full timing executor."""
@@ -270,6 +280,97 @@ class EventBackend:
             transfers=tuple(op.duration for op in load_ops),
             computes=tuple(op.duration for op in compute_ops),
             overlap=spec.overlap,
+        )
+
+    def kv_parts(
+        self, spec: RunSpec, stage: Stage, context_len: int
+    ) -> KvParts:
+        """Per-MHA-layer KV (load, store) times off the executor's
+        inherited cost model — exactly equal to the analytic backend's."""
+        read_s, write_s = self.executor(spec).kv_traffic_times(
+            stage, context_len
+        )
+        return KvParts(read_s=read_s, write_s=write_s)
+
+    def faulted_iteration_parts(
+        self,
+        spec: RunSpec,
+        stage: Stage,
+        context_len: int,
+        now: float = 0.0,
+    ) -> FaultedIterationParts:
+        """One iteration priced *through* the spec's fault injector.
+
+        Mirrors :meth:`iteration_parts`' stream structure (sequential
+        loads on ``h2d``, each kernel gated on its own load), but every
+        transfer is priced at its estimated virtual start time —
+        ``now`` plus the priced durations of the loads ahead of it on
+        the stream — exactly the static start arithmetic the full
+        :class:`~repro.core.timing.TimingExecutor` run uses.  Host and
+        disk shares are priced against their own target sets, with the
+        disk hop starting after the (possibly slowed) host hop.
+        Computes stay nominal: faults act on data movement, not
+        kernels.  Raises :class:`~repro.errors.TransferError` when a
+        transfer exhausts its retries, just like the executor.
+
+        Without an injector this degrades to the nominal parts — and a
+        zero-intensity schedule reprices every duration bit-identically
+        (the injector returns ``nominal * 1.0`` and the nominal
+        summation order is kept when nothing changed).
+        """
+        injector = spec.injector
+        if injector is None:
+            return FaultedIterationParts(
+                parts=self.iteration_parts(spec, stage, context_len)
+            )
+        executor = self.executor(spec)
+        retry = executor.retry
+
+        def priced(targets, nominal: float, start: float):
+            if nominal <= 0:
+                return None
+            return injector.price_transfer(targets, nominal, start, retry)
+
+        transfers: List[float] = []
+        computes: List[float] = []
+        retried_layers = 0
+        overhead_s = 0.0
+        tail = now
+        for index, layer in enumerate(executor.placement.layers):
+            host_s, disk_s = executor.layer_transfer_parts(index)
+            duration = host_s + disk_s
+            host_out = priced(executor._host_targets, host_s, tail)
+            priced_host = host_out.duration_s if host_out else 0.0
+            disk_out = priced(
+                executor._disk_targets, disk_s, tail + priced_host
+            )
+            priced_disk = disk_out.duration_s if disk_out else 0.0
+            # Keep the nominal summation order when the faults were
+            # inert, so zero-intensity pricing stays bit-exact.
+            if priced_host != host_s or priced_disk != disk_s:
+                duration = priced_host + priced_disk
+            for outcome in (host_out, disk_out):
+                if outcome is not None:
+                    overhead_s += outcome.wasted_s + outcome.retry_delay_s
+            if any(
+                outcome.retried
+                for outcome in (host_out, disk_out)
+                if outcome is not None
+            ):
+                retried_layers += 1
+            transfers.append(duration)
+            computes.append(
+                executor.layer_compute_time(layer, stage, context_len)
+            )
+            tail += duration
+        return FaultedIterationParts(
+            parts=IterationParts(
+                transfers=tuple(transfers),
+                computes=tuple(computes),
+                overlap=spec.overlap,
+            ),
+            retried_layers=retried_layers,
+            retry_overhead_s=overhead_s,
         )
 
     def run(self, spec: RunSpec) -> GenerationMetrics:

@@ -40,3 +40,42 @@ class IterationParts:
             transfer * transfer_scale + compute
             for transfer, compute in zip(self.transfers, self.computes)
         )
+
+
+@dataclass(frozen=True)
+class KvParts:
+    """One MHA layer's (load, store) times for the host-resident KV
+    share of one iteration.
+
+    Produced by the shared
+    :func:`~repro.core.layercosts.kv_transfer_parts` arithmetic via
+    ``kv_parts`` on either backend; ``repro.kv`` prices tier-resident
+    reads/writes and migrations through the same solver paths.
+    """
+
+    read_s: float
+    write_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.read_s + self.write_s
+
+
+@dataclass(frozen=True)
+class FaultedIterationParts:
+    """One iteration priced *through* the fault injector.
+
+    ``parts`` carries the per-layer decomposition with every transfer
+    already priced at its estimated virtual start time (slowdowns,
+    retries, backoffs included); computes stay nominal — faults act on
+    data movement, not kernels.
+    """
+
+    parts: IterationParts
+    #: Layers whose transfer needed at least one retry.
+    retried_layers: int = 0
+    #: Virtual time spent in backoffs and wasted (failed) attempts.
+    retry_overhead_s: float = 0.0
+
+    def total_s(self) -> float:
+        return self.parts.total_s()

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.layercosts import (
     cpu_attention_seconds,
+    kv_transfer_parts,
     resolve_working_set_bytes,
     staging_transfer_parts,
 )
@@ -49,11 +50,12 @@ from repro.devices.gpu import GpuComputeModel
 from repro.errors import ConfigurationError
 from repro.interconnect.path import TransferPathSolver
 from repro.models.kv_cache import (
+    KvCachePlan,
     kv_bytes_per_token,
     kv_bytes_per_token_per_block,
 )
 from repro.models.weights import LayerKind
-from repro.pricing.parts import IterationParts
+from repro.pricing.parts import IterationParts, KvParts
 from repro.pricing.spec import RunSpec
 
 __all__ = ["CostGrid", "LayerCostGrid"]
@@ -248,6 +250,47 @@ class LayerCostGrid:
             kv_cpu_fraction=self.policy.kv_cpu_fraction,
             working_set_bytes=working_set_bytes,
         )
+
+    def kv_parts(
+        self, stage: Stage, batch: int, context_len: int
+    ) -> KvParts:
+        """One shape's host-resident KV (load, store) times.
+
+        Calls the same scalar :func:`~repro.core.layercosts
+        .kv_transfer_parts` arithmetic the backends use, with the
+        shape's own KV plan and working-set-configured solver, so the
+        grid surface stays float-identical to
+        ``AnalyticBackend.kv_parts`` by construction.  Like
+        :meth:`evaluate`, the prefill context axis is the prompt
+        bucket; decode uses the spec's own prompt length.
+        """
+        if batch < 1 or context_len < 1:
+            raise ConfigurationError(
+                "batch and context length must be positive"
+            )
+        prompt = (
+            context_len if stage is Stage.PREFILL else self.spec.prompt_len
+        )
+        plan = KvCachePlan(
+            self.config,
+            int(batch) * self.policy.num_gpu_batches,
+            prompt,
+            self.spec.gen_len,
+            dtype_bytes=self.policy.kv_dtype_bytes,
+        )
+        self._solver.host_working_set_bytes = self._working_set(
+            int(batch), prompt + self.spec.gen_len
+        )
+        read_s, write_s = kv_transfer_parts(
+            self._solver,
+            plan,
+            stage=stage,
+            context_len=int(context_len),
+            prompt_len=prompt,
+            kv_cpu_fraction=self.policy.kv_cpu_fraction,
+            cpu_attention=self.policy.cpu_attention,
+        )
+        return KvParts(read_s=read_s, write_s=write_s)
 
     # ------------------------------------------------------------------
     # Vectorized kernels

@@ -18,6 +18,7 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ReproError
+from repro.kv import KV_POLICY_NAMES
 from repro.memory.hierarchy import HOST_CONFIG_LABELS
 from repro.serve.arrivals import TraceReplay, load_trace, save_trace
 from repro.serve.request import DEFAULT_CLASSES, STANDARD, QosClass
@@ -123,6 +124,19 @@ def build_parser() -> argparse.ArgumentParser:
         "backend only — never changes a priced metric)",
     )
     parser.add_argument(
+        "--kv-policy", default=None, choices=KV_POLICY_NAMES,
+        help="attach the tiered KV-cache manager: static (today's "
+        "split, accounting only), hotness (LRU demotion + passive "
+        "promotion against real tier capacity), or hotness-inclusive "
+        "(shadow copies make demotions free)",
+    )
+    parser.add_argument(
+        "--iteration-fault-pricing", action="store_true",
+        help="with --faults and --pricing-backend event: price every "
+        "layer's transfers through the injector individually instead "
+        "of one lump sum per iteration",
+    )
+    parser.add_argument(
         "--faults", metavar="FILE", default=None,
         help="fault schedule JSON: inject transfer faults (degradation "
         "windows, transient failures, outages) into the run",
@@ -220,6 +234,17 @@ def _print_report(result, telemetry: Optional[Telemetry] = None) -> None:
                 f"TTFT p95 {_fmt(report.ttft.p95_s)} s, "
                 f"TBT p95 {_fmt(report.tbt.p95_s)} s"
             )
+    kv_info = setup.get("kv")
+    if kv_info:
+        occupancy = ", ".join(
+            f"{tier} {used / 2**30:.2f} GiB"
+            for tier, used in kv_info["occupancy_bytes"].items()
+        )
+        print(
+            f"  kv ({kv_info['policy']}): {kv_info['migrations']} "
+            f"migration(s), {kv_info['migration_bytes'] / 2**30:.2f} GiB "
+            f"moved; final occupancy: {occupancy}"
+        )
     faults = metrics.faults
     if "fault_stats" in setup:
         print("  faults:")
@@ -289,6 +314,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 None if args.resilience else NO_RESILIENCE
             ) if args.faults else None,
             telemetry=telemetry,
+            kv_policy=args.kv_policy,
+            iteration_fault_pricing=args.iteration_fault_pricing,
         )
         _print_report(result, telemetry=telemetry)
 

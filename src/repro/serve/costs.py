@@ -25,6 +25,7 @@ throughput/latency frontier under open load.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.engine import OffloadEngine
@@ -226,6 +227,52 @@ class IterationCostModel:
         return self._parts(
             self._spec(batch, self.engine.prompt_len), Stage.DECODE, context
         )
+
+    def faulted_parts(
+        self,
+        kind: str,
+        batch: int,
+        tokens: int,
+        now: float,
+        injector=None,
+        retry=None,
+    ):
+        """Per-layer fault pricing of one iteration, when possible.
+
+        Asks the backend to walk the layer schedule pricing every
+        layer's transfers through the engine's
+        :class:`~repro.faults.injector.FaultInjector` individually
+        (``EventBackend.faulted_iteration_parts``) — retries land on
+        the layer that failed instead of inflating the whole
+        iteration's lump-sum transfer time.  Returns a
+        :class:`~repro.pricing.FaultedIterationParts`, or ``None``
+        when the backend cannot price per layer or the engine has no
+        injector, so callers can fall back to lump-sum pricing.
+
+        Never cached: the result depends on ``now`` and consumes the
+        injector's seeded RNG stream.  ``injector``/``retry`` default
+        to the engine's own (the scheduler passes its live ones).
+        """
+        price = getattr(self.backend, "faulted_iteration_parts", None)
+        if injector is None:
+            injector = self.engine.injector
+        if price is None or injector is None:
+            return None
+        if batch < 1 or tokens < 1:
+            raise ConfigurationError("batch and tokens must be >= 1")
+        if kind == "prefill":
+            prompt = self._bucket(
+                tokens, self.max_position - self.engine.gen_len
+            )
+            stage, context = Stage.PREFILL, prompt
+        else:
+            prompt = self.engine.prompt_len
+            stage = Stage.DECODE
+            context = self._bucket(tokens, self.max_position)
+        spec = dataclasses.replace(
+            self._spec(batch, prompt), injector=injector, retry=retry
+        )
+        return price(spec, stage, context, now)
 
     def prefill_time(self, batch: int, prompt_len: int) -> float:
         """One prefill iteration over ``batch`` admitted prompts."""

@@ -58,6 +58,11 @@ class ResiliencePolicy:
     #: Re-run placement against the degraded bandwidth map on entry
     #: into a degradation event (needs a replanner).
     replan: bool = True
+    #: With a KV manager attached, demote KV resident on the degraded
+    #: host tier to storage on entry into a degradation event (dynamic
+    #: policies only; the migration is priced into the next
+    #: iteration).
+    demote_kv: bool = True
     #: Consecutive fully-stalled boundaries (tier down) before the run
     #: aborts by shedding all outstanding work — the backstop that
     #: keeps a permanent outage from hanging the simulation.
@@ -80,7 +85,8 @@ DEFAULT_RESILIENCE = ResiliencePolicy()
 #: Price the faults honestly but react to nothing — the baseline the
 #: ablation compares against.
 NO_RESILIENCE = ResiliencePolicy(
-    shed=False, evict=False, shrink_batch=False, replan=False
+    shed=False, evict=False, shrink_batch=False, replan=False,
+    demote_kv=False,
 )
 
 

@@ -157,6 +157,8 @@ class ContinuousBatchingScheduler:
         replanner: Optional[Replanner] = None,
         fault_targets: Sequence[str] = DEFAULT_FAULT_TARGETS,
         telemetry: Optional[Telemetry] = None,
+        kv=None,
+        iteration_fault_pricing: bool = False,
     ) -> None:
         self.costs = costs
         self.classes = class_index(classes)
@@ -179,6 +181,17 @@ class ContinuousBatchingScheduler:
         #: :meth:`run` time.  The inert default makes every instrument
         #: call a no-op, keeping the fault-free path bit-identical.
         self.telemetry = telemetry
+        #: Optional :class:`repro.kv.KvCacheManager`.  The static
+        #: policy is accounting-only (admission, durations, and every
+        #: priced result stay bit-identical to ``kv=None``); dynamic
+        #: policies admit against real tier capacity and surcharge
+        #: iterations with migration and slow-tier KV read time.
+        self.kv = kv
+        #: Price each iteration's transfers per layer through the
+        #: injector (``EventBackend.faulted_iteration_parts``) instead
+        #: of as one lump sum.  Needs an event cost model; ignored
+        #: when the model cannot price per layer.
+        self.iteration_fault_pricing = bool(iteration_fault_pricing)
 
     def _request(self, spec: RequestSpec) -> ServeRequest:
         try:
@@ -225,6 +238,9 @@ class ContinuousBatchingScheduler:
         run_span = tracer.start(
             "serve run", 0.0, category="run", requests=len(pending)
         )
+        kv = self.kv
+        if kv is not None:
+            kv.bind_run(tracer, run_span)
 
         #: (priority, arrival, id) heap of waiting requests.
         waiting: List[Tuple[int, float, int, ServeRequest]] = []
@@ -268,6 +284,8 @@ class ContinuousBatchingScheduler:
             return next_arrival
 
         def finish(request: ServeRequest) -> None:
+            if kv is not None:
+                kv.release(request.spec.request_id)
             record = RequestRecord.from_request(request)
             records.append(record)
             engine.trace.record(
@@ -315,6 +333,8 @@ class ContinuousBatchingScheduler:
             )
 
         def shed_one(spec: RequestSpec, now: float, reason: str) -> None:
+            if kv is not None:
+                kv.release(spec.request_id, now)
             shed_records.append(
                 ShedRecord(
                     request_id=spec.request_id,
@@ -377,6 +397,25 @@ class ContinuousBatchingScheduler:
             # not-yet-recovered event are priced off the nominal model.
             degraded_now = health is not None and health.slowdown > 1.0
             model = active_costs if (replanned and degraded_now) else self.costs
+            if (
+                self.iteration_fault_pricing
+                and model is self.costs
+                and hasattr(self.costs, "faulted_parts")
+            ):
+                # Per-layer pricing: the event backend walks the
+                # executor's layer schedule and prices every layer's
+                # host/disk transfer through the injector individually
+                # — retries land on the layer that failed instead of
+                # inflating the whole iteration.
+                faulted = self.costs.faulted_parts(
+                    kind, batch, tokens, now,
+                    injector=injector, retry=retry,
+                )
+                if faulted is not None:
+                    if faulted.retried_layers:
+                        retried_iterations += 1
+                        retry_overhead_s += faulted.retry_overhead_s
+                    return faulted.total_s()
             nominal = (
                 self.costs.prefill_parts(batch, tokens)
                 if kind == "prefill"
@@ -464,6 +503,8 @@ class ContinuousBatchingScheduler:
                     )
                     if resilience.evict and running:
                         evict_running(now)
+                    if kv is not None and resilience.demote_kv:
+                        kv.on_degraded(now, max(1.0, health.slowdown))
                     severity = max(1.0, health.slowdown)
                     if (
                         resilience.replan
@@ -521,11 +562,45 @@ class ContinuousBatchingScheduler:
                 engine.clock.advance_to(now + retry.timeout_s)
                 continue
 
-            free = effective_max - len(running)
+            limit = effective_max
+            if kv is not None:
+                kv_limit = kv.admission_limit()
+                if kv_limit is not None:
+                    # Admit against real tier capacity: scale by the
+                    # degraded shrink factor so a degraded batch cap
+                    # still caps a capacity-admitted batch.
+                    limit = max(
+                        1, int(kv_limit * effective_max / self.max_batch)
+                    )
+            free = limit - len(running)
+            admitted: List[ServeRequest] = []
+            kv_surcharge = 0.0
             if waiting and free > 0:
-                admitted: List[ServeRequest] = []
                 while waiting and len(admitted) < free:
-                    admitted.append(heapq.heappop(waiting)[-1])
+                    entry = heapq.heappop(waiting)
+                    request = entry[-1]
+                    if kv is not None:
+                        ok, surcharge = kv.try_admit(request.spec, now)
+                        if not ok:
+                            if not admitted and not running:
+                                # The server is idle and the tiers are
+                                # as free as they will ever be: this
+                                # window can never fit.  Shed it
+                                # rather than wait forever.
+                                shed_one(
+                                    request.spec, now, "kv_capacity"
+                                )
+                            else:
+                                # Head-of-line: wait for running
+                                # requests to release their KV.
+                                heapq.heappush(waiting, entry)
+                            break
+                        kv_surcharge += surcharge
+                    admitted.append(request)
+                if not admitted and not running:
+                    # The head-of-line request was shed; reassess.
+                    continue
+            if admitted:
                 prompt_max = max(r.spec.prompt_len for r in admitted)
                 if injector is None:
                     duration = self.costs.prefill_time(
@@ -541,6 +616,8 @@ class ContinuousBatchingScheduler:
                         # Exhausted retries: put the batch back, stall
                         # for the time the attempts consumed.
                         for request in admitted:
+                            if kv is not None:
+                                kv.release(request.spec.request_id, now)
                             heapq.heappush(
                                 waiting,
                                 (
@@ -559,6 +636,11 @@ class ContinuousBatchingScheduler:
                             break
                         engine.clock.advance_to(now + error.elapsed_s)
                         continue
+                if kv is not None:
+                    # The static policy's surcharge is exactly 0.0;
+                    # dynamic policies charge admission-time demotions
+                    # here.
+                    duration += kv_surcharge
                 stall_streak = 0
                 gpu.enqueue(
                     duration,
@@ -625,6 +707,11 @@ class ContinuousBatchingScheduler:
                         break
                     engine.clock.advance_to(now + error.elapsed_s)
                     continue
+            if kv is not None:
+                # Slow-tier KV reads for this pass, drained demotion
+                # time, and passive promotions (0.0 for the static
+                # policy).
+                duration += kv.on_decode(running, now)
             stall_streak = 0
             gpu.enqueue(
                 duration,

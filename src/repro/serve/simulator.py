@@ -89,6 +89,8 @@ class ServingSimulator:
         fault_targets: Optional[Sequence[str]] = None,
         telemetry: Optional[Telemetry] = None,
         prewarm: bool = True,
+        kv=None,
+        iteration_fault_pricing: bool = False,
     ) -> None:
         self.costs = costs
         self.classes = tuple(classes)
@@ -111,6 +113,8 @@ class ServingSimulator:
             resilience=resilience,
             replanner=replanner,
             telemetry=telemetry,
+            kv=kv,
+            iteration_fault_pricing=iteration_fault_pricing,
             **scheduler_kwargs,
         )
 
@@ -160,6 +164,8 @@ class ServingSimulator:
         cache_stats = getattr(self.costs, "cache_stats", None)
         if cache_stats is not None:
             info["price_cache"] = cache_stats
+        if self.scheduler.kv is not None:
+            info["kv"] = self.scheduler.kv.snapshot()
         if prewarmed:
             info["prewarmed_prices"] = prewarmed
         backend_memo = getattr(
@@ -244,6 +250,8 @@ def simulate_serving(
     pricing_backend: str = "analytic",
     telemetry: Optional[Telemetry] = None,
     prewarm: bool = True,
+    kv_policy: Optional[str] = None,
+    iteration_fault_pricing: bool = False,
 ) -> ServingResult:
     """Simulate one placement under open-loop load, end to end.
 
@@ -276,7 +284,24 @@ def simulate_serving(
     counters from the engine, price cache, fault injector, and
     scheduler, plus the serving span tree.  The inert default records
     nothing, and an enabled instance never changes a priced metric.
+
+    ``kv_policy`` attaches a :class:`repro.kv.KvCacheManager`:
+    ``"static"`` reproduces today's split bit for bit (accounting and
+    per-tier occupancy telemetry only), ``"hotness"`` /
+    ``"hotness-inclusive"`` admit against real tier capacity with LRU
+    demotion and passive promotion, surcharging iterations with the
+    priced migrations and slow-tier reads.  ``None`` (default) leaves
+    serving exactly as before ``repro.kv`` existed.
+
+    ``iteration_fault_pricing`` (event backend only) prices every
+    layer's transfers through the injector individually instead of
+    one lump sum per iteration.
     """
+    if iteration_fault_pricing and pricing_backend != "event":
+        raise ConfigurationError(
+            "iteration_fault_pricing needs pricing_backend='event' — "
+            "only the event backend walks the per-layer schedule"
+        )
     telemetry = resolve_telemetry(telemetry)
     engine = OffloadEngine(
         model=model,
@@ -324,6 +349,14 @@ def simulate_serving(
         class_mix=class_mix,
         seed=seed,
     )
+    kv = None
+    if kv_policy is not None:
+        from repro.kv import KvCacheManager
+        from repro.kv import kv_policy as resolve_kv_policy
+
+        kv = KvCacheManager(
+            engine, resolve_kv_policy(kv_policy), telemetry=telemetry
+        )
     simulator = ServingSimulator(
         costs,
         classes=tuple(qos for qos, _ in class_mix),
@@ -335,6 +368,8 @@ def simulate_serving(
         fault_targets=fault_targets,
         telemetry=telemetry,
         prewarm=prewarm,
+        kv=kv,
+        iteration_fault_pricing=iteration_fault_pricing,
     )
     setup = {
         "model": model,
@@ -352,4 +387,6 @@ def simulate_serving(
             faults if isinstance(faults, str) else "schedule"
         )
         setup["fault_seed"] = injector.seed
+    if kv is not None:
+        setup["kv_policy"] = kv.policy.name
     return simulator.run(specs, setup=setup)

@@ -1,0 +1,76 @@
+"""Float identity: ``kv_parts`` across all three pricing surfaces.
+
+The KV sibling of ``staging_transfer_parts``: the analytic backend,
+the event backend (off the full timing executor), and the vectorized
+grid must price the host-resident KV share of an iteration
+float-for-float identically, for both stages, across shapes.
+"""
+
+import pytest
+
+from repro.core.engine import OffloadEngine
+from repro.core.metrics import Stage
+from repro.core.policy import Policy
+from repro.pricing import AnalyticBackend, EventBackend, LayerCostGrid
+
+
+@pytest.fixture(scope="module")
+def spec():
+    # A policy with a real host-resident KV share (kv_gpu_percent=40)
+    # so the priced KV traffic is non-trivial.
+    engine = OffloadEngine(
+        model="opt-6.7b",
+        host="DRAM",
+        placement="helm",
+        policy=Policy(
+            gpu_percent=50,
+            cpu_percent=50,
+            disk_percent=0,
+            kv_gpu_percent=40,
+        ),
+        batch_size=1,
+    )
+    return engine.run_spec(include_faults=False)
+
+
+SHAPES = ((1, 128), (3, 256), (8, 512))
+
+
+@pytest.mark.parametrize("stage", (Stage.PREFILL, Stage.DECODE))
+def test_backends_price_kv_identically(spec, stage):
+    analytic = AnalyticBackend()
+    event = EventBackend()
+    for batch, context in SHAPES:
+        shaped = spec.with_shape(batch_size=batch)
+        a = analytic.kv_parts(shaped, stage, context)
+        e = event.kv_parts(shaped, stage, context)
+        assert a == e
+        assert a.total_s == a.read_s + a.write_s
+        assert a.total_s > 0.0
+
+
+@pytest.mark.parametrize("stage", (Stage.PREFILL, Stage.DECODE))
+def test_grid_matches_scalar_kv_parts(spec, stage):
+    analytic = AnalyticBackend()
+    grid = LayerCostGrid(spec)
+    for batch, context in SHAPES:
+        # The grid's prefill context axis is the prompt bucket, so the
+        # scalar sibling spec takes the bucket as its prompt length.
+        shaped = spec.with_shape(
+            batch_size=batch,
+            prompt_len=context if stage is Stage.PREFILL else None,
+        )
+        assert grid.kv_parts(stage, batch, context) == analytic.kv_parts(
+            shaped, stage, context
+        )
+
+
+def test_fully_resident_kv_is_free(spec):
+    engine = OffloadEngine(
+        model="opt-6.7b", host="DRAM", placement="helm", batch_size=1
+    )
+    resident = engine.run_spec(include_faults=False)
+    parts = AnalyticBackend().kv_parts(resident, Stage.DECODE, 256)
+    # Default policies keep KV fully on the GPU: nothing streams.
+    assert parts.read_s == 0.0
+    assert parts.write_s == 0.0

@@ -1,0 +1,45 @@
+"""Goldens: the static KvPolicy is a bit-identical no-op.
+
+The default ``repro.kv`` policy reproduces today's behavior exactly:
+wiring a :class:`~repro.kv.KvCacheManager` with the static split into
+the serving simulator must not move a single float — summary metrics
+AND per-request records equal, across placements and models.
+"""
+
+import pytest
+
+from repro.serve.simulator import simulate_serving
+from repro.workloads.lengths import LengthDistribution
+
+
+def run(model, placement, kv_policy):
+    return simulate_serving(
+        model=model,
+        host="DRAM",
+        placement=placement,
+        arrival="poisson",
+        rate_rps=0.5,
+        num_requests=8,
+        gen_lengths=LengthDistribution.fixed(4),
+        seed=3,
+        kv_policy=kv_policy,
+    )
+
+
+@pytest.mark.parametrize("model", ("opt-30b", "opt-66b"))
+@pytest.mark.parametrize("placement", ("baseline", "helm", "allcpu"))
+def test_static_policy_is_bit_identical(model, placement):
+    bare = run(model, placement, None)
+    static = run(model, placement, "static")
+
+    assert static.metrics.summary() == bare.metrics.summary()
+    assert static.records == bare.records
+    assert static.timeline == bare.timeline
+
+    # The manager rode along accounting-only: no admission cap, no
+    # migrations, not one priced surcharge second.
+    kv = static.setup["kv"]
+    assert kv["policy"] == "static"
+    assert kv["admission_limit"] is None
+    assert kv["migrations"] == 0
+    assert kv["migration_bytes"] == 0

@@ -1,0 +1,44 @@
+"""Per-layer spans under ``engine run``.
+
+The engine's trace records are re-emitted as tracer child spans of
+the run span, so a Chrome-trace or span export of an instrumented run
+shows every layer transfer/compute op nested under its run.
+"""
+
+from repro.core.engine import OffloadEngine
+from repro.telemetry import Telemetry
+
+
+def run_with_telemetry():
+    telemetry = Telemetry.create()
+    engine = OffloadEngine(
+        model="opt-6.7b", host="DRAM", placement="baseline", batch_size=1
+    )
+    metrics = engine.run_timing(telemetry=telemetry)
+    return engine, metrics, telemetry
+
+
+def test_trace_records_become_child_spans():
+    engine, metrics, telemetry = run_with_telemetry()
+    spans = telemetry.tracer.spans
+    runs = [s for s in spans if s.category == "engine"]
+    assert len(runs) == 1
+    run_span = runs[0]
+
+    children = [s for s in spans if s.parent_id == run_span.span_id]
+    assert children, "engine run emitted no per-op child spans"
+    assert {s.category for s in children} <= {"compute", "transfer"}
+    assert {"compute", "transfer"} <= {s.category for s in children}
+
+    # Children cover the run span exactly: first op starts at 0, the
+    # last ends at the makespan the run span closes on.
+    assert min(s.start_s for s in children) == run_span.start_s
+    assert max(s.end_s for s in children) == run_span.end_s
+    assert run_span.end_s > 0.0
+
+
+def test_child_spans_carry_op_attributes():
+    engine, metrics, telemetry = run_with_telemetry()
+    spans = telemetry.tracer.spans
+    children = [s for s in spans if s.category in ("compute", "transfer")]
+    assert all("stream" in s.attrs for s in children)
