@@ -1,0 +1,44 @@
+"""``repro.chaos`` — runtime tier loss, crash-consistent recovery,
+and cross-layer invariant sanitizing.
+
+The fault layer (:mod:`repro.faults`) changes how fast the memory
+hierarchy *moves*; this package drives what happens when it changes
+*shape* at runtime — a CXL device surprise-removed, a pmem namespace
+failing, an SSD dying mid-serve — and makes the resulting recovery
+machinery trustworthy:
+
+* seeded **chaos schedules** mixing structural faults (tier loss,
+  capacity shrink, correlated outage) with bandwidth noise
+  (:func:`generate_chaos_schedule`);
+* **crash-consistent recovery**: checkpoint every scheduler boundary,
+  crash anywhere, resume bit-identically
+  (:func:`run_with_crashes`, over
+  :class:`~repro.serve.state.CheckpointPlan`);
+* a cross-layer **invariant sanitizer** runnable at every boundary
+  behind ``--sanitize`` (:class:`SanitizerHarness`).
+
+See ``docs/chaos.md`` for the subsystem guide.
+"""
+
+from repro.chaos.recovery import RecoveryReport, run_with_crashes
+from repro.chaos.sanitizer import (
+    DEFAULT_PRICING_TOLERANCE,
+    SanitizerHarness,
+    SanitizerViolation,
+)
+from repro.chaos.schedule import (
+    DEFAULT_CHAOS_TARGETS,
+    generate_chaos_schedule,
+)
+from repro.serve.state import CheckpointPlan
+
+__all__ = [
+    "CheckpointPlan",
+    "DEFAULT_CHAOS_TARGETS",
+    "DEFAULT_PRICING_TOLERANCE",
+    "RecoveryReport",
+    "SanitizerHarness",
+    "SanitizerViolation",
+    "generate_chaos_schedule",
+    "run_with_crashes",
+]

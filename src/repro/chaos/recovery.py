@@ -1,0 +1,74 @@
+"""Crash-consistent recovery driving.
+
+:func:`run_with_crashes` runs a scheduler to completion through any
+number of injected crashes: each segment runs under a
+:class:`~repro.serve.state.CheckpointPlan`, the raised
+:class:`~repro.errors.SimulatedCrash` carries the latest snapshot,
+and the next segment resumes from it.  Because every stochastic
+consumer (injector RNG, KV tier map, engine clock + trace) restores
+its exact state, the stitched run's records, timeline, and metrics
+are bit-identical to an uncrashed pass — the property
+``tests/chaos/test_recovery.py`` machine-checks across placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import CheckpointError, SimulatedCrash
+from repro.serve.state import CheckpointPlan
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """One crash-recovery drive: the final run plus its history."""
+
+    #: The completed :class:`~repro.serve.scheduler.SchedulerRun`.
+    run: object
+    #: Boundaries at which a crash was injected and recovered.
+    crashes: Tuple[int, ...] = ()
+    #: Boundary of the checkpoint each recovery resumed from.
+    resumed_from: Tuple[int, ...] = ()
+
+
+def run_with_crashes(
+    scheduler,
+    specs,
+    crash_boundaries: Sequence[int],
+    every: int = 1,
+    sink=None,
+) -> RecoveryReport:
+    """Serve ``specs`` to completion through injected crashes.
+
+    Crashes fire at each boundary in ``crash_boundaries`` (ascending);
+    after each one the scheduler resumes from the crash's snapshot.
+    ``every`` is the checkpoint cadence — a crash can only lose (and
+    deterministically replay) up to ``every - 1`` boundaries of work.
+    """
+    crashes = sorted({int(b) for b in crash_boundaries})
+    if any(b < 1 for b in crashes):
+        raise CheckpointError("crash boundaries must be >= 1")
+    restore: Optional[dict] = None
+    hit: list = []
+    resumed: list = []
+    for crash_at in crashes:
+        plan = CheckpointPlan(every=every, crash_at=crash_at, sink=sink)
+        try:
+            run = scheduler.run(specs, checkpoint=plan, restore=restore)
+        except SimulatedCrash as crash:
+            hit.append(crash.boundary)
+            resumed.append(crash.checkpoint["boundary"])
+            restore = crash.checkpoint
+        else:
+            # The run finished before this crash boundary was reached.
+            return RecoveryReport(
+                run=run,
+                crashes=tuple(hit),
+                resumed_from=tuple(resumed),
+            )
+    plan = CheckpointPlan(every=every, sink=sink)
+    run = scheduler.run(specs, checkpoint=plan, restore=restore)
+    return RecoveryReport(
+        run=run, crashes=tuple(hit), resumed_from=tuple(resumed)
+    )

@@ -1,0 +1,123 @@
+"""Seeded chaos-schedule generation.
+
+:func:`generate_chaos_schedule` draws a reproducible mix of
+structural and bandwidth faults for a serving span from one seed —
+tier losses, capacity shrinks, correlated outages, GC-style
+degradation windows, and transient-failure noise — so chaos
+experiments can sweep scenarios (``seed x intensity``) without
+hand-writing schedules.  The same ``(seed, span_s, targets,
+intensity)`` always yields the same
+:class:`~repro.faults.models.FaultSchedule`, and the schedule
+round-trips through its JSON form, so a scenario found by sweeping
+can be pinned in a test verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.models import (
+    DISK_TARGET,
+    HOST_TARGET,
+    CapacityShrink,
+    CorrelatedOutage,
+    DegradationWindow,
+    FaultModel,
+    FaultSchedule,
+    TierLoss,
+    TransientFaults,
+)
+
+#: Default structural targets: the conventional tier names the KV
+#: manager maps budgets onto.
+DEFAULT_CHAOS_TARGETS: Tuple[str, ...] = (DISK_TARGET, HOST_TARGET)
+
+
+def generate_chaos_schedule(
+    seed: int,
+    span_s: float,
+    targets: Sequence[str] = DEFAULT_CHAOS_TARGETS,
+    intensity: float = 1.0,
+    structural_only: bool = False,
+) -> FaultSchedule:
+    """Draw one reproducible chaos scenario for a serving span.
+
+    ``intensity`` scales both how *many* faults are drawn and how
+    *long* loss windows last; ``0.0`` yields an empty (zero) schedule
+    whose attached run is bit-identical to a fault-free one.
+    ``structural_only`` drops the bandwidth/transient noise, leaving
+    pure topology chaos (useful for isolating rescue behavior).
+    """
+    if span_s <= 0:
+        raise ConfigurationError("span_s must be positive")
+    if intensity < 0:
+        raise ConfigurationError("intensity must be >= 0")
+    if not targets:
+        raise ConfigurationError(
+            "chaos needs at least one fault target"
+        )
+    rng = random.Random(int(seed))
+    faults: List[FaultModel] = []
+    if intensity > 0:
+        targets = tuple(targets)
+        # One windowed loss per target, probability rising with
+        # intensity; the first target always loses once so every
+        # non-zero scenario exercises the structural path.
+        for index, target in enumerate(targets):
+            if index > 0 and rng.random() > min(1.0, 0.5 * intensity):
+                continue
+            start = rng.uniform(0.15, 0.45) * span_s
+            duration = (
+                rng.uniform(0.1, 0.25) * span_s * min(2.0, intensity)
+            )
+            faults.append(
+                TierLoss(
+                    target=target,
+                    start_s=round(start, 3),
+                    duration_s=round(duration, 3),
+                )
+            )
+        # A capacity shrink on a surviving tier.
+        shrink_target = targets[rng.randrange(len(targets))]
+        faults.append(
+            CapacityShrink(
+                target=shrink_target,
+                fraction=round(rng.uniform(0.35, 0.7), 3),
+                start_s=round(rng.uniform(0.55, 0.75) * span_s, 3),
+                duration_s=round(rng.uniform(0.1, 0.2) * span_s, 3),
+            )
+        )
+        # High intensity adds a correlated multi-tier outage.
+        if intensity >= 2.0 and len(targets) > 1:
+            start = rng.uniform(0.5, 0.7) * span_s
+            faults.append(
+                CorrelatedOutage(
+                    target=targets[0],
+                    targets=targets[1:],
+                    start_s=round(start, 3),
+                    duration_s=round(
+                        rng.uniform(0.03, 0.08) * span_s, 3
+                    ),
+                    lose_state=False,
+                )
+            )
+        if not structural_only:
+            faults.append(
+                DegradationWindow(
+                    target=HOST_TARGET,
+                    slowdown=round(1.0 + rng.uniform(1.0, 3.0), 2),
+                    start_s=round(rng.uniform(0.05, 0.15) * span_s, 3),
+                    duration_s=round(rng.uniform(0.05, 0.1) * span_s, 3),
+                )
+            )
+            faults.append(
+                TransientFaults(
+                    target=HOST_TARGET,
+                    probability=round(
+                        min(0.2, 0.02 * intensity), 4
+                    ),
+                )
+            )
+    return FaultSchedule(faults=tuple(faults), seed=int(seed))

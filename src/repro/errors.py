@@ -16,16 +16,35 @@ class ConfigurationError(ReproError):
 
 
 class CapacityError(ReproError):
-    """An allocation request exceeds the capacity of a device."""
+    """An allocation request exceeds the capacity of a device.
 
-    def __init__(self, device: str, requested: int, available: int) -> None:
+    ``occupancy`` optionally carries a per-tier ``name -> (used,
+    capacity)`` snapshot taken at the moment of the failed placement,
+    so a chaos-run rejection is debuggable from the log line alone.
+    """
+
+    def __init__(
+        self,
+        device: str,
+        requested: int,
+        available: int,
+        occupancy=None,
+    ) -> None:
         self.device = device
         self.requested = int(requested)
         self.available = int(available)
-        super().__init__(
+        self.occupancy = dict(occupancy) if occupancy else None
+        message = (
             f"device {device!r}: requested {requested} bytes "
             f"but only {available} bytes are available"
         )
+        if self.occupancy:
+            tiers = ", ".join(
+                f"{name}: {used}/{capacity} B"
+                for name, (used, capacity) in self.occupancy.items()
+            )
+            message += f" | tier occupancy: {tiers}"
+        super().__init__(message)
 
 
 class AllocationError(ReproError):
@@ -101,6 +120,45 @@ class DegradedTierError(TransferError):
             f"tier {device!r} unavailable: still down after "
             f"{attempts} attempt(s) spanning {elapsed_s:.3f} s "
             "of virtual time",
+        )
+
+
+class SanitizerError(ReproError):
+    """A cross-layer invariant check failed during a sanitized run.
+
+    Carries the checker's name and the iteration boundary it fired
+    at, so a violation can be replayed deterministically.
+    """
+
+    def __init__(self, check: str, boundary: int, detail: str) -> None:
+        self.check = check
+        self.boundary = int(boundary)
+        self.detail = detail
+        super().__init__(
+            f"sanitizer check {check!r} failed at iteration boundary "
+            f"{boundary}: {detail}"
+        )
+
+
+class CheckpointError(ReproError):
+    """A scheduler checkpoint could not be taken or restored."""
+
+
+class SimulatedCrash(ReproError):
+    """An injected crash stopped a scheduler run mid-stream.
+
+    ``checkpoint`` holds the most recent deterministic state snapshot
+    (possibly from an earlier boundary than the crash itself);
+    recovery resumes from it and replays the gap bit for bit.
+    """
+
+    def __init__(self, boundary: int, checkpoint) -> None:
+        self.boundary = int(boundary)
+        self.checkpoint = checkpoint
+        super().__init__(
+            f"simulated crash at iteration boundary {boundary} "
+            f"(checkpoint from boundary "
+            f"{checkpoint.get('boundary', '?') if checkpoint else '?'})"
         )
 
 

@@ -42,6 +42,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation_serving": "repro.experiments.ablation_serving",
     "ablation_faults": "repro.experiments.ablation_faults",
     "ablation_kv": "repro.experiments.ablation_kv",
+    "ablation_chaos": "repro.experiments.ablation_chaos",
 }
 
 

@@ -31,10 +31,13 @@ from repro.faults.models import (
     PCIE_TARGET,
     WILDCARD,
     ZERO_SCHEDULE,
+    CapacityShrink,
+    CorrelatedOutage,
     DegradationWindow,
     FaultModel,
     FaultSchedule,
     LinkOutage,
+    TierLoss,
     TransientFaults,
     WearDerate,
 )
@@ -46,6 +49,9 @@ __all__ = [
     "DegradationWindow",
     "WearDerate",
     "LinkOutage",
+    "TierLoss",
+    "CapacityShrink",
+    "CorrelatedOutage",
     "FaultSchedule",
     "ZERO_SCHEDULE",
     "HOST_TARGET",

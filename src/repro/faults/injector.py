@@ -128,8 +128,40 @@ class FaultInjector:
             down=self.schedule.down(targets, now),
         )
 
+    def tier_lost(self, targets: Sequence[str], now: float) -> bool:
+        return self.schedule.tier_lost(targets, now)
+
+    def capacity_fraction(
+        self, targets: Sequence[str], now: float
+    ) -> float:
+        return self.schedule.capacity_fraction(targets, now)
+
+    def structural(self) -> bool:
+        return self.schedule.structural()
+
     def is_zero(self) -> bool:
         return self.schedule.is_zero()
+
+    # -- checkpointing --------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """The injector's mutable state as a deterministic dict.
+
+        Captures the seeded RNG position and the accumulated
+        counters; restoring both makes a resumed run consume the
+        exact same retry/failure stream as an uncrashed one.
+        """
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss],
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        version, internal, gauss = snapshot["rng"]
+        self._rng.setstate((version, tuple(internal), gauss))
+        for name, value in snapshot["stats"].items():
+            setattr(self.stats, name, value)
 
     # -- pricing --------------------------------------------------------
 

@@ -71,7 +71,7 @@ class FaultModel:
     def matches(self, target: str) -> bool:
         return self.target == WILDCARD or self.target == target
 
-    # -- the three questions the injector asks -------------------------
+    # -- the questions the injector asks -------------------------------
 
     def slowdown_at(self, now: float) -> float:
         """Multiplicative bandwidth penalty (1.0 = nominal)."""
@@ -83,6 +83,19 @@ class FaultModel:
 
     def down_at(self, now: float) -> bool:
         """Whether the target is entirely unusable."""
+        return False
+
+    def lost_at(self, now: float) -> bool:
+        """Whether the target is *structurally* lost: its resident
+        state (weights, KV) is gone, not merely unreachable."""
+        return False
+
+    def capacity_fraction_at(self, now: float) -> float:
+        """Fraction of the target's nominal capacity still usable."""
+        return 1.0
+
+    def structural(self) -> bool:
+        """True for models that can change topology or capacity."""
         return False
 
     def is_zero(self) -> bool:
@@ -225,11 +238,160 @@ class LinkOutage(FaultModel):
         return self.duration_s is not None and self.duration_s == 0.0
 
 
+@dataclass(frozen=True)
+class TierLoss(FaultModel):
+    """Structural loss of a memory tier: its resident state is gone.
+
+    While lost the target is also down (transfers fail), but unlike a
+    :class:`LinkOutage` the bytes it held do not come back when the
+    window ends — KV must be rescued or the requests holding it shed,
+    and weights re-placed.  ``duration_s=None`` is a permanent loss
+    (a dead DIMM); a finite window models a tier that is replaced and
+    comes back *empty*.
+    """
+
+    start_s: float = 0.0
+    duration_s: Optional[float] = None
+    period_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError("start_s must be >= 0")
+        if self.duration_s is not None and self.duration_s < 0:
+            raise ConfigurationError("duration_s must be >= 0")
+        if (
+            self.period_s is not None
+            and self.duration_s is not None
+            and self.period_s < self.duration_s
+        ):
+            raise ConfigurationError(
+                "period_s must be >= duration_s (losses cannot overlap)"
+            )
+
+    def lost_at(self, now: float) -> bool:
+        return _in_window(now, self.start_s, self.duration_s, self.period_s)
+
+    def down_at(self, now: float) -> bool:
+        return self.lost_at(now)
+
+    def capacity_fraction_at(self, now: float) -> float:
+        return 0.0 if self.lost_at(now) else 1.0
+
+    def structural(self) -> bool:
+        return True
+
+    def is_zero(self) -> bool:
+        return self.duration_s is not None and self.duration_s == 0.0
+
+
+@dataclass(frozen=True)
+class CapacityShrink(FaultModel):
+    """The target keeps only ``fraction`` of its capacity in-window.
+
+    Models partial media failure (a dead rank, reserved-block
+    exhaustion): bandwidth is unchanged, but resident state beyond
+    the shrunken budget must be spilled to slower tiers.
+    """
+
+    fraction: float = 1.0
+    start_s: float = 0.0
+    duration_s: Optional[float] = None
+    period_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"capacity fraction must be in [0, 1], got {self.fraction}"
+            )
+        if self.duration_s is not None and self.duration_s < 0:
+            raise ConfigurationError("duration_s must be >= 0")
+        if (
+            self.period_s is not None
+            and self.duration_s is not None
+            and self.period_s < self.duration_s
+        ):
+            raise ConfigurationError(
+                "period_s must be >= duration_s (windows cannot overlap)"
+            )
+
+    def capacity_fraction_at(self, now: float) -> float:
+        if _in_window(now, self.start_s, self.duration_s, self.period_s):
+            return self.fraction
+        return 1.0
+
+    def structural(self) -> bool:
+        return True
+
+    def is_zero(self) -> bool:
+        return self.fraction >= 1.0 or (
+            self.duration_s is not None and self.duration_s == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class CorrelatedOutage(FaultModel):
+    """One failure domain taking several targets down together.
+
+    A power rail, backplane, or NUMA node failing does not pick one
+    tier: ``targets`` lists every additional name this event covers
+    (``target`` stays the primary, so single-target queries still
+    match).  ``structural=True`` makes it a correlated *loss*
+    (resident state gone, as :class:`TierLoss`); ``False`` keeps it a
+    correlated link outage (state survives, transfers fail).
+    """
+
+    targets: Tuple[str, ...] = ()
+    start_s: float = 0.0
+    duration_s: Optional[float] = None
+    period_s: Optional[float] = None
+    lose_state: bool = True
+
+    def __post_init__(self) -> None:
+        # JSON payloads carry lists; normalize for hashability.
+        object.__setattr__(self, "targets", tuple(self.targets))
+        if self.duration_s is not None and self.duration_s < 0:
+            raise ConfigurationError("duration_s must be >= 0")
+        if (
+            self.period_s is not None
+            and self.duration_s is not None
+            and self.period_s < self.duration_s
+        ):
+            raise ConfigurationError(
+                "period_s must be >= duration_s (outages cannot overlap)"
+            )
+
+    def matches(self, target: str) -> bool:
+        return super().matches(target) or target in self.targets
+
+    def down_at(self, now: float) -> bool:
+        return _in_window(now, self.start_s, self.duration_s, self.period_s)
+
+    def lost_at(self, now: float) -> bool:
+        return self.lose_state and self.down_at(now)
+
+    def capacity_fraction_at(self, now: float) -> float:
+        return 0.0 if self.lost_at(now) else 1.0
+
+    def structural(self) -> bool:
+        return self.lose_state
+
+    def is_zero(self) -> bool:
+        return self.duration_s is not None and self.duration_s == 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        payload = super().to_json()
+        payload["targets"] = list(self.targets)
+        return payload
+
+
 _MODEL_KINDS: Dict[str, Type[FaultModel]] = {
     "transient": TransientFaults,
     "degradation": DegradationWindow,
     "wear": WearDerate,
     "outage": LinkOutage,
+    "tier_loss": TierLoss,
+    "capacity_shrink": CapacityShrink,
+    "correlated": CorrelatedOutage,
 }
 _KINDS_BY_CLASS: Dict[Type[FaultModel], str] = {
     cls: kind for kind, cls in _MODEL_KINDS.items()
@@ -269,6 +431,29 @@ class FaultSchedule:
             for fault in self.faults
             if any(fault.matches(target) for target in targets)
         )
+
+    def tier_lost(self, targets: Sequence[str], now: float) -> bool:
+        """Whether any matching structural fault has destroyed the
+        target's resident state at ``now``."""
+        return any(
+            fault.lost_at(now)
+            for fault in self.faults
+            if any(fault.matches(target) for target in targets)
+        )
+
+    def capacity_fraction(
+        self, targets: Sequence[str], now: float
+    ) -> float:
+        """Product of all matching capacity fractions at ``now``."""
+        fraction = 1.0
+        for fault in self.faults:
+            if any(fault.matches(target) for target in targets):
+                fraction *= fault.capacity_fraction_at(now)
+        return fraction
+
+    def structural(self) -> bool:
+        """True when any model can change topology or capacity."""
+        return any(fault.structural() for fault in self.faults)
 
     def is_zero(self) -> bool:
         """True when the schedule can never perturb a run."""

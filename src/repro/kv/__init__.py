@@ -7,7 +7,7 @@ policies, and migration pricing routed through the same
 reproduction moves.  See ``docs/kv.md`` for the subsystem guide.
 """
 
-from repro.kv.manager import KvCacheManager
+from repro.kv.manager import KvCacheManager, RescueOutcome
 from repro.kv.policy import (
     KV_POLICY_NAMES,
     HotnessKvPolicy,
@@ -41,6 +41,7 @@ __all__ = [
     "KvTierTopology",
     "LayerRange",
     "MigrationRecord",
+    "RescueOutcome",
     "StaticKvPolicy",
     "TierBudget",
     "kv_policy",

@@ -33,9 +33,11 @@ manager (pinned by ``tests/kv/test_static_golden.py``).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TransferError
+from repro.faults.models import DISK_TARGET, HOST_TARGET
 from repro.kv.policy import KvPolicy, kv_policy
 from repro.kv.pricing import KvPricer
 from repro.kv.tiermap import (
@@ -47,6 +49,22 @@ from repro.kv.tiermap import (
 from repro.kv.tiers import KvTierTopology, TierBudget
 from repro.models.kv_cache import kv_bytes_per_token_per_block
 from repro.telemetry import resolve_telemetry
+
+
+@dataclass(frozen=True)
+class RescueOutcome:
+    """What one emergency tier rescue moved, cost, and lost."""
+
+    tier: str
+    moved_extents: int = 0
+    moved_bytes: int = 0
+    #: Distinct requests whose KV survived the loss via rescue.
+    moved_requests: int = 0
+    #: Priced migration time, charged to the next iteration.
+    rescue_s: float = 0.0
+    #: Requests whose KV could not be rescued (no surviving capacity
+    #: or retries exhausted); every extent they held is released.
+    failed: Tuple[int, ...] = ()
 
 
 class KvCacheManager:
@@ -94,6 +112,8 @@ class KvCacheManager:
         self._pending_s = 0.0
         self.migrations: List[MigrationRecord] = []
         self.migration_bytes = 0
+        #: Tiers currently structurally lost (see ``sync_structure``).
+        self.lost_tiers: set = set()
         #: The GPU plan's batch cap, resolved once: the binary search
         #: over memory plans is far too slow for a per-iteration call.
         self._plan_max_batch = (
@@ -138,8 +158,11 @@ class KvCacheManager:
         block = self._block_bytes(
             self.engine.prompt_len + self.engine.gen_len
         )
+        # Effective capacity: structural losses/shrinks scale each
+        # tier down (all factors are 1.0 until a fault fires, so this
+        # is the nominal budget for a healthy run).
         fit_blocks = sum(
-            budget.capacity_bytes // block
+            self.tiermap.capacity_bytes(budget.name) // block
             for budget in self.topology.budgets
         )
         by_capacity = max(1, fit_blocks // self._num_blocks)
@@ -313,6 +336,273 @@ class KvCacheManager:
         self._last_touch.pop(request_id, None)
         if freed:
             self._publish_occupancy()
+
+    # -- structural faults --------------------------------------------
+
+    def _structural_targets(self, budget: TierBudget) -> Tuple[str, ...]:
+        """Fault-target names a structural fault may address this
+        tier by (its kind's conventional name plus its own)."""
+        if budget.kind == "host":
+            return (HOST_TARGET, budget.name)
+        if budget.kind == "disk":
+            return (DISK_TARGET, budget.name)
+        return (budget.name,)
+
+    def sync_structure(self, injector, now: float) -> List[Tuple[str, str]]:
+        """Poll the injector's structural faults at one boundary.
+
+        Updates per-tier capacity factors (a lost tier drops to 0.0),
+        recomputes the admission limit, and returns the transitions
+        that occurred since the last call as ``(event, tier_name)``
+        pairs — ``"lost"``, ``"restored"``, ``"shrunk"``, or
+        ``"regrown"`` — in topology (fast-to-slow) order.  RNG-free:
+        attaching a schedule with no structural faults never changes
+        a run.
+        """
+        if not self.policy.dynamic or injector is None:
+            return []
+        events: List[Tuple[str, str]] = []
+        changed = False
+        for budget in self.topology.budgets:
+            targets = self._structural_targets(budget)
+            lost = injector.tier_lost(targets, now)
+            fraction = (
+                0.0 if lost else injector.capacity_fraction(targets, now)
+            )
+            previous = self.tiermap.capacity_factor(budget.name)
+            was_lost = budget.name in self.lost_tiers
+            if lost and not was_lost:
+                self.lost_tiers.add(budget.name)
+                events.append(("lost", budget.name))
+            elif not lost and was_lost:
+                self.lost_tiers.discard(budget.name)
+                events.append(("restored", budget.name))
+            elif fraction < previous:
+                events.append(("shrunk", budget.name))
+            elif fraction > previous:
+                events.append(("regrown", budget.name))
+            if fraction != previous:
+                self.tiermap.set_capacity_factor(budget.name, fraction)
+                changed = True
+        if changed:
+            self._admission_limit = self._compute_admission_limit()
+            self._publish_occupancy()
+        return events
+
+    def rescue_tier(
+        self,
+        tier_name: str,
+        now: float,
+        injector=None,
+        retry=None,
+    ) -> RescueOutcome:
+        """Emergency-migrate every extent off a lost tier.
+
+        Shadows resident on the lost tier are dropped for free (the
+        authoritative copy survives elsewhere); authoritative extents
+        are re-materialized into the fastest surviving tier with
+        room, priced through the solver and — when an ``injector``
+        and ``retry`` policy are given — through
+        ``injector.price_transfer`` against the *destination* tier's
+        fault targets, so a flaky destination can exhaust retries.
+        A request whose extent finds no surviving home, or whose
+        rescue transfer exhausts its retries, fails: **all** of its
+        extents are released (no stranded bytes) and its id is
+        reported in ``failed`` for the scheduler to shed.
+        """
+        moved = 0
+        moved_bytes = 0
+        moved_requests = 0
+        rescue_s = 0.0
+        failed: List[int] = []
+        src = self.topology.budget(tier_name)
+        for request_id in self.tiermap.request_ids():
+            doomed = False
+            touched = False
+            for extent in list(self.tiermap.extents_of(request_id)):
+                if extent.tier_name != tier_name:
+                    continue
+                if extent.shadow:
+                    self.tiermap.remove(extent)
+                    continue
+                dst = self._rescue_home(extent.nbytes, tier_name)
+                if dst is None:
+                    doomed = True
+                    break
+                duration = self.pricer.migration_time(
+                    src, dst, extent.nbytes, now
+                )
+                if injector is not None and duration > 0.0:
+                    targets = self._structural_targets(dst)
+                    try:
+                        outcome = (
+                            injector.price_transfer(
+                                targets, duration, now, retry
+                            )
+                            if retry is not None
+                            else injector.price_transfer(
+                                targets, duration, now
+                            )
+                        )
+                    except TransferError:
+                        doomed = True
+                        break
+                    duration = outcome.duration_s
+                self.tiermap.move(extent, dst)
+                self._record_migration(
+                    extent, src, dst, now, duration, "rescue"
+                )
+                rescue_s += duration
+                moved += 1
+                moved_bytes += extent.nbytes
+                touched = True
+            if doomed:
+                failed.append(request_id)
+                self.release(request_id, now)
+            elif touched:
+                moved_requests += 1
+        self._pending_s += rescue_s
+        self._publish_occupancy()
+        return RescueOutcome(
+            tier=tier_name,
+            moved_extents=moved,
+            moved_bytes=moved_bytes,
+            moved_requests=moved_requests,
+            rescue_s=rescue_s,
+            failed=tuple(failed),
+        )
+
+    def _rescue_home(
+        self, nbytes: int, exclude: str
+    ) -> Optional[TierBudget]:
+        """The fastest surviving tier with room for ``nbytes``."""
+        for budget in self.topology.budgets:
+            if budget.name == exclude or budget.name in self.lost_tiers:
+                continue
+            if self.tiermap.free_bytes(budget.name) >= nbytes:
+                return budget
+        return None
+
+    def fail_tier(self, tier_name: str, now: float) -> Tuple[int, ...]:
+        """Shed-only response to a lost tier: its KV is simply gone.
+
+        Requests holding authoritative extents there are reported for
+        shedding (the scheduler's shed path releases every extent
+        they hold); surviving requests' shadows on the tier are
+        dropped.  The do-nothing baseline the rescue path is measured
+        against.
+        """
+        failed: List[int] = []
+        for request_id in self.tiermap.request_ids():
+            stranded = False
+            for extent in list(self.tiermap.extents_of(request_id)):
+                if extent.tier_name != tier_name:
+                    continue
+                if extent.shadow:
+                    self.tiermap.remove(extent)
+                else:
+                    stranded = True
+            if stranded:
+                failed.append(request_id)
+        self._publish_occupancy()
+        return tuple(failed)
+
+    def spill_overflow(self, tier_name: str, now: float) -> Tuple[int, ...]:
+        """Demote extents off a shrunken tier until it fits again.
+
+        Victims are chosen coldest-first (ties: lowest id) and moved
+        to the fastest *slower* tier with room; the priced migration
+        time accrues to the next iteration's surcharge.  Requests
+        whose extents have nowhere to go are reported for shedding.
+        """
+        src = self.topology.budget(tier_name)
+        failed: List[int] = []
+        order = sorted(
+            self.tiermap.request_ids(),
+            key=lambda rid: (self._last_touch.get(rid, 0.0), rid),
+        )
+        for request_id in order:
+            if self.tiermap.free_bytes(tier_name) >= 0:
+                break
+            for extent in list(self.tiermap.extents_of(request_id)):
+                if self.tiermap.free_bytes(tier_name) >= 0:
+                    break
+                if extent.tier_name != tier_name:
+                    continue
+                if extent.shadow:
+                    self.tiermap.remove(extent)
+                    continue
+                dst = self._slower_home(extent.nbytes, src)
+                if dst is None or dst.name in self.lost_tiers:
+                    failed.append(request_id)
+                    self.release(request_id, now)
+                    break
+                duration = self.pricer.migration_time(
+                    src, dst, extent.nbytes, now
+                )
+                self.tiermap.move(extent, dst)
+                self._record_migration(
+                    extent, src, dst, now, duration, "shrink"
+                )
+                self._pending_s += duration
+        self._publish_occupancy()
+        return tuple(failed)
+
+    # -- checkpointing -------------------------------------------------
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """The manager's mutable state as a deterministic dict."""
+        return {
+            "tiermap": self.tiermap.state_snapshot(),
+            "last_touch": [
+                [request_id, self._last_touch[request_id]]
+                for request_id in sorted(self._last_touch)
+            ],
+            "pending_s": self._pending_s,
+            "migration_bytes": self.migration_bytes,
+            "migrations": [
+                {
+                    "request_id": record.request_id,
+                    "start": record.layers.start,
+                    "stop": record.layers.stop,
+                    "src": record.src,
+                    "dst": record.dst,
+                    "nbytes": record.nbytes,
+                    "start_s": record.start_s,
+                    "duration_s": record.duration_s,
+                    "reason": record.reason,
+                }
+                for record in self.migrations
+            ],
+            "lost_tiers": sorted(self.lost_tiers),
+            "admission_limit": self._admission_limit,
+        }
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Rebuild the manager from :meth:`state_snapshot` output."""
+        self.tiermap.restore_state(snapshot["tiermap"])
+        self._last_touch = {
+            int(request_id): float(touched)
+            for request_id, touched in snapshot["last_touch"]
+        }
+        self._pending_s = float(snapshot["pending_s"])
+        self.migration_bytes = int(snapshot["migration_bytes"])
+        self.migrations = [
+            MigrationRecord(
+                request_id=int(entry["request_id"]),
+                layers=LayerRange(int(entry["start"]), int(entry["stop"])),
+                src=str(entry["src"]),
+                dst=str(entry["dst"]),
+                nbytes=int(entry["nbytes"]),
+                start_s=float(entry["start_s"]),
+                duration_s=float(entry["duration_s"]),
+                reason=str(entry["reason"]),
+            )
+            for entry in snapshot["migrations"]
+        ]
+        self.lost_tiers = set(snapshot["lost_tiers"])
+        limit = snapshot["admission_limit"]
+        self._admission_limit = None if limit is None else int(limit)
 
     # -- internals -----------------------------------------------------
 

@@ -76,7 +76,7 @@ class MigrationRecord:
     nbytes: int
     start_s: float
     duration_s: float
-    reason: str  # "demote" | "promote" | "degraded"
+    reason: str  # "demote" | "promote" | "degraded" | "rescue" | "shrink"
 
 
 class KvTierMap:
@@ -91,6 +91,12 @@ class KvTierMap:
             budget.name: 0 for budget in topology.budgets
         }
         self._extents: Dict[int, List[KvExtent]] = {}
+        #: Structural-fault capacity scaling per tier (1.0 = nominal,
+        #: 0.0 = lost).  Applied on top of the topology budgets so a
+        #: runtime tier loss shrinks the map without rebuilding it.
+        self._capacity_factor: Dict[str, float] = {
+            budget.name: 1.0 for budget in topology.budgets
+        }
 
     # -- queries -------------------------------------------------------
 
@@ -102,9 +108,46 @@ class KvTierMap:
                 f"no KV tier named {tier_name!r}"
             ) from None
 
-    def free_bytes(self, tier_name: str) -> int:
+    def capacity_factor(self, tier_name: str) -> float:
+        try:
+            return self._capacity_factor[tier_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no KV tier named {tier_name!r}"
+            ) from None
+
+    def set_capacity_factor(self, tier_name: str, fraction: float) -> None:
+        """Scale one tier's effective capacity (structural faults).
+
+        ``0.0`` marks the tier lost; the map keeps accounting its
+        extents (they are stranded, not freed) so rescue/shed logic
+        can enumerate exactly what was resident.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(
+                f"capacity factor must be in [0, 1], got {fraction}"
+            )
+        if tier_name not in self._capacity_factor:
+            raise ConfigurationError(f"no KV tier named {tier_name!r}")
+        self._capacity_factor[tier_name] = fraction
+
+    def capacity_bytes(self, tier_name: str) -> int:
+        """The tier's effective capacity under structural faults."""
         budget = self.topology.budget(tier_name)
-        return budget.capacity_bytes - self.used_bytes(tier_name)
+        return int(budget.capacity_bytes * self._capacity_factor[tier_name])
+
+    def free_bytes(self, tier_name: str) -> int:
+        return self.capacity_bytes(tier_name) - self.used_bytes(tier_name)
+
+    def occupancy_snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """``name -> (used, effective capacity)`` for error messages."""
+        return {
+            budget.name: (
+                self._used[budget.name],
+                self.capacity_bytes(budget.name),
+            )
+            for budget in self.topology.budgets
+        }
 
     @property
     def total_free_bytes(self) -> int:
@@ -144,6 +187,7 @@ class KvTierMap:
                 budget.name,
                 nbytes,
                 max(0, self.free_bytes(budget.name)),
+                occupancy=self.occupancy_snapshot(),
             )
         extent = KvExtent(
             request_id=request_id,
@@ -177,7 +221,10 @@ class KvTierMap:
             return extent
         if self.enforce and extent.nbytes > self.free_bytes(dst.name):
             raise CapacityError(
-                dst.name, extent.nbytes, max(0, self.free_bytes(dst.name))
+                dst.name,
+                extent.nbytes,
+                max(0, self.free_bytes(dst.name)),
+                occupancy=self.occupancy_snapshot(),
             )
         self.remove(extent)
         return self.place(
@@ -198,3 +245,46 @@ class KvTierMap:
         for extent in extents:
             self._used[extent.tier_name] -= extent.nbytes
         return extents
+
+    # -- checkpointing -------------------------------------------------
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """Extents and capacity factors as a deterministic dict."""
+        return {
+            "capacity_factor": dict(self._capacity_factor),
+            "extents": [
+                {
+                    "request_id": extent.request_id,
+                    "start": extent.layers.start,
+                    "stop": extent.layers.stop,
+                    "tier": extent.tier_name,
+                    "nbytes": extent.nbytes,
+                    "shadow": extent.shadow,
+                }
+                for request_id in sorted(self._extents)
+                for extent in self._extents[request_id]
+            ],
+        }
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Rebuild occupancy from :meth:`state_snapshot` output.
+
+        Restoration bypasses enforcement: the snapshot was consistent
+        when taken, and replaying it through capacity checks could
+        reject a legal (post-shrink, over-budget-by-design) layout.
+        """
+        self._extents.clear()
+        self._used = {
+            budget.name: 0 for budget in self.topology.budgets
+        }
+        self._capacity_factor = dict(snapshot["capacity_factor"])
+        for entry in snapshot["extents"]:
+            extent = KvExtent(
+                request_id=int(entry["request_id"]),
+                layers=LayerRange(int(entry["start"]), int(entry["stop"])),
+                tier_name=str(entry["tier"]),
+                nbytes=int(entry["nbytes"]),
+                shadow=bool(entry["shadow"]),
+            )
+            self._used[extent.tier_name] += extent.nbytes
+            self._extents.setdefault(extent.request_id, []).append(extent)

@@ -48,6 +48,11 @@ from repro.serve.scheduler import (
     FaultSummary,
     SchedulerRun,
 )
+from repro.serve.state import (
+    CheckpointPlan,
+    IterationSample,
+    SchedulerState,
+)
 from repro.serve.simulator import (
     ServingResult,
     ServingSimulator,
@@ -75,6 +80,9 @@ __all__ = [
     "ContinuousBatchingScheduler",
     "SchedulerRun",
     "FaultSummary",
+    "CheckpointPlan",
+    "IterationSample",
+    "SchedulerState",
     "ShedRecord",
     "ResiliencePolicy",
     "DEFAULT_RESILIENCE",

@@ -151,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: on; --no-resilience prices faults but never reacts)",
     )
     parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run the cross-layer invariant sanitizer at every "
+        "scheduler boundary (clock, request conservation, KV "
+        "accounting, lost tiers, cache stats, pricing agreement); "
+        "never changes a priced metric, aborts on the first "
+        "violation (also: REPRO_SANITIZE=1)",
+    )
+    parser.add_argument(
         "--replay", metavar="FILE",
         help="replay a JSONL request trace instead of sampling arrivals",
     )
@@ -260,6 +268,21 @@ def _print_report(result, telemetry: Optional[Telemetry] = None) -> None:
             f"shed {faults.shed_requests} request(s), "
             f"aborted {faults.aborted}"
         )
+        if faults.tier_losses or faults.timeouts or faults.client_retries:
+            print(
+                f"    tier losses {faults.tier_losses}, rescued "
+                f"{faults.rescued_requests} request(s), timeouts "
+                f"{faults.timeouts}, client retries "
+                f"{faults.client_retries}"
+            )
+    sanitize = setup.get("sanitize")
+    if sanitize:
+        checked = sum(sanitize["checks"].values())
+        print(
+            f"  sanitizer: {checked} check(s) over "
+            f"{sanitize['boundaries']} boundaries, "
+            f"{len(sanitize['violations'])} violation(s)"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -316,6 +339,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             telemetry=telemetry,
             kv_policy=args.kv_policy,
             iteration_fault_pricing=args.iteration_fault_pricing,
+            sanitize=True if args.sanitize else None,
         )
         _print_report(result, telemetry=telemetry)
 

@@ -142,6 +142,10 @@ class ServingMetrics:
             "stall_s": self.faults.stall_s,
             "shed_requests": self.faults.shed_requests,
             "aborted": self.faults.aborted,
+            "tier_losses": self.faults.tier_losses,
+            "rescued_requests": self.faults.rescued_requests,
+            "client_retries": self.faults.client_retries,
+            "timeouts": self.faults.timeouts,
         }
         flat["classes"] = {
             name: report.summary()

@@ -144,7 +144,12 @@ class ShedRecord:
     #: Virtual time of the rejection decision.
     shed_s: float
     #: Why it was shed: ``"degraded"`` (load shedding while a tier is
-    #: slow) or ``"outage"`` (tier down past the stall budget).
+    #: slow), ``"outage"`` (tier down past the stall budget),
+    #: ``"kv_capacity"`` (the window can never fit), ``"timeout"``
+    #: (queueing deadline exceeded), ``"kv_lost"`` (KV on a lost tier,
+    #: no rescue), ``"rescue_failed"`` (emergency migration found no
+    #: surviving home or exhausted retries), or ``"kv_shrink"``
+    #: (spilled off a shrunken tier with nowhere to go).
     reason: str
 
 

@@ -33,6 +33,31 @@ stays down past the stall budget aborts the run by shedding all
 outstanding work instead of hanging.  Without an injector the code
 path is bit-identical to the fault-free scheduler.
 
+**Structural tier loss.**  A schedule containing structural faults
+(:class:`~repro.faults.models.TierLoss`,
+:class:`~repro.faults.models.CapacityShrink`,
+:class:`~repro.faults.models.CorrelatedOutage`) changes the *shape*
+of the memory hierarchy at runtime, not just its speed.  With a
+dynamic KV manager attached the scheduler polls
+:meth:`~repro.kv.manager.KvCacheManager.sync_structure` each
+boundary: a lost tier triggers either an emergency KV rescue
+(``rescue_kv`` — extents re-materialize on surviving tiers, priced
+through the solver and the injector) or a shed of every request whose
+KV it held; a shrunken tier spills its overflow coldest-first.  Tier
+loss also re-plans placement at ``tier_loss_severity``.  Requests can
+carry a queueing deadline (shed reason ``"timeout"``), and shed
+requests with a *recoverable* reason re-enter the arrival stream
+after a deterministic client backoff when ``retry_shed`` is on.
+
+**Checkpoint / crash / recovery.**  Passing a
+:class:`~repro.serve.state.CheckpointPlan` snapshots the entire loop
+state — scheduler, engine clock + trace, injector RNG, KV tier map,
+telemetry — at iteration boundaries, and optionally raises
+:class:`~repro.errors.SimulatedCrash` (carrying the latest snapshot)
+at a chosen boundary.  ``run(restore=checkpoint)`` resumes from a
+snapshot; because every stochastic consumer restores its exact state,
+the resumed run is bit-identical to the uncrashed one.
+
 **Telemetry.**  With a :class:`repro.telemetry.Telemetry` attached
 (explicitly or ambiently), the run additionally emits a span tree —
 one run span, one span per iteration, one per request (with
@@ -43,12 +68,15 @@ no-ops on the inert default and never perturb priced results.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
+    SimulatedCrash,
     TransferError,
     WorkloadError,
 )
@@ -68,6 +96,16 @@ from repro.serve.resilience import (
     Replanner,
     ResiliencePolicy,
 )
+from repro.serve.state import (
+    CHECKPOINT_VERSION,
+    CheckpointPlan,
+    IterationSample,
+    SchedulerState,
+    restore_engine,
+    restore_state,
+    snapshot_engine,
+    snapshot_state,
+)
 from repro.sim.engine import SimEngine
 from repro.sim.trace import Trace, TraceRecord
 from repro.telemetry import Telemetry, resolve_telemetry
@@ -76,18 +114,12 @@ from repro.telemetry import Telemetry, resolve_telemetry
 #: link/region labels.
 DEFAULT_FAULT_TARGETS: Tuple[str, ...] = (HOST_TARGET, PCIE_TARGET)
 
-
-@dataclass(frozen=True)
-class IterationSample:
-    """Queue/batch occupancy at one iteration boundary."""
-
-    time_s: float
-    kind: str  # "prefill" | "decode"
-    batch: int
-    waiting: int
-    running_after: int
-    #: Whether the scheduler was in degraded mode at this boundary.
-    degraded: bool = False
+#: Shed reasons a well-behaved client retries (transient conditions);
+#: permanent rejections ("degraded" load shedding, "outage" aborts,
+#: "kv_capacity" never-fits) are final.
+RETRYABLE_SHED_REASONS = frozenset(
+    {"timeout", "kv_lost", "rescue_failed", "kv_shrink"}
+)
 
 
 @dataclass(frozen=True)
@@ -113,6 +145,14 @@ class FaultSummary:
     #: The run was abandoned because a tier stayed down past the
     #: stall budget.
     aborted: bool = False
+    #: Structural tier-loss events observed by the KV manager.
+    tier_losses: int = 0
+    #: Requests whose KV survived a tier loss via emergency rescue.
+    rescued_requests: int = 0
+    #: Shed requests that re-entered the stream as client retries.
+    client_retries: int = 0
+    #: Requests shed for exceeding their queueing deadline.
+    timeouts: int = 0
 
 
 @dataclass(frozen=True)
@@ -159,6 +199,7 @@ class ContinuousBatchingScheduler:
         telemetry: Optional[Telemetry] = None,
         kv=None,
         iteration_fault_pricing: bool = False,
+        sanitizer=None,
     ) -> None:
         self.costs = costs
         self.classes = class_index(classes)
@@ -192,6 +233,19 @@ class ContinuousBatchingScheduler:
         #: of as one lump sum.  Needs an event cost model; ignored
         #: when the model cannot price per layer.
         self.iteration_fault_pricing = bool(iteration_fault_pricing)
+        #: Optional invariant sanitizer (``repro.chaos``): observed at
+        #: every iteration boundary; ``None`` skips every hook.
+        self.sanitizer = sanitizer
+        # Resolve the tri-state KV flags against the manager actually
+        # attached — an explicit True with nothing to act on is a
+        # configuration contradiction and fails here, at use-site,
+        # instead of silently no-opping for a whole run.
+        if resilience is not None:
+            self._demote_kv = resilience.wants_demote_kv(kv)
+            self._rescue_kv = resilience.wants_rescue_kv(kv)
+        else:
+            self._demote_kv = False
+            self._rescue_kv = False
 
     def _request(self, spec: RequestSpec) -> ServeRequest:
         try:
@@ -204,17 +258,111 @@ class ContinuousBatchingScheduler:
             ) from None
         return ServeRequest(spec=spec, qos=qos)
 
-    def run(self, specs: Sequence[RequestSpec]) -> SchedulerRun:
-        """Serve the whole stream; returns per-request records."""
-        if not specs:
-            raise WorkloadError("nothing to serve: empty request stream")
-        pending = sorted(specs, key=lambda s: (s.arrival_s, s.request_id))
-        engine = SimEngine()
+    # -- checkpoint assembly ------------------------------------------
+
+    def _build_checkpoint(
+        self, state: SchedulerState, engine: SimEngine, telemetry
+    ) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "boundary": state.boundary,
+            "engine": snapshot_engine(engine),
+            "state": snapshot_state(state),
+            "injector": (
+                self.injector.state_snapshot()
+                if self.injector is not None
+                else None
+            ),
+            "kv": (
+                self.kv.state_snapshot() if self.kv is not None else None
+            ),
+            # The pre-crash segment's telemetry, for post-mortems.  A
+            # restored run re-instruments only its own segment (the
+            # injector's bound counters would double-count if this
+            # were merged back automatically).
+            "telemetry": {
+                "metrics": telemetry.registry.snapshot(),
+                "spans": telemetry.tracer.to_dicts(),
+            },
+        }
+
+    def _restore(self, checkpoint: dict):
+        """Rebuild (state, engine) from a checkpoint dict."""
+        if not isinstance(checkpoint, dict) or "version" not in checkpoint:
+            raise CheckpointError(
+                "restore needs a checkpoint dict (see CheckpointPlan)"
+            )
+        if checkpoint["version"] != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {checkpoint['version']} does not "
+                f"match this scheduler's ({CHECKPOINT_VERSION})"
+            )
+        state = restore_state(checkpoint["state"], self._request)
+        engine = restore_engine(checkpoint["engine"])
+        if checkpoint.get("injector") is not None:
+            if self.injector is None:
+                raise CheckpointError(
+                    "checkpoint carries injector state but the "
+                    "scheduler has no injector attached"
+                )
+            self.injector.restore_state(checkpoint["injector"])
+        if checkpoint.get("kv") is not None:
+            if self.kv is None:
+                raise CheckpointError(
+                    "checkpoint carries KV state but the scheduler "
+                    "has no KV manager attached"
+                )
+            self.kv.restore_state(checkpoint["kv"])
+        # The degraded cost model is a runtime object: re-derive it
+        # from the (deterministic, cached) replanner at the severity
+        # the snapshot recorded.
+        state.active_costs = self.costs
+        if state.replanned and self.replanner is not None:
+            state.active_costs = self.replanner(
+                max(1.0, state.replan_severity)
+            ).costs
+        return state, engine
+
+    def run(
+        self,
+        specs: Sequence[RequestSpec],
+        checkpoint: Optional[CheckpointPlan] = None,
+        restore: Optional[dict] = None,
+    ) -> SchedulerRun:
+        """Serve the whole stream; returns per-request records.
+
+        ``checkpoint`` snapshots the loop state per
+        :class:`~repro.serve.state.CheckpointPlan` (and may inject a
+        crash).  ``restore`` resumes from a snapshot — ``specs`` is
+        ignored then; the checkpoint carries the stream.
+        """
+        if restore is not None:
+            state, engine = self._restore(restore)
+        else:
+            if not specs:
+                raise WorkloadError(
+                    "nothing to serve: empty request stream"
+                )
+            state = SchedulerState(
+                pending=sorted(
+                    specs, key=lambda s: (s.arrival_s, s.request_id)
+                ),
+                effective_max=self.max_batch,
+                active_costs=self.costs,
+            )
+            engine = SimEngine()
         gpu = engine.stream("gpu")
 
         injector = self.injector
         resilience = self.resilience
         retry = self.retry
+        sanitizer = self.sanitizer
+        #: Whether the schedule can change the hierarchy's shape at
+        #: all — False short-circuits every structural hook, keeping
+        #: bandwidth-only chaos runs byte-identical to before.
+        structural_faults = (
+            injector is not None and injector.structural()
+        )
 
         # Telemetry: every instrument below is a no-op on the inert
         # default, and nothing here reads wall-clock time or touches
@@ -236,43 +384,25 @@ class ContinuousBatchingScheduler:
         completed_counter = serve_metrics.counter("completed_requests")
         wait_histogram = serve_metrics.histogram("wait_s")
         run_span = tracer.start(
-            "serve run", 0.0, category="run", requests=len(pending)
+            "serve run",
+            engine.now,
+            category="run",
+            requests=len(state.pending),
         )
         kv = self.kv
         if kv is not None:
             kv.bind_run(tracer, run_span)
 
-        #: (priority, arrival, id) heap of waiting requests.
-        waiting: List[Tuple[int, float, int, ServeRequest]] = []
-        running: List[ServeRequest] = []
-        records: List[RequestRecord] = []
-        shed_records: List[ShedRecord] = []
-        timeline: List[IterationSample] = []
-        next_arrival = 0
-        prefills = decodes = 0
-        gpu_busy = 0.0
-
-        # Degraded-mode state machine.
-        active_costs = self.costs
-        effective_max = self.max_batch
-        degraded_mode = False
-        replanned = False
-        degraded_streak = ok_streak = stall_streak = 0
-        events = replans = stalls = 0
-        stall_s = 0.0
-        degraded_iterations = retried_iterations = 0
-        retry_overhead_s = 0.0
-        aborted = False
+        latest_checkpoint: Optional[dict] = restore
 
         def absorb_arrivals(now: float) -> int:
-            nonlocal next_arrival
             while (
-                next_arrival < len(pending)
-                and pending[next_arrival].arrival_s <= now
+                state.next_arrival < len(state.pending)
+                and state.pending[state.next_arrival].arrival_s <= now
             ):
-                request = self._request(pending[next_arrival])
+                request = self._request(state.pending[state.next_arrival])
                 heapq.heappush(
-                    waiting,
+                    state.waiting,
                     (
                         request.qos.priority,
                         request.spec.arrival_s,
@@ -280,14 +410,14 @@ class ContinuousBatchingScheduler:
                         request,
                     ),
                 )
-                next_arrival += 1
-            return next_arrival
+                state.next_arrival += 1
+            return state.next_arrival
 
         def finish(request: ServeRequest) -> None:
             if kv is not None:
                 kv.release(request.spec.request_id)
             record = RequestRecord.from_request(request)
-            records.append(record)
+            state.records.append(record)
             engine.trace.record(
                 TraceRecord(
                     label=f"req {record.request_id}",
@@ -332,10 +462,35 @@ class ContinuousBatchingScheduler:
                 "first_token", record.arrival_s + record.ttft_s
             )
 
+        def retry_client(spec: RequestSpec, now: float) -> None:
+            """Re-enter a shed request as a later client attempt."""
+            attempt = state.attempts.get(spec.request_id, 1) + 1
+            state.attempts[spec.request_id] = attempt
+            arrival = now + resilience.client_backoff_s(attempt)
+            retry_spec = dataclasses.replace(spec, arrival_s=arrival)
+            key = (arrival, spec.request_id)
+            index = state.next_arrival
+            pending = state.pending
+            while index < len(pending) and (
+                (pending[index].arrival_s, pending[index].request_id)
+                <= key
+            ):
+                index += 1
+            pending.insert(index, retry_spec)
+            state.client_retries += 1
+            serve_metrics.counter("client_retries").inc()
+            run_span.event(
+                "client_retry",
+                now,
+                request=spec.request_id,
+                attempt=attempt,
+                arrival_s=round(arrival, 6),
+            )
+
         def shed_one(spec: RequestSpec, now: float, reason: str) -> None:
             if kv is not None:
                 kv.release(spec.request_id, now)
-            shed_records.append(
+            state.shed_records.append(
                 ShedRecord(
                     request_id=spec.request_id,
                     qos_class=spec.qos_class,
@@ -366,13 +521,20 @@ class ContinuousBatchingScheduler:
                 qos=spec.qos_class,
                 reason=reason,
             )
+            if (
+                resilience is not None
+                and resilience.retry_shed
+                and reason in RETRYABLE_SHED_REASONS
+                and state.attempts.get(spec.request_id, 1)
+                < resilience.retry_max_attempts
+            ):
+                retry_client(spec, now)
 
         def shed_waiting(
             now: float, reason: str, sheddable_only: bool
         ) -> None:
-            nonlocal waiting
             kept: List[Tuple[int, float, int, ServeRequest]] = []
-            for entry in waiting:
+            for entry in state.waiting:
                 request = entry[-1]
                 if (
                     sheddable_only
@@ -383,20 +545,150 @@ class ContinuousBatchingScheduler:
                 else:
                     shed_one(request.spec, now, reason)
             heapq.heapify(kept)
-            waiting = kept
+            state.waiting = kept
+
+        def shed_ids(
+            ids: Sequence[int], now: float, reason: str
+        ) -> None:
+            """Shed specific requests wherever they currently live."""
+            id_set = set(ids)
+            if not id_set:
+                return
+            kept_running: List[ServeRequest] = []
+            for request in state.running:
+                if request.spec.request_id in id_set:
+                    shed_one(request.spec, now, reason)
+                else:
+                    kept_running.append(request)
+            state.running = kept_running
+            kept_waiting: List[Tuple[int, float, int, ServeRequest]] = []
+            changed = False
+            for entry in state.waiting:
+                if entry[-1].spec.request_id in id_set:
+                    shed_one(entry[-1].spec, now, reason)
+                    changed = True
+                else:
+                    kept_waiting.append(entry)
+            if changed:
+                heapq.heapify(kept_waiting)
+                state.waiting = kept_waiting
+
+        def sweep_deadlines(now: float) -> None:
+            kept: List[Tuple[int, float, int, ServeRequest]] = []
+            changed = False
+            for entry in state.waiting:
+                request = entry[-1]
+                if (
+                    now - request.spec.arrival_s
+                    > resilience.queue_deadline_s
+                ):
+                    state.timeouts += 1
+                    serve_metrics.counter("timeouts").inc()
+                    shed_one(request.spec, now, "timeout")
+                    changed = True
+                else:
+                    kept.append(entry)
+            if changed:
+                heapq.heapify(kept)
+                state.waiting = kept
+
+        def structural_step(now: float) -> None:
+            """React to runtime changes in the hierarchy's shape."""
+            kv_events = kv.sync_structure(injector, now)
+            lost_any = False
+            for event, tier in kv_events:
+                if event == "lost":
+                    state.tier_losses += 1
+                    lost_any = True
+                    serve_metrics.counter("tier_losses").inc()
+                    run_span.event("tier_lost", now, tier=tier)
+                    if self._rescue_kv:
+                        outcome = kv.rescue_tier(
+                            tier, now, injector=injector, retry=retry
+                        )
+                        state.rescued_requests += outcome.moved_requests
+                        serve_metrics.counter("rescued_requests").inc(
+                            outcome.moved_requests
+                        )
+                        run_span.event(
+                            "kv_rescue",
+                            now,
+                            tier=tier,
+                            moved=outcome.moved_requests,
+                            failed=len(outcome.failed),
+                            rescue_s=round(outcome.rescue_s, 6),
+                        )
+                        shed_ids(outcome.failed, now, "rescue_failed")
+                    else:
+                        shed_ids(
+                            kv.fail_tier(tier, now), now, "kv_lost"
+                        )
+                elif event == "shrunk":
+                    run_span.event("tier_shrunk", now, tier=tier)
+                    shed_ids(
+                        kv.spill_overflow(tier, now), now, "kv_shrink"
+                    )
+                elif event == "restored":
+                    run_span.event("tier_restored", now, tier=tier)
+            if (
+                lost_any
+                and resilience is not None
+                and resilience.replan
+                and self.replanner is not None
+            ):
+                severity = max(
+                    resilience.tier_loss_severity, state.replan_severity
+                )
+                if not state.replanned or severity > state.replan_severity:
+                    outcome = self.replanner(severity)
+                    state.active_costs = outcome.costs
+                    state.effective_max = max(
+                        1, min(self.max_batch, outcome.max_batch)
+                    )
+                    state.replanned = True
+                    state.replan_severity = severity
+                    state.replans += 1
+                    serve_metrics.counter("replans").inc()
+                    run_span.event(
+                        "replan",
+                        now,
+                        label=outcome.label,
+                        max_batch=state.effective_max,
+                    )
+                state.structural_replan = True
+            if (
+                state.structural_replan
+                and not kv.lost_tiers
+                and not state.degraded_mode
+            ):
+                # Every lost tier came back: return to the nominal
+                # plan (a concurrent bandwidth degradation keeps it).
+                state.structural_replan = False
+                state.replanned = False
+                state.replan_severity = 0.0
+                state.active_costs = self.costs
+                state.effective_max = self.max_batch
+                run_span.event("replan_reset", now)
 
         def priced_iteration(
             kind: str, batch: int, tokens: int, now: float, health
         ) -> float:
             """Price one iteration's duration under the injector."""
-            nonlocal retried_iterations, retry_overhead_s
             # A re-planned cost model bakes the derated bandwidths into
             # its parts, so it is used (at scale 1.0 — re-applying the
             # live slowdown would double-count) only while the tier is
             # actually degraded; healthy boundaries inside a
             # not-yet-recovered event are priced off the nominal model.
+            # A *structural* re-plan (tier lost) stays active for its
+            # whole loss window — the hierarchy is still short a tier
+            # even when the surviving links are healthy.
             degraded_now = health is not None and health.slowdown > 1.0
-            model = active_costs if (replanned and degraded_now) else self.costs
+            model = (
+                state.active_costs
+                if state.replanned
+                and (degraded_now or state.structural_replan)
+                else self.costs
+            )
             if (
                 self.iteration_fault_pricing
                 and model is self.costs
@@ -413,8 +705,8 @@ class ContinuousBatchingScheduler:
                 )
                 if faulted is not None:
                     if faulted.retried_layers:
-                        retried_iterations += 1
-                        retry_overhead_s += faulted.retry_overhead_s
+                        state.retried_iterations += 1
+                        state.retry_overhead_s += faulted.retry_overhead_s
                     return faulted.total_s()
             nominal = (
                 self.costs.prefill_parts(batch, tokens)
@@ -439,20 +731,19 @@ class ContinuousBatchingScheduler:
                 scale = 1.0
             extra = outcome.wasted_s + outcome.retry_delay_s
             if outcome.retried:
-                retried_iterations += 1
-                retry_overhead_s += extra
+                state.retried_iterations += 1
+                state.retry_overhead_s += extra
             return parts.total_s(scale) + extra
 
         def evict_running(now: float) -> None:
             """Preempt sheddable running requests, freeing KV slots."""
-            nonlocal running
             kept: List[ServeRequest] = []
-            for request in running:
+            for request in state.running:
                 if request.qos.priority < resilience.shed_priority_floor:
                     kept.append(request)
                 else:
                     shed_one(request.spec, now, "degraded")
-            running = kept
+            state.running = kept
 
         def record_stall(now: float, duration_s: float) -> None:
             serve_metrics.counter("stalls").inc()
@@ -461,20 +752,49 @@ class ContinuousBatchingScheduler:
 
         def abort_run(now: float) -> None:
             """Permanent outage: fail everything outstanding."""
-            nonlocal aborted, running
             run_span.event("abort", now)
             shed_waiting(now, "outage", sheddable_only=False)
-            for request in running:
+            for request in state.running:
                 shed_one(request.spec, now, "outage")
-            running = []
-            for index in range(next_arrival, len(pending)):
-                spec = pending[index]
+            state.running = []
+            for index in range(state.next_arrival, len(state.pending)):
+                spec = state.pending[index]
                 shed_one(spec, max(now, spec.arrival_s), "outage")
-            aborted = True
+            state.aborted = True
 
-        while len(records) + len(shed_records) < len(pending):
+        while (
+            len(state.records) + len(state.shed_records)
+            < len(state.pending)
+        ):
             now = engine.now
+            boundary = state.boundary + 1
+            if checkpoint is not None:
+                if (
+                    latest_checkpoint is None
+                    or boundary % checkpoint.every == 0
+                ):
+                    latest_checkpoint = self._build_checkpoint(
+                        state, engine, telemetry
+                    )
+                    if checkpoint.sink is not None:
+                        checkpoint.sink(latest_checkpoint)
+                if (
+                    checkpoint.crash_at is not None
+                    and boundary >= checkpoint.crash_at
+                ):
+                    raise SimulatedCrash(boundary, latest_checkpoint)
+            state.boundary = boundary
             absorb_arrivals(now)
+
+            if (
+                resilience is not None
+                and resilience.queue_deadline_s is not None
+                and state.waiting
+            ):
+                sweep_deadlines(now)
+
+            if structural_faults and kv is not None:
+                structural_step(now)
 
             health = None
             if injector is not None:
@@ -484,85 +804,108 @@ class ContinuousBatchingScheduler:
                     or health.slowdown >= resilience.degraded_threshold
                 )
                 if degraded_now:
-                    degraded_streak += 1
-                    ok_streak = 0
+                    state.degraded_streak += 1
+                    state.ok_streak = 0
                 else:
-                    ok_streak += 1
-                    degraded_streak = 0
+                    state.ok_streak += 1
+                    state.degraded_streak = 0
                 if (
-                    not degraded_mode
-                    and degraded_streak >= resilience.sustain_iterations
+                    not state.degraded_mode
+                    and state.degraded_streak
+                    >= resilience.sustain_iterations
                 ):
-                    degraded_mode = True
-                    events += 1
+                    state.degraded_mode = True
+                    state.events += 1
                     serve_metrics.counter("degradation_events").inc()
                     run_span.event(
                         "degraded_enter", now,
                         slowdown=round(health.slowdown, 4),
                         down=health.down,
                     )
-                    if resilience.evict and running:
+                    if resilience.evict and state.running:
                         evict_running(now)
-                    if kv is not None and resilience.demote_kv:
+                    if kv is not None and self._demote_kv:
                         kv.on_degraded(now, max(1.0, health.slowdown))
                     severity = max(1.0, health.slowdown)
+                    if state.structural_replan:
+                        # Keep planning for the worse of the two
+                        # conditions while a tier is also lost.
+                        severity = max(severity, state.replan_severity)
                     if (
                         resilience.replan
                         and self.replanner is not None
                         and severity >= resilience.degraded_threshold
                     ):
                         outcome = self.replanner(severity)
-                        active_costs = outcome.costs
-                        effective_max = max(
+                        state.active_costs = outcome.costs
+                        state.effective_max = max(
                             1, min(self.max_batch, outcome.max_batch)
                         )
-                        replanned = True
-                        replans += 1
+                        state.replanned = True
+                        state.replan_severity = severity
+                        state.replans += 1
                         serve_metrics.counter("replans").inc()
                         run_span.event(
                             "replan", now,
                             label=outcome.label,
-                            max_batch=effective_max,
+                            max_batch=state.effective_max,
                         )
                     elif resilience.shrink_batch and severity > 1.0:
-                        effective_max = max(
+                        state.effective_max = max(
                             1, int(self.max_batch / severity)
                         )
                 elif (
-                    degraded_mode
-                    and ok_streak >= resilience.recover_iterations
+                    state.degraded_mode
+                    and state.ok_streak >= resilience.recover_iterations
                 ):
-                    degraded_mode = False
-                    replanned = False
-                    active_costs = self.costs
-                    effective_max = self.max_batch
+                    state.degraded_mode = False
                     run_span.event("degraded_exit", now)
-                if degraded_mode and resilience.shed and waiting:
+                    if not state.structural_replan:
+                        state.replanned = False
+                        state.replan_severity = 0.0
+                        state.active_costs = self.costs
+                        state.effective_max = self.max_batch
+                if (
+                    state.degraded_mode
+                    and resilience.shed
+                    and state.waiting
+                ):
                     shed_waiting(now, "degraded", sheddable_only=True)
 
-            if not waiting and not running:
-                if next_arrival >= len(pending):
+            if sanitizer is not None:
+                sanitizer.observe(
+                    boundary=state.boundary,
+                    now=now,
+                    state=state,
+                    scheduler=self,
+                    engine=engine,
+                )
+
+            if not state.waiting and not state.running:
+                if state.next_arrival >= len(state.pending):
                     # Shedding just emptied the queue and every
                     # request is accounted for; nothing left to serve.
                     break
                 # Idle server: jump to the next arrival.
-                engine.clock.advance_to(pending[next_arrival].arrival_s)
+                engine.clock.advance_to(
+                    state.pending[state.next_arrival].arrival_s
+                )
                 continue
 
             if health is not None and health.down:
                 # The tier is unusable: no iteration can run.  Spend
                 # one retry budget discovering that, then reassess.
-                stall_streak += 1
-                stalls += 1
-                stall_s += retry.timeout_s
+                state.stall_streak += 1
+                state.stalls += 1
+                state.stall_s += retry.timeout_s
                 record_stall(now, retry.timeout_s)
-                if stall_streak >= resilience.stall_limit:
+                if state.stall_streak >= resilience.stall_limit:
                     abort_run(now)
                     break
                 engine.clock.advance_to(now + retry.timeout_s)
                 continue
 
-            limit = effective_max
+            limit = state.effective_max
             if kv is not None:
                 kv_limit = kv.admission_limit()
                 if kv_limit is not None:
@@ -570,19 +913,24 @@ class ContinuousBatchingScheduler:
                     # degraded shrink factor so a degraded batch cap
                     # still caps a capacity-admitted batch.
                     limit = max(
-                        1, int(kv_limit * effective_max / self.max_batch)
+                        1,
+                        int(
+                            kv_limit
+                            * state.effective_max
+                            / self.max_batch
+                        ),
                     )
-            free = limit - len(running)
+            free = limit - len(state.running)
             admitted: List[ServeRequest] = []
             kv_surcharge = 0.0
-            if waiting and free > 0:
-                while waiting and len(admitted) < free:
-                    entry = heapq.heappop(waiting)
+            if state.waiting and free > 0:
+                while state.waiting and len(admitted) < free:
+                    entry = heapq.heappop(state.waiting)
                     request = entry[-1]
                     if kv is not None:
                         ok, surcharge = kv.try_admit(request.spec, now)
                         if not ok:
-                            if not admitted and not running:
+                            if not admitted and not state.running:
                                 # The server is idle and the tiers are
                                 # as free as they will ever be: this
                                 # window can never fit.  Shed it
@@ -593,11 +941,11 @@ class ContinuousBatchingScheduler:
                             else:
                                 # Head-of-line: wait for running
                                 # requests to release their KV.
-                                heapq.heappush(waiting, entry)
+                                heapq.heappush(state.waiting, entry)
                             break
                         kv_surcharge += surcharge
                     admitted.append(request)
-                if not admitted and not running:
+                if not admitted and not state.running:
                     # The head-of-line request was shed; reassess.
                     continue
             if admitted:
@@ -619,7 +967,7 @@ class ContinuousBatchingScheduler:
                             if kv is not None:
                                 kv.release(request.spec.request_id, now)
                             heapq.heappush(
-                                waiting,
+                                state.waiting,
                                 (
                                     request.qos.priority,
                                     request.spec.arrival_s,
@@ -627,11 +975,11 @@ class ContinuousBatchingScheduler:
                                     request,
                                 ),
                             )
-                        stall_streak += 1
-                        stalls += 1
-                        stall_s += error.elapsed_s
+                        state.stall_streak += 1
+                        state.stalls += 1
+                        state.stall_s += error.elapsed_s
                         record_stall(now, error.elapsed_s)
-                        if stall_streak >= resilience.stall_limit:
+                        if state.stall_streak >= resilience.stall_limit:
                             abort_run(now)
                             break
                         engine.clock.advance_to(now + error.elapsed_s)
@@ -641,7 +989,7 @@ class ContinuousBatchingScheduler:
                     # dynamic policies charge admission-time demotions
                     # here.
                     duration += kv_surcharge
-                stall_streak = 0
+                state.stall_streak = 0
                 gpu.enqueue(
                     duration,
                     label=f"prefill x{len(admitted)}",
@@ -650,13 +998,13 @@ class ContinuousBatchingScheduler:
                         "batch": len(admitted),
                         "prompt_len": prompt_max,
                         "requests": [r.spec.request_id for r in admitted],
-                        "degraded": degraded_mode,
+                        "degraded": state.degraded_mode,
                     },
                 )
                 engine.run()
                 done_at = engine.now
-                gpu_busy += duration
-                prefills += 1
+                state.gpu_busy += duration
+                state.prefills += 1
                 admitted_counter.inc(len(admitted))
                 iteration_counters["prefill"].inc()
                 iteration_histograms["prefill"].observe(duration)
@@ -664,32 +1012,34 @@ class ContinuousBatchingScheduler:
                     f"prefill x{len(admitted)}", now, done_at,
                     parent=run_span, category="iteration",
                     kind="prefill", batch=len(admitted),
-                    tokens=prompt_max, degraded=degraded_mode,
+                    tokens=prompt_max, degraded=state.degraded_mode,
                 )
-                if degraded_mode:
-                    degraded_iterations += 1
+                if state.degraded_mode:
+                    state.degraded_iterations += 1
                 for request in admitted:
                     request.admitted_s = now
                     request.token_times.append(done_at)
                     if request.done:
                         finish(request)
                     else:
-                        running.append(request)
-                timeline.append(
+                        state.running.append(request)
+                state.timeline.append(
                     IterationSample(
                         time_s=done_at,
                         kind="prefill",
                         batch=len(admitted),
-                        waiting=len(waiting),
-                        running_after=len(running),
-                        degraded=degraded_mode,
+                        waiting=len(state.waiting),
+                        running_after=len(state.running),
+                        degraded=state.degraded_mode,
                     )
                 )
                 continue
 
             # Decode: one token for every running sequence.
-            decode_batch = len(running)
-            context = max(request.context_len for request in running)
+            decode_batch = len(state.running)
+            context = max(
+                request.context_len for request in state.running
+            )
             if injector is None:
                 duration = self.costs.decode_time(decode_batch, context)
             else:
@@ -698,11 +1048,11 @@ class ContinuousBatchingScheduler:
                         "decode", decode_batch, context, now, health,
                     )
                 except TransferError as error:
-                    stall_streak += 1
-                    stalls += 1
-                    stall_s += error.elapsed_s
+                    state.stall_streak += 1
+                    state.stalls += 1
+                    state.stall_s += error.elapsed_s
                     record_stall(now, error.elapsed_s)
-                    if stall_streak >= resilience.stall_limit:
+                    if state.stall_streak >= resilience.stall_limit:
                         abort_run(now)
                         break
                     engine.clock.advance_to(now + error.elapsed_s)
@@ -711,8 +1061,8 @@ class ContinuousBatchingScheduler:
                 # Slow-tier KV reads for this pass, drained demotion
                 # time, and passive promotions (0.0 for the static
                 # policy).
-                duration += kv.on_decode(running, now)
-            stall_streak = 0
+                duration += kv.on_decode(state.running, now)
+            state.stall_streak = 0
             gpu.enqueue(
                 duration,
                 label=f"decode x{decode_batch}",
@@ -720,70 +1070,79 @@ class ContinuousBatchingScheduler:
                 meta={
                     "batch": decode_batch,
                     "context_len": context,
-                    "degraded": degraded_mode,
+                    "degraded": state.degraded_mode,
                 },
             )
             engine.run()
             done_at = engine.now
-            gpu_busy += duration
-            decodes += 1
+            state.gpu_busy += duration
+            state.decodes += 1
             iteration_counters["decode"].inc()
             iteration_histograms["decode"].observe(duration)
             tracer.span(
                 f"decode x{decode_batch}", now, done_at,
                 parent=run_span, category="iteration",
                 kind="decode", batch=decode_batch,
-                tokens=context, degraded=degraded_mode,
+                tokens=context, degraded=state.degraded_mode,
             )
-            if degraded_mode:
-                degraded_iterations += 1
+            if state.degraded_mode:
+                state.degraded_iterations += 1
             still_running: List[ServeRequest] = []
-            for request in running:
+            for request in state.running:
                 request.token_times.append(done_at)
                 if request.done:
                     finish(request)
                 else:
                     still_running.append(request)
-            running = still_running
-            timeline.append(
+            state.running = still_running
+            state.timeline.append(
                 IterationSample(
                     time_s=done_at,
                     kind="decode",
                     batch=decode_batch,
-                    waiting=len(waiting),
-                    running_after=len(running),
-                    degraded=degraded_mode,
+                    waiting=len(state.waiting),
+                    running_after=len(state.running),
+                    degraded=state.degraded_mode,
                 )
             )
 
-        run_span.set("completed", len(records))
-        run_span.set("shed", len(shed_records))
-        run_span.set("iterations", prefills + decodes)
-        run_span.set("aborted", aborted)
+        if sanitizer is not None:
+            sanitizer.finish(
+                state=state, scheduler=self, engine=engine
+            )
+
+        run_span.set("completed", len(state.records))
+        run_span.set("shed", len(state.shed_records))
+        run_span.set("iterations", state.prefills + state.decodes)
+        run_span.set("aborted", state.aborted)
         run_span.end(engine.now)
         serve_metrics.gauge("span_s").set(engine.now)
-        serve_metrics.gauge("gpu_busy_s").set(gpu_busy)
+        serve_metrics.gauge("gpu_busy_s").set(state.gpu_busy)
 
-        records.sort(key=lambda record: record.request_id)
-        shed_records.sort(key=lambda record: record.request_id)
+        state.records.sort(key=lambda record: record.request_id)
+        state.shed_records.sort(key=lambda record: record.request_id)
         return SchedulerRun(
-            records=tuple(records),
-            timeline=tuple(timeline),
+            records=tuple(state.records),
+            timeline=tuple(state.timeline),
             trace=engine.trace,
             span_s=engine.now,
-            gpu_busy_s=gpu_busy,
-            prefill_iterations=prefills,
-            decode_iterations=decodes,
-            shed=tuple(shed_records),
+            gpu_busy_s=state.gpu_busy,
+            prefill_iterations=state.prefills,
+            decode_iterations=state.decodes,
+            shed=tuple(state.shed_records),
             faults=FaultSummary(
-                degradation_events=events,
-                degraded_iterations=degraded_iterations,
-                retried_iterations=retried_iterations,
-                retry_overhead_s=retry_overhead_s,
-                replans=replans,
-                stalls=stalls,
-                stall_s=stall_s,
-                shed_requests=len(shed_records),
-                aborted=aborted,
+                degradation_events=state.events,
+                degraded_iterations=state.degraded_iterations,
+                retried_iterations=state.retried_iterations,
+                retry_overhead_s=state.retry_overhead_s,
+                replans=state.replans,
+                stalls=state.stalls,
+                stall_s=state.stall_s,
+                shed_requests=len(state.shed_records),
+                aborted=state.aborted,
+                tier_losses=state.tier_losses,
+                rescued_requests=state.rescued_requests,
+                client_retries=state.client_retries,
+                timeouts=state.timeouts,
             ),
         )

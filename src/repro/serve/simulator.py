@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+import os
 import statistics
 
 from repro.core.engine import OffloadEngine
@@ -91,10 +92,15 @@ class ServingSimulator:
         prewarm: bool = True,
         kv=None,
         iteration_fault_pricing: bool = False,
+        sanitizer=None,
     ) -> None:
         self.costs = costs
         self.classes = tuple(classes)
         self.telemetry = telemetry
+        #: Optional :class:`repro.chaos.SanitizerHarness`, observed at
+        #: every scheduler boundary; its report lands in
+        #: ``setup["sanitize"]``.
+        self.sanitizer = sanitizer
         #: Pre-price the session's (batch, bucket) grid in one
         #: vectorized pass before serving (no-op for cost models /
         #: backends without a grid).  Never changes a priced value —
@@ -115,6 +121,7 @@ class ServingSimulator:
             telemetry=telemetry,
             kv=kv,
             iteration_fault_pricing=iteration_fault_pricing,
+            sanitizer=sanitizer,
             **scheduler_kwargs,
         )
 
@@ -122,6 +129,8 @@ class ServingSimulator:
         self,
         specs: Sequence[RequestSpec],
         setup: Optional[Dict[str, object]] = None,
+        checkpoint=None,
+        restore: Optional[Dict[str, object]] = None,
     ) -> ServingResult:
         prewarmed = 0
         if self.prewarm and hasattr(self.costs, "prewarm"):
@@ -138,7 +147,9 @@ class ServingSimulator:
                 batch_ladder,
                 prompt_lens=[spec.prompt_len for spec in specs],
             )
-        outcome: SchedulerRun = self.scheduler.run(specs)
+        outcome: SchedulerRun = self.scheduler.run(
+            specs, checkpoint=checkpoint, restore=restore
+        )
         service_ref = self.costs.reference_service_time(
             prompt_len=int(
                 statistics.fmean(spec.prompt_len for spec in specs)
@@ -166,6 +177,8 @@ class ServingSimulator:
             info["price_cache"] = cache_stats
         if self.scheduler.kv is not None:
             info["kv"] = self.scheduler.kv.snapshot()
+        if self.sanitizer is not None:
+            info["sanitize"] = self.sanitizer.report()
         if prewarmed:
             info["prewarmed_prices"] = prewarmed
         backend_memo = getattr(
@@ -252,6 +265,9 @@ def simulate_serving(
     prewarm: bool = True,
     kv_policy: Optional[str] = None,
     iteration_fault_pricing: bool = False,
+    sanitize: Optional[Union[bool, object]] = None,
+    checkpoint=None,
+    restore: Optional[Dict[str, object]] = None,
 ) -> ServingResult:
     """Simulate one placement under open-loop load, end to end.
 
@@ -296,6 +312,21 @@ def simulate_serving(
     ``iteration_fault_pricing`` (event backend only) prices every
     layer's transfers through the injector individually instead of
     one lump sum per iteration.
+
+    ``sanitize`` attaches the cross-layer invariant sanitizer
+    (:class:`repro.chaos.SanitizerHarness`): ``True`` builds a strict
+    default harness, or pass a configured harness directly.  The
+    default ``None`` consults the ``REPRO_SANITIZE`` environment
+    variable.  The sanitizer never perturbs the run — a sanitized run
+    is bit-identical to an unsanitized one — and its report lands in
+    ``result.setup["sanitize"]``.
+
+    ``checkpoint`` (a :class:`~repro.serve.state.CheckpointPlan`)
+    snapshots the full run state at iteration boundaries; ``restore``
+    resumes from such a snapshot (the one carried by a raised
+    :class:`~repro.errors.SimulatedCrash`), replaying the run
+    bit-identically from the checkpointed boundary.  Resuming expects
+    the *same* configuration arguments as the crashed call.
     """
     if iteration_fault_pricing and pricing_backend != "event":
         raise ConfigurationError(
@@ -349,6 +380,19 @@ def simulate_serving(
         class_mix=class_mix,
         seed=seed,
     )
+    if sanitize is None:
+        sanitize = os.environ.get("REPRO_SANITIZE", "") not in (
+            "",
+            "0",
+        )
+    sanitizer = None
+    if sanitize:
+        if isinstance(sanitize, bool):
+            from repro.chaos import SanitizerHarness
+
+            sanitizer = SanitizerHarness()
+        else:
+            sanitizer = sanitize
     kv = None
     if kv_policy is not None:
         from repro.kv import KvCacheManager
@@ -370,6 +414,7 @@ def simulate_serving(
         prewarm=prewarm,
         kv=kv,
         iteration_fault_pricing=iteration_fault_pricing,
+        sanitizer=sanitizer,
     )
     setup = {
         "model": model,
@@ -389,4 +434,6 @@ def simulate_serving(
         setup["fault_seed"] = injector.seed
     if kv is not None:
         setup["kv_policy"] = kv.policy.name
-    return simulator.run(specs, setup=setup)
+    return simulator.run(
+        specs, setup=setup, checkpoint=checkpoint, restore=restore
+    )

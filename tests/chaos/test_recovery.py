@@ -1,0 +1,137 @@
+"""Crash-consistent checkpoint/restore of scheduler runs.
+
+The acceptance property: a run crashed at an arbitrary boundary and
+resumed from its snapshot is bit-identical — records, timeline, shed
+list, and derived metrics — to one that never crashed, across
+placements.
+"""
+
+import pytest
+
+from repro.chaos import CheckpointPlan, RecoveryReport, run_with_crashes
+from repro.errors import CheckpointError, SimulatedCrash
+from repro.serve.costs import FixedCostModel
+from repro.serve.request import STANDARD, RequestSpec
+from repro.serve.scheduler import ContinuousBatchingScheduler
+from repro.serve.simulator import simulate_serving
+
+
+def make_scheduler():
+    return ContinuousBatchingScheduler(
+        FixedCostModel(prefill_s=1.0, decode_s=0.5, slots=4),
+        classes=(STANDARD,),
+    )
+
+
+def stream(num=12, rate=2.0):
+    return tuple(
+        RequestSpec(
+            request_id=index,
+            arrival_s=index / rate,
+            prompt_len=32,
+            gen_len=5,
+            qos_class=STANDARD.name,
+        )
+        for index in range(num)
+    )
+
+
+class TestCheckpointPlan:
+    def test_validation(self):
+        with pytest.raises(CheckpointError):
+            CheckpointPlan(every=0)
+        with pytest.raises(CheckpointError):
+            CheckpointPlan(crash_at=0)
+
+    def test_sink_receives_every_snapshot(self):
+        snapshots = []
+        plan = CheckpointPlan(every=1, sink=snapshots.append)
+        clean = make_scheduler().run(stream())
+        make_scheduler().run(stream(), checkpoint=plan)
+        boundaries = [snapshot["boundary"] for snapshot in snapshots]
+        assert boundaries == sorted(boundaries)
+        assert len(snapshots) >= len(clean.timeline) - 1
+
+    def test_crash_raises_with_snapshot(self):
+        plan = CheckpointPlan(every=1, crash_at=4)
+        with pytest.raises(SimulatedCrash) as excinfo:
+            make_scheduler().run(stream(), checkpoint=plan)
+        crash = excinfo.value
+        assert crash.boundary == 4
+        assert crash.checkpoint["boundary"] < 4
+
+
+class TestCrashRestore:
+    @pytest.mark.parametrize("placement", ["allcpu", "helm"])
+    def test_restored_run_is_bit_identical(self, placement):
+        kwargs = dict(
+            model="opt-1.3b",
+            host="DRAM",
+            placement=placement,
+            rate_rps=0.5,
+            num_requests=12,
+            seed=3,
+            max_batch=4,
+        )
+        clean = simulate_serving(**kwargs)
+        with pytest.raises(SimulatedCrash) as excinfo:
+            simulate_serving(
+                **kwargs, checkpoint=CheckpointPlan(every=1, crash_at=5)
+            )
+        checkpoint = excinfo.value.checkpoint
+        resumed = simulate_serving(**kwargs, restore=checkpoint)
+        assert resumed.records == clean.records
+        assert resumed.timeline == clean.timeline
+        assert resumed.shed == clean.shed
+        assert resumed.metrics.summary() == clean.metrics.summary()
+
+    def test_sparse_checkpoints_replay_the_gap(self):
+        """With a snapshot cadence > 1 the crash loses boundaries,
+        which the resumed run re-executes deterministically."""
+        clean = make_scheduler().run(stream())
+        plan = CheckpointPlan(every=4, crash_at=6)
+        with pytest.raises(SimulatedCrash) as excinfo:
+            make_scheduler().run(stream(), checkpoint=plan)
+        crash = excinfo.value
+        assert crash.checkpoint["boundary"] <= 4
+        resumed = make_scheduler().run(
+            (), restore=crash.checkpoint
+        )
+        assert resumed.records == clean.records
+        assert resumed.timeline == clean.timeline
+
+
+class TestRunWithCrashes:
+    def test_multi_crash_drive_matches_clean_run(self):
+        clean = make_scheduler().run(stream())
+        report = run_with_crashes(
+            make_scheduler(), stream(), crash_boundaries=[3, 8]
+        )
+        assert isinstance(report, RecoveryReport)
+        assert report.crashes == (3, 8)
+        assert len(report.resumed_from) == 2
+        assert all(
+            resumed < crashed
+            for resumed, crashed in zip(
+                report.resumed_from, report.crashes
+            )
+        )
+        assert report.run.records == clean.records
+        assert report.run.timeline == clean.timeline
+
+    def test_crash_past_the_end_is_a_clean_run(self):
+        clean = make_scheduler().run(stream())
+        report = run_with_crashes(
+            make_scheduler(),
+            stream(),
+            crash_boundaries=[10_000],
+        )
+        assert report.crashes == ()
+        assert report.resumed_from == ()
+        assert report.run.records == clean.records
+
+    def test_crash_boundaries_validated(self):
+        with pytest.raises(CheckpointError):
+            run_with_crashes(
+                make_scheduler(), stream(), crash_boundaries=[0]
+            )

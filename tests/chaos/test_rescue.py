@@ -1,0 +1,273 @@
+"""KV rescue, shed-only, and spill responses to structural faults.
+
+All tests run the :class:`~repro.kv.KvCacheManager` directly against
+a deliberately tiny three-tier topology (capacities in whole
+request-units) so placement is exact and fast: requests 0-2 land on
+DRAM, the next ones on SSD, the last two on HBM — then the SSD dies.
+"""
+
+import pytest
+
+from repro.chaos import SanitizerHarness
+from repro.core.engine import OffloadEngine
+from repro.errors import CapacityError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    DISK_TARGET,
+    HOST_TARGET,
+    CapacityShrink,
+    FaultSchedule,
+    TierLoss,
+    TransientFaults,
+)
+from repro.faults.retry import RetryPolicy
+from repro.kv import HotnessKvPolicy, KvCacheManager
+from repro.kv.tiers import KvTier, KvTierTopology, TierBudget
+from repro.serve.request import RequestSpec
+
+PROMPT = 4096
+GEN = 32
+
+LOSS = FaultSchedule(
+    faults=(TierLoss(target=DISK_TARGET, start_s=9.0, duration_s=100.0),),
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return OffloadEngine(
+        model="opt-1.3b",
+        host="SSD",
+        placement="allcpu",
+        compress_weights=True,
+        batch_size=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def per_request(engine):
+    probe = KvCacheManager(
+        engine, policy=HotnessKvPolicy(overcommit=1000.0)
+    )
+    return probe.request_bytes(prompt_len=PROMPT, gen_len=GEN)
+
+
+def make_manager(engine, per_request, hbm=2, dram=3, ssd=2):
+    topology = KvTierTopology(
+        budgets=(
+            TierBudget(KvTier.HBM, "HBM", hbm * per_request, "gpu"),
+            TierBudget(KvTier.DRAM, "DRAM", dram * per_request, "host"),
+            TierBudget(KvTier.SSD, "SSD", ssd * per_request, "disk"),
+        )
+    )
+    return KvCacheManager(
+        engine,
+        policy=HotnessKvPolicy(overcommit=1000.0),
+        topology=topology,
+    )
+
+
+def fill(manager, count=100):
+    admitted = []
+    for request_id in range(count):
+        spec = RequestSpec(
+            request_id=request_id,
+            arrival_s=float(request_id),
+            prompt_len=PROMPT,
+            gen_len=GEN,
+        )
+        ok, _ = manager.try_admit(spec, now=float(request_id))
+        if not ok:
+            break
+        admitted.append(request_id)
+    return admitted
+
+
+def lose_ssd(manager, schedule=LOSS):
+    injector = FaultInjector(schedule=schedule)
+    events = manager.sync_structure(injector, now=10.0)
+    assert ("lost", "SSD") in events
+    assert "SSD" in manager.lost_tiers
+    return injector
+
+
+def assert_sane(manager):
+    """The sanitizer's KV checkers find nothing (strict => raises)."""
+    harness = SanitizerHarness(strict=True)
+    harness._check_kv_accounting(0, manager)
+    harness._check_lost_tiers(0, manager)
+
+
+class TestRescue:
+    def test_rescue_moves_extents_to_surviving_tier(
+        self, engine, per_request
+    ):
+        manager = make_manager(engine, per_request)
+        admitted = fill(manager)
+        assert len(admitted) == 7  # 3 DRAM + 2 SSD + 2 HBM
+        ssd_resident = {
+            rid
+            for rid in admitted
+            if any(
+                e.tier_name == "SSD"
+                for e in manager.tiermap.extents_of(rid)
+            )
+        }
+        assert len(ssd_resident) == 2
+        # Drain two DRAM residents: rescue now has a surviving home.
+        manager.release(0, now=8.0)
+        manager.release(1, now=8.0)
+        lose_ssd(manager)
+        outcome = manager.rescue_tier("SSD", now=10.0)
+        assert outcome.failed == ()
+        assert outcome.moved_requests == 2
+        assert outcome.moved_bytes == 2 * per_request
+        assert outcome.rescue_s > 0.0
+        assert manager.tiermap.used_bytes("SSD") == 0
+        for rid in ssd_resident:
+            tiers = {
+                e.tier_name for e in manager.tiermap.extents_of(rid)
+            }
+            assert tiers and "SSD" not in tiers
+        assert_sane(manager)
+
+    def test_rescue_without_headroom_sheds_and_releases(
+        self, engine, per_request
+    ):
+        manager = make_manager(engine, per_request)
+        fill(manager)
+        lose_ssd(manager)
+        outcome = manager.rescue_tier("SSD", now=10.0)
+        # Every fast tier is full: both SSD residents are doomed, and
+        # every extent they held anywhere is released.
+        assert outcome.moved_requests == 0
+        assert len(outcome.failed) == 2
+        for rid in outcome.failed:
+            assert manager.tiermap.extents_of(rid) == ()
+        assert manager.tiermap.used_bytes("SSD") == 0
+        assert_sane(manager)
+
+    def test_retry_exhaustion_releases_all_extents(
+        self, engine, per_request
+    ):
+        """S3: a flaky rescue destination exhausts its retries; the
+        request is shed with every extent released — no leaked bytes,
+        asserted through the sanitizer's KV checkers."""
+        manager = make_manager(engine, per_request)
+        fill(manager)
+        manager.release(0, now=8.0)
+        manager.release(1, now=8.0)
+        schedule = FaultSchedule(
+            faults=(
+                TierLoss(
+                    target=DISK_TARGET, start_s=9.0, duration_s=100.0
+                ),
+                # The surviving home is the (host-kind) DRAM tier —
+                # make every transfer to it fail.
+                TransientFaults(target=HOST_TARGET, probability=1.0),
+            ),
+            seed=0,
+        )
+        injector = lose_ssd(manager, schedule)
+        retry = RetryPolicy(
+            max_attempts=2,
+            backoff_base_s=0.01,
+            jitter=0.0,
+            timeout_s=1.0,
+        )
+        before = sum(manager.occupancy().values())
+        outcome = manager.rescue_tier(
+            "SSD", now=10.0, injector=injector, retry=retry
+        )
+        assert outcome.moved_requests == 0
+        assert len(outcome.failed) == 2
+        for rid in outcome.failed:
+            assert manager.tiermap.extents_of(rid) == ()
+        after = sum(manager.occupancy().values())
+        assert after == before - 2 * per_request
+        assert manager.tiermap.used_bytes("SSD") == 0
+        assert_sane(manager)
+
+    def test_loss_window_end_restores_the_tier(self, engine, per_request):
+        manager = make_manager(engine, per_request)
+        fill(manager)
+        injector = lose_ssd(manager)
+        manager.rescue_tier("SSD", now=10.0)
+        events = manager.sync_structure(injector, now=200.0)
+        assert ("restored", "SSD") in events
+        assert manager.lost_tiers == set()
+        assert manager.tiermap.capacity_bytes("SSD") == 2 * per_request
+
+
+class TestShedOnly:
+    def test_fail_tier_reports_stranded_requests(
+        self, engine, per_request
+    ):
+        manager = make_manager(engine, per_request)
+        fill(manager)
+        lose_ssd(manager)
+        failed = manager.fail_tier("SSD", now=10.0)
+        assert len(failed) == 2
+        # fail_tier only reports; the scheduler's shed path releases.
+        for rid in failed:
+            manager.release(rid, now=10.0)
+        assert manager.tiermap.used_bytes("SSD") == 0
+        assert_sane(manager)
+
+
+class TestSpill:
+    def test_capacity_shrink_spills_to_slower_tier(
+        self, engine, per_request
+    ):
+        manager = make_manager(engine, per_request, ssd=4)
+        admitted = fill(manager, count=7)
+        assert len(admitted) == 7  # leaves 2 request-units free on SSD
+        schedule = FaultSchedule(
+            faults=(
+                CapacityShrink(
+                    target=HOST_TARGET,
+                    fraction=0.34,
+                    start_s=9.0,
+                    duration_s=100.0,
+                ),
+            ),
+            seed=0,
+        )
+        injector = FaultInjector(schedule=schedule)
+        events = manager.sync_structure(injector, now=10.0)
+        assert ("shrunk", "DRAM") in events
+        assert (
+            manager.tiermap.used_bytes("DRAM")
+            > manager.tiermap.capacity_bytes("DRAM")
+        )
+        failed = manager.spill_overflow("DRAM", now=10.0)
+        assert failed == ()
+        assert manager.tiermap.free_bytes("DRAM") >= 0
+        assert manager.tiermap.used_bytes("SSD") == 4 * per_request
+        assert_sane(manager)
+
+
+class TestCapacityErrorOccupancy:
+    def test_rejection_carries_per_tier_snapshot(
+        self, engine, per_request
+    ):
+        """S1: a placement that breaches a tier reports where every
+        byte was at the moment of the failure."""
+        manager = make_manager(engine, per_request)
+        fill(manager)
+        from repro.kv.tiermap import LayerRange
+
+        with pytest.raises(CapacityError) as excinfo:
+            manager.tiermap.place(
+                request_id=999,
+                layers=LayerRange(0, 1),
+                budget=manager.topology.budget("HBM"),
+                nbytes=per_request,
+            )
+        occupancy = excinfo.value.occupancy
+        assert occupancy is not None
+        assert set(occupancy) == {"HBM", "DRAM", "SSD"}
+        used, capacity = occupancy["HBM"]
+        assert used == capacity == 2 * per_request
+        assert excinfo.value.device == "HBM"

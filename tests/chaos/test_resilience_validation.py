@@ -1,0 +1,89 @@
+"""S2: tri-state KV resilience flags resolve at use-site.
+
+``demote_kv`` / ``rescue_kv`` default to ``None`` (auto: act iff a KV
+manager is attached).  An explicit ``True`` with nothing to act on is
+a configuration contradiction and must fail loudly at scheduler
+construction — not silently no-op for a whole chaos run.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.costs import FixedCostModel
+from repro.serve.request import STANDARD
+from repro.serve.resilience import ResiliencePolicy
+from repro.serve.scheduler import ContinuousBatchingScheduler
+
+
+def make_scheduler(resilience, kv=None):
+    return ContinuousBatchingScheduler(
+        FixedCostModel(prefill_s=1.0, decode_s=0.5, slots=4),
+        classes=(STANDARD,),
+        resilience=resilience,
+        kv=kv,
+    )
+
+
+class TestTriStateResolution:
+    def test_auto_flags_off_without_manager(self):
+        scheduler = make_scheduler(ResiliencePolicy())
+        assert scheduler._rescue_kv is False
+        assert scheduler._demote_kv is False
+
+    def test_explicit_false_is_the_shed_only_baseline(self):
+        policy = ResiliencePolicy(rescue_kv=False, demote_kv=False)
+        assert policy.wants_rescue_kv(object()) is False
+        assert policy.wants_demote_kv(object()) is False
+
+    def test_auto_flags_on_with_manager(self):
+        policy = ResiliencePolicy()
+        assert policy.wants_rescue_kv(object()) is True
+        assert policy.wants_demote_kv(object()) is True
+
+    def test_explicit_rescue_without_manager_raises_at_use_site(self):
+        with pytest.raises(ConfigurationError, match="rescue_kv"):
+            make_scheduler(ResiliencePolicy(rescue_kv=True))
+
+    def test_explicit_demote_without_manager_raises_at_use_site(self):
+        with pytest.raises(ConfigurationError, match="demote_kv"):
+            make_scheduler(ResiliencePolicy(demote_kv=True))
+
+    def test_policy_construction_alone_does_not_raise(self):
+        # The contradiction is between the flag and the *scheduler's*
+        # manager, so it can only be judged at use-site.
+        policy = ResiliencePolicy(rescue_kv=True, demote_kv=True)
+        assert policy.rescue_kv is True
+
+
+class TestChaosKnobValidation:
+    def test_queue_deadline_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(queue_deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(queue_deadline_s=-5.0)
+
+    def test_retry_needs_a_second_attempt(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(retry_shed=True, retry_max_attempts=1)
+
+    def test_retry_backoff_validated(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(retry_shed=True, retry_backoff_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(
+                retry_shed=True, retry_backoff_multiplier=0.5
+            )
+
+    def test_tier_loss_severity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(tier_loss_severity=0.5)
+
+    def test_client_backoff_is_deterministic_exponential(self):
+        policy = ResiliencePolicy(
+            retry_shed=True,
+            retry_backoff_s=30.0,
+            retry_backoff_multiplier=2.0,
+        )
+        assert policy.client_backoff_s(2) == 30.0
+        assert policy.client_backoff_s(3) == 60.0
+        assert policy.client_backoff_s(4) == 120.0

@@ -1,0 +1,107 @@
+"""Tests for seeded chaos-schedule generation."""
+
+import pytest
+
+from repro.chaos import DEFAULT_CHAOS_TARGETS, generate_chaos_schedule
+from repro.errors import ConfigurationError
+from repro.faults.models import (
+    DISK_TARGET,
+    HOST_TARGET,
+    CapacityShrink,
+    CorrelatedOutage,
+    DegradationWindow,
+    FaultSchedule,
+    TierLoss,
+    TransientFaults,
+)
+
+SPAN = 3600.0
+
+
+class TestGeneration:
+    def test_same_seed_same_schedule(self):
+        a = generate_chaos_schedule(7, SPAN)
+        b = generate_chaos_schedule(7, SPAN)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            generate_chaos_schedule(seed, SPAN).to_json()["faults"][0][
+                "start_s"
+            ]
+            for seed in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_zero_intensity_is_empty(self):
+        schedule = generate_chaos_schedule(7, SPAN, intensity=0.0)
+        assert schedule.faults == ()
+        assert schedule.is_zero()
+
+    def test_first_target_always_loses(self):
+        for seed in range(10):
+            schedule = generate_chaos_schedule(seed, SPAN)
+            losses = [
+                fault
+                for fault in schedule.faults
+                if isinstance(fault, TierLoss)
+                and fault.target == DEFAULT_CHAOS_TARGETS[0]
+            ]
+            assert losses, f"seed {seed} drew no loss on the first target"
+
+    def test_structural_only_drops_bandwidth_noise(self):
+        noisy = generate_chaos_schedule(3, SPAN)
+        pure = generate_chaos_schedule(3, SPAN, structural_only=True)
+        assert any(
+            isinstance(f, (DegradationWindow, TransientFaults))
+            for f in noisy.faults
+        )
+        assert not any(
+            isinstance(f, (DegradationWindow, TransientFaults))
+            for f in pure.faults
+        )
+        assert any(isinstance(f, TierLoss) for f in pure.faults)
+        assert any(isinstance(f, CapacityShrink) for f in pure.faults)
+
+    def test_high_intensity_adds_correlated_outage(self):
+        schedule = generate_chaos_schedule(
+            5, SPAN, targets=(DISK_TARGET, HOST_TARGET), intensity=2.5
+        )
+        assert any(
+            isinstance(f, CorrelatedOutage) for f in schedule.faults
+        )
+
+    def test_faults_fit_the_span(self):
+        for seed in range(6):
+            schedule = generate_chaos_schedule(seed, SPAN, intensity=1.0)
+            for fault in schedule.faults:
+                start = getattr(fault, "start_s", None)
+                if start is not None:
+                    assert 0.0 <= start <= SPAN
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        schedule = generate_chaos_schedule(11, SPAN, intensity=1.5)
+        clone = FaultSchedule.from_json(schedule.to_json())
+        assert clone == schedule
+
+    def test_round_trip_preserves_seed(self):
+        schedule = generate_chaos_schedule(13, SPAN)
+        assert FaultSchedule.from_json(schedule.to_json()).seed == 13
+
+
+class TestValidation:
+    def test_nonpositive_span_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_chaos_schedule(1, 0.0)
+        with pytest.raises(ConfigurationError):
+            generate_chaos_schedule(1, -10.0)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_chaos_schedule(1, SPAN, intensity=-0.1)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_chaos_schedule(1, SPAN, targets=())
