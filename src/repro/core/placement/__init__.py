@@ -19,6 +19,15 @@ from repro.core.placement.helm import HelmPlacement
 from repro.core.placement.allcpu import AllCpuPlacement
 from repro.core.placement.auto import AutoBalancedPlacement
 from repro.core.placement.registry import placement_algorithm, PLACEMENT_NAMES
+from repro.core.placement.sharding import (
+    PrecomputedPlacement,
+    Shard,
+    ShardSpec,
+    ShardedPlacement,
+    allreduce_bytes,
+    handoff_bytes,
+    shard_placement,
+)
 
 __all__ = [
     "PlacementAlgorithm",
@@ -30,4 +39,11 @@ __all__ = [
     "AutoBalancedPlacement",
     "placement_algorithm",
     "PLACEMENT_NAMES",
+    "PrecomputedPlacement",
+    "Shard",
+    "ShardSpec",
+    "ShardedPlacement",
+    "allreduce_bytes",
+    "handoff_bytes",
+    "shard_placement",
 ]

@@ -1,0 +1,330 @@
+"""Sharded placements: tensor- and pipeline-parallel partitions.
+
+A :class:`~repro.core.placement.base.PlacementResult` describes one
+engine's weight-to-tier assignment.  :class:`ShardedPlacement`
+partitions it into tensor-parallel shards (attention heads / FFN
+columns / vocabulary rows split Megatron-style, per
+:mod:`repro.models.weights`) and pipeline-parallel stages (contiguous
+decoder-block ranges, embedding on the first stage, head on the last).
+
+Each shard is itself a complete ``PlacementResult`` over a shard
+config (``OptConfig`` with ``tensor_parallel``/``include_embed``/
+``include_head`` set), with tier assignments copied from the base
+placement by layer kind and weight name — so every shard can be
+priced by the existing :class:`~repro.core.layercosts.LayerCostModel`
+and :class:`~repro.pricing.LayerCostGrid` unchanged.
+
+The degree-1 partition short-circuits to the *original objects*:
+``ShardedPlacement.plan(result, 1, 1)`` yields one shard whose
+placement **is** ``result`` and whose run spec is built from the
+original engine — which is what makes single-shard specs hash- and
+float-identical to today's, not merely equal-valued.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.devices.device import DeviceKind
+from repro.errors import ConfigurationError
+from repro.models.config import OptConfig
+from repro.models.weights import LayerKind, LayerSpec, model_layers
+from repro.core.placement.base import PlacementAlgorithm, PlacementResult
+
+_ACT_BYTES = 2  # fp16 activations, as in repro.models.flops
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Coordinates of one shard in a (tensor x pipeline) partition."""
+
+    tp_index: int
+    tp_degree: int
+    pp_index: int
+    pp_degree: int
+    #: Decoder blocks ``[block_start, block_stop)`` of the base model
+    #: this shard computes.
+    block_start: int
+    block_stop: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.tp_index < self.tp_degree):
+            raise ConfigurationError(
+                f"tp_index {self.tp_index} out of range for degree "
+                f"{self.tp_degree}"
+            )
+        if not (0 <= self.pp_index < self.pp_degree):
+            raise ConfigurationError(
+                f"pp_index {self.pp_index} out of range for degree "
+                f"{self.pp_degree}"
+            )
+        if self.block_stop <= self.block_start:
+            raise ConfigurationError("shard owns an empty block range")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.block_stop - self.block_start
+
+    @property
+    def is_first_stage(self) -> bool:
+        return self.pp_index == 0
+
+    @property
+    def is_last_stage(self) -> bool:
+        return self.pp_index == self.pp_degree - 1
+
+    @property
+    def label(self) -> str:
+        return (
+            f"tp{self.tp_index}of{self.tp_degree}-"
+            f"pp{self.pp_index}of{self.pp_degree}"
+        )
+
+
+class PrecomputedPlacement(PlacementAlgorithm):
+    """A placement algorithm that replays a pre-built result.
+
+    ``OffloadEngine`` accepts a :class:`PlacementAlgorithm`; wrapping a
+    shard's ``PlacementResult`` this way lets a per-shard engine be
+    constructed through the ordinary front door (spill, batching, cost
+    models all unchanged).  ``place_model`` hands out a fresh copy so
+    re-planning siblings never alias the stored assignment maps.
+    """
+
+    def __init__(self, result: PlacementResult, name: Optional[str] = None):
+        self._result = result
+        self.name = result.algorithm if name is None else name
+
+    def assign_layer(self, layer: LayerSpec, policy) -> Dict[str, DeviceKind]:
+        return {
+            spec.name: self._result.tier_of(layer.index, spec.name)
+            for spec in layer.weights
+        }
+
+    def place_model(self, config: OptConfig, policy) -> PlacementResult:
+        return PlacementResult(
+            algorithm=self.name,
+            config=self._result.config,
+            layers=self._result.layers,
+            assignments={
+                index: dict(weights)
+                for index, weights in self._result.assignments.items()
+            },
+        )
+
+
+def _pipeline_ranges(num_blocks: int, pp: int) -> List[Tuple[int, int]]:
+    """Contiguous block ranges, earlier stages taking the remainder."""
+    base, extra = divmod(num_blocks, pp)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for stage in range(pp):
+        size = base + (1 if stage < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def shard_config(
+    config: OptConfig,
+    *,
+    tensor_parallel: int,
+    num_blocks: int,
+    include_embed: bool,
+    include_head: bool,
+) -> OptConfig:
+    """The :class:`OptConfig` describing one shard of ``config``."""
+    return dataclasses.replace(
+        config,
+        tensor_parallel=tensor_parallel,
+        num_decoder_blocks=num_blocks,
+        include_embed=include_embed,
+        include_head=include_head,
+    )
+
+
+def _stage_to_base_index(
+    stage_layer: LayerSpec,
+    spec: ShardSpec,
+    base_config: OptConfig,
+) -> int:
+    """Base-placement layer index backing one stage layer."""
+    if stage_layer.kind is LayerKind.EMBED:
+        return 0
+    if stage_layer.kind is LayerKind.HEAD:
+        return 2 * base_config.num_decoder_blocks + 1
+    # Hidden layers: stage block j -> base block (block_start + j).
+    offset = 1 if spec.is_first_stage else 0
+    hidden_pos = stage_layer.index - offset
+    block, within = divmod(hidden_pos, 2)
+    return 1 + 2 * (spec.block_start + block) + within
+
+
+def shard_placement(
+    base: PlacementResult, spec: ShardSpec
+) -> PlacementResult:
+    """One shard's placement, with tiers copied from the base result.
+
+    Tier copying is by (base layer, weight name): every weight of a
+    shard layer inherits the tier its full-width counterpart holds in
+    the base placement.  Weight classes therefore never straddle
+    shards — ``demote_group``/``spill_to_fit`` on a shard placement
+    moves that shard's whole class, exactly as on the base.
+    """
+    config = shard_config(
+        base.config,
+        tensor_parallel=spec.tp_degree,
+        num_blocks=spec.num_blocks,
+        include_embed=spec.is_first_stage,
+        include_head=spec.is_last_stage,
+    )
+    layers = model_layers(config)
+    result = PlacementResult(
+        algorithm=base.algorithm, config=config, layers=layers
+    )
+    for layer in layers:
+        base_index = _stage_to_base_index(layer, spec, base.config)
+        for weight in layer.weights:
+            result.set_tier(
+                layer.index,
+                weight.name,
+                base.tier_of(base_index, weight.name),
+            )
+    return result
+
+
+def allreduce_bytes(config: OptConfig, batch: int, new_tokens: int) -> float:
+    """Ring-allreduce payload per decoder block for one TP iteration.
+
+    Two partial-sum reductions per block (after the attention output
+    projection and after FC2), each moving ``2 (t-1)/t`` of the
+    full-width activation through the inter-shard fabric.
+    """
+    tp = config.tensor_parallel
+    if tp <= 1:
+        return 0.0
+    act = batch * new_tokens * config.hidden_size * _ACT_BYTES
+    return 2.0 * (2.0 * (tp - 1) / tp) * act
+
+
+def handoff_bytes(config: OptConfig, batch: int, new_tokens: int) -> float:
+    """Activation bytes one pipeline stage hands the next per step."""
+    return float(batch * new_tokens * config.hidden_size * _ACT_BYTES)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard: its coordinates and its complete placement."""
+
+    spec: ShardSpec
+    placement: PlacementResult
+
+    @property
+    def config(self) -> OptConfig:
+        return self.placement.config
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.placement.total_bytes
+
+
+@dataclass(frozen=True)
+class ShardedPlacement:
+    """A (tensor x pipeline) partition of one base placement."""
+
+    base: PlacementResult
+    tensor_parallel: int
+    pipeline_parallel: int
+    shards: Tuple[Shard, ...]
+
+    @classmethod
+    def plan(
+        cls,
+        base: PlacementResult,
+        tensor_parallel: int = 1,
+        pipeline_parallel: int = 1,
+    ) -> "ShardedPlacement":
+        """Partition ``base`` into ``tp x pp`` shards.
+
+        The 1x1 partition returns the base placement object itself as
+        the sole shard — the identity guarantee the single-shard
+        golden tests pin.
+        """
+        tp = int(tensor_parallel)
+        pp = int(pipeline_parallel)
+        if tp < 1 or pp < 1:
+            raise ConfigurationError("shard degrees must be >= 1")
+        if pp > base.config.num_decoder_blocks:
+            raise ConfigurationError(
+                f"pipeline degree {pp} exceeds {base.config.name}'s "
+                f"{base.config.num_decoder_blocks} decoder blocks"
+            )
+        if base.config.num_heads % tp != 0:
+            raise ConfigurationError(
+                f"{base.config.name}: {base.config.num_heads} heads are "
+                f"not divisible by tensor_parallel={tp}"
+            )
+        if tp == 1 and pp == 1:
+            spec = ShardSpec(
+                tp_index=0,
+                tp_degree=1,
+                pp_index=0,
+                pp_degree=1,
+                block_start=0,
+                block_stop=base.config.num_decoder_blocks,
+            )
+            return cls(
+                base=base,
+                tensor_parallel=1,
+                pipeline_parallel=1,
+                shards=(Shard(spec=spec, placement=base),),
+            )
+        shards: List[Shard] = []
+        for pp_index, (start, stop) in enumerate(
+            _pipeline_ranges(base.config.num_decoder_blocks, pp)
+        ):
+            for tp_index in range(tp):
+                spec = ShardSpec(
+                    tp_index=tp_index,
+                    tp_degree=tp,
+                    pp_index=pp_index,
+                    pp_degree=pp,
+                    block_start=start,
+                    block_stop=stop,
+                )
+                shards.append(
+                    Shard(spec=spec, placement=shard_placement(base, spec))
+                )
+        return cls(
+            base=base,
+            tensor_parallel=tp,
+            pipeline_parallel=pp,
+            shards=tuple(shards),
+        )
+
+    @property
+    def degree(self) -> int:
+        return self.tensor_parallel * self.pipeline_parallel
+
+    @property
+    def is_identity(self) -> bool:
+        return self.degree == 1
+
+    def stage_shards(self, pp_index: int) -> Tuple[Shard, ...]:
+        return tuple(
+            shard
+            for shard in self.shards
+            if shard.spec.pp_index == pp_index
+        )
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Sum of all shard footprints.
+
+        Exceeds the base footprint only by the replicated slices
+        (norms, replicated biases, positional embeddings, the ceil
+        remainder of the vocabulary split).
+        """
+        return sum(shard.weight_bytes for shard in self.shards)

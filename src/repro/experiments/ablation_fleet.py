@@ -1,0 +1,223 @@
+"""Ablation: fleet routing — prefix affinity vs load- and order-based.
+
+The serve stack behind :func:`repro.serve.simulate_serving` is one
+engine; real deployments run several identical replicas behind a
+router.  This ablation pins down two properties of the
+:mod:`repro.fleet` refactor:
+
+* **Inertness** — a fleet of one replica at shard degree 1 is the old
+  stack, bit for bit: summary, request records, and telemetry
+  snapshot all compare equal against ``simulate_serving``.
+* **Routing matters under prefix locality** — a skewed multi-tenant
+  MMPP stream whose tenants share long prompt prefixes (2048-token
+  prompts, 1792 of them a shared template) is served by four replicas
+  with small per-replica prefix caches.  Round-robin spreads every
+  tenant across all replicas, so the caches thrash and every prefill
+  pays the full prompt; prefix affinity pins tenants to replicas,
+  keeps the caches hot, and prefills mostly suffixes — which shows up
+  directly in the p99 time-to-first-token.
+
+The workload is intentionally in the regime where prompt length moves
+the iteration price: at batch 16 a 2048-token prefill costs ~6x a
+256-token one on the CXL-ASIC host, so cache hits buy real time (out
+of core at batch 1 everything is weight-transfer-bound and routing
+would be invisible).
+
+A tensor-parallel arm (full mode only) runs the same stream through
+``tp=2`` sharded replicas to exercise the sharded pricing path end to
+end inside a fleet.
+
+Set ``REPRO_QUICK=1`` (or ``repro-experiments run --quick``) to skip
+the sharded arm and the determinism replay.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.analysis.reporting import Table
+from repro.experiments.base import ExperimentResult
+from repro.fleet import simulate_fleet
+from repro.serve.simulator import simulate_serving
+from repro.telemetry import Telemetry
+from repro.workloads.lengths import LengthDistribution
+
+MODEL = "opt-6.7b"
+HOST = "CXL-ASIC"
+PLACEMENT = "helm"
+SEED = 42
+REPLICAS = 4
+MAX_BATCH = 16
+NUM_REQUESTS = 80
+PROMPT_LEN = 2048
+PREFIX_LEN = 1792
+GEN_LEN = 16
+PREFIX_GROUPS = 8
+PREFIX_SKEW = 1.2
+PREFIX_CACHE = 2
+RATE_RPS = 0.8
+BURST_RATE_RPS = 4.0
+
+ROUTERS = ("round-robin", "least-loaded", "prefix-affinity")
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+
+def _fleet(router: str, **overrides):
+    kwargs = dict(
+        model=MODEL,
+        host=HOST,
+        placement=PLACEMENT,
+        arrival="bursty",
+        rate_rps=RATE_RPS,
+        burst_rate_rps=BURST_RATE_RPS,
+        num_requests=NUM_REQUESTS,
+        prompt_lengths=LengthDistribution.fixed(PROMPT_LEN),
+        gen_lengths=LengthDistribution.fixed(GEN_LEN),
+        seed=SEED,
+        max_batch=MAX_BATCH,
+        replicas=REPLICAS,
+        router=router,
+        prefix_groups=PREFIX_GROUPS,
+        prefix_len=PREFIX_LEN,
+        prefix_skew=PREFIX_SKEW,
+        prefix_cache_size=PREFIX_CACHE,
+    )
+    kwargs.update(overrides)
+    return simulate_fleet(**kwargs)
+
+
+def _flat(result) -> Dict[str, object]:
+    summary = result.summary()
+    hits = misses = 0
+    for replica in result.replicas:
+        cache = replica.result.setup.get("prefix_cache")
+        if cache:
+            hits += cache["hits"]
+            misses += cache["misses"]
+    total = hits + misses
+    return {
+        "router": summary["router"],
+        "completed": summary["completed"],
+        "shed": summary["shed_requests"],
+        "routed": summary["per_replica_routed"],
+        "hit_rate": hits / total if total else 0.0,
+        "ttft_p50_s": summary["ttft_p50_s"],
+        "ttft_p99_s": summary["ttft_p99_s"],
+        "e2e_p99_s": summary["e2e_p99_s"],
+        "goodput_rps": summary["goodput_rps"],
+    }
+
+
+def _identity_check() -> bool:
+    """A 1-replica, degree-1 fleet is ``simulate_serving``, bit for bit."""
+    kwargs = dict(
+        model=MODEL,
+        host=HOST,
+        placement=PLACEMENT,
+        arrival="poisson",
+        rate_rps=0.5,
+        num_requests=20,
+        seed=3,
+        max_batch=8,
+    )
+    solo_telemetry = Telemetry.create()
+    fleet_telemetry = Telemetry.create()
+    solo = simulate_serving(telemetry=solo_telemetry, **kwargs)
+    fleet = simulate_fleet(
+        telemetry=fleet_telemetry, replicas=1, **kwargs
+    )
+    replica = fleet.replicas[0].result
+    return (
+        solo.summary() == replica.summary()
+        and solo.records == replica.records
+        and solo.shed == replica.shed
+        and solo_telemetry.registry.snapshot()
+        == fleet_telemetry.registry.snapshot()
+    )
+
+
+def run() -> ExperimentResult:
+    quick = _quick()
+
+    sweep = Table(
+        title=(
+            "Ablation: fleet routing under shared-prefix locality "
+            f"(OPT-6.7B, {HOST}, {PLACEMENT}, {REPLICAS} replicas, "
+            f"bursty MMPP, {PREFIX_GROUPS} skewed tenants, "
+            f"{PREFIX_LEN}/{PROMPT_LEN} shared prefix)"
+        ),
+        columns=(
+            "router", "completed", "hit_rate", "ttft_p50_s",
+            "ttft_p99_s", "goodput_rps",
+        ),
+    )
+    data: Dict[str, object] = {}
+
+    arms: Dict[str, Dict[str, object]] = {}
+    for router in ROUTERS:
+        flat = _flat(_fleet(router))
+        arms[router] = flat
+        data[router] = flat
+        sweep.add_row(
+            router,
+            flat["completed"],
+            round(flat["hit_rate"], 3),
+            round(flat["ttft_p50_s"], 3),
+            round(flat["ttft_p99_s"], 3),
+            round(flat["goodput_rps"], 4),
+        )
+
+    deterministic = True
+    if not quick:
+        replay = _flat(_fleet("prefix-affinity"))
+        deterministic = replay == arms["prefix-affinity"]
+
+    sharded_ok = True
+    if not quick:
+        sharded = _fleet(
+            "round-robin",
+            replicas=2,
+            tensor_parallel=2,
+            num_requests=24,
+        )
+        flat = _flat(sharded)
+        data["tp2"] = flat
+        sharded_ok = (
+            flat["completed"] + flat["shed"] == 24
+            and sharded.setup["tensor_parallel"] == 2
+        )
+
+    round_robin = arms["round-robin"]
+    affinity = arms["prefix-affinity"]
+    data["checks"] = {
+        "single_replica_bit_identical": _identity_check(),
+        # Every arm serves the whole stream (conservation).
+        "requests_conserved": all(
+            flat["completed"] + flat["shed"] == NUM_REQUESTS
+            and sum(flat["routed"]) == NUM_REQUESTS
+            for flat in arms.values()
+        ),
+        # Affinity keeps the caches hot where round-robin thrashes...
+        "affinity_keeps_caches_hot": (
+            affinity["hit_rate"] > round_robin["hit_rate"] + 0.2
+        ),
+        # ...and that locality shows up in the headline tail metric.
+        "affinity_beats_round_robin_p99_ttft": (
+            affinity["ttft_p99_s"] < round_robin["ttft_p99_s"]
+        ),
+        "deterministic_replay": deterministic,
+        "sharded_fleet_serves": sharded_ok,
+    }
+    return ExperimentResult(
+        name="ablation_fleet",
+        description=(
+            "Fleet serving: prefix-affinity routing vs round-robin and "
+            "least-loaded under multi-tenant shared-prefix locality"
+        ),
+        tables=[sweep],
+        data=data,
+    )

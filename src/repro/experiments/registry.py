@@ -43,6 +43,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation_faults": "repro.experiments.ablation_faults",
     "ablation_kv": "repro.experiments.ablation_kv",
     "ablation_chaos": "repro.experiments.ablation_chaos",
+    "ablation_fleet": "repro.experiments.ablation_fleet",
 }
 
 

@@ -42,6 +42,7 @@ from repro.faults.models import (
     WearDerate,
 )
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.faults.seeds import seed_stream
 
 __all__ = [
     "FaultModel",
@@ -66,4 +67,5 @@ __all__ = [
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
     "degraded_host_config",
+    "seed_stream",
 ]

@@ -1,0 +1,54 @@
+"""Replica-stable seed derivation for fleet simulations.
+
+A fleet run hands every replica its own RNG streams (arrival jitter,
+fault draws, KV salt).  Deriving those per-replica seeds by e.g.
+``root_seed + replica_id`` would be fragile two ways: adjacent
+replicas' streams could correlate, and — worse — any scheme that
+draws replica seeds *sequentially* from one generator would reseed
+replica 0 whenever the fleet grows.  :func:`seed_stream` instead
+hashes ``(root_seed, replica_id, purpose)`` independently, so
+
+* replica 0's streams are a pure function of the root seed — adding
+  replicas can never perturb them (the regression tests pin this);
+* replica 0 receives the root seed *unchanged*, which is what makes a
+  one-replica fleet bit-identical to the single-engine simulator it
+  refactors;
+* distinct ``purpose`` labels ("faults", "arrivals", ...) of the same
+  replica get independent streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Seeds stay inside numpy's legal ``default_rng`` range (uint64).
+_SEED_BITS = 64
+
+
+def seed_stream(
+    root_seed: Optional[int], replica_id: int, purpose: str = "faults"
+) -> Optional[int]:
+    """A stable per-(replica, purpose) seed derived from ``root_seed``.
+
+    Replica 0 returns ``root_seed`` unchanged (including ``None``),
+    preserving bit-identity with single-engine runs seeded directly.
+    Other replicas hash ``(root_seed, replica_id, purpose)`` through
+    SHA-256, so each replica's draws depend only on its own id — never
+    on how many siblings exist.  A ``None`` root with a nonzero
+    replica id derives from root 0, keeping "unseeded" fleets
+    deterministic too.
+    """
+    if replica_id < 0:
+        raise ConfigurationError("replica_id cannot be negative")
+    if not purpose:
+        raise ConfigurationError("seed_stream needs a purpose label")
+    if replica_id == 0:
+        return root_seed
+    root = 0 if root_seed is None else int(root_seed)
+    digest = hashlib.sha256(
+        f"{root}:{replica_id}:{purpose}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[: _SEED_BITS // 8], "big")

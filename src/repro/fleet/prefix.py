@@ -1,0 +1,72 @@
+"""Per-replica prefix cache: shared prompt prefixes skip prefill work.
+
+Multi-tenant serving traffic reuses long shared prefixes (system
+prompts, few-shot templates).  A replica that recently prefilled a
+group's prefix still holds its KV, so the next request of that group
+only prefills the *suffix* — which is exactly the locality a
+prefix-affinity router exploits and a round-robin router destroys.
+
+The cache is deliberately simple and fully deterministic: an LRU over
+``prefix_group`` keys, touched in virtual time at admission.  It
+never evicts mid-batch, never reads a wall clock, and is inert for
+requests without a group — a scheduler with ``prefix_cache=None``
+prices every batch exactly as before this module existed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.serve.request import RequestSpec
+
+
+class PrefixCache:
+    """Deterministic LRU of resident prompt-prefix groups."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ConfigurationError("prefix cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        #: group -> virtual time of last touch (LRU order = dict order).
+        self._resident: "OrderedDict[str, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def effective_prompt_len(self, spec: RequestSpec, now: float) -> int:
+        """Prompt tokens this replica must actually prefill for ``spec``.
+
+        A resident group's requests skip their shared prefix (at least
+        one token always remains — the suffix is never empty by
+        :class:`RequestSpec` validation).  A miss installs the group,
+        evicting the least-recently-used one beyond capacity.
+        """
+        if spec.prefix_group is None:
+            return spec.prompt_len
+        group = spec.prefix_group
+        if group in self._resident:
+            self._resident.move_to_end(group)
+            self._resident[group] = float(now)
+            self.hits += 1
+            return max(1, spec.prompt_len - spec.prefix_len)
+        self.misses += 1
+        self._resident[group] = float(now)
+        if len(self._resident) > self.capacity:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+        return spec.prompt_len
+
+    @property
+    def resident_groups(self) -> int:
+        return len(self._resident)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "resident": list(self._resident),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

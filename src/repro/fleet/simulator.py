@@ -1,0 +1,340 @@
+"""Fleet serving: N replicas behind a router, one virtual timeline.
+
+:class:`FleetSimulator` interleaves replica schedulers in virtual
+time without ever running one "past" an arrival it might receive: for
+each request, every replica is advanced exactly to the arrival
+instant (:meth:`~repro.serve.scheduler.SchedulerDrive.advance`), the
+router picks a target off exact queue depths, and the spec is pushed
+into that replica's stream.  After the last arrival the streams are
+closed and drained to completion.
+
+:func:`simulate_fleet` is the fleet counterpart of
+:func:`repro.serve.simulate_serving` — same model/host/placement and
+workload knobs, plus ``replicas``, shard degrees, and ``router``.
+A ``replicas=1, tensor_parallel=1, pipeline_parallel=1`` fleet runs
+the identical object graph and is bit-identical to
+``simulate_serving`` (summary, records, telemetry snapshot); the
+guard tests in ``tests/fleet`` pin that equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSchedule
+from repro.faults.retry import RetryPolicy
+from repro.fleet.replica import Replica, build_replica
+from repro.fleet.router import FleetRouter, make_router
+from repro.serve.arrivals import (
+    DEFAULT_MIX,
+    ArrivalProcess,
+    TraceReplay,
+    assign_prefix_groups,
+    generate_requests,
+)
+from repro.serve.metrics import LatencyStats
+from repro.serve.request import QosClass, RequestRecord, RequestSpec
+from repro.serve.resilience import ResiliencePolicy
+from repro.serve.simulator import ServingResult, make_arrival_process
+from repro.telemetry import (
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    Telemetry,
+    resolve_telemetry,
+)
+from repro.workloads.lengths import LengthDistribution
+
+
+@dataclass(frozen=True)
+class ReplicaResult:
+    """One replica's complete single-engine result within a fleet."""
+
+    index: int
+    result: ServingResult
+    #: Requests the router sent here (>= completed + shed).
+    routed: int
+    #: This replica's registry snapshot (its own labels, un-merged).
+    telemetry_snapshot: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """A fleet run: per-replica results plus the rolled-up view."""
+
+    setup: Dict[str, object]
+    replicas: Tuple[ReplicaResult, ...]
+    #: request_id -> replica index, for every routed request.
+    assignments: Dict[int, int]
+    #: Fleet-level reductions over all replicas' records.
+    metrics: Dict[str, object]
+    #: Every replica's registry folded into one, each instrument
+    #: stamped with a ``replica`` label (``MetricsRegistry.merge``).
+    registry: MetricsRegistry
+
+    @property
+    def records(self) -> Tuple[RequestRecord, ...]:
+        merged: List[RequestRecord] = []
+        for replica in self.replicas:
+            merged.extend(replica.result.records)
+        return tuple(
+            sorted(merged, key=lambda r: (r.arrival_s, r.request_id))
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {**self.setup, **self.metrics}
+
+
+def _fleet_metrics(
+    replicas: Sequence[ReplicaResult],
+) -> Dict[str, object]:
+    """Reduce all replicas' records into one operator view."""
+    records: List[RequestRecord] = []
+    shed = 0
+    for replica in replicas:
+        records.extend(replica.result.records)
+        shed += len(replica.result.shed)
+    span = max(
+        (replica.result.metrics.duration_s for replica in replicas),
+        default=0.0,
+    )
+    met = sum(1 for record in records if record.slo_met)
+    offered = len(records) + shed
+    ttft = LatencyStats.from_values([r.ttft_s for r in records])
+    e2e = LatencyStats.from_values([r.e2e_s for r in records])
+    return {
+        "completed": len(records),
+        "shed_requests": shed,
+        "span_s": span,
+        "throughput_rps": len(records) / span if span > 0 else 0.0,
+        "goodput_rps": met / span if span > 0 else 0.0,
+        "slo_attainment": met / offered if offered else 0.0,
+        **ttft.summary("ttft"),
+        **e2e.summary("e2e"),
+        "per_replica_completed": [
+            len(replica.result.records) for replica in replicas
+        ],
+        "per_replica_routed": [replica.routed for replica in replicas],
+    }
+
+
+class FleetSimulator:
+    """Runs one request stream through a router onto many replicas."""
+
+    def __init__(
+        self, replicas: Sequence[Replica], router: FleetRouter
+    ) -> None:
+        if not replicas:
+            raise ConfigurationError("a fleet needs at least one replica")
+        self.replicas = list(replicas)
+        self.router = router
+
+    def run(
+        self,
+        specs: Sequence[RequestSpec],
+        setup: Optional[Dict[str, object]] = None,
+    ) -> FleetResult:
+        ordered = sorted(specs, key=lambda s: (s.arrival_s, s.request_id))
+        for replica in self.replicas:
+            replica.start(ordered)
+        assignments: Dict[int, int] = {}
+        for spec in ordered:
+            for replica in self.replicas:
+                replica.advance(spec.arrival_s)
+            target = self.router.route(spec, self.replicas)
+            if not 0 <= target < len(self.replicas):
+                raise ConfigurationError(
+                    f"router {self.router.name!r} returned replica "
+                    f"{target} for a fleet of {len(self.replicas)}"
+                )
+            assignments[spec.request_id] = target
+            self.replicas[target].push(spec)
+        outcomes = [replica.finish() for replica in self.replicas]
+        results: List[ReplicaResult] = []
+        for replica, outcome in zip(self.replicas, outcomes):
+            serving = replica.finalize(outcome, ordered, setup=setup)
+            results.append(
+                ReplicaResult(
+                    index=replica.index,
+                    result=serving,
+                    routed=replica.routed,
+                    telemetry_snapshot=replica.telemetry.registry.snapshot(),
+                )
+            )
+        registry = MetricsRegistry(enabled=True)
+        for entry in results:
+            registry.merge(
+                entry.telemetry_snapshot,
+                extra_labels={"replica": str(entry.index)},
+            )
+        fleet_setup: Dict[str, object] = {
+            "replicas": len(self.replicas),
+            "router": self.router.name,
+        }
+        if setup:
+            fleet_setup.update(setup)
+        return FleetResult(
+            setup=fleet_setup,
+            replicas=tuple(results),
+            assignments=assignments,
+            metrics=_fleet_metrics(results),
+            registry=registry,
+        )
+
+
+def simulate_fleet(
+    model: str = "opt-175b",
+    host: str = "NVDRAM",
+    placement: str = "helm",
+    compress_weights: bool = True,
+    arrival: Union[str, ArrivalProcess, TraceReplay] = "poisson",
+    rate_rps: float = 0.01,
+    burst_rate_rps: Optional[float] = None,
+    num_requests: int = 200,
+    prompt_lengths: Optional[LengthDistribution] = None,
+    gen_lengths: Optional[LengthDistribution] = None,
+    class_mix: Sequence[Tuple[QosClass, float]] = DEFAULT_MIX,
+    seed: int = 0,
+    max_batch: Optional[int] = None,
+    overlap: bool = True,
+    faults: Optional[Union[FaultSchedule, FaultInjector, str]] = None,
+    fault_seed: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    resilience: Optional[ResiliencePolicy] = None,
+    pricing_backend: str = "analytic",
+    telemetry: Optional[Telemetry] = None,
+    prewarm: bool = True,
+    kv_policy: Optional[str] = None,
+    sanitize: Optional[Union[bool, object]] = None,
+    iteration_fault_pricing: bool = False,
+    replicas: int = 1,
+    tensor_parallel: int = 1,
+    pipeline_parallel: int = 1,
+    router: Union[str, FleetRouter] = "round-robin",
+    prefix_groups: int = 0,
+    prefix_len: int = 64,
+    prefix_skew: float = 1.5,
+    prefix_cache_size: int = 0,
+) -> FleetResult:
+    """Simulate ``replicas`` identically configured serve stacks.
+
+    The workload knobs match :func:`repro.serve.simulate_serving`; the
+    arrival stream is sampled *once* (same seed, same draws) and
+    routed, so growing the fleet re-routes the same requests rather
+    than sampling new ones.  ``tensor_parallel``/``pipeline_parallel``
+    shard every replica's placement
+    (:class:`~repro.core.placement.ShardedPlacement`); ``router``
+    picks the policy (see :mod:`repro.fleet.router`).
+
+    ``prefix_groups > 0`` tags the generated stream with skewed
+    shared-prefix tenants
+    (:func:`~repro.serve.arrivals.assign_prefix_groups`), and
+    ``prefix_cache_size > 0`` attaches a per-replica
+    :class:`~repro.fleet.prefix.PrefixCache` — enabled identically
+    under every router, so routing is the only variable in an A/B.
+
+    With ``replicas=1`` and shard degree 1 the wiring collapses to
+    exactly ``simulate_serving``'s object graph: same engine, same
+    scheduler arithmetic, bit-identical summary/records/telemetry.
+    """
+    if replicas < 1:
+        raise ConfigurationError("a fleet needs at least one replica")
+    if isinstance(faults, FaultInjector) and replicas > 1:
+        raise ConfigurationError(
+            "a shared FaultInjector instance would couple replica RNG "
+            "streams; pass a FaultSchedule (or schedule path) instead"
+        )
+    if not isinstance(sanitize, (bool, type(None))) and replicas > 1:
+        raise ConfigurationError(
+            "a shared sanitizer harness cannot observe several "
+            "replicas; pass sanitize=True for per-replica harnesses"
+        )
+    resolved = resolve_telemetry(telemetry)
+    if isinstance(arrival, str):
+        process: Union[ArrivalProcess, TraceReplay] = make_arrival_process(
+            arrival, rate_rps, burst_rate_rps
+        )
+    else:
+        process = arrival
+    specs = generate_requests(
+        process,
+        num_requests,
+        prompt_lengths=prompt_lengths or LengthDistribution.fixed(128),
+        gen_lengths=gen_lengths or LengthDistribution.fixed(21),
+        class_mix=class_mix,
+        seed=seed,
+    )
+    if prefix_groups:
+        specs = assign_prefix_groups(
+            specs,
+            num_groups=prefix_groups,
+            prefix_len=prefix_len,
+            skew=prefix_skew,
+            seed=seed,
+        )
+    if replicas == 1:
+        telemetries: List[Telemetry] = [resolved]
+    elif resolved.enabled:
+        telemetries = [Telemetry.create() for _ in range(replicas)]
+    else:
+        telemetries = [NULL_TELEMETRY] * replicas
+    fleet = FleetSimulator(
+        replicas=[
+            build_replica(
+                index,
+                model=model,
+                host=host,
+                placement=placement,
+                compress_weights=compress_weights,
+                tensor_parallel=tensor_parallel,
+                pipeline_parallel=pipeline_parallel,
+                classes=tuple(qos for qos, _ in class_mix),
+                max_batch=max_batch,
+                overlap=overlap,
+                faults=faults,
+                fault_seed=fault_seed,
+                retry=retry,
+                resilience=resilience,
+                pricing_backend=pricing_backend,
+                telemetry=telemetries[index],
+                prewarm=prewarm,
+                kv_policy=kv_policy,
+                sanitize=sanitize,
+                iteration_fault_pricing=iteration_fault_pricing,
+                prefix_cache_size=prefix_cache_size,
+            )
+            for index in range(replicas)
+        ],
+        router=router if isinstance(router, FleetRouter) else make_router(router),
+    )
+    setup: Dict[str, object] = {
+        "model": model,
+        "host": host,
+        "placement": placement,
+        "compress_weights": compress_weights,
+        "arrival": arrival if isinstance(arrival, str) else type(arrival).__name__,
+        "rate_rps": rate_rps,
+        "num_requests": len(specs),
+        "seed": seed,
+        "pricing_backend": fleet.replicas[0].costs.backend_name,
+    }
+    if fleet.replicas[0].scheduler.injector is not None:
+        setup["faults"] = faults if isinstance(faults, str) else "schedule"
+        setup["fault_seed"] = fleet.replicas[0].scheduler.injector.seed
+    if fleet.replicas[0].scheduler.kv is not None:
+        setup["kv_policy"] = fleet.replicas[0].scheduler.kv.policy.name
+    if tensor_parallel > 1 or pipeline_parallel > 1:
+        setup["tensor_parallel"] = tensor_parallel
+        setup["pipeline_parallel"] = pipeline_parallel
+    result = fleet.run(specs, setup=setup)
+    if replicas > 1 and resolved.enabled:
+        # Fold the per-replica registries into the caller's ambient/
+        # explicit registry so --telemetry-out captures the fleet.
+        for entry in result.replicas:
+            resolved.registry.merge(
+                entry.telemetry_snapshot,
+                extra_labels={"replica": str(entry.index)},
+            )
+    return result

@@ -25,6 +25,14 @@ class OptConfig:
     max_position: int = 2050
     ffn_multiplier: int = 4
     dtype_bytes: int = 2  # fp16 weights, as FlexGen serves them
+    #: Tensor-parallel degree this configuration describes ONE shard of.
+    #: Attention heads, FFN columns, and the vocabulary are split this
+    #: many ways (Megatron-style); activations stay full-width.
+    tensor_parallel: int = 1
+    #: Pipeline stages other than the first/last drop the embedding
+    #: and head layers respectively.
+    include_embed: bool = True
+    include_head: bool = True
 
     def __post_init__(self) -> None:
         if self.hidden_size <= 0 or self.num_decoder_blocks <= 0:
@@ -33,6 +41,15 @@ class OptConfig:
             raise ConfigurationError(
                 f"{self.name}: hidden size {self.hidden_size} is not "
                 f"divisible by {self.num_heads} heads"
+            )
+        if self.tensor_parallel < 1:
+            raise ConfigurationError(
+                f"{self.name}: tensor_parallel must be >= 1"
+            )
+        if self.num_heads % self.tensor_parallel != 0:
+            raise ConfigurationError(
+                f"{self.name}: {self.num_heads} heads are not divisible "
+                f"by tensor_parallel={self.tensor_parallel}"
             )
 
     @property
@@ -44,6 +61,32 @@ class OptConfig:
         return self.hidden_size * self.ffn_multiplier
 
     @property
+    def shard_heads(self) -> int:
+        """Attention heads owned by this tensor-parallel shard."""
+        return self.num_heads // self.tensor_parallel
+
+    @property
+    def shard_hidden(self) -> int:
+        """Projection width of this shard (``head_dim * shard_heads``).
+
+        Equals ``hidden_size`` at ``tensor_parallel=1`` — divisibility
+        is guaranteed because ``tensor_parallel`` divides ``num_heads``
+        and ``num_heads`` divides ``hidden_size``.
+        """
+        return self.hidden_size // self.tensor_parallel
+
+    @property
+    def shard_ffn_dim(self) -> int:
+        """FFN intermediate columns owned by this shard."""
+        return self.ffn_dim // self.tensor_parallel
+
+    @property
+    def shard_vocab(self) -> int:
+        """Vocabulary rows owned by this shard (ceil split)."""
+        tp = self.tensor_parallel
+        return (self.vocab_size + tp - 1) // tp
+
+    @property
     def num_hidden_layers(self) -> int:
         """MHA + FFN layers, as FlexGen schedules them (Section III-B:
         96 and 192 for OPT-30B/175B)."""
@@ -51,24 +94,31 @@ class OptConfig:
 
     @property
     def num_layers(self) -> int:
-        """Hidden layers plus the input and output embedding layers
-        (98 and 194 for OPT-30B/175B)."""
-        return self.num_hidden_layers + 2
+        """Hidden layers plus the embedding/head layers this stage
+        carries (98 and 194 for full OPT-30B/175B)."""
+        return (
+            self.num_hidden_layers
+            + int(self.include_embed)
+            + int(self.include_head)
+        )
 
     @property
     def decoder_block_params(self) -> int:
-        """Parameters in one decoder block (matrices + biases + norms)."""
+        """Parameters in one decoder block (matrices + biases + norms),
+        for the slice this shard owns."""
         h = self.hidden_size
-        f = self.ffn_dim
-        mha = 4 * h * h + 4 * h + 2 * h          # QKVO + biases + LN
-        ffn = 2 * h * f + f + h + 2 * h          # FC1/FC2 + biases + LN
+        w = self.shard_hidden
+        f_w = self.shard_ffn_dim
+        mha = 4 * h * w + 3 * w + h + 2 * h      # QKVO + biases + LN
+        ffn = 2 * h * f_w + f_w + h + 2 * h      # FC1/FC2 + biases + LN
         return mha + ffn
 
     @property
     def param_count(self) -> int:
         h = self.hidden_size
-        embed = self.vocab_size * h + self.max_position * h
-        head = self.vocab_size * h + 2 * h       # untied head + final LN
+        v_w = self.shard_vocab
+        embed = (v_w * h + self.max_position * h) if self.include_embed else 0
+        head = (v_w * h + 2 * h) if self.include_head else 0
         return (
             self.num_decoder_blocks * self.decoder_block_params + embed + head
         )

@@ -47,12 +47,13 @@ def mha_work(
     """
     _validate(batch, new_tokens, context_len)
     h = config.hidden_size
-    proj_flops = 8.0 * batch * new_tokens * h * h      # Q,K,V,O projections
-    attn_flops = 4.0 * batch * new_tokens * context_len * h
-    kv_token_bytes = 2 * h * _ACT_BYTES                # K and V per token
+    w = config.shard_hidden  # projection width owned by this TP shard
+    proj_flops = 8.0 * batch * new_tokens * h * w      # Q,K,V,O projections
+    attn_flops = 4.0 * batch * new_tokens * context_len * w
+    kv_token_bytes = 2 * w * _ACT_BYTES                # K and V per token
     kv_read = batch * context_len * kv_token_bytes
     kv_write = batch * new_tokens * kv_token_bytes
-    act = 3.0 * batch * new_tokens * h * _ACT_BYTES
+    act = 3.0 * batch * new_tokens * h * _ACT_BYTES    # full-width residual
     return LayerWork(
         flops=proj_flops + attn_flops,
         hbm_bytes=weight_hbm_bytes + kv_read + kv_write + act,
@@ -68,9 +69,9 @@ def ffn_work(
     """One FFN layer: two linear layers through the 4h intermediate."""
     _validate(batch, new_tokens, 1)
     h = config.hidden_size
-    f = config.ffn_dim
-    flops = 4.0 * batch * new_tokens * h * f           # 2 matmuls x 2 flops
-    act = batch * new_tokens * (2 * h + f) * _ACT_BYTES
+    f_w = config.shard_ffn_dim  # intermediate columns on this TP shard
+    flops = 4.0 * batch * new_tokens * h * f_w         # 2 matmuls x 2 flops
+    act = batch * new_tokens * (2 * h + f_w) * _ACT_BYTES
     return LayerWork(flops=flops, hbm_bytes=weight_hbm_bytes + act)
 
 
@@ -90,9 +91,9 @@ def head_work(
     """Output head: logits for the final position of each prompt."""
     _validate(batch, 1, 1)
     h = config.hidden_size
-    v = config.vocab_size
-    flops = 2.0 * batch * h * v
-    logits = batch * v * 4  # fp32 logits
+    v_w = config.shard_vocab  # vocabulary rows owned by this TP shard
+    flops = 2.0 * batch * h * v_w
+    logits = batch * v_w * 4  # fp32 logits
     return LayerWork(flops=flops, hbm_bytes=weight_hbm_bytes + logits)
 
 

@@ -23,14 +23,15 @@ def kv_bytes_per_token(config: OptConfig, dtype_bytes: float = None) -> int:
     quantized cache entries including group metadata).
     """
     width = config.dtype_bytes if dtype_bytes is None else dtype_bytes
-    return int(round(2 * config.hidden_size * width * config.num_decoder_blocks))
+    return int(round(2 * config.shard_hidden * width * config.num_decoder_blocks))
 
 
 def kv_bytes_per_token_per_block(
     config: OptConfig, dtype_bytes: float = None
 ) -> int:
+    """Per-block KV bytes; a TP shard holds only its heads' K/V."""
     width = config.dtype_bytes if dtype_bytes is None else dtype_bytes
-    return int(round(2 * config.hidden_size * width))
+    return int(round(2 * config.shard_hidden * width))
 
 
 def kv_cache_bytes(

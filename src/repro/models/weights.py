@@ -95,17 +95,24 @@ class LayerSpec:
 
 
 def mha_weight_specs(config: OptConfig) -> Tuple[WeightSpec, ...]:
-    """Weights of one multi-head-attention layer, in FlexGen order."""
+    """Weights of one multi-head-attention layer, in FlexGen order.
+
+    Under tensor parallelism the Q/K/V projections are column-parallel
+    (each shard owns ``shard_hidden`` output rows and their biases),
+    the output projection is row-parallel (full output, ``shard_hidden``
+    input columns), and the norms plus output bias are replicated.
+    """
     h = config.hidden_size
+    w = config.shard_hidden
     b = config.dtype_bytes
     return (
-        WeightSpec("w_q", (h, h), b, WeightCategory.MATRIX),
-        WeightSpec("w_k", (h, h), b, WeightCategory.MATRIX),
-        WeightSpec("w_v", (h, h), b, WeightCategory.MATRIX),
-        WeightSpec("w_out", (h, h), b, WeightCategory.MATRIX),
-        WeightSpec("b_q", (h,), b, WeightCategory.BIAS),
-        WeightSpec("b_k", (h,), b, WeightCategory.BIAS),
-        WeightSpec("b_v", (h,), b, WeightCategory.BIAS),
+        WeightSpec("w_q", (w, h), b, WeightCategory.MATRIX),
+        WeightSpec("w_k", (w, h), b, WeightCategory.MATRIX),
+        WeightSpec("w_v", (w, h), b, WeightCategory.MATRIX),
+        WeightSpec("w_out", (h, w), b, WeightCategory.MATRIX),
+        WeightSpec("b_q", (w,), b, WeightCategory.BIAS),
+        WeightSpec("b_k", (w,), b, WeightCategory.BIAS),
+        WeightSpec("b_v", (w,), b, WeightCategory.BIAS),
         WeightSpec("b_out", (h,), b, WeightCategory.BIAS),
         WeightSpec("ln_w", (h,), b, WeightCategory.NORM),
         WeightSpec("ln_b", (h,), b, WeightCategory.NORM),
@@ -113,14 +120,18 @@ def mha_weight_specs(config: OptConfig) -> Tuple[WeightSpec, ...]:
 
 
 def ffn_weight_specs(config: OptConfig) -> Tuple[WeightSpec, ...]:
-    """Weights of one feed-forward layer, in FlexGen order."""
+    """Weights of one feed-forward layer, in FlexGen order.
+
+    FC1 is column-parallel (shard owns ``shard_ffn_dim`` intermediate
+    rows), FC2 row-parallel; the FC2 bias and norms are replicated.
+    """
     h = config.hidden_size
-    f = config.ffn_dim
+    f_w = config.shard_ffn_dim
     b = config.dtype_bytes
     return (
-        WeightSpec("w_fc1", (f, h), b, WeightCategory.MATRIX),
-        WeightSpec("w_fc2", (h, f), b, WeightCategory.MATRIX),
-        WeightSpec("b_fc1", (f,), b, WeightCategory.BIAS),
+        WeightSpec("w_fc1", (f_w, h), b, WeightCategory.MATRIX),
+        WeightSpec("w_fc2", (h, f_w), b, WeightCategory.MATRIX),
+        WeightSpec("b_fc1", (f_w,), b, WeightCategory.BIAS),
         WeightSpec("b_fc2", (h,), b, WeightCategory.BIAS),
         WeightSpec("ln_w", (h,), b, WeightCategory.NORM),
         WeightSpec("ln_b", (h,), b, WeightCategory.NORM),
@@ -132,7 +143,7 @@ def embed_weight_specs(config: OptConfig) -> Tuple[WeightSpec, ...]:
     b = config.dtype_bytes
     return (
         WeightSpec(
-            "token_emb", (config.vocab_size, h), b, WeightCategory.EMBEDDING
+            "token_emb", (config.shard_vocab, h), b, WeightCategory.EMBEDDING
         ),
         WeightSpec(
             "pos_emb", (config.max_position, h), b, WeightCategory.EMBEDDING
@@ -145,7 +156,7 @@ def head_weight_specs(config: OptConfig) -> Tuple[WeightSpec, ...]:
     b = config.dtype_bytes
     return (
         WeightSpec(
-            "lm_head", (config.vocab_size, h), b, WeightCategory.EMBEDDING
+            "lm_head", (config.shard_vocab, h), b, WeightCategory.EMBEDDING
         ),
         WeightSpec("ln_w", (h,), b, WeightCategory.NORM),
         WeightSpec("ln_b", (h,), b, WeightCategory.NORM),
@@ -153,15 +164,26 @@ def head_weight_specs(config: OptConfig) -> Tuple[WeightSpec, ...]:
 
 
 def model_layers(config: OptConfig) -> Tuple[LayerSpec, ...]:
-    """The full layer sequence FlexGen iterates over (Listing 1)."""
-    layers = [LayerSpec(0, LayerKind.EMBED, embed_weight_specs(config))]
-    index = 1
+    """The full layer sequence FlexGen iterates over (Listing 1).
+
+    Pipeline stages drop the embedding (non-first) and head (non-last)
+    layers via the config's ``include_embed``/``include_head`` flags;
+    indices stay contiguous within the stage.
+    """
+    layers = []
+    index = 0
+    if config.include_embed:
+        layers.append(LayerSpec(0, LayerKind.EMBED, embed_weight_specs(config)))
+        index = 1
     for _ in range(config.num_decoder_blocks):
         layers.append(LayerSpec(index, LayerKind.MHA, mha_weight_specs(config)))
         index += 1
         layers.append(LayerSpec(index, LayerKind.FFN, ffn_weight_specs(config)))
         index += 1
-    layers.append(LayerSpec(index, LayerKind.HEAD, head_weight_specs(config)))
+    if config.include_head:
+        layers.append(
+            LayerSpec(index, LayerKind.HEAD, head_weight_specs(config))
+        )
     return tuple(layers)
 
 

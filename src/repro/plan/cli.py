@@ -72,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on the per-candidate batch ladder",
     )
     parser.add_argument(
+        "--shards", default="1",
+        help="comma-separated shard degrees to sweep, each TP or "
+        "TPxPP (e.g. 1,2,2x2); degree 1 is the unsharded stack",
+    )
+    parser.add_argument(
+        "--replicas", default="1",
+        help="comma-separated fleet sizes to sweep (identical "
+        "replicas behind a router)",
+    )
+    parser.add_argument(
         "--top", type=int, default=5,
         help="number of candidates to print (cheapest first)",
     )
@@ -85,34 +95,61 @@ def _split(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def _parse_shards(text: str) -> List[tuple]:
+    """``"1,2,2x2"`` -> ``[(1, 1), (2, 1), (2, 2)]`` (TP or TPxPP)."""
+    degrees = []
+    for part in _split(text):
+        tp, _, pp = part.partition("x")
+        degrees.append((int(tp), int(pp) if pp else 1))
+    return degrees
+
+
 def _print_plan(plan: CapacityPlan, top: int) -> None:
     print(
         f"evaluated {len(plan.candidates)} candidate(s), "
         f"{len(plan.feasible_candidates())} feasible"
     )
+    fleet_axes = any(
+        c.replicas != 1 or c.shard_degree != 1 for c in plan.candidates
+    )
     if plan.chosen is None:
         print("no configuration meets the target")
     else:
         chosen = plan.chosen
+        fleet = ""
+        if fleet_axes:
+            fleet = (
+                f", {chosen.replicas}x replicas of "
+                f"tp{chosen.tensor_parallel}/pp{chosen.pipeline_parallel}"
+            )
         print(
             f"chosen: {chosen.placement} on {chosen.host}, batch "
-            f"{chosen.batch_size} @ {chosen.rate_rps} req/s "
+            f"{chosen.batch_size} @ {chosen.rate_rps} req/s{fleet} "
             f"({chosen.cost_per_token_s * 1e3:.2f} GPU-ms/token)"
         )
     rows = plan.candidates[: max(0, top)]
     if not rows:
         return
+    fleet_head = f" {'fleet':>9}" if fleet_axes else ""
     print(
-        f"  {'placement':<10} {'host':<10} {'batch':>5} {'rate':>7} "
+        f"  {'placement':<10} {'host':<10} {'batch':>5} {'rate':>7}"
+        f"{fleet_head} "
         f"{'TTFT s':>8} {'TBT s':>7} {'tok/s':>8} {'rho':>5} "
         f"{'ms/tok':>7}  status"
     )
     for c in rows:
         ttft = "inf" if c.ttft_s == float("inf") else f"{c.ttft_s:.2f}"
         status = "ok" if c.feasible else c.infeasible_reason
+        fleet_col = ""
+        if fleet_axes:
+            label = (
+                f"{c.replicas}x tp{c.tensor_parallel}"
+                f"pp{c.pipeline_parallel}"
+            )
+            fleet_col = f" {label:>9}"
         print(
             f"  {c.placement:<10} {c.host:<10} {c.batch_size:>5} "
-            f"{c.rate_rps:>7.3f} {ttft:>8} {c.tbt_s:>7.3f} "
+            f"{c.rate_rps:>7.3f}{fleet_col} {ttft:>8} {c.tbt_s:>7.3f} "
             f"{c.throughput_tps:>8.3f} {c.utilization:>5.2f} "
             f"{c.cost_per_token_s * 1e3:>7.2f}  {status}"
         )
@@ -136,6 +173,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             prompt_len=args.prompt_len,
             gen_len=args.gen_len,
             max_batch_limit=args.max_batch,
+            shard_degrees=_parse_shards(args.shards),
+            replica_counts=[int(n) for n in _split(args.replicas)],
         )
         _print_plan(plan, args.top)
         if args.json:

@@ -44,7 +44,7 @@ DEFAULT_PLACEMENTS = ("baseline", "helm", "allcpu")
 
 @dataclass(frozen=True)
 class PlanCandidate:
-    """One evaluated (placement, host, batch, rate) configuration."""
+    """One evaluated (placement, host, shards, batch, rate) point."""
 
     placement: str
     host: str
@@ -65,6 +65,15 @@ class PlanCandidate:
     cost_per_token_s: float
     feasible: bool
     infeasible_reason: str = ""
+    #: Fleet degrees: identical replicas behind a router, and the
+    #: tensor/pipeline partitioning of each replica's placement.
+    replicas: int = 1
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+
+    @property
+    def shard_degree(self) -> int:
+        return self.tensor_parallel * self.pipeline_parallel
 
     def summary(self) -> Dict[str, object]:
         return {
@@ -72,6 +81,9 @@ class PlanCandidate:
             "host": self.host,
             "batch_size": self.batch_size,
             "rate_rps": self.rate_rps,
+            "replicas": self.replicas,
+            "tensor_parallel": self.tensor_parallel,
+            "pipeline_parallel": self.pipeline_parallel,
             "ttft_s": self.ttft_s,
             "tbt_s": self.tbt_s,
             "throughput_tps": self.throughput_tps,
@@ -135,6 +147,9 @@ def _sort_key(candidate: PlanCandidate) -> Tuple:
         candidate.placement,
         candidate.batch_size,
         candidate.rate_rps,
+        candidate.replicas,
+        candidate.tensor_parallel,
+        candidate.pipeline_parallel,
     )
 
 
@@ -169,6 +184,8 @@ def plan_capacity(
     bucket_tokens: int = 32,
     overlap: bool = True,
     max_batch_limit: int = 512,
+    shard_degrees: Sequence[Tuple[int, int]] = ((1, 1),),
+    replica_counts: Sequence[int] = (1,),
 ) -> CapacityPlan:
     """Sweep configurations and pick the cheapest one meeting ``target``.
 
@@ -184,10 +201,21 @@ def plan_capacity(
     * ``ttft`` — prefill plus an M/D/1-style waiting term
       ``rho / (1 - rho) x block_time / 2``.
 
+    ``shard_degrees`` adds tensor/pipeline partitioning as a sweep
+    axis: every ``(tp, pp)`` pair beyond ``(1, 1)`` prices the batch
+    ladder through a :class:`~repro.fleet.ShardedCostModel` over the
+    partitioned placement (allreduce and handoff included), and its
+    GPU-seconds-per-token cost is multiplied by the degree — shards
+    are extra hardware.  ``replica_counts`` scales the fleet the
+    cheap way: replicas divide the offered rate (``rho = rate x
+    block_time / (batch x replicas)``) and multiply throughput, at
+    unchanged per-token cost.
+
     The chosen candidate minimizes GPU-seconds per generated token
     among feasible points, with a deterministic tie-break; ``chosen``
     is ``None`` when nothing meets the target.  Candidates that fail
-    to build (e.g. a placement whose weights cannot fit) are skipped.
+    to build (e.g. a placement whose weights cannot fit, or a model
+    too small for the requested shard degree) are skipped.
     """
     if not hosts or not placements or not rates_rps:
         raise ConfigurationError(
@@ -196,6 +224,17 @@ def plan_capacity(
     for rate in rates_rps:
         if rate <= 0:
             raise ConfigurationError("arrival rates must be positive")
+    if not shard_degrees or not replica_counts:
+        raise ConfigurationError(
+            "plan_capacity needs at least one shard degree and one "
+            "replica count"
+        )
+    for count in replica_counts:
+        if count < 1:
+            raise ConfigurationError("replica counts must be >= 1")
+    for tp, pp in shard_degrees:
+        if tp < 1 or pp < 1:
+            raise ConfigurationError("shard degrees must be >= 1")
 
     backend = AnalyticBackend()
     evaluated: List[PlanCandidate] = []
@@ -217,7 +256,6 @@ def plan_capacity(
                 continue
             if max_batch < 1:
                 continue
-            ladder = _batch_ladder(max_batch)
             max_position = engine.config.max_position
             decode_bucket = _bucket(
                 prompt_len + gen_len, max_position, bucket_tokens
@@ -225,70 +263,133 @@ def plan_capacity(
             prefill_bucket = _bucket(
                 prompt_len, max_position - gen_len, bucket_tokens
             )
-            spec = engine.run_spec(
-                batch_size=1,
-                prompt_len=prompt_len,
-                overlap=overlap,
-                include_faults=False,
-            )
-            grid = backend.cost_grid(spec)
-            decode = grid.evaluate(Stage.DECODE, ladder, [decode_bucket])
-            prefill = grid.evaluate(
-                Stage.PREFILL, ladder, [prefill_bucket]
-            )
-            decode_totals = decode.totals()
-            prefill_totals = prefill.totals()
-            for index, batch in enumerate(ladder):
-                tbt = float(decode_totals[index, 0])
-                prefill_s = float(prefill_totals[index, 0])
-                block_time = prefill_s + max(0, gen_len - 1) * tbt
-                throughput = batch * gen_len / block_time
-                cost = block_time / (batch * gen_len)
-                for rate in sorted(rates_rps):
-                    utilization = rate * block_time / batch
-                    if utilization >= 1.0:
-                        evaluated.append(
-                            PlanCandidate(
-                                placement=placement,
-                                host=host,
-                                batch_size=batch,
-                                rate_rps=rate,
-                                prefill_s=prefill_s,
-                                tbt_s=tbt,
-                                block_time_s=block_time,
-                                ttft_s=float("inf"),
-                                throughput_tps=throughput,
-                                utilization=utilization,
-                                cost_per_token_s=cost,
-                                feasible=False,
-                                infeasible_reason=(
-                                    f"saturated (rho = {utilization:.2f})"
-                                ),
+            for tp, pp in sorted(set(shard_degrees)):
+                # Per-batch (prefill_s, tbt) prices for this degree.
+                priced: List[Tuple[int, float, float]] = []
+                if tp == 1 and pp == 1:
+                    ladder = _batch_ladder(max_batch)
+                    spec = engine.run_spec(
+                        batch_size=1,
+                        prompt_len=prompt_len,
+                        overlap=overlap,
+                        include_faults=False,
+                    )
+                    grid = backend.cost_grid(spec)
+                    decode = grid.evaluate(
+                        Stage.DECODE, ladder, [decode_bucket]
+                    )
+                    prefill = grid.evaluate(
+                        Stage.PREFILL, ladder, [prefill_bucket]
+                    )
+                    decode_totals = decode.totals()
+                    prefill_totals = prefill.totals()
+                    for index, batch in enumerate(ladder):
+                        priced.append(
+                            (
+                                batch,
+                                float(prefill_totals[index, 0]),
+                                float(decode_totals[index, 0]),
                             )
                         )
-                        continue
-                    waiting = (
-                        utilization / (1.0 - utilization) * block_time / 2.0
+                else:
+                    from repro.core.placement.sharding import (
+                        ShardedPlacement,
                     )
-                    ttft = prefill_s + waiting
-                    reason = _check_target(target, ttft, tbt, throughput)
-                    evaluated.append(
-                        PlanCandidate(
-                            placement=placement,
-                            host=host,
-                            batch_size=batch,
-                            rate_rps=rate,
-                            prefill_s=prefill_s,
-                            tbt_s=tbt,
-                            block_time_s=block_time,
-                            ttft_s=ttft,
-                            throughput_tps=throughput,
-                            utilization=utilization,
-                            cost_per_token_s=cost,
-                            feasible=not reason,
-                            infeasible_reason=reason,
+                    from repro.fleet.costs import ShardedCostModel
+
+                    try:
+                        sharded = ShardedPlacement.plan(
+                            engine.placement_result,
+                            tensor_parallel=tp,
+                            pipeline_parallel=pp,
                         )
-                    )
+                        costs = ShardedCostModel(
+                            engine, sharded, overlap=overlap
+                        )
+                        shard_batch = costs.max_concurrency(
+                            max_batch_limit
+                        )
+                    except ReproError:
+                        continue
+                    if shard_batch < 1:
+                        continue
+                    for batch in _batch_ladder(shard_batch):
+                        priced.append(
+                            (
+                                batch,
+                                costs.prefill_time(batch, prefill_bucket),
+                                costs.decode_time(batch, decode_bucket),
+                            )
+                        )
+                degree = tp * pp
+                for batch, prefill_s, tbt in priced:
+                    block_time = prefill_s + max(0, gen_len - 1) * tbt
+                    throughput = batch * gen_len / block_time
+                    # Shards are extra hardware; replicas scale both
+                    # numerator and denominator, so per-token cost is
+                    # replica-invariant.
+                    cost = degree * block_time / (batch * gen_len)
+                    for count in sorted(set(replica_counts)):
+                        for rate in sorted(rates_rps):
+                            utilization = (
+                                rate * block_time / (batch * count)
+                            )
+                            fleet_tps = count * throughput
+                            if utilization >= 1.0:
+                                evaluated.append(
+                                    PlanCandidate(
+                                        placement=placement,
+                                        host=host,
+                                        batch_size=batch,
+                                        rate_rps=rate,
+                                        prefill_s=prefill_s,
+                                        tbt_s=tbt,
+                                        block_time_s=block_time,
+                                        ttft_s=float("inf"),
+                                        throughput_tps=fleet_tps,
+                                        utilization=utilization,
+                                        cost_per_token_s=cost,
+                                        feasible=False,
+                                        infeasible_reason=(
+                                            "saturated (rho = "
+                                            f"{utilization:.2f})"
+                                        ),
+                                        replicas=count,
+                                        tensor_parallel=tp,
+                                        pipeline_parallel=pp,
+                                    )
+                                )
+                                continue
+                            waiting = (
+                                utilization
+                                / (1.0 - utilization)
+                                * block_time
+                                / 2.0
+                            )
+                            ttft = prefill_s + waiting
+                            reason = _check_target(
+                                target, ttft, tbt, fleet_tps
+                            )
+                            evaluated.append(
+                                PlanCandidate(
+                                    placement=placement,
+                                    host=host,
+                                    batch_size=batch,
+                                    rate_rps=rate,
+                                    prefill_s=prefill_s,
+                                    tbt_s=tbt,
+                                    block_time_s=block_time,
+                                    ttft_s=ttft,
+                                    throughput_tps=fleet_tps,
+                                    utilization=utilization,
+                                    cost_per_token_s=cost,
+                                    feasible=not reason,
+                                    infeasible_reason=reason,
+                                    replicas=count,
+                                    tensor_parallel=tp,
+                                    pipeline_parallel=pp,
+                                )
+                            )
     candidates = tuple(sorted(evaluated, key=_sort_key))
     feasible = [c for c in candidates if c.feasible]
     chosen = feasible[0] if feasible else None

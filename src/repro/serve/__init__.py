@@ -15,6 +15,7 @@ from repro.serve.arrivals import (
     MmppProcess,
     PoissonProcess,
     TraceReplay,
+    assign_prefix_groups,
     generate_requests,
     load_trace,
     save_trace,
@@ -46,6 +47,7 @@ from repro.serve.resilience import (
 from repro.serve.scheduler import (
     ContinuousBatchingScheduler,
     FaultSummary,
+    SchedulerDrive,
     SchedulerRun,
 )
 from repro.serve.state import (
@@ -65,6 +67,7 @@ __all__ = [
     "PoissonProcess",
     "MmppProcess",
     "TraceReplay",
+    "assign_prefix_groups",
     "generate_requests",
     "save_trace",
     "load_trace",
@@ -78,6 +81,7 @@ __all__ = [
     "STANDARD",
     "DEFAULT_CLASSES",
     "ContinuousBatchingScheduler",
+    "SchedulerDrive",
     "SchedulerRun",
     "FaultSummary",
     "CheckpointPlan",

@@ -19,7 +19,7 @@ deterministically from one seed; :func:`save_trace` /
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Sequence, Tuple, Union
 
 import numpy as np
@@ -157,6 +157,48 @@ def generate_requests(
     )
 
 
+def assign_prefix_groups(
+    specs: Sequence[RequestSpec],
+    num_groups: int = 4,
+    prefix_len: int = 64,
+    skew: float = 1.5,
+    seed: int = 0,
+) -> Tuple[RequestSpec, ...]:
+    """Tag a request stream with skewed shared-prefix tenant groups.
+
+    Group popularity follows a Zipf-like law with exponent ``skew``
+    (group 0 is the hot tenant), modelling the multi-tenant
+    shared-system-prompt traffic a prefix-affinity router exploits.
+    Each tagged request shares its first ``prefix_len`` prompt tokens
+    with its group, clamped to ``prompt_len - 1``; one-token prompts
+    stay untagged.  Deterministic in ``seed`` and independent of the
+    stream's own sampling.
+    """
+    if num_groups < 1:
+        raise WorkloadError("need at least one prefix group")
+    if prefix_len < 1:
+        raise WorkloadError("prefix length must be >= 1")
+    weights = np.asarray(
+        [1.0 / (rank + 1.0) ** skew for rank in range(num_groups)]
+    )
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(num_groups, size=len(specs), p=weights / weights.sum())
+    tagged: List[RequestSpec] = []
+    for spec, pick in zip(specs, picks):
+        share = min(prefix_len, spec.prompt_len - 1)
+        if share < 1:
+            tagged.append(spec)
+            continue
+        tagged.append(
+            replace(
+                spec,
+                prefix_group=f"tenant-{int(pick)}",
+                prefix_len=int(share),
+            )
+        )
+    return tuple(tagged)
+
+
 # ----------------------------------------------------------------------
 # Trace files (JSONL, one request per line)
 # ----------------------------------------------------------------------
@@ -165,13 +207,18 @@ _TRACE_FIELDS = ("request_id", "arrival_s", "prompt_len", "gen_len", "qos_class"
 
 
 def save_trace(specs: Sequence[RequestSpec], path: str) -> None:
-    """Write a request stream as a JSONL trace file."""
+    """Write a request stream as a JSONL trace file.
+
+    Prefix-sharing fields are emitted only when set, so traces written
+    from untagged streams remain byte-identical to earlier releases.
+    """
     with open(path, "w") as handle:
         for spec in specs:
-            handle.write(
-                json.dumps({name: getattr(spec, name) for name in _TRACE_FIELDS})
-                + "\n"
-            )
+            payload = {name: getattr(spec, name) for name in _TRACE_FIELDS}
+            if spec.prefix_group is not None:
+                payload["prefix_group"] = spec.prefix_group
+                payload["prefix_len"] = spec.prefix_len
+            handle.write(json.dumps(payload) + "\n")
 
 
 def load_trace(path: str) -> Tuple[RequestSpec, ...]:
@@ -184,6 +231,7 @@ def load_trace(path: str) -> Tuple[RequestSpec, ...]:
                 continue
             try:
                 payload = json.loads(line)
+                group = payload.get("prefix_group")
                 specs.append(
                     RequestSpec(
                         request_id=int(payload["request_id"]),
@@ -191,6 +239,8 @@ def load_trace(path: str) -> Tuple[RequestSpec, ...]:
                         prompt_len=int(payload["prompt_len"]),
                         gen_len=int(payload["gen_len"]),
                         qos_class=str(payload.get("qos_class", STANDARD.name)),
+                        prefix_group=None if group is None else str(group),
+                        prefix_len=int(payload.get("prefix_len", 0)),
                     )
                 )
             except (KeyError, ValueError, json.JSONDecodeError) as error:

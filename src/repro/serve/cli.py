@@ -18,6 +18,7 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ReproError
+from repro.fleet.router import ROUTER_NAMES
 from repro.kv import KV_POLICY_NAMES
 from repro.memory.hierarchy import HOST_CONFIG_LABELS
 from repro.serve.arrivals import TraceReplay, load_trace, save_trace
@@ -159,6 +160,31 @@ def build_parser() -> argparse.ArgumentParser:
         "violation (also: REPRO_SANITIZE=1)",
     )
     parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="fleet size: run N identically configured replicas behind "
+        "a router (default 1 = the single-engine stack, bit-identical "
+        "to previous releases)",
+    )
+    parser.add_argument(
+        "--shards", default="1",
+        help="shard each replica's placement: TP or TPxPP "
+        "(e.g. 2 or 2x2; default 1 = unsharded)",
+    )
+    parser.add_argument(
+        "--router", default="round-robin", choices=ROUTER_NAMES,
+        help="fleet routing policy (only meaningful with --replicas > 1)",
+    )
+    parser.add_argument(
+        "--prefix-groups", type=int, default=0,
+        help="tag the sampled stream with N skewed shared-prefix "
+        "tenant groups (multi-tenant prefix locality)",
+    )
+    parser.add_argument(
+        "--prefix-cache", type=int, default=0, metavar="GROUPS",
+        help="per-replica prefix cache capacity in resident groups "
+        "(0 = off); hits prefill only the prompt suffix",
+    )
+    parser.add_argument(
         "--replay", metavar="FILE",
         help="replay a JSONL request trace instead of sampling arrivals",
     )
@@ -178,7 +204,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--telemetry-out", metavar="FILE",
         help="write the run's telemetry bundle (metrics + spans) as "
-        "JSON, readable by repro-telemetry",
+        "JSON — or JSONL when FILE ends in .jsonl, tailable with "
+        "'repro-telemetry summary --follow'",
     )
     return parser
 
@@ -308,6 +335,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             arrival = args.arrival
             num_requests = args.requests
 
+        tp_text, _, pp_text = args.shards.partition("x")
+        tensor_parallel = int(tp_text)
+        pipeline_parallel = int(pp_text) if pp_text else 1
+        fleet_mode = (
+            args.replicas > 1
+            or tensor_parallel > 1
+            or pipeline_parallel > 1
+            or args.prefix_groups > 0
+            or args.prefix_cache > 0
+        )
+
         telemetry = Telemetry.create(
             tool="repro-serve",
             model=args.model,
@@ -315,6 +353,65 @@ def main(argv: Optional[List[str]] = None) -> int:
             placement=args.placement,
             seed=args.seed,
         )
+        if fleet_mode:
+            from repro.fleet import simulate_fleet
+
+            fleet_result = simulate_fleet(
+                model=args.model,
+                host=args.host,
+                placement=args.placement,
+                compress_weights=args.compress,
+                arrival=arrival,
+                rate_rps=args.rate,
+                burst_rate_rps=args.burst_rate,
+                num_requests=num_requests,
+                prompt_lengths=_length_dist(
+                    args.prompt_len, args.vary_lengths
+                ),
+                gen_lengths=_length_dist(args.gen_len, args.vary_lengths),
+                class_mix=class_mix,
+                seed=args.seed,
+                max_batch=args.max_batch,
+                pricing_backend=args.pricing_backend,
+                prewarm=args.prewarm,
+                faults=args.faults,
+                fault_seed=args.fault_seed,
+                resilience=(
+                    None if args.resilience else NO_RESILIENCE
+                ) if args.faults else None,
+                telemetry=telemetry,
+                kv_policy=args.kv_policy,
+                iteration_fault_pricing=args.iteration_fault_pricing,
+                sanitize=True if args.sanitize else None,
+                replicas=args.replicas,
+                tensor_parallel=tensor_parallel,
+                pipeline_parallel=pipeline_parallel,
+                router=args.router,
+                prefix_groups=args.prefix_groups,
+                prefix_cache_size=args.prefix_cache,
+            )
+            _print_fleet_report(fleet_result)
+            if args.save_trace:
+                save_trace(_specs_of(fleet_result), args.save_trace)
+                print(f"request trace written to {args.save_trace}")
+            if args.chrome_trace:
+                from repro.telemetry.export import (
+                    save_extended_chrome_trace,
+                )
+
+                save_extended_chrome_trace(
+                    telemetry.bundle(),
+                    args.chrome_trace,
+                    trace=fleet_result.replicas[0].result.trace,
+                )
+                print(f"chrome trace written to {args.chrome_trace}")
+            if args.json:
+                with open(args.json, "w") as handle:
+                    json.dump(fleet_result.summary(), handle, indent=1)
+                print(f"summary written to {args.json}")
+            if args.telemetry_out:
+                _write_telemetry(telemetry, args.telemetry_out)
+            return 0
         result = simulate_serving(
             model=args.model,
             host=args.host,
@@ -358,12 +455,68 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dump(result.summary(), handle, indent=1)
             print(f"summary written to {args.json}")
         if args.telemetry_out:
-            telemetry.save(args.telemetry_out)
-            print(f"telemetry bundle written to {args.telemetry_out}")
+            _write_telemetry(telemetry, args.telemetry_out)
         return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+
+def _write_telemetry(telemetry: Telemetry, path: str) -> None:
+    if path.endswith(".jsonl"):
+        from repro.telemetry.export import to_jsonl_text
+
+        with open(path, "w") as handle:
+            handle.write(to_jsonl_text(telemetry.bundle()))
+        print(
+            f"telemetry JSONL written to {path} "
+            "(tail with: repro-telemetry summary --follow)"
+        )
+    else:
+        telemetry.save(path)
+        print(f"telemetry bundle written to {path}")
+
+
+def _print_fleet_report(result) -> None:
+    setup = result.setup
+    summary = result.summary()
+    print(
+        f"{setup['model']} on {setup['host']}, {setup['placement']}: "
+        f"{setup['replicas']} replica(s), {setup['router']} router, "
+        f"{setup['num_requests']} requests:"
+    )
+    rows = [
+        ("requests completed", f"{summary['completed']}"
+         + (f" ({summary['shed_requests']} shed)"
+            if summary["shed_requests"] else "")),
+        ("simulated span", f"{summary['span_s']:.1f} s"),
+        ("fleet throughput", f"{summary['throughput_rps']:.4f} req/s"),
+        ("goodput (SLO met)", f"{summary['goodput_rps']:.4f} req/s "
+         f"({summary['slo_attainment']:.1%} attainment)"),
+        ("per-replica routed",
+         " / ".join(str(n) for n in summary["per_replica_routed"])),
+    ]
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"  {name:<{width}} : {value}")
+    print("  latency (p50 / p95 / p99, seconds):")
+    for label in ("ttft", "e2e"):
+        print(
+            f"    {label.upper():<4} : "
+            f"{summary[f'{label}_p50_s']:.3f} / "
+            f"{summary[f'{label}_p95_s']:.3f} / "
+            f"{summary[f'{label}_p99_s']:.3f}"
+        )
+    for entry in result.replicas:
+        cache = entry.result.setup.get("prefix_cache")
+        if cache:
+            total = cache["hits"] + cache["misses"]
+            rate = cache["hits"] / total if total else 0.0
+            print(
+                f"  replica {entry.index} prefix cache: "
+                f"{cache['hits']}/{total} hits ({rate:.0%}), "
+                f"{cache['evictions']} eviction(s)"
+            )
 
 
 def _specs_of(result) -> Sequence:

@@ -90,19 +90,38 @@ def class_index(classes: Sequence[QosClass]) -> Dict[str, QosClass]:
 
 @dataclass(frozen=True)
 class RequestSpec:
-    """One request of the open arrival stream."""
+    """One request of the open arrival stream.
+
+    ``prefix_group`` optionally names a shared-prompt tenant (a system
+    prompt, a few-shot template): requests in the same group share
+    their first ``prefix_len`` prompt tokens.  The fields are inert
+    unless a prefix cache is attached to the scheduler — the default
+    ``None``/``0`` leaves every existing code path byte-identical.
+    """
 
     request_id: int
     arrival_s: float
     prompt_len: int
     gen_len: int
     qos_class: str = STANDARD.name
+    prefix_group: Optional[str] = None
+    prefix_len: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise WorkloadError("arrival time cannot be negative")
         if self.prompt_len < 1 or self.gen_len < 1:
             raise WorkloadError("prompt and generation lengths must be >= 1")
+        if self.prefix_len < 0:
+            raise WorkloadError("prefix length cannot be negative")
+        if self.prefix_group is not None and not (
+            0 < self.prefix_len < self.prompt_len
+        ):
+            raise WorkloadError(
+                "a grouped request needs 0 < prefix_len < prompt_len"
+            )
+        if self.prefix_group is None and self.prefix_len:
+            raise WorkloadError("prefix_len requires a prefix_group")
 
 
 @dataclass

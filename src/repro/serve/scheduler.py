@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -183,6 +184,116 @@ class SchedulerRun:
         return min(1.0, self.gpu_busy_s / self.span_s)
 
 
+class _Hold:
+    """Shared mutable coupling between a drive and its generator.
+
+    ``managed=False`` (the :meth:`ContinuousBatchingScheduler.run`
+    path) pins the horizon at infinity and the stream closed, so every
+    park check inside the loop is statically false — the monolithic
+    run is bit-identical to the pre-generator scheduler.
+    """
+
+    __slots__ = ("managed", "open", "horizon", "state", "engine")
+
+    def __init__(self, managed: bool) -> None:
+        self.managed = managed
+        #: More arrivals may still be pushed.
+        self.open = managed
+        #: Virtual-time limit: the loop parks at the first boundary
+        #: whose ``now`` reaches it.
+        self.horizon = 0.0 if managed else math.inf
+        #: Live loop internals, published by the generator at setup.
+        self.state = None
+        self.engine = None
+
+
+class SchedulerDrive:
+    """Incremental handle over one scheduler's serving loop.
+
+    The fleet simulator interleaves replicas in virtual time through
+    this interface: :meth:`push` appends arrivals to the live stream,
+    :meth:`advance` runs the loop until its clock reaches a horizon
+    (or it drains and parks), :meth:`close` declares the stream
+    complete, and :meth:`finish` drains to the final
+    :class:`SchedulerRun`.
+    """
+
+    def __init__(
+        self,
+        scheduler: "ContinuousBatchingScheduler",
+        specs: Sequence[RequestSpec] = (),
+    ) -> None:
+        self.scheduler = scheduler
+        self._hold = _Hold(managed=True)
+        self._gen = scheduler._drive(list(specs), None, None, self._hold)
+        self._result: Optional[SchedulerRun] = None
+        self._step()  # run setup and park at the first boundary
+
+    def _step(self) -> None:
+        if self._result is not None:
+            return
+        try:
+            next(self._gen)
+        except StopIteration as stop:
+            self._result = stop.value
+
+    @property
+    def state(self) -> SchedulerState:
+        return self._hold.state
+
+    @property
+    def now(self) -> float:
+        return self._hold.engine.now
+
+    @property
+    def finished(self) -> bool:
+        return self._result is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting or running (router load signal)."""
+        state = self._hold.state
+        return len(state.waiting) + len(state.running)
+
+    def push(self, spec: RequestSpec) -> None:
+        """Append one arrival to the live stream.
+
+        The spec lands in the unabsorbed tail of the pending list at
+        its sorted ``(arrival_s, request_id)`` position — exactly
+        where a monolithic run would have held it from the start.
+        """
+        if self._result is not None or not self._hold.open:
+            raise WorkloadError(
+                "drive is closed; cannot push new arrivals"
+            )
+        state = self._hold.state
+        key = (spec.arrival_s, spec.request_id)
+        pending = state.pending
+        index = state.next_arrival
+        while index < len(pending) and (
+            (pending[index].arrival_s, pending[index].request_id) <= key
+        ):
+            index += 1
+        pending.insert(index, spec)
+
+    def advance(self, until: float) -> None:
+        """Run the loop until virtual time reaches ``until`` (or the
+        stream drains and the loop parks waiting for pushes)."""
+        self._hold.horizon = until
+        self._step()
+
+    def close(self) -> None:
+        """No further pushes: the loop may finish when drained."""
+        self._hold.open = False
+
+    def finish(self) -> SchedulerRun:
+        """Drain the remaining stream and return the final result."""
+        self._hold.open = False
+        self._hold.horizon = math.inf
+        self._step()
+        return self._result
+
+
 class ContinuousBatchingScheduler:
     """Iteration-level scheduler with multi-tenant priority admission."""
 
@@ -200,6 +311,7 @@ class ContinuousBatchingScheduler:
         kv=None,
         iteration_fault_pricing: bool = False,
         sanitizer=None,
+        prefix_cache=None,
     ) -> None:
         self.costs = costs
         self.classes = class_index(classes)
@@ -236,6 +348,11 @@ class ContinuousBatchingScheduler:
         #: Optional invariant sanitizer (``repro.chaos``): observed at
         #: every iteration boundary; ``None`` skips every hook.
         self.sanitizer = sanitizer
+        #: Optional :class:`repro.fleet.PrefixCache`.  When attached,
+        #: prefill is priced over each batch's *effective* prompt
+        #: length (shared prefixes already resident are skipped);
+        #: ``None`` keeps the original pricing expression verbatim.
+        self.prefix_cache = prefix_cache
         # Resolve the tri-state KV flags against the manager actually
         # attached — an explicit True with nothing to act on is a
         # configuration contradiction and fails here, at use-site,
@@ -335,11 +452,42 @@ class ContinuousBatchingScheduler:
         :class:`~repro.serve.state.CheckpointPlan` (and may inject a
         crash).  ``restore`` resumes from a snapshot — ``specs`` is
         ignored then; the checkpoint carries the stream.
+
+        This drains :meth:`_drive` with a closed stream and an
+        infinite horizon, so no park point ever fires: the pass is
+        bit-identical to the pre-:class:`SchedulerDrive` scheduler.
+        """
+        gen = self._drive(specs, checkpoint, restore, _Hold(managed=False))
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    def drive(self, specs: Sequence[RequestSpec] = ()) -> SchedulerDrive:
+        """An incremental handle over this scheduler's loop (see
+        :class:`SchedulerDrive`); arrivals may be pushed while it runs."""
+        return SchedulerDrive(self, specs)
+
+    def _drive(
+        self,
+        specs: Sequence[RequestSpec],
+        checkpoint: Optional[CheckpointPlan],
+        restore: Optional[dict],
+        hold: _Hold,
+    ):
+        """The serving loop as a generator parked by ``hold``.
+
+        Yields (parks) only in managed mode: at a boundary whose time
+        reached ``hold.horizon``, when idle with the next arrival past
+        the horizon, or when drained while the stream is still open.
+        Returns the final :class:`SchedulerRun` (captured from
+        ``StopIteration.value`` by the callers above).
         """
         if restore is not None:
             state, engine = self._restore(restore)
         else:
-            if not specs:
+            if not specs and not hold.managed:
                 raise WorkloadError(
                     "nothing to serve: empty request stream"
                 )
@@ -351,6 +499,8 @@ class ContinuousBatchingScheduler:
                 active_costs=self.costs,
             )
             engine = SimEngine()
+        hold.state = state
+        hold.engine = engine
         gpu = engine.stream("gpu")
 
         injector = self.injector
@@ -383,12 +533,20 @@ class ContinuousBatchingScheduler:
         admitted_counter = serve_metrics.counter("admitted_requests")
         completed_counter = serve_metrics.counter("completed_requests")
         wait_histogram = serve_metrics.histogram("wait_s")
-        run_span = tracer.start(
-            "serve run",
-            engine.now,
-            category="run",
-            requests=len(state.pending),
-        )
+        if hold.managed:
+            # The stream arrives incrementally; the request count is
+            # only known at finalization (set there, first, so the
+            # attribute set matches a monolithic run's exactly).
+            run_span = tracer.start(
+                "serve run", engine.now, category="run"
+            )
+        else:
+            run_span = tracer.start(
+                "serve run",
+                engine.now,
+                category="run",
+                requests=len(state.pending),
+            )
         kv = self.kv
         if kv is not None:
             kv.bind_run(tracer, run_span)
@@ -762,11 +920,26 @@ class ContinuousBatchingScheduler:
                 shed_one(spec, max(now, spec.arrival_s), "outage")
             state.aborted = True
 
-        while (
-            len(state.records) + len(state.shed_records)
-            < len(state.pending)
-        ):
+        while True:
+            if (
+                len(state.records) + len(state.shed_records)
+                >= len(state.pending)
+            ):
+                if not hold.open:
+                    break
+                # Drained but the stream is still open: park until the
+                # router pushes more work (or closes the stream).
+                yield "drained"
+                continue
             now = engine.now
+            if now >= hold.horizon:
+                # The horizon is checked before the boundary counter
+                # so parked passes burn no boundaries; `>=` makes a
+                # boundary landing exactly on an arrival's horizon
+                # park first — the push lands, then the boundary
+                # absorbs it, matching the monolithic ordering.
+                yield "horizon"
+                continue
             boundary = state.boundary + 1
             if checkpoint is not None:
                 if (
@@ -883,13 +1056,20 @@ class ContinuousBatchingScheduler:
 
             if not state.waiting and not state.running:
                 if state.next_arrival >= len(state.pending):
+                    if hold.open:
+                        # More arrivals may still be pushed.
+                        yield "idle"
+                        continue
                     # Shedding just emptied the queue and every
                     # request is accounted for; nothing left to serve.
                     break
-                # Idle server: jump to the next arrival.
-                engine.clock.advance_to(
-                    state.pending[state.next_arrival].arrival_s
-                )
+                # Idle server: jump to the next arrival — but never
+                # past the horizon, where later-routed work may land.
+                target = state.pending[state.next_arrival].arrival_s
+                if target > hold.horizon:
+                    yield "idle"
+                    continue
+                engine.clock.advance_to(target)
                 continue
 
             if health is not None and health.down:
@@ -949,7 +1129,13 @@ class ContinuousBatchingScheduler:
                     # The head-of-line request was shed; reassess.
                     continue
             if admitted:
-                prompt_max = max(r.spec.prompt_len for r in admitted)
+                if self.prefix_cache is None:
+                    prompt_max = max(r.spec.prompt_len for r in admitted)
+                else:
+                    prompt_max = max(
+                        self.prefix_cache.effective_prompt_len(r.spec, now)
+                        for r in admitted
+                    )
                 if injector is None:
                     duration = self.costs.prefill_time(
                         len(admitted), prompt_max
@@ -1111,6 +1297,8 @@ class ContinuousBatchingScheduler:
                 state=state, scheduler=self, engine=engine
             )
 
+        if hold.managed:
+            run_span.set("requests", len(state.pending))
         run_span.set("completed", len(state.records))
         run_span.set("shed", len(state.shed_records))
         run_span.set("iterations", state.prefills + state.decodes)

@@ -136,22 +136,31 @@ class SchedulerState:
 
 
 def _spec_dict(spec: RequestSpec) -> Dict[str, object]:
-    return {
+    payload = {
         "request_id": spec.request_id,
         "arrival_s": spec.arrival_s,
         "prompt_len": spec.prompt_len,
         "gen_len": spec.gen_len,
         "qos_class": spec.qos_class,
     }
+    # Prefix-sharing fields only when set: checkpoints of untagged
+    # streams stay byte-identical to CHECKPOINT_VERSION 1 files.
+    if spec.prefix_group is not None:
+        payload["prefix_group"] = spec.prefix_group
+        payload["prefix_len"] = spec.prefix_len
+    return payload
 
 
 def _spec_from(payload: Dict[str, object]) -> RequestSpec:
+    group = payload.get("prefix_group")
     return RequestSpec(
         request_id=int(payload["request_id"]),
         arrival_s=float(payload["arrival_s"]),
         prompt_len=int(payload["prompt_len"]),
         gen_len=int(payload["gen_len"]),
         qos_class=str(payload["qos_class"]),
+        prefix_group=None if group is None else str(group),
+        prefix_len=int(payload.get("prefix_len", 0)),
     )
 
 

@@ -19,11 +19,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.telemetry import load_bundle
 from repro.telemetry.export import (
+    bundle_from_jsonl_lines,
     to_chrome_trace,
     to_jsonl_text,
     to_prometheus_text,
@@ -47,6 +49,21 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="print registry metrics and span counts"
     )
     summary.add_argument("bundle", help="bundle JSON path")
+    summary.add_argument(
+        "--follow", action="store_true",
+        help="treat the path as a JSONL event log (export --format "
+        "jsonl, or a fleet run's --telemetry-out *.jsonl) and re-render "
+        "the summary as lines are appended",
+    )
+    summary.add_argument(
+        "--poll-s", type=float, default=0.5,
+        help="--follow poll interval in seconds (default 0.5)",
+    )
+    summary.add_argument(
+        "--max-renders", type=int, default=None,
+        help="--follow: exit after this many renders (default: until "
+        "interrupted)",
+    )
 
     export = sub.add_parser(
         "export", help="convert a bundle to an exchange format"
@@ -64,6 +81,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def follow_summary(
+    path: str,
+    poll_s: float = 0.5,
+    max_renders: Optional[int] = None,
+    out=None,
+) -> int:
+    """Tail a JSONL telemetry export, re-rendering the summary.
+
+    Each render is a pure function of the complete lines read so far
+    (a trailing partial line is held back until its newline arrives),
+    so following a finished log prints exactly the summary a one-shot
+    parse of that log would.  Stops after ``max_renders`` renders, or
+    on Ctrl-C.
+    """
+    out = out if out is not None else sys.stdout
+    offset = 0
+    tail = b""
+    lines: List[str] = []
+    renders = 0
+    try:
+        while max_renders is None or renders < max_renders:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+            offset += len(chunk)
+            tail += chunk
+            fresh = tail.split(b"\n")
+            tail = fresh.pop()  # incomplete (or empty) final piece
+            if fresh or renders == 0:
+                lines.extend(piece.decode("utf-8") for piece in fresh)
+                bundle = bundle_from_jsonl_lines(lines)
+                renders += 1
+                out.write(
+                    f"--- render {renders} ({len(lines)} lines) ---\n"
+                )
+                out.write(render_summary(bundle) + "\n")
+                out.flush()
+            if max_renders is not None and renders >= max_renders:
+                break
+            time.sleep(poll_s)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _emit(text: str, out: Optional[str]) -> None:
     if out is None:
         sys.stdout.write(text)
@@ -76,6 +138,12 @@ def _emit(text: str, out: Optional[str]) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.command == "summary" and args.follow:
+            return follow_summary(
+                args.bundle,
+                poll_s=args.poll_s,
+                max_renders=args.max_renders,
+            )
         bundle = load_bundle(args.bundle)
         if args.command == "summary":
             meta = bundle.get("meta", {})

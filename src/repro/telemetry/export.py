@@ -166,6 +166,68 @@ def to_jsonl_text(bundle: Mapping) -> str:
     return "\n".join(to_jsonl_lines(bundle)) + "\n"
 
 
+def bundle_from_jsonl_lines(lines: Iterable[str]) -> Dict[str, object]:
+    """Rebuild a bundle dict from :func:`to_jsonl_lines` output.
+
+    The inverse of the JSONL exporter, tolerant of *prefixes* of a
+    stream: a log still being appended to (``repro-telemetry summary
+    --follow``) parses to a bundle of whatever has landed so far.
+    Unknown record types are ignored so the format can grow.
+    """
+    meta: Dict[str, object] = {}
+    spans: List[Dict[str, object]] = []
+    span_index: Dict[object, Dict[str, object]] = {}
+    metrics: Dict[str, List[Dict[str, object]]] = {
+        "counters": [],
+        "gauges": [],
+        "histograms": [],
+    }
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TelemetryError(
+                f"line {line_no}: not JSON ({error})"
+            ) from None
+        if not isinstance(record, dict) or "type" not in record:
+            raise TelemetryError(
+                f"line {line_no}: not a JSONL export record "
+                "(missing 'type')"
+            )
+        kind = record.pop("type")
+        if kind == "meta":
+            meta = record
+        elif kind == "span":
+            record["events"] = []
+            spans.append(record)
+            span_index[record.get("span_id")] = record
+        elif kind == "span_event":
+            span_id = record.pop("span_id", None)
+            parent = span_index.get(span_id)
+            if parent is None:
+                raise TelemetryError(
+                    f"line {line_no}: span_event for unknown span "
+                    f"{span_id!r}"
+                )
+            parent["events"].append(record)
+        elif kind == "metric":
+            family = record.pop("kind", None)
+            if family not in ("counter", "gauge", "histogram"):
+                raise TelemetryError(
+                    f"line {line_no}: unknown metric kind {family!r}"
+                )
+            metrics[f"{family}s"].append(record)
+    return {
+        "version": 1,
+        "meta": meta,
+        "metrics": metrics,
+        "spans": spans,
+    }
+
+
 # ----------------------------------------------------------------------
 # Extended Chrome / Perfetto trace
 # ----------------------------------------------------------------------

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.errors import TelemetryError
+from repro.errors import ConfigurationError, TelemetryError
 
 #: Default explicit buckets for virtual-time durations, spanning the
 #: microsecond kernels of small models to the hour-long batch E2E
@@ -295,43 +295,71 @@ class MetricsRegistry:
                 snap[f"{instrument.kind}s"].append(entry)
         return snap
 
-    def merge(self, snapshot: Mapping[str, Iterable[Mapping]]) -> None:
+    def merge(
+        self,
+        snapshot: Mapping[str, Iterable[Mapping]],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """Fold another registry's snapshot into this one.
 
         Counters and histogram bucket counts add; gauges take the
-        incoming value.  Histograms with mismatched buckets are a
-        usage error, not silently rebucketed.
+        incoming value.  ``extra_labels`` are stamped onto every
+        incoming instrument (the fleet roll-up tags each replica's
+        snapshot with ``{"replica": "<i>"}`` so same-named series stay
+        distinguishable).
+
+        The whole snapshot is validated *before* anything is mutated:
+        a histogram whose buckets differ from the already-registered
+        instrument's, or whose counts don't match its buckets, raises
+        :class:`~repro.errors.ConfigurationError` and leaves this
+        registry untouched — a half-applied merge would silently
+        corrupt every series that happened to sort earlier.
         """
         if not self.enabled:
             return
+
+        def _merged_labels(entry: Mapping) -> Dict[str, str]:
+            labels = dict(entry.get("labels") or {})
+            if extra_labels:
+                labels.update(extra_labels)
+            return labels
+
+        pending = []
+        for entry in snapshot.get("histograms", ()):
+            labels = _merged_labels(entry)
+            buckets = tuple(entry["buckets"])
+            if len(list(entry["counts"])) != len(buckets) + 1:
+                raise ConfigurationError(
+                    f"histogram {entry['name']!r}: malformed snapshot "
+                    f"(bucket/count length mismatch)"
+                )
+            existing = self._instruments.get(
+                (entry["name"], _label_items(labels))
+            )
+            if isinstance(existing, Histogram) and existing.buckets != buckets:
+                raise ConfigurationError(
+                    f"histogram {entry['name']!r}: cannot merge "
+                    f"mismatched buckets {buckets!r} into "
+                    f"{existing.buckets!r}"
+                )
+            pending.append((entry, labels, buckets))
+
         for entry in snapshot.get("counters", ()):
             self.counter(
-                entry["name"], entry.get("labels"),
+                entry["name"], _merged_labels(entry),
                 entry.get("help", ""),
             ).inc(entry["value"])
         for entry in snapshot.get("gauges", ()):
             self.gauge(
-                entry["name"], entry.get("labels"),
+                entry["name"], _merged_labels(entry),
                 entry.get("help", ""),
             ).set(entry["value"])
-        for entry in snapshot.get("histograms", ()):
+        for entry, labels, buckets in pending:
             histogram = self.histogram(
-                entry["name"], entry.get("labels"),
-                entry.get("help", ""),
-                buckets=tuple(entry["buckets"]),
+                entry["name"], labels, entry.get("help", ""),
+                buckets=buckets,
             )
-            if tuple(entry["buckets"]) != histogram.buckets:
-                raise TelemetryError(
-                    f"histogram {entry['name']!r}: cannot merge "
-                    f"mismatched buckets"
-                )
-            incoming = list(entry["counts"])
-            if len(incoming) != len(histogram.counts):
-                raise TelemetryError(
-                    f"histogram {entry['name']!r}: malformed snapshot "
-                    f"(bucket/count length mismatch)"
-                )
-            for i, count in enumerate(incoming):
+            for i, count in enumerate(entry["counts"]):
                 histogram.counts[i] += count
             if entry["count"]:
                 if histogram.count == 0:

@@ -1,0 +1,227 @@
+"""Sharded placements: TP/PP partitions of one PlacementResult.
+
+The load-bearing guarantee is the degree-1 golden: ``plan(base, 1, 1)``
+returns the *original objects*, so single-shard run specs are hash-
+and float-identical to an unsharded engine's — not merely equal-valued.
+Higher degrees must conserve bytes (up to replicated slices), keep
+weight classes whole within each shard, and stay spillable through the
+existing ``demote_group``/``spill_to_fit`` machinery.
+"""
+
+import pytest
+
+from repro.core.engine import OffloadEngine
+from repro.core.placement.base import spill_to_fit
+from repro.core.placement.sharding import (
+    PrecomputedPlacement,
+    ShardSpec,
+    ShardedPlacement,
+    allreduce_bytes,
+    handoff_bytes,
+)
+from repro.devices.device import DeviceKind
+from repro.errors import ConfigurationError
+from repro.models.weights import LayerKind
+
+MODEL = "opt-6.7b"
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return OffloadEngine(model=MODEL, host="CXL-ASIC", placement="helm")
+
+
+@pytest.fixture(scope="module")
+def base(engine):
+    return engine.placement_result
+
+
+class TestIdentityGolden:
+    def test_degree_one_returns_the_base_object(self, base):
+        sharded = ShardedPlacement.plan(base, 1, 1)
+        assert sharded.is_identity
+        assert len(sharded.shards) == 1
+        assert sharded.shards[0].placement is base
+        assert sharded.shards[0].config is base.config
+
+    def test_single_shard_run_spec_is_hash_identical(self, engine, base):
+        """Planning a 1x1 partition perturbs nothing: a run spec built
+        afterwards has the same cache key (id-based on the placement)
+        and the same hash as one built before."""
+        before = engine.run_spec(batch_size=4, prompt_len=128, gen_len=8)
+        ShardedPlacement.plan(base, 1, 1)
+        after = engine.run_spec(batch_size=4, prompt_len=128, gen_len=8)
+        assert before.cache_key() == after.cache_key()
+        assert hash(before) == hash(after)
+        assert before == after
+
+    def test_precomputed_replay_prices_float_identical(self, engine, base):
+        """A shard engine's front door — PrecomputedPlacement — replays
+        the base placement with bitwise-equal prices."""
+        replay = OffloadEngine(
+            model=base.config,
+            host=engine.host,
+            placement=PrecomputedPlacement(base),
+            policy=engine.policy,
+        )
+        assert replay.placement_result.assignments == base.assignments
+        ours = replay.cost_model(overlap=True)
+        theirs = engine.cost_model(overlap=True)
+        for batch, tokens in ((1, 128), (4, 512), (16, 2048)):
+            assert ours.prefill_time(batch, tokens) == theirs.prefill_time(
+                batch, tokens
+            )
+            assert ours.decode_time(batch, tokens) == theirs.decode_time(
+                batch, tokens
+            )
+
+    def test_precomputed_place_model_copies_assignments(self, base):
+        replayed = PrecomputedPlacement(base).place_model(base.config, None)
+        assert replayed.assignments == base.assignments
+        name = base.layers[0].weights[0].name
+        original = base.tier_of(0, name)
+        flipped = (
+            DeviceKind.CPU if original is DeviceKind.GPU else DeviceKind.GPU
+        )
+        replayed.set_tier(0, name, flipped)
+        # The copy never aliases the stored maps.
+        assert base.tier_of(0, name) is original
+
+
+class TestTensorParallel:
+    def test_heads_must_divide(self, base):
+        heads = base.config.num_heads
+        with pytest.raises(ConfigurationError, match="not divisible"):
+            ShardedPlacement.plan(base, heads + 1, 1)
+
+    def test_tp_shards_cover_all_blocks(self, base):
+        sharded = ShardedPlacement.plan(base, 2, 1)
+        assert len(sharded.shards) == 2
+        for shard in sharded.shards:
+            assert shard.spec.block_start == 0
+            assert shard.spec.block_stop == base.config.num_decoder_blocks
+            assert shard.config.tensor_parallel == 2
+            assert shard.config.include_embed
+            assert shard.config.include_head
+
+    def test_bytes_conserved_up_to_replication(self, base):
+        sharded = ShardedPlacement.plan(base, 2, 1)
+        total = sharded.total_weight_bytes
+        assert total >= base.total_bytes
+        # Only norms, replicated biases, positional embeddings and the
+        # vocab-split remainder are duplicated: a few percent at most.
+        assert total < 1.10 * base.total_bytes
+
+    def test_tiers_copied_by_weight_class(self, base):
+        sharded = ShardedPlacement.plan(base, 2, 1)
+        for shard in sharded.shards:
+            for layer in shard.placement.layers:
+                for weight in layer.weights:
+                    assert shard.placement.tier_of(
+                        layer.index, weight.name
+                    ) is base.tier_of(layer.index, weight.name)
+
+
+class TestPipelineParallel:
+    def test_stages_partition_the_blocks(self, base):
+        sharded = ShardedPlacement.plan(base, 1, 3)
+        blocks = base.config.num_decoder_blocks
+        ranges = [
+            (s.spec.block_start, s.spec.block_stop) for s in sharded.shards
+        ]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == blocks
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+
+    def test_embed_first_head_last(self, base):
+        sharded = ShardedPlacement.plan(base, 1, 2)
+        first, last = sharded.shards
+        assert first.config.include_embed and not first.config.include_head
+        assert last.config.include_head and not last.config.include_embed
+
+    def test_stage_shards_filters_by_stage(self, base):
+        sharded = ShardedPlacement.plan(base, 2, 2)
+        assert len(sharded.shards) == 4
+        for pp_index in range(2):
+            stage = sharded.stage_shards(pp_index)
+            assert len(stage) == 2
+            assert all(s.spec.pp_index == pp_index for s in stage)
+
+    def test_pp_cannot_exceed_blocks(self, base):
+        blocks = base.config.num_decoder_blocks
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            ShardedPlacement.plan(base, 1, blocks + 1)
+
+    def test_degrees_validated(self, base):
+        with pytest.raises(ConfigurationError):
+            ShardedPlacement.plan(base, 0, 1)
+        with pytest.raises(ConfigurationError):
+            ShardSpec(
+                tp_index=0, tp_degree=1, pp_index=0, pp_degree=1,
+                block_start=3, block_stop=3,
+            )
+
+
+class TestCommPayloads:
+    def test_allreduce_zero_at_tp1(self, base):
+        assert allreduce_bytes(base.config, 4, 128) == 0.0
+
+    def test_allreduce_scales_with_degree_fraction(self, base):
+        sharded = ShardedPlacement.plan(base, 2, 1)
+        config = sharded.shards[0].config
+        two = allreduce_bytes(config, 4, 128)
+        act = 4 * 128 * config.hidden_size * 2
+        assert two == pytest.approx(2.0 * (2.0 * 0.5) * act)
+
+    def test_handoff_is_one_activation(self, base):
+        assert handoff_bytes(base.config, 4, 128) == (
+            4 * 128 * base.config.hidden_size * 2
+        )
+
+
+class TestShardSpill:
+    """Satellite: demote_group / spill_to_fit against shard placements."""
+
+    def test_demote_group_moves_the_whole_class_within_a_shard(self, base):
+        sharded = ShardedPlacement.plan(base, 2, 1)
+        placement = sharded.shards[0].placement
+        gpu_groups = placement.gpu_weight_groups()
+        if not gpu_groups:
+            pytest.skip("placement holds nothing on GPU")
+        kind, name, size = gpu_groups[0]
+        moved = placement.demote_group(kind, name)
+        assert moved == size
+        for layer in placement.layers:
+            if layer.kind is kind:
+                assert placement.tier_of(layer.index, name) is DeviceKind.CPU
+
+    def test_spill_to_fit_respects_shard_boundaries(self, base):
+        """Spilling one shard never touches its siblings, and identical
+        budgets demote identical class sequences on symmetric TP
+        siblings — no class ever strands on only one shard."""
+        sharded = ShardedPlacement.plan(base, 2, 1)
+        left, right = (shard.placement for shard in sharded.shards)
+        budget = left.tier_total_bytes(DeviceKind.GPU) // 2
+        before_right = {
+            index: dict(weights)
+            for index, weights in right.assignments.items()
+        }
+        left_log = spill_to_fit(left, budget)
+        assert right.assignments == before_right
+        right_log = spill_to_fit(right, budget)
+        assert left_log == right_log
+        assert left.tier_total_bytes(DeviceKind.GPU) <= budget
+
+    def test_spilled_shard_stays_priceable(self, engine, base):
+        sharded = ShardedPlacement.plan(base, 2, 1)
+        placement = sharded.shards[0].placement
+        spill_to_fit(placement, 0)
+        assert placement.tier_total_bytes(DeviceKind.GPU) == 0
+        replay = OffloadEngine(
+            model=placement.config,
+            host=engine.host,
+            placement=PrecomputedPlacement(placement),
+            policy=engine.policy,
+        )
+        assert replay.cost_model().prefill_time(1, 128) > 0.0

@@ -1,0 +1,68 @@
+"""PrefixCache: deterministic LRU over shared-prompt groups."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.prefix import PrefixCache
+from repro.serve.request import RequestSpec
+
+
+def spec(request_id=0, group=None, prompt_len=256, prefix_len=192):
+    return RequestSpec(
+        request_id=request_id,
+        arrival_s=0.0,
+        prompt_len=prompt_len,
+        gen_len=8,
+        prefix_group=group,
+        prefix_len=prefix_len if group else 0,
+    )
+
+
+class TestPrefixCache:
+    def test_miss_then_hit(self):
+        cache = PrefixCache(capacity=2)
+        assert cache.effective_prompt_len(spec(0, "a"), now=0.0) == 256
+        assert cache.effective_prompt_len(spec(1, "a"), now=1.0) == 64
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_ungrouped_requests_are_inert(self):
+        cache = PrefixCache(capacity=2)
+        assert cache.effective_prompt_len(spec(0), now=0.0) == 256
+        assert cache.hits == 0
+        assert cache.misses == 0
+        assert cache.resident_groups == 0
+
+    def test_lru_eviction_order(self):
+        cache = PrefixCache(capacity=2)
+        cache.effective_prompt_len(spec(0, "a"), now=0.0)
+        cache.effective_prompt_len(spec(1, "b"), now=1.0)
+        # Touch "a" so "b" is the LRU victim.
+        cache.effective_prompt_len(spec(2, "a"), now=2.0)
+        cache.effective_prompt_len(spec(3, "c"), now=3.0)
+        assert cache.evictions == 1
+        assert cache.effective_prompt_len(spec(4, "a"), now=4.0) == 64
+        assert cache.effective_prompt_len(spec(5, "b"), now=5.0) == 256
+
+    def test_hit_prefills_only_the_suffix(self):
+        cache = PrefixCache(capacity=1)
+        near_full_prefix = spec(0, "a", prompt_len=64, prefix_len=63)
+        cache.effective_prompt_len(near_full_prefix, now=0.0)
+        assert cache.effective_prompt_len(near_full_prefix, now=1.0) == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            PrefixCache(capacity=0)
+
+    def test_snapshot(self):
+        cache = PrefixCache(capacity=4)
+        cache.effective_prompt_len(spec(0, "a"), now=0.0)
+        cache.effective_prompt_len(spec(1, "a"), now=1.0)
+        snap = cache.snapshot()
+        assert snap == {
+            "capacity": 4,
+            "resident": ["a"],
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }

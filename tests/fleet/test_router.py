@@ -1,0 +1,107 @@
+"""Routing policy semantics, against stub replicas with known depths."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.router import (
+    ROUTER_NAMES,
+    FleetRouter,
+    LeastLoadedRouter,
+    PrefixAffinityRouter,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.serve.request import RequestSpec
+
+
+class StubReplica:
+    def __init__(self, queue_depth=0):
+        self.queue_depth = queue_depth
+
+
+def spec(request_id=0, group=None, prefix_len=0):
+    return RequestSpec(
+        request_id=request_id,
+        arrival_s=float(request_id),
+        prompt_len=128,
+        gen_len=8,
+        prefix_group=group,
+        prefix_len=prefix_len,
+    )
+
+
+class TestRoundRobin:
+    def test_cycles_in_arrival_order(self):
+        router = RoundRobinRouter()
+        replicas = [StubReplica(), StubReplica(), StubReplica()]
+        picks = [router.route(spec(i), replicas) for i in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_ignores_load(self):
+        router = RoundRobinRouter()
+        replicas = [StubReplica(queue_depth=99), StubReplica()]
+        assert router.route(spec(0), replicas) == 0
+
+
+class TestLeastLoaded:
+    def test_picks_shallowest_queue(self):
+        router = LeastLoadedRouter()
+        replicas = [StubReplica(3), StubReplica(1), StubReplica(2)]
+        assert router.route(spec(0), replicas) == 1
+
+    def test_ties_break_to_lowest_index(self):
+        router = LeastLoadedRouter()
+        replicas = [StubReplica(2), StubReplica(1), StubReplica(1)]
+        assert router.route(spec(0), replicas) == 1
+
+
+class TestPrefixAffinity:
+    def test_group_sticks_to_first_home(self):
+        router = PrefixAffinityRouter()
+        replicas = [StubReplica(), StubReplica()]
+        home = router.route(spec(0, group="tenant-a", prefix_len=64), replicas)
+        # Load the home replica heavily: the group still sticks.
+        replicas[home].queue_depth = 50
+        again = router.route(spec(1, group="tenant-a", prefix_len=64), replicas)
+        assert again == home
+
+    def test_first_touches_spread_groups_across_replicas(self):
+        """Ties on empty queues must not pile every group onto
+        replica 0 — first touches count sticky groups, not just load."""
+        router = PrefixAffinityRouter()
+        replicas = [StubReplica(), StubReplica(), StubReplica()]
+        homes = [
+            router.route(spec(i, group=f"g{i}", prefix_len=64), replicas)
+            for i in range(3)
+        ]
+        assert sorted(homes) == [0, 1, 2]
+
+    def test_ungrouped_falls_back_to_least_loaded(self):
+        router = PrefixAffinityRouter()
+        replicas = [StubReplica(4), StubReplica(0)]
+        assert router.route(spec(0), replicas) == 1
+
+    def test_stale_home_is_rehomed_after_shrink(self):
+        router = PrefixAffinityRouter()
+        replicas = [StubReplica(), StubReplica(), StubReplica()]
+        router.affinity["tenant-a"] = 2
+        target = router.route(
+            spec(0, group="tenant-a", prefix_len=64), replicas[:2]
+        )
+        assert 0 <= target < 2
+        assert router.affinity["tenant-a"] == target
+
+
+class TestMakeRouter:
+    def test_builds_every_registered_name(self):
+        for name in ROUTER_NAMES:
+            router = make_router(name)
+            assert isinstance(router, FleetRouter)
+            assert router.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown router"):
+            make_router("sticky-random")
+
+    def test_fresh_state_per_call(self):
+        assert make_router("round-robin") is not make_router("round-robin")

@@ -1,0 +1,131 @@
+"""Planner fleet axes: shard degrees and replica counts in the sweep."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.plan import QosTarget, plan_capacity
+from repro.plan.cli import main
+
+MODEL = "opt-1.3b"
+TARGET = QosTarget(max_ttft_s=60.0, max_tbt_s=5.0)
+
+
+def _plan(**kwargs):
+    kwargs.setdefault("model", MODEL)
+    kwargs.setdefault("hosts", ("DRAM",))
+    kwargs.setdefault("placements", ("helm",))
+    kwargs.setdefault("rates_rps", (0.05,))
+    return plan_capacity(TARGET, **kwargs)
+
+
+class TestDegreeOneIdentity:
+    def test_default_axes_match_the_old_call(self):
+        """Passing the default axes explicitly changes nothing — the
+        degree-(1,1) path still prices through the vectorized grid."""
+        old = _plan()
+        new = _plan(shard_degrees=((1, 1),), replica_counts=(1,))
+        assert old.candidates == new.candidates
+        assert old.chosen == new.chosen
+
+    def test_degree_one_candidates_carry_identity_coordinates(self):
+        plan = _plan()
+        for candidate in plan.candidates:
+            assert candidate.replicas == 1
+            assert candidate.shard_degree == 1
+            summary = candidate.summary()
+            assert summary["replicas"] == 1
+            assert summary["tensor_parallel"] == 1
+            assert summary["pipeline_parallel"] == 1
+
+
+class TestShardAxis:
+    def test_sharded_candidates_appear_and_cost_more_per_token(self):
+        plan = _plan(shard_degrees=((1, 1), (2, 1)))
+        by_degree = {}
+        for candidate in plan.candidates:
+            by_degree.setdefault(
+                (candidate.tensor_parallel, candidate.pipeline_parallel),
+                [],
+            ).append(candidate)
+        assert set(by_degree) == {(1, 1), (2, 1)}
+        # Shards are extra hardware: the cheapest tp2 point cannot be
+        # cheaper per token than the cheapest unsharded one at the
+        # same batch ceiling (comm is pure overhead in this model).
+        cheapest = {
+            degree: min(c.cost_per_token_s for c in candidates)
+            for degree, candidates in by_degree.items()
+        }
+        assert cheapest[(2, 1)] >= cheapest[(1, 1)]
+
+    def test_replicas_divide_utilization(self):
+        one = _plan(replica_counts=(1,), rates_rps=(0.5,))
+        two = _plan(replica_counts=(2,), rates_rps=(0.5,))
+        paired = {
+            (c.host, c.batch_size): c for c in one.candidates
+        }
+        for candidate in two.candidates:
+            solo = paired[(candidate.host, candidate.batch_size)]
+            assert candidate.replicas == 2
+            assert candidate.utilization == pytest.approx(
+                solo.utilization / 2
+            )
+            # throughput_tps reports the fleet: count x per-replica.
+            assert candidate.throughput_tps == pytest.approx(
+                2 * solo.throughput_tps
+            )
+
+    def test_axes_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            _plan(shard_degrees=())
+        with pytest.raises(ConfigurationError):
+            _plan(shard_degrees=((0, 1),))
+        with pytest.raises(ConfigurationError):
+            _plan(replica_counts=())
+        with pytest.raises(ConfigurationError):
+            _plan(replica_counts=(0,))
+
+
+class TestCliFlags:
+    def test_shards_and_replicas_flags_parse(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        code = main(
+            [
+                "--model", MODEL,
+                "--hosts", "DRAM",
+                "--placements", "helm",
+                "--rates", "0.05",
+                "--max-tbt", "5.0",
+                "--shards", "1,2x1",
+                "--replicas", "1,2",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "fleet" in printed
+        import json
+
+        payload = json.loads(out.read_text())
+        degrees = {
+            (
+                c["tensor_parallel"],
+                c["pipeline_parallel"],
+                c["replicas"],
+            )
+            for c in payload["candidates"]
+        }
+        assert (2, 1, 1) in degrees
+        assert (1, 1, 2) in degrees
+
+    def test_default_output_has_no_fleet_column(self, capsys):
+        code = main(
+            [
+                "--model", MODEL,
+                "--hosts", "DRAM",
+                "--placements", "helm",
+                "--rates", "0.05",
+                "--max-tbt", "5.0",
+            ]
+        )
+        assert code == 0
+        assert "fleet" not in capsys.readouterr().out

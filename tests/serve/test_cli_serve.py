@@ -94,3 +94,80 @@ class TestParseClassMix:
     def test_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             parse_class_mix(" , ")
+
+
+class TestFleetCli:
+    def fleet_cli(self, capsys, *extra):
+        argv = [
+            "--model", "opt-6.7b",
+            "--host", "CXL-ASIC",
+            "--placement", "helm",
+            "--rate", "0.5",
+            "--requests", "8",
+            "--gen-len", "4",
+            "--max-batch", "4",
+        ]
+        argv.extend(extra)
+        code = main(argv)
+        return code, capsys.readouterr()
+
+    def test_replicas_flag_prints_fleet_report(self, capsys):
+        code, captured = self.fleet_cli(
+            capsys, "--replicas", "2", "--router", "least-loaded"
+        )
+        assert code == 0
+        assert "fleet" in captured.out
+        assert "least-loaded" in captured.out
+        assert "replica" in captured.out
+
+    def test_fleet_json_summary(self, capsys, tmp_path):
+        path = tmp_path / "fleet.json"
+        code, _ = self.fleet_cli(
+            capsys, "--replicas", "2", "--json", str(path)
+        )
+        assert code == 0
+        summary = json.loads(path.read_text())
+        assert summary["replicas"] == 2
+        assert summary["completed"] + summary["shed_requests"] == 8
+        assert len(summary["per_replica_routed"]) == 2
+
+    def test_shards_flag_parses_tpxpp(self, capsys, tmp_path):
+        path = tmp_path / "fleet.json"
+        code, _ = self.fleet_cli(
+            capsys, "--shards", "2x1", "--json", str(path)
+        )
+        assert code == 0
+        summary = json.loads(path.read_text())
+        assert summary["tensor_parallel"] == 2
+
+    def test_prefix_flags_enable_the_cache(self, capsys, tmp_path):
+        path = tmp_path / "fleet.json"
+        code, captured = self.fleet_cli(
+            capsys,
+            "--replicas", "2",
+            "--router", "prefix-affinity",
+            "--prefix-groups", "4",
+            "--prefix-cache", "2",
+            "--json", str(path),
+        )
+        assert code == 0
+        assert "prefix cache" in captured.out
+
+    def test_jsonl_telemetry_out_hints_follow(self, capsys, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        code, captured = self.fleet_cli(
+            capsys, "--replicas", "2", "--telemetry-out", str(path)
+        )
+        assert code == 0
+        assert "--follow" in captured.out
+        from repro.telemetry.export import bundle_from_jsonl_lines
+
+        bundle = bundle_from_jsonl_lines(
+            path.read_text().splitlines()
+        )
+        labels = {
+            entry["labels"].get("replica")
+            for section in bundle["metrics"].values()
+            for entry in section
+        }
+        assert {"0", "1"} <= labels

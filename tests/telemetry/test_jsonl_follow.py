@@ -1,0 +1,100 @@
+"""JSONL export round-trip and the deterministic --follow tail."""
+
+import io
+import json
+
+from repro.telemetry import Telemetry
+from repro.telemetry.cli import follow_summary, main
+from repro.telemetry.export import (
+    bundle_from_jsonl_lines,
+    to_jsonl_lines,
+    to_jsonl_text,
+)
+from repro.telemetry.summary import render_summary
+
+
+def small_bundle() -> dict:
+    telemetry = Telemetry.create(tool="test")
+    scope = telemetry.scoped("serve")
+    scope.counter("requests").inc(3)
+    scope.gauge("max_batch").set(8)
+    scope.histogram("wait_s", buckets=(1.0, 10.0)).observe(0.5)
+    run = telemetry.tracer.start("run", 0.0, category="run")
+    telemetry.tracer.span(
+        "req 0", 0.5, 3.0, parent=run, category="request"
+    ).event("admitted", 1.0, batch=2)
+    run.end(4.0)
+    return telemetry.bundle()
+
+
+class TestRoundTrip:
+    def test_jsonl_parses_back_to_the_bundle_summary(self):
+        bundle = small_bundle()
+        rebuilt = bundle_from_jsonl_lines(to_jsonl_lines(bundle))
+        assert render_summary(rebuilt) == render_summary(bundle)
+        assert rebuilt["metrics"] == bundle["metrics"]
+        assert len(rebuilt["spans"]) == len(bundle["spans"])
+
+    def test_prefix_of_a_stream_still_parses(self):
+        lines = list(to_jsonl_lines(small_bundle()))
+        for cut in range(1, len(lines)):
+            partial = bundle_from_jsonl_lines(lines[:cut])
+            assert "meta" in partial
+            render_summary(partial)  # never raises on a prefix
+
+    def test_unknown_record_types_are_ignored(self):
+        lines = list(to_jsonl_lines(small_bundle()))
+        lines.insert(1, json.dumps({"type": "someday", "x": 1}))
+        rebuilt = bundle_from_jsonl_lines(lines)
+        assert rebuilt["metrics"] == small_bundle()["metrics"]
+
+
+class TestFollow:
+    def test_following_a_finished_log_matches_one_shot(self, tmp_path):
+        bundle = small_bundle()
+        path = tmp_path / "run.jsonl"
+        path.write_text(to_jsonl_text(bundle))
+        out = io.StringIO()
+        code = follow_summary(
+            str(path), poll_s=0.0, max_renders=1, out=out
+        )
+        assert code == 0
+        assert render_summary(bundle) in out.getvalue()
+
+    def test_renders_are_deterministic_across_appends(self, tmp_path):
+        lines = list(to_jsonl_lines(small_bundle()))
+        path = tmp_path / "run.jsonl"
+        half = len(lines) // 2
+        path.write_text("\n".join(lines[:half]) + "\n")
+        first = io.StringIO()
+        follow_summary(str(path), poll_s=0.0, max_renders=1, out=first)
+        path.write_text("\n".join(lines) + "\n")
+        second = io.StringIO()
+        follow_summary(str(path), poll_s=0.0, max_renders=1, out=second)
+        one_shot = render_summary(bundle_from_jsonl_lines(lines))
+        assert one_shot in second.getvalue()
+        assert first.getvalue() != second.getvalue()
+
+    def test_partial_trailing_line_is_held_back(self, tmp_path):
+        lines = list(to_jsonl_lines(small_bundle()))
+        path = tmp_path / "run.jsonl"
+        # The last line has no newline yet: a writer mid-append.
+        path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: 10])
+        out = io.StringIO()
+        code = follow_summary(
+            str(path), poll_s=0.0, max_renders=1, out=out
+        )
+        assert code == 0
+        expected = render_summary(bundle_from_jsonl_lines(lines[:2]))
+        assert expected in out.getvalue()
+
+    def test_cli_follow_flag(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        path.write_text(to_jsonl_text(small_bundle()))
+        code = main(
+            ["summary", str(path), "--follow", "--max-renders", "1"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "render 1" in printed
+        assert "requests  : 3" in printed

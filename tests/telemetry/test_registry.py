@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import TelemetryError
+from repro.errors import ConfigurationError, TelemetryError
 from repro.telemetry import MetricsRegistry
 from repro.telemetry.registry import DEFAULT_TIME_BUCKETS
 
@@ -160,8 +160,66 @@ class TestSnapshotAndMerge:
         a.histogram("h", buckets=(1.0,)).observe(0.5)
         b = MetricsRegistry()
         b.histogram("h", buckets=(2.0,)).observe(0.5)
-        with pytest.raises(TelemetryError):
+        with pytest.raises(ConfigurationError):
             a.merge(b.snapshot())
+
+    def test_merge_mismatch_leaves_registry_untouched(self):
+        # The failing merge must not half-apply: counters sorting
+        # before the bad histogram stay unchanged.
+        a = MetricsRegistry()
+        a.counter("aaa/hits").inc(3)
+        a.histogram("zzz/wait", buckets=(1.0,)).observe(0.5)
+        before = a.snapshot()
+        b = MetricsRegistry()
+        b.counter("aaa/hits").inc(5)
+        b.histogram("zzz/wait", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            a.merge(b.snapshot())
+        assert a.snapshot() == before
+
+    def test_merge_malformed_counts_raises(self):
+        a = MetricsRegistry()
+        bad = {
+            "counters": [],
+            "gauges": [],
+            "histograms": [
+                {
+                    "name": "h",
+                    "labels": {},
+                    "buckets": [1.0, 2.0],
+                    "counts": [1, 0],  # needs len(buckets) + 1
+                    "sum": 0.5,
+                    "count": 1,
+                    "min": 0.5,
+                    "max": 0.5,
+                }
+            ],
+        }
+        with pytest.raises(ConfigurationError):
+            a.merge(bad)
+
+    def test_merge_extra_labels_keep_replicas_apart(self):
+        fleet = MetricsRegistry()
+        for replica in range(2):
+            local = MetricsRegistry()
+            local.counter("serve/requests").inc(replica + 1)
+            local.histogram("serve/wait_s", buckets=(1.0,)).observe(0.5)
+            fleet.merge(
+                local.snapshot(), extra_labels={"replica": str(replica)}
+            )
+        assert fleet.value("serve/requests", {"replica": "0"}) == 1
+        assert fleet.value("serve/requests", {"replica": "1"}) == 2
+        assert len(fleet) == 4
+
+    def test_merge_extra_labels_override_collisions(self):
+        # An incoming label with the same key loses to the stamp —
+        # the roll-up's provenance wins over self-reported labels.
+        fleet = MetricsRegistry()
+        local = MetricsRegistry()
+        local.counter("serve/requests", labels={"replica": "bogus"}).inc(7)
+        fleet.merge(local.snapshot(), extra_labels={"replica": "3"})
+        assert fleet.value("serve/requests", {"replica": "3"}) == 7
+        assert fleet.value("serve/requests", {"replica": "bogus"}) is None
 
 
 class TestScoped:
