@@ -148,15 +148,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         telemetry = Telemetry.create(
             tool="repro-experiments", experiments=",".join(names)
         )
+    # Sweep-progress gauges.  progress/ is the one namespace where
+    # wall-clock readings are allowed (repro-telemetry diff skips it
+    # by default), so a long `run all` is watchable live with
+    # `repro-telemetry dash sweep.jsonl`.
+    progress = telemetry.scoped("progress") if telemetry else None
+    live_jsonl = (
+        args.telemetry_out
+        if telemetry is not None and args.telemetry_out.endswith(".jsonl")
+        else None
+    )
+    if live_jsonl:
+        # Truncate: the log is append-only *within* a sweep.
+        open(live_jsonl, "w").close()
+    sweep_started = time.time()
     failures = 0
     dump: Dict[str, object] = {}
-    for name in names:
+    for index, name in enumerate(names):
+        if progress is not None:
+            progress.gauge("experiments_total").set(len(names))
+            progress.gauge("experiments_completed").set(index)
+            progress.gauge("experiments_failed").set(failures)
+            progress.gauge("running", labels={"experiment": name}).set(1)
         started = time.time()
         try:
             result = _run_one(name, telemetry)
         except Exception as error:  # surface, keep going
             failures += 1
             print(f"### {name}: FAILED: {error}", file=sys.stderr)
+            result = None
+        if progress is not None:
+            elapsed = time.time() - sweep_started
+            progress.gauge("running", labels={"experiment": name}).set(0)
+            progress.gauge("experiments_completed").set(index + 1)
+            progress.gauge("experiments_failed").set(failures)
+            progress.gauge("elapsed_s").set(elapsed)
+            progress.gauge("experiments_per_s").set(
+                (index + 1) / elapsed if elapsed > 0 else 0.0
+            )
+        if live_jsonl:
+            from repro.telemetry.export import append_jsonl_snapshot
+
+            append_jsonl_snapshot(telemetry.bundle(), live_jsonl)
+        if result is None:
             continue
         print(result.render())
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
@@ -169,8 +203,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(dump, handle, indent=1)
         print(f"[structured data written to {args.json}]")
     if telemetry is not None:
-        telemetry.save(args.telemetry_out)
-        print(f"[telemetry bundle written to {args.telemetry_out}]")
+        if live_jsonl:
+            print(
+                f"[telemetry JSONL written to {live_jsonl} "
+                "(tail with: repro-telemetry dash)]"
+            )
+        else:
+            telemetry.save(args.telemetry_out)
+            print(
+                f"[telemetry bundle written to {args.telemetry_out}]"
+            )
     return 1 if failures else 0
 
 

@@ -44,6 +44,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation_kv": "repro.experiments.ablation_kv",
     "ablation_chaos": "repro.experiments.ablation_chaos",
     "ablation_fleet": "repro.experiments.ablation_fleet",
+    "ablation_obs": "repro.experiments.ablation_obs",
 }
 
 

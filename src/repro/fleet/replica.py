@@ -57,6 +57,7 @@ class Replica:
     sharded: Optional[ShardedPlacement] = None
     prefix_cache: Optional[PrefixCache] = None
     sanitizer: Optional[object] = None
+    observer: Optional[object] = None
     prewarm: bool = True
     drive: Optional[SchedulerDrive] = None
     routed: int = 0
@@ -138,6 +139,10 @@ class Replica:
             info["kv"] = self.scheduler.kv.snapshot()
         if self.sanitizer is not None:
             info["sanitize"] = self.sanitizer.report()
+        if self.observer is not None:
+            slo_report = self.observer.report()
+            if slo_report is not None:
+                info["slo"] = slo_report
         if self._prewarmed:
             info["prewarmed_prices"] = self._prewarmed
         backend_memo = getattr(
@@ -195,6 +200,7 @@ def build_replica(
     sanitize: Optional[Union[bool, object]] = None,
     iteration_fault_pricing: bool = False,
     prefix_cache_size: int = 0,
+    slo=None,
 ) -> Replica:
     """Wire one replica exactly as ``simulate_serving`` wires its stack.
 
@@ -275,6 +281,14 @@ def build_replica(
     prefix_cache = (
         PrefixCache(prefix_cache_size) if prefix_cache_size else None
     )
+    observer = None
+    if slo is not None:
+        from repro.obs import ServeObserver
+
+        # Replicas share the (immutable) spec but each gets its own
+        # observer instance — windowed state is per replica, rolled
+        # up by the fleet through mergeable snapshots.
+        observer = ServeObserver(spec=slo)
     scheduler_kwargs: Dict[str, object] = {}
     if fault_targets is not None:
         scheduler_kwargs["fault_targets"] = fault_targets
@@ -291,6 +305,7 @@ def build_replica(
         iteration_fault_pricing=iteration_fault_pricing,
         sanitizer=sanitizer,
         prefix_cache=prefix_cache,
+        observer=observer,
         **scheduler_kwargs,
     )
     return Replica(
@@ -303,5 +318,6 @@ def build_replica(
         sharded=sharded,
         prefix_cache=prefix_cache,
         sanitizer=sanitizer,
+        observer=observer,
         prewarm=prewarm,
     )

@@ -217,6 +217,7 @@ def simulate_fleet(
     prefix_len: int = 64,
     prefix_skew: float = 1.5,
     prefix_cache_size: int = 0,
+    slo: Optional[Union[bool, str, object]] = None,
 ) -> FleetResult:
     """Simulate ``replicas`` identically configured serve stacks.
 
@@ -238,6 +239,14 @@ def simulate_fleet(
     With ``replicas=1`` and shard degree 1 the wiring collapses to
     exactly ``simulate_serving``'s object graph: same engine, same
     scheduler arithmetic, bit-identical summary/records/telemetry.
+
+    ``slo`` (``True`` / spec path / :class:`~repro.obs.SloSpec`)
+    attaches streaming SLO monitoring per replica — every replica
+    gets its own :class:`~repro.obs.ServeObserver` over the shared
+    spec — and, with several replicas and enabled telemetry, folds
+    the windowed state into one fleet-level rollup published as
+    unlabeled ``obs/``/``slo/`` gauges next to the replica-labeled
+    ones; the merged SLO report lands in ``result.metrics["slo"]``.
     """
     if replicas < 1:
         raise ConfigurationError("a fleet needs at least one replica")
@@ -252,6 +261,19 @@ def simulate_fleet(
             "replicas; pass sanitize=True for per-replica harnesses"
         )
     resolved = resolve_telemetry(telemetry)
+    slo_spec = None
+    if slo is not None:
+        from repro.obs import SloSpec
+
+        if isinstance(slo, bool):
+            if slo:
+                slo_spec = SloSpec.for_classes(
+                    tuple(qos for qos, _ in class_mix)
+                )
+        elif isinstance(slo, str):
+            slo_spec = SloSpec.load(slo)
+        else:
+            slo_spec = slo
     if isinstance(arrival, str):
         process: Union[ArrivalProcess, TraceReplay] = make_arrival_process(
             arrival, rate_rps, burst_rate_rps
@@ -304,6 +326,7 @@ def simulate_fleet(
                 sanitize=sanitize,
                 iteration_fault_pricing=iteration_fault_pricing,
                 prefix_cache_size=prefix_cache_size,
+                slo=slo_spec,
             )
             for index in range(replicas)
         ],
@@ -337,4 +360,30 @@ def simulate_fleet(
                 entry.telemetry_snapshot,
                 extra_labels={"replica": str(entry.index)},
             )
+    if slo_spec is not None and replicas > 1:
+        # Fleet rollup: merge every replica's windowed observer state
+        # into one observer over the shared spec, publish unlabeled
+        # obs/slo gauges beside the replica-labeled ones, and surface
+        # the merged attainment report.
+        from repro.obs import ServeObserver
+
+        rollup = ServeObserver(spec=slo_spec)
+        if resolved.enabled:
+            rollup.bind_run(resolved, None)
+        last_now = 0.0
+        for replica in fleet.replicas:
+            if replica.observer is not None:
+                snapshot = replica.observer.snapshot()
+                rollup.merge(snapshot)
+                last_now = max(
+                    last_now, float(snapshot.get("last_now", 0.0))
+                )
+        rollup.finalize(last_now)
+        fleet_report = rollup.report()
+        if fleet_report is not None:
+            result.metrics["slo"] = fleet_report
+    elif slo_spec is not None and fleet.replicas[0].observer is not None:
+        report = fleet.replicas[0].observer.report()
+        if report is not None:
+            result.metrics["slo"] = report
     return result

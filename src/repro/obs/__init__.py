@@ -1,0 +1,80 @@
+"""``repro.obs`` — streaming observability over ``repro.telemetry``.
+
+The telemetry layer records what happened; this package watches it
+*while virtual time advances*:
+
+* :mod:`repro.obs.window` — ring-buffered windowed histograms and
+  rolling counters keyed by virtual time, so TTFT p99 or the arrival
+  rate are readable mid-run without raw samples;
+* :mod:`repro.obs.slo` — declarative :class:`SloSpec` objectives
+  (JSON round-trip) evaluated at scheduler boundaries with SRE-style
+  multi-window burn rates, publishing ``slo/`` gauges and streaming
+  ``slo_alert`` span events;
+* :mod:`repro.obs.monitor` — :class:`ServeObserver`, the hook bundle
+  the scheduler drives (arrivals, completions, sheds, iterations,
+  boundaries) and the fleet rolls up per replica;
+* :mod:`repro.obs.profile` — self/total virtual-time profiles,
+  folded-stack (flamegraph/speedscope) export, and critical-path
+  attribution (compute vs transfer vs KV migration vs idle);
+* :mod:`repro.obs.dash` / :mod:`repro.obs.diff` — the
+  ``repro-telemetry dash`` live terminal dashboard and the
+  ``repro-telemetry diff`` CI regression gate.
+
+Everything is opt-in: a run without an observer attached executes
+the exact pre-``repro.obs`` instruction stream (bit-identical
+summaries, records, and telemetry snapshots), and with one attached
+all signals remain deterministic functions of virtual time.  See
+``docs/observability.md``.
+"""
+
+from repro.obs.diff import (
+    DiffReport,
+    DiffThresholds,
+    SeriesDelta,
+    diff_bundles,
+    render_diff,
+)
+from repro.obs.monitor import ServeObserver
+from repro.obs.profile import (
+    build_profile,
+    critical_path,
+    folded_stacks,
+    frame_name,
+    render_profile,
+)
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    BurnRule,
+    SloAlert,
+    SloMonitor,
+    SloObjective,
+    SloSpec,
+)
+from repro.obs.window import (
+    RollingCounter,
+    WindowConfig,
+    WindowedHistogram,
+)
+
+__all__ = [
+    "BurnRule",
+    "DEFAULT_BURN_RULES",
+    "DiffReport",
+    "DiffThresholds",
+    "RollingCounter",
+    "SeriesDelta",
+    "ServeObserver",
+    "SloAlert",
+    "SloMonitor",
+    "SloObjective",
+    "SloSpec",
+    "WindowConfig",
+    "WindowedHistogram",
+    "build_profile",
+    "critical_path",
+    "diff_bundles",
+    "folded_stacks",
+    "frame_name",
+    "render_diff",
+    "render_profile",
+]

@@ -1,0 +1,310 @@
+"""Run-comparison regression reports over saved telemetry bundles.
+
+``repro-telemetry diff A B`` compares two exported bundles series by
+series and classifies every change as an improvement, a regression,
+or noise within tolerance.  Exit codes make it CI-usable: 0 when no
+series regressed, 2 when at least one did (1 is left to argparse /
+I/O errors).
+
+Direction is inferred per metric name: latency-like series (``_s``,
+``_seconds`` suffixes; ``stall``/``shed``/``dropped``/``retries``/
+``migration`` counters) regress when they grow, while rate-like
+series (``rate``, ``throughput``, ``goodput``, ``attainment``,
+``completed``) regress when they shrink; anything else is reported as
+neutral drift and never fails the diff.  The wall-clock ``progress/``
+namespace is skipped by default — it is the one place telemetry is
+allowed to be nondeterministic (see ``docs/observability.md``), so
+two same-seed runs stay zero-regression even when one host was
+slower.
+
+Histograms compare their mean and a configurable quantile through the
+same deterministic bucket interpolation the live instruments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.telemetry.registry import bucket_quantile
+
+#: Diff exit codes (argparse uses 2 for usage errors, so regressions
+#: use 2 deliberately — CI treats any non-zero as failure — and I/O
+#: problems surface as ordinary exceptions -> exit 1 via the CLI).
+EXIT_OK = 0
+EXIT_REGRESSED = 2
+
+_WORSE_WHEN_UP = (
+    "_s",
+    "_seconds",
+    "_bytes",
+)
+_WORSE_WHEN_UP_TOKENS = (
+    "stall",
+    "shed",
+    "dropped",
+    "retries",
+    "retried",
+    "migration",
+    "degradation",
+    "timeouts",
+    "aborted",
+    "burn_rate",
+    "firing",
+)
+_WORSE_WHEN_DOWN_TOKENS = (
+    "rate",
+    "throughput",
+    "goodput",
+    "attainment",
+    "completed",
+    "admitted",
+    "hits",
+)
+
+
+def metric_direction(name: str) -> int:
+    """+1: higher is worse; -1: lower is worse; 0: neutral."""
+    base = name.rsplit("/", 1)[-1]
+    if any(token in base for token in _WORSE_WHEN_DOWN_TOKENS):
+        return -1
+    if any(base.endswith(suffix) for suffix in _WORSE_WHEN_UP):
+        return 1
+    if any(token in base for token in _WORSE_WHEN_UP_TOKENS):
+        return 1
+    return 0
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Tolerances below which a change is noise.
+
+    A change counts only when it exceeds *both* the relative and the
+    absolute floor — the absolute floor keeps near-zero series (a
+    0.0001 s stall total) from producing huge relative swings.
+    """
+
+    relative: float = 0.05
+    absolute: float = 1e-9
+    quantile: float = 0.99
+
+    def significant(self, before: float, after: float) -> bool:
+        delta = abs(after - before)
+        if delta <= self.absolute:
+            return False
+        base = max(abs(before), abs(after))
+        return delta > self.relative * base
+
+
+@dataclass
+class SeriesDelta:
+    """One compared series."""
+
+    name: str
+    labels: Dict[str, str]
+    field: str  #: ``value``, ``mean``, or ``p<q>``.
+    before: Optional[float]
+    after: Optional[float]
+    #: ``regression`` / ``improvement`` / ``drift`` / ``added`` /
+    #: ``removed`` / ``unchanged``.
+    verdict: str
+
+    @property
+    def key(self) -> str:
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(self.labels.items())
+        )
+        series = f"{self.name}{{{labels}}}" if labels else self.name
+        return f"{series}:{self.field}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "series": self.key,
+            "before": self.before,
+            "after": self.after,
+            "verdict": self.verdict,
+        }
+
+
+def _series_key(entry: Mapping) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    return (
+        entry["name"],
+        tuple(sorted((entry.get("labels") or {}).items())),
+    )
+
+
+def _index(entries: Sequence[Mapping]) -> Dict:
+    return {_series_key(entry): entry for entry in entries}
+
+
+def _histogram_fields(
+    entry: Mapping, q: float
+) -> List[Tuple[str, float]]:
+    count = entry.get("count", 0)
+    mean = entry["sum"] / count if count else 0.0
+    quantile = bucket_quantile(
+        entry["buckets"],
+        entry["counts"],
+        q,
+        count=count,
+        min_value=entry.get("min", 0.0),
+        max_value=entry.get("max", 0.0),
+    )
+    return [
+        ("count", float(count)),
+        ("mean", mean),
+        (f"p{int(q * 100)}", quantile),
+    ]
+
+
+@dataclass
+class DiffReport:
+    """Everything ``repro-telemetry diff`` prints and exits on."""
+
+    deltas: List[SeriesDelta] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[SeriesDelta]:
+        return [d for d in self.deltas if d.verdict == "regression"]
+
+    @property
+    def improvements(self) -> List[SeriesDelta]:
+        return [d for d in self.deltas if d.verdict == "improvement"]
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_REGRESSED if self.regressions else EXIT_OK
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "regressions": [d.as_dict() for d in self.regressions],
+            "improvements": [d.as_dict() for d in self.improvements],
+            "changed": [
+                d.as_dict() for d in self.deltas if d.verdict == "drift"
+            ],
+            "added": [
+                d.as_dict() for d in self.deltas if d.verdict == "added"
+            ],
+            "removed": [
+                d.as_dict() for d in self.deltas if d.verdict == "removed"
+            ],
+            "skipped": list(self.skipped),
+            "exit_code": self.exit_code,
+        }
+
+
+def diff_bundles(
+    before: Mapping,
+    after: Mapping,
+    thresholds: DiffThresholds = DiffThresholds(),
+    ignore_namespaces: Sequence[str] = ("progress",),
+) -> DiffReport:
+    """Compare two bundles' metric snapshots."""
+    report = DiffReport()
+    ignored = tuple(f"{ns}/" for ns in ignore_namespaces)
+
+    def compare(
+        name: str,
+        labels: Mapping[str, str],
+        fields: Sequence[Tuple[str, Optional[float]]],
+        other_fields: Sequence[Tuple[str, Optional[float]]],
+    ) -> None:
+        direction = metric_direction(name)
+        after_map = dict(other_fields)
+        for field_name, before_value in fields:
+            after_value = after_map.get(field_name)
+            if before_value is None or after_value is None:
+                verdict = "added" if before_value is None else "removed"
+            elif not thresholds.significant(before_value, after_value):
+                verdict = "unchanged"
+            elif direction == 0:
+                verdict = "drift"
+            else:
+                worse = (
+                    after_value > before_value
+                    if direction > 0
+                    else after_value < before_value
+                )
+                verdict = "regression" if worse else "improvement"
+            if verdict != "unchanged":
+                report.deltas.append(
+                    SeriesDelta(
+                        name=name,
+                        labels=dict(labels),
+                        field=field_name,
+                        before=before_value,
+                        after=after_value,
+                        verdict=verdict,
+                    )
+                )
+
+    metrics_a = before.get("metrics", {})
+    metrics_b = after.get("metrics", {})
+    for kind in ("counters", "gauges", "histograms"):
+        index_a = _index(metrics_a.get(kind, ()))
+        index_b = _index(metrics_b.get(kind, ()))
+        for key in sorted(set(index_a) | set(index_b)):
+            name, labels = key
+            if name.startswith(ignored):
+                report.skipped.append(name)
+                continue
+            entry_a = index_a.get(key)
+            entry_b = index_b.get(key)
+
+            def fields_of(entry) -> List[Tuple[str, Optional[float]]]:
+                if entry is None:
+                    return []
+                if kind == "histograms":
+                    return _histogram_fields(entry, thresholds.quantile)
+                return [("value", float(entry["value"]))]
+
+            fields_a = fields_of(entry_a)
+            fields_b = fields_of(entry_b)
+            names = [f for f, _ in fields_a] + [
+                f for f, _ in fields_b if f not in dict(fields_a)
+            ]
+            merged_a = dict(fields_a)
+            compare(
+                name,
+                dict(labels),
+                [(f, merged_a.get(f)) for f in names],
+                fields_b,
+            )
+    return report
+
+
+def render_diff(
+    report: DiffReport, label_a: str = "A", label_b: str = "B"
+) -> str:
+    """Human-readable diff report."""
+
+    def fmt(value: Optional[float]) -> str:
+        return "-" if value is None else format(value, ".6g")
+
+    lines = [f"telemetry diff: {label_a} -> {label_b}"]
+    sections = (
+        ("regressions", report.regressions),
+        ("improvements", report.improvements),
+        ("drift", [d for d in report.deltas if d.verdict == "drift"]),
+        ("added", [d for d in report.deltas if d.verdict == "added"]),
+        ("removed", [d for d in report.deltas if d.verdict == "removed"]),
+    )
+    for title, deltas in sections:
+        if not deltas:
+            continue
+        lines.append(f"{title} ({len(deltas)}):")
+        for delta in deltas:
+            lines.append(
+                f"  {delta.key}: {fmt(delta.before)} -> "
+                f"{fmt(delta.after)}"
+            )
+    if len(lines) == 1:
+        lines.append("no significant changes")
+    if report.skipped:
+        unique = sorted(set(report.skipped))
+        lines.append(
+            f"skipped {len(unique)} wall-clock series "
+            f"({', '.join(unique[:4])}{'…' if len(unique) > 4 else ''})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,275 @@
+"""Virtual-time profiler over the telemetry span tree.
+
+Three views of one saved bundle's spans:
+
+* :func:`build_profile` — self/total virtual time per *frame* (span
+  names normalized so ``prefill x3`` and ``prefill x7`` aggregate),
+  keyed by the full root-to-frame stack, like a sampling profiler's
+  collapsed output but exact;
+* :func:`folded_stacks` — the same aggregation in folded-stack text
+  (``root;child value``), loadable by flamegraph.pl or speedscope
+  ("import as folded stacks"); values are integer microseconds;
+* :func:`critical_path` — the serving run's time, end to end, split
+  into compute vs transfer vs KV-migration (per tier pair) vs idle,
+  with queueing reported alongside from request wait attributes.
+
+Iteration spans carry ``kind``/``batch``/``tokens`` attributes, so
+compute/transfer attribution can be re-derived *post hoc* by passing
+the run's cost model (``costs.prefill_parts`` / ``decode_parts``) —
+the profiler never requires the run itself to have been instrumented
+beyond ordinary span telemetry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import TelemetryError
+
+#: Numeric suffixes stripped when normalizing span names into frames:
+#: batch sizes (``prefill x12``), request ids (``req 7``), layer
+#: lists, and half-open token ranges (``kv demote req 7 [0,96)``).
+_FRAME_RE = re.compile(r"\s+(x\d+|\d+|\[[\d, ]*[\])])$")
+
+
+def frame_name(name: str) -> str:
+    """Collapse per-instance span names into one aggregable frame."""
+    previous = None
+    while previous != name:
+        previous = name
+        name = _FRAME_RE.sub("", name)
+    return name
+
+
+def _index_spans(spans: Sequence[Mapping]) -> Dict[object, Mapping]:
+    return {span["span_id"]: span for span in spans}
+
+
+def _stack_of(
+    span: Mapping, index: Mapping[object, Mapping]
+) -> Tuple[str, ...]:
+    frames: List[str] = []
+    cursor: Optional[Mapping] = span
+    hops = 0
+    while cursor is not None:
+        frames.append(frame_name(cursor["name"]))
+        parent = cursor.get("parent_id")
+        cursor = index.get(parent) if parent is not None else None
+        hops += 1
+        if hops > len(index) + 1:
+            raise TelemetryError("span parent links form a cycle")
+    return tuple(reversed(frames))
+
+
+@dataclass
+class ProfileNode:
+    """Aggregated totals for one stack."""
+
+    stack: Tuple[str, ...]
+    total_s: float = 0.0
+    self_s: float = 0.0
+    count: int = 0
+
+    @property
+    def frame(self) -> str:
+        return self.stack[-1]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "stack": ";".join(self.stack),
+            "frame": self.frame,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "count": self.count,
+        }
+
+
+def build_profile(spans: Sequence[Mapping]) -> List[ProfileNode]:
+    """Self/total virtual-time profile, one node per distinct stack.
+
+    ``total_s`` sums span durations; ``self_s`` subtracts the time
+    covered by direct children (clamped at zero — async request spans
+    overlap their parent run freely).  Nodes come back sorted by
+    descending ``self_s``, then stack, so output order is stable.
+    """
+    index = _index_spans(spans)
+    child_time: Dict[object, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + (
+                span["end_s"] - span["start_s"]
+            )
+    nodes: Dict[Tuple[str, ...], ProfileNode] = {}
+    for span in spans:
+        stack = _stack_of(span, index)
+        node = nodes.get(stack)
+        if node is None:
+            node = nodes[stack] = ProfileNode(stack=stack)
+        duration = span["end_s"] - span["start_s"]
+        node.total_s += duration
+        node.self_s += max(
+            0.0, duration - child_time.get(span["span_id"], 0.0)
+        )
+        node.count += 1
+    return sorted(
+        nodes.values(), key=lambda node: (-node.self_s, node.stack)
+    )
+
+
+def folded_stacks(spans: Sequence[Mapping]) -> List[str]:
+    """``stack;frames count`` lines with integer-µs self time.
+
+    Zero-µs frames are kept (count floor of 0) only if they are
+    someone's ancestor implicitly via other lines; lines themselves
+    are emitted for every node with positive self time.
+    """
+    lines = []
+    for node in build_profile(spans):
+        value = int(round(node.self_s * 1e6))
+        if value > 0:
+            lines.append(f"{';'.join(node.stack)} {value}")
+    return lines
+
+
+def _iteration_attribution(
+    span: Mapping, costs
+) -> Tuple[float, float]:
+    """(compute_s, transfer_s) for one iteration span.
+
+    Preference order: explicit ``compute_s``/``transfer_s`` span
+    attributes, then re-pricing through the cost model's
+    ``prefill_parts``/``decode_parts``, then the whole duration as
+    compute.  Re-priced parts are *scaled* to the span's observed
+    duration so fault surcharges/KV overheads stay attributed
+    proportionally instead of vanishing.
+    """
+    duration = span["end_s"] - span["start_s"]
+    attrs = span.get("attrs", {})
+    if "compute_s" in attrs or "transfer_s" in attrs:
+        compute = float(attrs.get("compute_s", 0.0))
+        transfer = float(attrs.get("transfer_s", 0.0))
+        return compute, transfer
+    kind = attrs.get("kind")
+    batch = attrs.get("batch")
+    tokens = attrs.get("tokens")
+    if costs is not None and kind in ("prefill", "decode") and batch:
+        try:
+            if kind == "prefill":
+                parts = costs.prefill_parts(int(batch), int(tokens))
+            else:
+                parts = costs.decode_parts(int(batch), int(tokens))
+        except Exception:
+            return duration, 0.0
+        nominal = parts.compute_s + parts.transfer_s
+        if nominal > 0:
+            scale = duration / nominal
+            return parts.compute_s * scale, parts.transfer_s * scale
+    return duration, 0.0
+
+
+def critical_path(
+    spans: Sequence[Mapping], costs=None
+) -> Dict[str, object]:
+    """Attribute the serve run's wall of virtual time.
+
+    The run span's duration decomposes into iteration time (split
+    compute vs transfer), per-tier-pair KV-migration time, and idle
+    (boundaries where the GPU sat waiting for arrivals).  Queueing is
+    reported alongside as the sum of per-request ``wait_s`` — it
+    overlaps iteration time rather than extending the run, so it is
+    *not* part of the additive decomposition.
+    """
+    runs = [s for s in spans if s.get("category") == "run"]
+    if not runs:
+        raise TelemetryError(
+            "no run span in bundle: profile a serve/fleet run saved "
+            "with --telemetry-out"
+        )
+    run = runs[0]
+    run_s = run["end_s"] - run["start_s"]
+    compute_s = 0.0
+    transfer_s = 0.0
+    iteration_s = 0.0
+    by_kind: Dict[str, float] = {}
+    for span in spans:
+        if span.get("category") != "iteration":
+            continue
+        duration = span["end_s"] - span["start_s"]
+        iteration_s += duration
+        kind = str(span.get("attrs", {}).get("kind", "iteration"))
+        by_kind[kind] = by_kind.get(kind, 0.0) + duration
+        compute, transfer = _iteration_attribution(span, costs)
+        compute_s += compute
+        transfer_s += transfer
+    migration: Dict[str, float] = {}
+    migration_s = 0.0
+    for span in spans:
+        if span.get("category") != "kv_migration":
+            continue
+        duration = span["end_s"] - span["start_s"]
+        attrs = span.get("attrs", {})
+        lane = f"{attrs.get('src', '?')}->{attrs.get('dst', '?')}"
+        migration[lane] = migration.get(lane, 0.0) + duration
+        migration_s += duration
+    queueing_s = 0.0
+    requests = 0
+    for span in spans:
+        if span.get("category") != "request":
+            continue
+        requests += 1
+        queueing_s += float(span.get("attrs", {}).get("wait_s", 0.0))
+    return {
+        "run_s": run_s,
+        "iteration_s": iteration_s,
+        "compute_s": compute_s,
+        "transfer_s": transfer_s,
+        "idle_s": max(0.0, run_s - iteration_s),
+        "by_kind": dict(sorted(by_kind.items())),
+        "kv_migration_s": migration_s,
+        "kv_migration_by_lane": dict(sorted(migration.items())),
+        "queueing_s": queueing_s,
+        "requests": requests,
+    }
+
+
+def render_profile(
+    spans: Sequence[Mapping], costs=None, top: int = 20
+) -> str:
+    """Human-readable profile + critical path, for the CLI."""
+    lines: List[str] = []
+    try:
+        path = critical_path(spans, costs=costs)
+    except TelemetryError:
+        path = None
+    if path is not None:
+        lines.append("critical path (virtual time)")
+        lines.append(f"  run            {path['run_s']:12.3f} s")
+        lines.append(
+            f"  iterations     {path['iteration_s']:12.3f} s  "
+            f"(compute {path['compute_s']:.3f} s, "
+            f"transfer {path['transfer_s']:.3f} s)"
+        )
+        for kind, value in path["by_kind"].items():
+            lines.append(f"    {kind:<12} {value:12.3f} s")
+        lines.append(f"  idle           {path['idle_s']:12.3f} s")
+        if path["kv_migration_s"]:
+            lines.append(
+                f"  kv migration   {path['kv_migration_s']:12.3f} s"
+            )
+            for lane, value in path["kv_migration_by_lane"].items():
+                lines.append(f"    {lane:<12} {value:12.3f} s")
+        lines.append(
+            f"  queueing       {path['queueing_s']:12.3f} s "
+            f"(overlapped, {path['requests']} requests)"
+        )
+        lines.append("")
+    lines.append(f"{'self s':>12} {'total s':>12} {'count':>7}  stack")
+    for node in build_profile(spans)[:top]:
+        lines.append(
+            f"{node.self_s:12.3f} {node.total_s:12.3f} "
+            f"{node.count:7d}  {';'.join(node.stack)}"
+        )
+    return "\n".join(lines)

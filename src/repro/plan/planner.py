@@ -237,9 +237,23 @@ def plan_capacity(
             raise ConfigurationError("shard degrees must be >= 1")
 
     backend = AnalyticBackend()
+    # Deterministic stage progress through the ambient telemetry:
+    # gauges count sweep cells (no wall clock), so a long plan is
+    # watchable with `repro-telemetry dash` yet bit-stable in diffs.
+    from repro.telemetry import current_telemetry
+
+    progress = current_telemetry().scoped("progress")
+    stages = sorted(set(hosts))
+    cells_per_stage = len(set(placements))
+    progress.gauge("plan_stages_total").set(len(stages))
+    progress.gauge("plan_cells_total").set(len(stages) * cells_per_stage)
+    cells_done = 0
     evaluated: List[PlanCandidate] = []
-    for host in sorted(set(hosts)):
+    for stage_index, host in enumerate(stages):
+        progress.gauge("plan_stages_completed").set(stage_index)
         for placement in sorted(set(placements)):
+            cells_done += 1
+            progress.gauge("plan_cells_completed").set(cells_done)
             try:
                 engine = OffloadEngine(
                     model=model,
@@ -390,6 +404,7 @@ def plan_capacity(
                                     pipeline_parallel=pp,
                                 )
                             )
+    progress.gauge("plan_stages_completed").set(len(stages))
     candidates = tuple(sorted(evaluated, key=_sort_key))
     feasible = [c for c in candidates if c.feasible]
     chosen = feasible[0] if feasible else None

@@ -185,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = off); hits prefill only the prompt suffix",
     )
     parser.add_argument(
+        "--slo", metavar="FILE", nargs="?", const="default", default=None,
+        help="streaming SLO monitoring (repro.obs): FILE is an SloSpec "
+        "JSON (see docs/observability.md); bare --slo derives one "
+        "objective per configured QoS class from the class's own "
+        "latency bounds.  Burn-rate alerts stream as slo_alert span "
+        "events, windowed gauges land under obs/ and slo/, and the "
+        "report is printed below the run summary",
+    )
+    parser.add_argument(
         "--replay", metavar="FILE",
         help="replay a JSONL request trace instead of sampling arrivals",
     )
@@ -310,6 +319,30 @@ def _print_report(result, telemetry: Optional[Telemetry] = None) -> None:
             f"{sanitize['boundaries']} boundaries, "
             f"{len(sanitize['violations'])} violation(s)"
         )
+    if setup.get("slo"):
+        _print_slo_report(setup["slo"])
+
+
+def _print_slo_report(report) -> None:
+    alerts = report.get("alerts", ())
+    fired = [a for a in alerts if a.get("firing")]
+    first = report.get("first_alert_s")
+    print("  slo:")
+    for objective in report.get("objectives", ()):
+        status = "MET" if objective["met"] else "MISSED"
+        firing = ", burn-rate alert FIRING" if objective["firing"] else ""
+        print(
+            f"    {objective['name']:<16} : {status} "
+            f"({objective['attainment']:.2%} vs target "
+            f"{objective['target']:.0%}, "
+            f"{int(objective['good'])} good / "
+            f"{int(objective['bad'])} bad){firing}"
+        )
+    if fired:
+        print(
+            f"    alerts: {len(fired)} raised "
+            f"(first at t={first:.1f} s virtual)"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -353,6 +386,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             placement=args.placement,
             seed=args.seed,
         )
+        slo_arg = True if args.slo == "default" else args.slo
         if fleet_mode:
             from repro.fleet import simulate_fleet
 
@@ -389,6 +423,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 router=args.router,
                 prefix_groups=args.prefix_groups,
                 prefix_cache_size=args.prefix_cache,
+                slo=slo_arg,
             )
             _print_fleet_report(fleet_result)
             if args.save_trace:
@@ -437,6 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             kv_policy=args.kv_policy,
             iteration_fault_pricing=args.iteration_fault_pricing,
             sanitize=True if args.sanitize else None,
+            slo=slo_arg,
         )
         _print_report(result, telemetry=telemetry)
 
@@ -507,6 +543,8 @@ def _print_fleet_report(result) -> None:
             f"{summary[f'{label}_p95_s']:.3f} / "
             f"{summary[f'{label}_p99_s']:.3f}"
         )
+    if result.metrics.get("slo"):
+        _print_slo_report(result.metrics["slo"])
     for entry in result.replicas:
         cache = entry.result.setup.get("prefix_cache")
         if cache:

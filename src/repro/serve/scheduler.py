@@ -312,6 +312,7 @@ class ContinuousBatchingScheduler:
         iteration_fault_pricing: bool = False,
         sanitizer=None,
         prefix_cache=None,
+        observer=None,
     ) -> None:
         self.costs = costs
         self.classes = class_index(classes)
@@ -353,6 +354,11 @@ class ContinuousBatchingScheduler:
         #: length (shared prefixes already resident are skipped);
         #: ``None`` keeps the original pricing expression verbatim.
         self.prefix_cache = prefix_cache
+        #: Optional :class:`repro.obs.ServeObserver`.  Hooks fire at
+        #: arrivals, completions, sheds, iterations, and boundaries;
+        #: ``None`` skips every hook, so an un-observed run executes
+        #: the exact pre-``repro.obs`` instruction stream.
+        self.observer = observer
         # Resolve the tri-state KV flags against the manager actually
         # attached — an explicit True with nothing to act on is a
         # configuration contradiction and fails here, at use-site,
@@ -550,6 +556,9 @@ class ContinuousBatchingScheduler:
         kv = self.kv
         if kv is not None:
             kv.bind_run(tracer, run_span)
+        observer = self.observer
+        if observer is not None:
+            observer.bind_run(telemetry, run_span)
 
         latest_checkpoint: Optional[dict] = restore
 
@@ -568,6 +577,8 @@ class ContinuousBatchingScheduler:
                         request,
                     ),
                 )
+                if observer is not None:
+                    observer.on_arrival(request.spec)
                 state.next_arrival += 1
             return state.next_arrival
 
@@ -619,6 +630,8 @@ class ContinuousBatchingScheduler:
             ).event(
                 "first_token", record.arrival_s + record.ttft_s
             )
+            if observer is not None:
+                observer.on_finish(record)
 
         def retry_client(spec: RequestSpec, now: float) -> None:
             """Re-enter a shed request as a later client attempt."""
@@ -679,6 +692,8 @@ class ContinuousBatchingScheduler:
                 qos=spec.qos_class,
                 reason=reason,
             )
+            if observer is not None:
+                observer.on_shed(state.shed_records[-1])
             if (
                 resilience is not None
                 and resilience.retry_shed
@@ -958,6 +973,8 @@ class ContinuousBatchingScheduler:
                     raise SimulatedCrash(boundary, latest_checkpoint)
             state.boundary = boundary
             absorb_arrivals(now)
+            if observer is not None:
+                observer.on_boundary(now)
 
             if (
                 resilience is not None
@@ -1200,6 +1217,10 @@ class ContinuousBatchingScheduler:
                     kind="prefill", batch=len(admitted),
                     tokens=prompt_max, degraded=state.degraded_mode,
                 )
+                if observer is not None:
+                    observer.on_iteration(
+                        "prefill", len(admitted), done_at
+                    )
                 if state.degraded_mode:
                     state.degraded_iterations += 1
                 for request in admitted:
@@ -1271,6 +1292,8 @@ class ContinuousBatchingScheduler:
                 kind="decode", batch=decode_batch,
                 tokens=context, degraded=state.degraded_mode,
             )
+            if observer is not None:
+                observer.on_iteration("decode", decode_batch, done_at)
             if state.degraded_mode:
                 state.degraded_iterations += 1
             still_running: List[ServeRequest] = []
@@ -1296,6 +1319,9 @@ class ContinuousBatchingScheduler:
             sanitizer.finish(
                 state=state, scheduler=self, engine=engine
             )
+
+        if observer is not None:
+            observer.finalize(engine.now)
 
         if hold.managed:
             run_span.set("requests", len(state.pending))

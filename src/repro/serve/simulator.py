@@ -93,6 +93,7 @@ class ServingSimulator:
         kv=None,
         iteration_fault_pricing: bool = False,
         sanitizer=None,
+        observer=None,
     ) -> None:
         self.costs = costs
         self.classes = tuple(classes)
@@ -101,6 +102,9 @@ class ServingSimulator:
         #: every scheduler boundary; its report lands in
         #: ``setup["sanitize"]``.
         self.sanitizer = sanitizer
+        #: Optional :class:`repro.obs.ServeObserver`; its SLO report
+        #: lands in ``setup["slo"]``.  ``None`` skips every hook.
+        self.observer = observer
         #: Pre-price the session's (batch, bucket) grid in one
         #: vectorized pass before serving (no-op for cost models /
         #: backends without a grid).  Never changes a priced value —
@@ -122,6 +126,7 @@ class ServingSimulator:
             kv=kv,
             iteration_fault_pricing=iteration_fault_pricing,
             sanitizer=sanitizer,
+            observer=observer,
             **scheduler_kwargs,
         )
 
@@ -179,6 +184,10 @@ class ServingSimulator:
             info["kv"] = self.scheduler.kv.snapshot()
         if self.sanitizer is not None:
             info["sanitize"] = self.sanitizer.report()
+        if self.observer is not None:
+            slo_report = self.observer.report()
+            if slo_report is not None:
+                info["slo"] = slo_report
         if prewarmed:
             info["prewarmed_prices"] = prewarmed
         backend_memo = getattr(
@@ -266,6 +275,8 @@ def simulate_serving(
     kv_policy: Optional[str] = None,
     iteration_fault_pricing: bool = False,
     sanitize: Optional[Union[bool, object]] = None,
+    slo: Optional[Union[bool, str, object]] = None,
+    observer=None,
     checkpoint=None,
     restore: Optional[Dict[str, object]] = None,
 ) -> ServingResult:
@@ -320,6 +331,17 @@ def simulate_serving(
     variable.  The sanitizer never perturbs the run — a sanitized run
     is bit-identical to an unsanitized one — and its report lands in
     ``result.setup["sanitize"]``.
+
+    ``slo`` attaches streaming SLO monitoring (:mod:`repro.obs`):
+    ``True`` derives one objective per QoS class from the class's own
+    latency bounds, a path loads an :class:`~repro.obs.SloSpec` JSON,
+    or pass a spec directly.  ``observer`` injects a fully configured
+    :class:`~repro.obs.ServeObserver` instead (mutually exclusive
+    with ``slo``).  Either way the scheduler feeds it arrivals,
+    completions, sheds, and boundaries; burn rates and windowed
+    quantiles are published as ``slo/`` / ``obs/`` gauges, and the
+    end-of-run report lands in ``result.setup["slo"]``.  The default
+    ``None`` attaches nothing and leaves the run bit-identical.
 
     ``checkpoint`` (a :class:`~repro.serve.state.CheckpointPlan`)
     snapshots the full run state at iteration boundaries; ``restore``
@@ -393,6 +415,24 @@ def simulate_serving(
             sanitizer = SanitizerHarness()
         else:
             sanitizer = sanitize
+    if slo is not None and observer is not None:
+        raise ConfigurationError(
+            "pass either slo= (a spec/path/True) or observer= (a "
+            "configured ServeObserver), not both"
+        )
+    if slo is not None:
+        from repro.obs import ServeObserver, SloSpec
+
+        if isinstance(slo, bool):
+            if slo:
+                spec = SloSpec.for_classes(
+                    tuple(qos for qos, _ in class_mix)
+                )
+                observer = ServeObserver(spec=spec)
+        elif isinstance(slo, str):
+            observer = ServeObserver(spec=SloSpec.load(slo))
+        else:
+            observer = ServeObserver(spec=slo)
     kv = None
     if kv_policy is not None:
         from repro.kv import KvCacheManager
@@ -415,6 +455,7 @@ def simulate_serving(
         kv=kv,
         iteration_fault_pricing=iteration_fault_pricing,
         sanitizer=sanitizer,
+        observer=observer,
     )
     setup = {
         "model": model,

@@ -44,6 +44,7 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
     ScopedRegistry,
+    bucket_quantile,
 )
 from repro.telemetry.spans import NULL_SPAN, Span, SpanEvent, Tracer
 
@@ -151,6 +152,7 @@ __all__ = [
     "SpanEvent",
     "Telemetry",
     "Tracer",
+    "bucket_quantile",
     "current_telemetry",
     "load_bundle",
     "resolve_telemetry",

@@ -61,9 +61,20 @@ def _prom_value(value: float) -> str:
     return repr(float(value))
 
 
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash first
+    (so escapes are not re-escaped), then double-quote and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
     parts = [
-        f'{_prom_name(key)}="{value}"'
+        f'{_prom_name(key)}="{_prom_label_value(value)}"'
         for key, value in sorted(labels.items())
     ]
     if extra:
@@ -166,6 +177,23 @@ def to_jsonl_text(bundle: Mapping) -> str:
     return "\n".join(to_jsonl_lines(bundle)) + "\n"
 
 
+def append_jsonl_snapshot(
+    bundle: Mapping, path: str, reset: bool = True
+) -> None:
+    """Append one full export of ``bundle`` to a live JSONL log.
+
+    With ``reset`` (the default) a ``{"type": "reset"}`` marker
+    precedes the export, so tailing readers (``--follow``, ``dash``)
+    replace their state with this snapshot instead of accumulating
+    duplicates.  The file stays append-only, which is what keeps the
+    offset-based follow machinery valid.
+    """
+    with open(path, "a") as handle:
+        if reset:
+            handle.write(json.dumps({"type": "reset"}) + "\n")
+        handle.write(to_jsonl_text(bundle))
+
+
 def bundle_from_jsonl_lines(lines: Iterable[str]) -> Dict[str, object]:
     """Rebuild a bundle dict from :func:`to_jsonl_lines` output.
 
@@ -173,6 +201,13 @@ def bundle_from_jsonl_lines(lines: Iterable[str]) -> Dict[str, object]:
     stream: a log still being appended to (``repro-telemetry summary
     --follow``) parses to a bundle of whatever has landed so far.
     Unknown record types are ignored so the format can grow.
+
+    A ``{"type": "reset"}`` record clears everything accumulated so
+    far: long sweeps (``repro-experiments run all --telemetry-out
+    sweep.jsonl``) append a fresh ``reset`` + full export after each
+    cell, so an append-only log stays tailable
+    (``repro-telemetry dash``) while always parsing to the *latest*
+    snapshot.  One-shot exports never emit it.
     """
     meta: Dict[str, object] = {}
     spans: List[Dict[str, object]] = []
@@ -198,7 +233,12 @@ def bundle_from_jsonl_lines(lines: Iterable[str]) -> Dict[str, object]:
                 "(missing 'type')"
             )
         kind = record.pop("type")
-        if kind == "meta":
+        if kind == "reset":
+            meta = {}
+            spans = []
+            span_index = {}
+            metrics = {"counters": [], "gauges": [], "histograms": []}
+        elif kind == "meta":
             meta = record
         elif kind == "span":
             record["events"] = []

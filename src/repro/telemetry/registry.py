@@ -145,6 +145,58 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Deterministic bucket-interpolated quantile estimate.
+
+        See :func:`bucket_quantile` — reads TTFT p99 mid-run off the
+        bucket counts alone, no raw samples retained.
+        """
+        return bucket_quantile(
+            self.buckets, self.counts, q,
+            count=self.count, min_value=self.min, max_value=self.max,
+        )
+
+
+def bucket_quantile(
+    buckets: Tuple[float, ...],
+    counts: Iterable[int],
+    q: float,
+    count: Optional[int] = None,
+    min_value: float = 0.0,
+    max_value: float = 0.0,
+) -> float:
+    """Quantile ``q`` estimated from explicit-bucket counts.
+
+    Linear interpolation inside the bucket where the cumulative count
+    crosses ``q * count``, with the interpolation interval clamped to
+    the observed ``[min, max]`` — so single-bucket mass degrades
+    gracefully instead of answering the bucket edge, and the +Inf
+    bucket answers ``max`` rather than infinity.  Pure integer/float
+    arithmetic over the snapshot: deterministic, mergeable, and
+    identical whether computed live or from an exported bundle.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+    counts = list(counts)
+    if count is None:
+        count = sum(counts)
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    lower = min_value
+    for bound, bucket_count in zip(buckets, counts):
+        upper = min(float(bound), max_value)
+        if bucket_count:
+            if cumulative + bucket_count >= rank:
+                lo = max(lower, min_value)
+                hi = max(upper, lo)
+                fraction = (rank - cumulative) / bucket_count
+                return lo + fraction * (hi - lo)
+            cumulative += bucket_count
+        lower = max(lower, upper)
+    return max_value
+
 
 _Instrument = (Counter, Gauge, Histogram)
 
@@ -173,6 +225,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 _NULL_INSTRUMENT = _NullInstrument()

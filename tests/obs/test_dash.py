@@ -1,0 +1,134 @@
+"""Dashboard rendering and JSONL tailing."""
+
+import io
+
+from repro.obs.dash import DashState, follow_dash, sparkline
+from repro.telemetry import Telemetry
+from repro.telemetry.export import to_jsonl_text
+
+
+def obs_bundle():
+    telemetry = Telemetry.create(tool="test", seed=7)
+    obs = telemetry.scoped("obs")
+    obs.gauge("arrival_rate_rps").set(0.5)
+    obs.gauge("ttft_p99_s", labels={"qos": "standard"}).set(42.0)
+    slo = telemetry.scoped("slo")
+    slo.gauge(
+        "attainment", labels={"objective": "standard-slo", "qos": "*"}
+    ).set(0.97)
+    telemetry.scoped("progress").gauge("experiments_completed").set(3)
+    run = telemetry.tracer.start("serve run", 0.0, category="run")
+    run.event(
+        "slo_alert", 120.0, objective="standard-slo", state="firing",
+        factor=14.4, burn_long=20.0, burn_short=30.0,
+    )
+    run.end(200.0)
+    return telemetry.bundle()
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_uses_floor_glyph(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_scales_to_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_trailing_window(self):
+        assert len(sparkline(range(100), width=24)) == 24
+
+
+class TestDashState:
+    def test_render_sections_and_alerts(self):
+        state = DashState()
+        frame = state.render(obs_bundle())
+        assert "rates & latency (obs/)" in frame
+        assert "ttft_p99_s{qos=standard}" in frame
+        assert "slo (slo/)" in frame
+        assert "attainment{objective=standard-slo,qos=*}" in frame
+        assert "sweep progress (progress/)" in frame
+        assert "alerts (1):" in frame
+        assert "t=120.0s standard-slo firing" in frame
+
+    def test_empty_bundle_hints(self):
+        frame = DashState().render({"metrics": {"gauges": []}})
+        assert "no obs/slo/kv/progress gauges yet" in frame
+
+    def test_history_accumulates_across_renders(self):
+        state = DashState()
+        telemetry = Telemetry.create(tool="test")
+        gauge = telemetry.scoped("obs").gauge("arrival_rate_rps")
+        for value in (1.0, 2.0, 3.0):
+            gauge.set(value)
+            frame = state.render(telemetry.bundle())
+        key = ("obs/arrival_rate_rps", ())
+        assert list(state._series[key]) == [1.0, 2.0, 3.0]
+        assert "▁" in frame and "█" in frame
+
+    def test_render_is_deterministic(self):
+        assert DashState().render(obs_bundle()) == DashState().render(
+            obs_bundle()
+        )
+
+
+class TestFollowDash:
+    def test_follows_a_finished_log(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(to_jsonl_text(obs_bundle()))
+        out = io.StringIO()
+        code = follow_dash(
+            str(path), poll_s=0.0, max_renders=1, out=out, clear=False
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert text.count("--- dash") == 1
+        assert "slo (slo/)" in text
+
+    def test_reset_marker_shows_latest_snapshot(self, tmp_path):
+        """An incremental stream (reset + full export per snapshot)
+        renders the newest snapshot, not an accumulation."""
+        from repro.telemetry.export import append_jsonl_snapshot
+
+        telemetry = Telemetry.create(tool="test")
+        gauge = telemetry.scoped("progress").gauge(
+            "experiments_completed"
+        )
+        path = tmp_path / "sweep.jsonl"
+        for value in (1, 2, 3):
+            gauge.set(value)
+            append_jsonl_snapshot(telemetry.bundle(), str(path))
+        out = io.StringIO()
+        follow_dash(
+            str(path), poll_s=0.0, max_renders=1, out=out, clear=False
+        )
+        text = out.getvalue()
+        assert "experiments_completed" in text
+        assert "3" in text.split("experiments_completed")[1].split(
+            "\n"
+        )[0]
+
+    def test_clear_emits_ansi(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(to_jsonl_text(obs_bundle()))
+        out = io.StringIO()
+        follow_dash(
+            str(path), poll_s=0.0, max_renders=1, out=out, clear=True
+        )
+        assert out.getvalue().startswith("\x1b[2J\x1b[H")
+
+    def test_cli_dash_subcommand(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        path = tmp_path / "run.jsonl"
+        path.write_text(to_jsonl_text(obs_bundle()))
+        assert (
+            main(
+                ["dash", str(path), "--max-renders", "1", "--no-clear"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "rates & latency (obs/)" in captured.out

@@ -1,0 +1,214 @@
+"""Bundle diffing: direction heuristics, verdicts, exit codes."""
+
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    DiffThresholds,
+    EXIT_OK,
+    EXIT_REGRESSED,
+    diff_bundles,
+    metric_direction,
+    render_diff,
+)
+from repro.telemetry import Telemetry
+
+
+def bundle(
+    *,
+    ttft_p99: float = 1.0,
+    goodput: float = 5.0,
+    stalls: int = 0,
+    waits=(),
+    progress: float = 0.0,
+) -> dict:
+    telemetry = Telemetry.create(tool="test")
+    obs = telemetry.scoped("obs")
+    obs.gauge("ttft_p99_s").set(ttft_p99)
+    obs.gauge("goodput_tps").set(goodput)
+    obs.counter("stalls").inc(stalls)
+    histogram = obs.histogram("wait_s", buckets=(1.0, 5.0, 20.0))
+    for value in waits:
+        histogram.observe(value)
+    if progress:
+        telemetry.scoped("progress").gauge("elapsed_s").set(progress)
+    return telemetry.bundle()
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "obs/ttft_p99_s",
+            "serve/stalls",
+            "kv/migration_bytes",
+            "chaos/timeouts",
+        ],
+    )
+    def test_higher_is_worse(self, name):
+        assert metric_direction(name) == 1
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "obs/goodput_tps",
+            "slo/attainment",
+            "serve/completed",
+            "pricing/cache/hits",
+        ],
+    )
+    def test_lower_is_worse(self, name):
+        assert metric_direction(name) == -1
+
+    def test_neutral(self):
+        assert metric_direction("serve/max_batch") == 0
+
+    def test_rate_token_wins_over_burn(self):
+        """burn_rate contains both tokens; the down-is-worse branch
+        is checked first, so document the resulting direction."""
+        assert metric_direction("slo/burn_rate") == -1
+
+
+class TestThresholds:
+    def test_needs_both_absolute_and_relative(self):
+        thresholds = DiffThresholds(relative=0.05, absolute=0.01)
+        assert not thresholds.significant(100.0, 100.001)  # abs floor
+        assert not thresholds.significant(100.0, 104.0)  # rel floor
+        assert thresholds.significant(100.0, 106.0)
+
+    def test_near_zero_is_noise(self):
+        assert not DiffThresholds().significant(0.0, 5e-10)
+
+
+class TestDiffBundles:
+    def test_identical_bundles_are_clean(self):
+        report = diff_bundles(bundle(waits=(1.0, 2.0)), bundle(waits=(1.0, 2.0)))
+        assert report.deltas == []
+        assert report.exit_code == EXIT_OK
+
+    def test_latency_up_regresses(self):
+        report = diff_bundles(bundle(ttft_p99=1.0), bundle(ttft_p99=2.0))
+        keys = [d.key for d in report.regressions]
+        assert "obs/ttft_p99_s:value" in keys
+        assert report.exit_code == EXIT_REGRESSED
+
+    def test_latency_down_improves(self):
+        report = diff_bundles(bundle(ttft_p99=2.0), bundle(ttft_p99=1.0))
+        assert report.regressions == []
+        assert [d.key for d in report.improvements] == [
+            "obs/ttft_p99_s:value"
+        ]
+
+    def test_goodput_down_regresses(self):
+        report = diff_bundles(bundle(goodput=5.0), bundle(goodput=2.0))
+        assert [d.key for d in report.regressions] == [
+            "obs/goodput_tps:value"
+        ]
+
+    def test_added_and_removed_series(self):
+        report = diff_bundles(bundle(stalls=0), bundle(stalls=3))
+        # Counter exists in both (inc(0) registers it) so this is a
+        # regression; dropping the gauge entirely shows as removed.
+        before = bundle()
+        after = bundle()
+        after["metrics"]["gauges"] = [
+            g
+            for g in after["metrics"]["gauges"]
+            if g["name"] != "obs/goodput_tps"
+        ]
+        report = diff_bundles(before, after)
+        removed = [d for d in report.deltas if d.verdict == "removed"]
+        assert [d.name for d in removed] == ["obs/goodput_tps"]
+        flipped = diff_bundles(after, before)
+        added = [d for d in flipped.deltas if d.verdict == "added"]
+        assert [d.name for d in added] == ["obs/goodput_tps"]
+
+    def test_neutral_series_drift_never_fails(self):
+        before = bundle()
+        after = bundle()
+        for source, value in ((before, 8.0), (after, 46.0)):
+            source["metrics"]["gauges"].append(
+                {"name": "serve/max_batch", "labels": {}, "value": value}
+            )
+        report = diff_bundles(before, after)
+        drift = [d for d in report.deltas if d.verdict == "drift"]
+        assert [d.name for d in drift] == ["serve/max_batch"]
+        assert report.exit_code == EXIT_OK
+
+    def test_histogram_quantile_shift_regresses(self):
+        report = diff_bundles(
+            bundle(waits=[0.5] * 100),
+            bundle(waits=[0.5] * 80 + [15.0] * 20),
+        )
+        fields = {
+            d.field for d in report.regressions
+            if d.name == "obs/wait_s"
+        }
+        assert "mean" in fields
+        assert "p99" in fields
+
+    def test_progress_namespace_skipped_by_default(self):
+        report = diff_bundles(
+            bundle(progress=10.0), bundle(progress=99.0)
+        )
+        assert report.deltas == []
+        assert "progress/elapsed_s" in report.skipped
+        included = diff_bundles(
+            bundle(progress=10.0),
+            bundle(progress=99.0),
+            ignore_namespaces=(),
+        )
+        assert any(
+            d.name == "progress/elapsed_s" for d in included.deltas
+        )
+
+
+class TestRenderAndCli:
+    def test_render_sections(self):
+        report = diff_bundles(
+            bundle(ttft_p99=1.0, goodput=2.0),
+            bundle(ttft_p99=2.0, goodput=5.0),
+        )
+        text = render_diff(report, "a.json", "b.json")
+        assert text.startswith("telemetry diff: a.json -> b.json")
+        assert "regressions (1):" in text
+        assert "improvements (1):" in text
+
+    def test_render_no_changes(self):
+        text = render_diff(diff_bundles(bundle(), bundle()))
+        assert "no significant changes" in text
+
+    def test_cli_exit_codes_and_json(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        report_path = tmp_path / "report.json"
+        a.write_text(json.dumps(bundle(ttft_p99=1.0)))
+        b.write_text(json.dumps(bundle(ttft_p99=1.0)))
+        assert main(["diff", str(a), str(b)]) == EXIT_OK
+        b.write_text(json.dumps(bundle(ttft_p99=3.0)))
+        code = main(
+            ["diff", str(a), str(b), "--json", str(report_path)]
+        )
+        assert code == EXIT_REGRESSED
+        capsys.readouterr()
+        saved = json.loads(report_path.read_text())
+        assert saved["exit_code"] == EXIT_REGRESSED
+        assert saved["regressions"]
+
+    def test_cli_relative_threshold(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(bundle(ttft_p99=1.0)))
+        b.write_text(json.dumps(bundle(ttft_p99=1.2)))
+        assert main(["diff", str(a), str(b)]) == EXIT_REGRESSED
+        capsys.readouterr()
+        assert (
+            main(["diff", str(a), str(b), "--relative", "0.5"])
+            == EXIT_OK
+        )
+        capsys.readouterr()

@@ -1,0 +1,195 @@
+"""Virtual-time profiler: frames, folded stacks, critical path."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import (
+    build_profile,
+    critical_path,
+    folded_stacks,
+    frame_name,
+    render_profile,
+)
+
+
+def span(
+    span_id,
+    name,
+    start_s,
+    end_s,
+    parent_id=None,
+    category=None,
+    **attrs,
+):
+    return {
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start_s": start_s,
+        "end_s": end_s,
+        "category": category,
+        "attrs": attrs,
+    }
+
+
+def serve_spans():
+    """A miniature serve run: run > {prefill, decode, kv, requests}."""
+    return [
+        span(0, "serve run", 0.0, 100.0, category="run"),
+        span(
+            1, "prefill x4", 0.0, 10.0, parent_id=0,
+            category="iteration", kind="prefill", batch=4,
+        ),
+        span(
+            2, "decode x4", 10.0, 50.0, parent_id=0,
+            category="iteration", kind="decode", batch=4,
+        ),
+        span(
+            3, "decode x2", 50.0, 80.0, parent_id=0,
+            category="iteration", kind="decode", batch=2,
+        ),
+        span(
+            4, "kv demote req 3 [0,96)", 50.0, 54.0, parent_id=0,
+            category="kv_migration", src="HBM", dst="NVDRAM",
+            nbytes=1 << 20, reason="pressure",
+        ),
+        span(
+            5, "req 3", 0.0, 80.0, parent_id=0,
+            category="request", wait_s=12.5, qos="standard",
+        ),
+        span(
+            6, "req 4", 5.0, 80.0, parent_id=0,
+            category="request", wait_s=7.5, qos="standard",
+        ),
+    ]
+
+
+class TestFrameName:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("prefill x12", "prefill"),
+            ("req 7", "req"),
+            ("kv demote req 10 [0,96)", "kv demote req"),
+            ("kv rescue req 2 [32, 64]", "kv rescue req"),
+            ("decode", "decode"),
+            ("serve run", "serve run"),
+        ],
+    )
+    def test_normalizes(self, raw, expected):
+        assert frame_name(raw) == expected
+
+
+class TestBuildProfile:
+    def test_self_excludes_children_and_frames_aggregate(self):
+        nodes = {
+            node.stack: node for node in build_profile(serve_spans())
+        }
+        run = nodes[("serve run",)]
+        assert run.total_s == pytest.approx(100.0)
+        # Direct children cover 0..80 plus the 4 s kv overlap twice
+        # counted regions clamp self time at zero, never negative.
+        assert run.self_s >= 0.0
+        decode = nodes[("serve run", "decode")]
+        assert decode.count == 2
+        assert decode.total_s == pytest.approx(70.0)
+        req = nodes[("serve run", "req")]
+        assert req.count == 2
+
+    def test_sorted_by_self_time(self):
+        nodes = build_profile(serve_spans())
+        selfs = [node.self_s for node in nodes]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_folded_stacks_are_integer_microseconds(self):
+        lines = folded_stacks(serve_spans())
+        assert lines
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert stack
+            assert int(value) > 0
+        decode_line = next(
+            line for line in lines
+            if line.startswith("serve run;decode ")
+        )
+        assert decode_line.endswith(" 70000000")
+
+
+class TestCriticalPath:
+    def test_decomposition(self):
+        path = critical_path(serve_spans())
+        assert path["run_s"] == pytest.approx(100.0)
+        assert path["iteration_s"] == pytest.approx(80.0)
+        assert path["idle_s"] == pytest.approx(20.0)
+        assert path["by_kind"] == {
+            "decode": pytest.approx(70.0),
+            "prefill": pytest.approx(10.0),
+        }
+        assert path["kv_migration_s"] == pytest.approx(4.0)
+        assert path["kv_migration_by_lane"] == {
+            "HBM->NVDRAM": pytest.approx(4.0)
+        }
+        assert path["queueing_s"] == pytest.approx(20.0)
+        assert path["requests"] == 2
+
+    def test_attribution_prefers_span_attrs(self):
+        spans = [
+            span(0, "serve run", 0.0, 10.0, category="run"),
+            span(
+                1, "decode x1", 0.0, 10.0, parent_id=0,
+                category="iteration", kind="decode", batch=1,
+                compute_s=4.0, transfer_s=6.0,
+            ),
+        ]
+        path = critical_path(spans)
+        assert path["compute_s"] == pytest.approx(4.0)
+        assert path["transfer_s"] == pytest.approx(6.0)
+
+    def test_attribution_via_cost_model_scales_to_duration(self):
+        class Costs:
+            def decode_parts(self, batch, tokens):
+                class Parts:
+                    compute_s = 1.0
+                    transfer_s = 3.0
+                return Parts()
+
+        spans = [
+            span(0, "serve run", 0.0, 8.0, category="run"),
+            span(
+                1, "decode x2", 0.0, 8.0, parent_id=0,
+                category="iteration", kind="decode", batch=2,
+                tokens=128,
+            ),
+        ]
+        path = critical_path(spans, costs=Costs())
+        # Nominal 4 s scaled to the observed 8 s: 2/6 split preserved.
+        assert path["compute_s"] == pytest.approx(2.0)
+        assert path["transfer_s"] == pytest.approx(6.0)
+
+    def test_requires_a_run_span(self):
+        with pytest.raises(TelemetryError):
+            critical_path([span(0, "loose", 0.0, 1.0)])
+
+    def test_render_is_textual(self):
+        text = render_profile(serve_spans(), top=3)
+        assert "critical path" in text
+        assert "serve run;decode" in text
+
+    def test_real_serve_bundle_profiles(self):
+        """End to end over an actual simulate_serving bundle."""
+        from repro.serve.arrivals import PoissonProcess
+        from repro.serve.simulator import simulate_serving
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.create(tool="test")
+        simulate_serving(
+            arrival=PoissonProcess(rate_rps=0.05),
+            num_requests=6,
+            seed=3,
+            telemetry=telemetry,
+        )
+        spans = telemetry.bundle()["spans"]
+        path = critical_path(spans)
+        assert path["run_s"] > 0
+        assert path["requests"] == 6
+        assert folded_stacks(spans)

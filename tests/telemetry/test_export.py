@@ -58,6 +58,44 @@ class TestPrometheus:
         with pytest.raises(TelemetryError):
             to_prometheus_text({"spans": []})
 
+    def test_label_values_are_escaped(self):
+        telemetry = Telemetry.create(tool="test")
+        telemetry.scoped("obs").gauge(
+            "weird",
+            labels={"objective": 'p99 "fast"\\burn\nline'},
+        ).set(1)
+        text = to_prometheus_text(telemetry.bundle())
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("obs_weird")
+        )
+        # Backslash escaped first, then quote and newline; the line
+        # itself stays a single physical line.
+        assert (
+            line
+            == 'obs_weird{objective="p99 \\"fast\\"\\\\burn\\nline"} 1'
+        )
+
+    def test_series_order_is_deterministic(self):
+        """Same instruments registered in different orders render
+        identical exposition text (sorted labels, stable series)."""
+
+        def build(reversed_order: bool) -> str:
+            telemetry = Telemetry.create(tool="test")
+            scope = telemetry.scoped("slo")
+            pairs = [
+                ({"objective": "a", "qos": "x"}, 1.0),
+                ({"qos": "y", "objective": "b"}, 2.0),
+            ]
+            if reversed_order:
+                pairs = list(reversed(pairs))
+            for labels, value in pairs:
+                scope.gauge("burn_rate", labels=labels).set(value)
+            return to_prometheus_text(telemetry.bundle())
+
+        text = build(False)
+        assert text.index('objective="a"') < text.index('objective="b"')
+        assert build(True) == text
+
 
 class TestJsonl:
     def test_every_line_parses_and_order_is_stable(self):
