@@ -1,0 +1,32 @@
+"""``repro.autoscale`` — planner-in-the-loop fleet autoscaling.
+
+The capacity planner (:mod:`repro.plan`) answers "how many replicas
+does this load need" offline; this package puts that answer *in the
+serving loop*.  An :class:`AutoscaleController` rides inside a
+:class:`~repro.fleet.simulator.FleetSimulator` run, watches streaming
+telemetry in virtual time (an arrival-rate
+:class:`~repro.obs.RollingCounter` and a TTFT
+:class:`~repro.obs.WindowedHistogram`), and at every control interval
+re-plans through a warm :class:`~repro.plan.CapacityPlanner` — the
+engines and vectorized batch-ladder prices are built once, so each
+re-plan is pure arithmetic.  Applied decisions add replicas (fresh
+:func:`~repro.faults.seed_stream` sibling streams — survivors' RNG is
+never perturbed) or drain them (the replica finishes its queue, takes
+no new work, and retires), with hysteresis and cooldown from the
+:class:`AutoscalePolicy`.
+
+Determinism and inertness mirror the rest of the repo: the same seed
+and trace produce bit-identical decisions and records, and a fleet
+run without a controller attached executes the exact pre-autoscale
+instruction stream.  Decisions surface as ``autoscale/`` gauges and
+``autoscale_decision`` span events (see ``docs/fleet.md``).
+"""
+
+from repro.autoscale.policy import AutoscalePolicy, ScalingDecision
+from repro.autoscale.controller import AutoscaleController
+
+__all__ = [
+    "AutoscaleController",
+    "AutoscalePolicy",
+    "ScalingDecision",
+]

@@ -45,6 +45,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation_chaos": "repro.experiments.ablation_chaos",
     "ablation_fleet": "repro.experiments.ablation_fleet",
     "ablation_obs": "repro.experiments.ablation_obs",
+    "ablation_autoscale": "repro.experiments.ablation_autoscale",
 }
 
 

@@ -61,6 +61,13 @@ class Replica:
     prewarm: bool = True
     drive: Optional[SchedulerDrive] = None
     routed: int = 0
+    #: Autoscale lifecycle: when this replica was provisioned (virtual
+    #: seconds; 0 for the initial fleet), whether it is draining (no
+    #: new work, finishes its queue, then retires), and when the
+    #: drain was ordered.  Untouched in static fleets.
+    activated_s: float = 0.0
+    draining: bool = False
+    drain_mark_s: Optional[float] = None
     _prewarmed: int = field(default=0, repr=False)
 
     @property

@@ -121,15 +121,126 @@ def _fleet_metrics(
 
 
 class FleetSimulator:
-    """Runs one request stream through a router onto many replicas."""
+    """Runs one request stream through a router onto many replicas.
+
+    With an ``autoscaler`` (an
+    :class:`~repro.autoscale.AutoscaleController`) and a
+    ``replica_factory`` (``factory(index, decision) -> Replica``),
+    the fleet becomes elastic: arrivals and completions stream into
+    the controller, and applied decisions add replicas (activated at
+    the current virtual instant, with fresh ``seed_stream`` sibling
+    RNG — survivors are never perturbed) or drain them (the replica
+    finishes its queued work, takes no new arrivals, and retires).
+    Draining replicas are excluded from routing; nothing else about
+    the interleaving changes, and with no autoscaler attached the
+    loop is instruction-identical to the static fleet.
+    """
 
     def __init__(
-        self, replicas: Sequence[Replica], router: FleetRouter
+        self,
+        replicas: Sequence[Replica],
+        router: FleetRouter,
+        autoscaler=None,
+        replica_factory=None,
     ) -> None:
         if not replicas:
             raise ConfigurationError("a fleet needs at least one replica")
+        if autoscaler is not None and replica_factory is None:
+            raise ConfigurationError(
+                "an autoscaled fleet needs a replica_factory to build "
+                "scale-up replicas"
+            )
         self.replicas = list(replicas)
         self.router = router
+        self.autoscaler = autoscaler
+        self.replica_factory = replica_factory
+        self._initial = len(self.replicas)
+        self._peak = self._initial
+        #: Applied scaling actions: {"at_s", "action", "replica"}.
+        self.scaling_log: List[Dict[str, object]] = []
+        self._harvested: Dict[int, int] = {}
+
+    # -- autoscale plumbing --------------------------------------------
+
+    def _active(self) -> List[Replica]:
+        return [r for r in self.replicas if not r.draining]
+
+    def _harvest_completions(self) -> None:
+        """Stream newly finished records into the controller.
+
+        Records accumulate in each drive's live state; feeding them at
+        control boundaries (rather than per iteration) keeps the hot
+        path untouched while the controller's TTFT window still sees
+        every completion, keyed by its virtual finish time.
+        """
+        for replica in self.replicas:
+            records = replica.drive.state.records
+            seen = self._harvested.get(replica.index, 0)
+            for record in records[seen:]:
+                self.autoscaler.on_finish(record)
+            self._harvested[replica.index] = len(records)
+
+    def _apply_decision(
+        self, decision, now: float, ordered: Sequence[RequestSpec]
+    ) -> None:
+        active = self._active()
+        desired = decision.desired_replicas
+        while len(active) < desired:
+            index = len(self.replicas)
+            replica = self.replica_factory(index, decision)
+            replica.start(ordered)
+            replica.activated_s = now
+            replica.advance(now)
+            self.replicas.append(replica)
+            active.append(replica)
+            self.scaling_log.append(
+                {"at_s": now, "action": "add", "replica": index}
+            )
+            self._peak = max(self._peak, len(active))
+        # Drain newest-first so the original replicas (and their RNG
+        # streams) stay stable across the whole run.
+        while len(active) > desired:
+            replica = max(active, key=lambda r: r.index)
+            replica.draining = True
+            replica.drain_mark_s = now
+            replica.drive.close()
+            active.remove(replica)
+            self.scaling_log.append(
+                {"at_s": now, "action": "drain", "replica": replica.index}
+            )
+
+    def _autoscale_metrics(self, outcomes) -> Dict[str, object]:
+        fleet_end = max((o.span_s for o in outcomes), default=0.0)
+        replica_seconds = 0.0
+        for replica, outcome in zip(self.replicas, outcomes):
+            if replica.drain_mark_s is not None:
+                # A drained replica stays provisioned until the later
+                # of the drain order and its last completed work.
+                end = max(replica.drain_mark_s, outcome.span_s)
+            else:
+                end = fleet_end
+            replica_seconds += max(0.0, end - replica.activated_s)
+        tokens = sum(
+            record.gen_len
+            for outcome in outcomes
+            for record in outcome.records
+        )
+        active = self._active()
+        return {
+            "decisions": [
+                d.as_dict() for d in self.autoscaler.decisions
+            ],
+            "scaling_events": list(self.scaling_log),
+            "initial_replicas": self._initial,
+            "final_replicas": len(active),
+            "peak_replicas": self._peak,
+            "replica_seconds": replica_seconds,
+            "gpu_seconds_per_token": (
+                replica_seconds / tokens if tokens else float("inf")
+            ),
+        }
+
+    # -- the run loop ---------------------------------------------------
 
     def run(
         self,
@@ -140,18 +251,46 @@ class FleetSimulator:
         for replica in self.replicas:
             replica.start(ordered)
         assignments: Dict[int, int] = {}
-        for spec in ordered:
-            for replica in self.replicas:
-                replica.advance(spec.arrival_s)
-            target = self.router.route(spec, self.replicas)
-            if not 0 <= target < len(self.replicas):
-                raise ConfigurationError(
-                    f"router {self.router.name!r} returned replica "
-                    f"{target} for a fleet of {len(self.replicas)}"
+        if self.autoscaler is None:
+            for spec in ordered:
+                for replica in self.replicas:
+                    replica.advance(spec.arrival_s)
+                target = self.router.route(spec, self.replicas)
+                if not 0 <= target < len(self.replicas):
+                    raise ConfigurationError(
+                        f"router {self.router.name!r} returned replica "
+                        f"{target} for a fleet of {len(self.replicas)}"
+                    )
+                assignments[spec.request_id] = target
+                self.replicas[target].push(spec)
+        else:
+            for spec in ordered:
+                now = spec.arrival_s
+                for replica in self.replicas:
+                    replica.advance(now)
+                self.autoscaler.on_arrival(spec)
+                self._harvest_completions()
+                decision = self.autoscaler.maybe_decide(
+                    now, len(self._active())
                 )
-            assignments[spec.request_id] = target
-            self.replicas[target].push(spec)
+                if decision is not None and decision.applied:
+                    self._apply_decision(decision, now, ordered)
+                pool = self._active()
+                target = self.router.route(spec, pool)
+                if not 0 <= target < len(pool):
+                    raise ConfigurationError(
+                        f"router {self.router.name!r} returned replica "
+                        f"{target} for a fleet of {len(pool)}"
+                    )
+                chosen = pool[target]
+                assignments[spec.request_id] = chosen.index
+                chosen.push(spec)
         outcomes = [replica.finish() for replica in self.replicas]
+        if self.autoscaler is not None:
+            self._harvest_completions()
+            self.autoscaler.finalize(
+                max((o.span_s for o in outcomes), default=0.0)
+            )
         results: List[ReplicaResult] = []
         for replica, outcome in zip(self.replicas, outcomes):
             serving = replica.finalize(outcome, ordered, setup=setup)
@@ -170,16 +309,25 @@ class FleetSimulator:
                 extra_labels={"replica": str(entry.index)},
             )
         fleet_setup: Dict[str, object] = {
-            "replicas": len(self.replicas),
+            "replicas": (
+                len(self.replicas)
+                if self.autoscaler is None
+                else self._initial
+            ),
             "router": self.router.name,
         }
+        if self.autoscaler is not None:
+            fleet_setup["autoscale"] = True
         if setup:
             fleet_setup.update(setup)
+        metrics = _fleet_metrics(results)
+        if self.autoscaler is not None:
+            metrics["autoscale"] = self._autoscale_metrics(outcomes)
         return FleetResult(
             setup=fleet_setup,
             replicas=tuple(results),
             assignments=assignments,
-            metrics=_fleet_metrics(results),
+            metrics=metrics,
             registry=registry,
         )
 
@@ -218,6 +366,8 @@ def simulate_fleet(
     prefix_skew: float = 1.5,
     prefix_cache_size: int = 0,
     slo: Optional[Union[bool, str, object]] = None,
+    autoscale: Optional[Union[bool, object]] = None,
+    autoscale_target: Optional[object] = None,
 ) -> FleetResult:
     """Simulate ``replicas`` identically configured serve stacks.
 
@@ -247,18 +397,37 @@ def simulate_fleet(
     the windowed state into one fleet-level rollup published as
     unlabeled ``obs/``/``slo/`` gauges next to the replica-labeled
     ones; the merged SLO report lands in ``result.metrics["slo"]``.
+
+    ``autoscale`` (``True`` for defaults, or an
+    :class:`~repro.autoscale.AutoscalePolicy`) attaches the
+    planner-in-the-loop controller: ``replicas`` becomes the
+    *initial* fleet size, the controller re-plans capacity each
+    interval against ``autoscale_target`` (a
+    :class:`~repro.core.qos.QosTarget`; defaults to the first QoS
+    class's own latency bounds), and the applied decisions, scaling
+    events, and GPU-seconds accounting land in
+    ``result.metrics["autoscale"]``.  With ``autoscale`` unset the
+    run is bit-identical to a plain fleet run.
     """
     if replicas < 1:
         raise ConfigurationError("a fleet needs at least one replica")
-    if isinstance(faults, FaultInjector) and replicas > 1:
+    autoscaling = autoscale is not None and autoscale is not False
+    if isinstance(faults, FaultInjector) and (replicas > 1 or autoscaling):
         raise ConfigurationError(
             "a shared FaultInjector instance would couple replica RNG "
             "streams; pass a FaultSchedule (or schedule path) instead"
         )
-    if not isinstance(sanitize, (bool, type(None))) and replicas > 1:
+    if not isinstance(sanitize, (bool, type(None))) and (
+        replicas > 1 or autoscaling
+    ):
         raise ConfigurationError(
             "a shared sanitizer harness cannot observe several "
             "replicas; pass sanitize=True for per-replica harnesses"
+        )
+    if autoscaling and (tensor_parallel > 1 or pipeline_parallel > 1):
+        raise ConfigurationError(
+            "autoscaling currently adds/drains unsharded replicas; "
+            "combine it with shard degree 1"
         )
     resolved = resolve_telemetry(telemetry)
     slo_spec = None
@@ -296,41 +465,100 @@ def simulate_fleet(
             skew=prefix_skew,
             seed=seed,
         )
-    if replicas == 1:
+    if replicas == 1 and not autoscaling:
         telemetries: List[Telemetry] = [resolved]
     elif resolved.enabled:
         telemetries = [Telemetry.create() for _ in range(replicas)]
     else:
         telemetries = [NULL_TELEMETRY] * replicas
+
+    def _build(index: int, telemetry_, placement_, max_batch_) -> Replica:
+        return build_replica(
+            index,
+            model=model,
+            host=host,
+            placement=placement_,
+            compress_weights=compress_weights,
+            tensor_parallel=tensor_parallel,
+            pipeline_parallel=pipeline_parallel,
+            classes=tuple(qos for qos, _ in class_mix),
+            max_batch=max_batch_,
+            overlap=overlap,
+            faults=faults,
+            fault_seed=fault_seed,
+            retry=retry,
+            resilience=resilience,
+            pricing_backend=pricing_backend,
+            telemetry=telemetry_,
+            prewarm=prewarm,
+            kv_policy=kv_policy,
+            sanitize=sanitize,
+            iteration_fault_pricing=iteration_fault_pricing,
+            prefix_cache_size=prefix_cache_size,
+            slo=slo_spec,
+        )
+
+    controller = None
+    replica_factory = None
+    if autoscaling:
+        import statistics
+
+        from repro.autoscale import AutoscaleController, AutoscalePolicy
+
+        policy = (
+            autoscale
+            if isinstance(autoscale, AutoscalePolicy)
+            else AutoscalePolicy()
+        )
+        target = (
+            autoscale_target
+            if autoscale_target is not None
+            else class_mix[0][0].target
+        )
+        controller = AutoscaleController(
+            policy,
+            target,
+            model=model,
+            host=host,
+            placement=placement,
+            compress_weights=compress_weights,
+            overlap=overlap,
+            prompt_len=max(
+                1,
+                int(statistics.fmean(s.prompt_len for s in specs)),
+            ),
+            gen_len=max(
+                1, int(statistics.fmean(s.gen_len for s in specs))
+            ),
+            max_batch_limit=max_batch if max_batch is not None else 512,
+        )
+        controller.bind(resolved)
+
+        def replica_factory(index: int, decision) -> Replica:
+            scale_telemetry = (
+                Telemetry.create() if resolved.enabled else NULL_TELEMETRY
+            )
+            placement_ = placement
+            cap = max_batch
+            if decision is not None:
+                if decision.placement is not None:
+                    placement_ = decision.placement
+                if decision.batch_cap is not None:
+                    cap = (
+                        decision.batch_cap
+                        if max_batch is None
+                        else min(max_batch, decision.batch_cap)
+                    )
+            return _build(index, scale_telemetry, placement_, cap)
+
     fleet = FleetSimulator(
         replicas=[
-            build_replica(
-                index,
-                model=model,
-                host=host,
-                placement=placement,
-                compress_weights=compress_weights,
-                tensor_parallel=tensor_parallel,
-                pipeline_parallel=pipeline_parallel,
-                classes=tuple(qos for qos, _ in class_mix),
-                max_batch=max_batch,
-                overlap=overlap,
-                faults=faults,
-                fault_seed=fault_seed,
-                retry=retry,
-                resilience=resilience,
-                pricing_backend=pricing_backend,
-                telemetry=telemetries[index],
-                prewarm=prewarm,
-                kv_policy=kv_policy,
-                sanitize=sanitize,
-                iteration_fault_pricing=iteration_fault_pricing,
-                prefix_cache_size=prefix_cache_size,
-                slo=slo_spec,
-            )
+            _build(index, telemetries[index], placement, max_batch)
             for index in range(replicas)
         ],
         router=router if isinstance(router, FleetRouter) else make_router(router),
+        autoscaler=controller,
+        replica_factory=replica_factory,
     )
     setup: Dict[str, object] = {
         "model": model,
@@ -352,7 +580,7 @@ def simulate_fleet(
         setup["tensor_parallel"] = tensor_parallel
         setup["pipeline_parallel"] = pipeline_parallel
     result = fleet.run(specs, setup=setup)
-    if replicas > 1 and resolved.enabled:
+    if (replicas > 1 or autoscaling) and resolved.enabled:
         # Fold the per-replica registries into the caller's ambient/
         # explicit registry so --telemetry-out captures the fleet.
         for entry in result.replicas:
@@ -360,7 +588,7 @@ def simulate_fleet(
                 entry.telemetry_snapshot,
                 extra_labels={"replica": str(entry.index)},
             )
-    if slo_spec is not None and replicas > 1:
+    if slo_spec is not None and len(fleet.replicas) > 1:
         # Fleet rollup: merge every replica's windowed observer state
         # into one observer over the shared spec, publish unlabeled
         # obs/slo gauges beside the replica-labeled ones, and surface

@@ -14,6 +14,7 @@ simplifications.
 from repro.plan.planner import (
     DEFAULT_PLACEMENTS,
     CapacityPlan,
+    CapacityPlanner,
     PlanCandidate,
     QosTarget,
     plan_capacity,
@@ -22,6 +23,7 @@ from repro.plan.planner import (
 __all__ = [
     "DEFAULT_PLACEMENTS",
     "CapacityPlan",
+    "CapacityPlanner",
     "PlanCandidate",
     "QosTarget",
     "plan_capacity",

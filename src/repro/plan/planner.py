@@ -30,10 +30,12 @@ from repro.core.engine import OffloadEngine
 from repro.core.metrics import Stage
 from repro.core.qos import QosTarget
 from repro.errors import ConfigurationError, ReproError
+from repro.models.config import opt_config
 from repro.pricing import AnalyticBackend
 
 __all__ = [
     "CapacityPlan",
+    "CapacityPlanner",
     "PlanCandidate",
     "QosTarget",
     "plan_capacity",
@@ -172,6 +174,300 @@ def _check_target(
     return ""
 
 
+@dataclass(frozen=True)
+class _StageLadder:
+    """One priced (host, placement, shard degree) sweep cell."""
+
+    host: str
+    placement: str
+    tensor_parallel: int
+    pipeline_parallel: int
+    #: Per-batch ``(batch, prefill_s, tbt_s)`` prices for this cell.
+    priced: Tuple[Tuple[int, float, float], ...]
+
+
+class CapacityPlanner:
+    """Warm incremental planner over a fixed configuration scope.
+
+    All the *expensive* planning work — engine construction, placement
+    sharding, and the vectorized batch-ladder pricing — depends only
+    on the configuration axes (model, hosts, placements, shard
+    degrees, lengths), not on the QoS target or the offered load.
+    ``CapacityPlanner`` does that work once at construction and keeps
+    the priced ladders; :meth:`plan` is then pure arithmetic over
+    them, cheap enough to call at every control interval of an online
+    autoscaler (:mod:`repro.autoscale`) with fresh rates and replica
+    ranges.
+
+    :func:`plan_capacity` is the one-shot convenience wrapper; a plan
+    produced through either path is bit-identical for the same
+    arguments.
+    """
+
+    def __init__(
+        self,
+        model: str = "opt-175b",
+        hosts: Sequence[str] = ("NVDRAM",),
+        placements: Sequence[str] = DEFAULT_PLACEMENTS,
+        compress_weights: bool = True,
+        prompt_len: int = 128,
+        gen_len: int = 21,
+        bucket_tokens: int = 32,
+        overlap: bool = True,
+        max_batch_limit: int = 512,
+        shard_degrees: Sequence[Tuple[int, int]] = ((1, 1),),
+    ) -> None:
+        if not hosts or not placements:
+            raise ConfigurationError(
+                "plan_capacity needs at least one host, placement, and rate"
+            )
+        if not shard_degrees:
+            raise ConfigurationError(
+                "plan_capacity needs at least one shard degree and one "
+                "replica count"
+            )
+        for tp, pp in shard_degrees:
+            if tp < 1 or pp < 1:
+                raise ConfigurationError("shard degrees must be >= 1")
+        if prompt_len < 1 or gen_len < 1:
+            raise ConfigurationError(
+                "prompt and generation lengths must be >= 1"
+            )
+        config = opt_config(model)
+        # The serving cost model rejects generation lengths that leave
+        # no room for a prompt; without the same check here the sweep
+        # would silently price a clamped (zero-sized) prefill bucket.
+        if config.max_position - gen_len < 1:
+            raise ConfigurationError(
+                f"{config.name}: gen_len {gen_len} leaves "
+                f"no room for a prompt under max position "
+                f"{config.max_position}; every prefill bucket "
+                "would be non-positive"
+            )
+        self.model = model
+        self.gen_len = gen_len
+        self.prompt_len = prompt_len
+        self.backend = AnalyticBackend()
+        # Deterministic stage progress through the ambient telemetry:
+        # gauges count sweep cells (no wall clock), so a long plan is
+        # watchable with `repro-telemetry dash` yet bit-stable in
+        # diffs.  Totals cover every (host, placement, shard degree)
+        # cell — the shard axis multiplies the sweep, and the dash
+        # must not report 100% while shard cells are still pricing.
+        from repro.telemetry import current_telemetry
+
+        progress = current_telemetry().scoped("progress")
+        stages = sorted(set(hosts))
+        cells_per_stage = len(set(placements)) * len(set(shard_degrees))
+        progress.gauge("plan_stages_total").set(len(stages))
+        progress.gauge("plan_cells_total").set(len(stages) * cells_per_stage)
+        cells_done = 0
+        ladders: List[_StageLadder] = []
+        degrees = sorted(set(shard_degrees))
+        for stage_index, host in enumerate(stages):
+            progress.gauge("plan_stages_completed").set(stage_index)
+            for placement in sorted(set(placements)):
+                try:
+                    engine = OffloadEngine(
+                        model=model,
+                        host=host,
+                        placement=placement,
+                        compress_weights=compress_weights,
+                        batch_size=1,
+                        prompt_len=prompt_len,
+                        gen_len=gen_len,
+                        pricing_backend="analytic",
+                    )
+                    max_batch = engine.max_batch_size(limit=max_batch_limit)
+                except ReproError:
+                    engine = None
+                    max_batch = 0
+                if engine is None or max_batch < 1:
+                    cells_done += len(degrees)
+                    progress.gauge("plan_cells_completed").set(cells_done)
+                    continue
+                max_position = engine.config.max_position
+                decode_bucket = _bucket(
+                    prompt_len + gen_len, max_position, bucket_tokens
+                )
+                prefill_bucket = _bucket(
+                    prompt_len, max_position - gen_len, bucket_tokens
+                )
+                for tp, pp in degrees:
+                    cells_done += 1
+                    progress.gauge("plan_cells_completed").set(cells_done)
+                    # Per-batch (prefill_s, tbt) prices for this degree.
+                    priced: List[Tuple[int, float, float]] = []
+                    if tp == 1 and pp == 1:
+                        ladder = _batch_ladder(max_batch)
+                        spec = engine.run_spec(
+                            batch_size=1,
+                            prompt_len=prompt_len,
+                            overlap=overlap,
+                            include_faults=False,
+                        )
+                        grid = self.backend.cost_grid(spec)
+                        decode = grid.evaluate(
+                            Stage.DECODE, ladder, [decode_bucket]
+                        )
+                        prefill = grid.evaluate(
+                            Stage.PREFILL, ladder, [prefill_bucket]
+                        )
+                        decode_totals = decode.totals()
+                        prefill_totals = prefill.totals()
+                        for index, batch in enumerate(ladder):
+                            priced.append(
+                                (
+                                    batch,
+                                    float(prefill_totals[index, 0]),
+                                    float(decode_totals[index, 0]),
+                                )
+                            )
+                    else:
+                        from repro.core.placement.sharding import (
+                            ShardedPlacement,
+                        )
+                        from repro.fleet.costs import ShardedCostModel
+
+                        try:
+                            sharded = ShardedPlacement.plan(
+                                engine.placement_result,
+                                tensor_parallel=tp,
+                                pipeline_parallel=pp,
+                            )
+                            costs = ShardedCostModel(
+                                engine, sharded, overlap=overlap
+                            )
+                            shard_batch = costs.max_concurrency(
+                                max_batch_limit
+                            )
+                        except ReproError:
+                            continue
+                        if shard_batch < 1:
+                            continue
+                        for batch in _batch_ladder(shard_batch):
+                            priced.append(
+                                (
+                                    batch,
+                                    costs.prefill_time(
+                                        batch, prefill_bucket
+                                    ),
+                                    costs.decode_time(
+                                        batch, decode_bucket
+                                    ),
+                                )
+                            )
+                    if priced:
+                        ladders.append(
+                            _StageLadder(
+                                host=host,
+                                placement=placement,
+                                tensor_parallel=tp,
+                                pipeline_parallel=pp,
+                                priced=tuple(priced),
+                            )
+                        )
+        progress.gauge("plan_stages_completed").set(len(stages))
+        self._ladders: Tuple[_StageLadder, ...] = tuple(ladders)
+
+    def plan(
+        self,
+        target: QosTarget,
+        rates_rps: Sequence[float] = (0.01,),
+        replica_counts: Sequence[int] = (1,),
+    ) -> CapacityPlan:
+        """Re-plan over the warm ladders at new rates/replica counts."""
+        if not rates_rps:
+            raise ConfigurationError(
+                "plan_capacity needs at least one host, placement, and rate"
+            )
+        for rate in rates_rps:
+            if rate <= 0:
+                raise ConfigurationError("arrival rates must be positive")
+        if not replica_counts:
+            raise ConfigurationError(
+                "plan_capacity needs at least one shard degree and one "
+                "replica count"
+            )
+        for count in replica_counts:
+            if count < 1:
+                raise ConfigurationError("replica counts must be >= 1")
+        gen_len = self.gen_len
+        evaluated: List[PlanCandidate] = []
+        for cell in self._ladders:
+            degree = cell.tensor_parallel * cell.pipeline_parallel
+            for batch, prefill_s, tbt in cell.priced:
+                block_time = prefill_s + max(0, gen_len - 1) * tbt
+                throughput = batch * gen_len / block_time
+                # Shards are extra hardware; replicas scale both
+                # numerator and denominator, so per-token cost is
+                # replica-invariant.
+                cost = degree * block_time / (batch * gen_len)
+                for count in sorted(set(replica_counts)):
+                    for rate in sorted(rates_rps):
+                        utilization = rate * block_time / (batch * count)
+                        fleet_tps = count * throughput
+                        if utilization >= 1.0:
+                            evaluated.append(
+                                PlanCandidate(
+                                    placement=cell.placement,
+                                    host=cell.host,
+                                    batch_size=batch,
+                                    rate_rps=rate,
+                                    prefill_s=prefill_s,
+                                    tbt_s=tbt,
+                                    block_time_s=block_time,
+                                    ttft_s=float("inf"),
+                                    throughput_tps=fleet_tps,
+                                    utilization=utilization,
+                                    cost_per_token_s=cost,
+                                    feasible=False,
+                                    infeasible_reason=(
+                                        "saturated (rho = "
+                                        f"{utilization:.2f})"
+                                    ),
+                                    replicas=count,
+                                    tensor_parallel=cell.tensor_parallel,
+                                    pipeline_parallel=cell.pipeline_parallel,
+                                )
+                            )
+                            continue
+                        waiting = (
+                            utilization
+                            / (1.0 - utilization)
+                            * block_time
+                            / 2.0
+                        )
+                        ttft = prefill_s + waiting
+                        reason = _check_target(target, ttft, tbt, fleet_tps)
+                        evaluated.append(
+                            PlanCandidate(
+                                placement=cell.placement,
+                                host=cell.host,
+                                batch_size=batch,
+                                rate_rps=rate,
+                                prefill_s=prefill_s,
+                                tbt_s=tbt,
+                                block_time_s=block_time,
+                                ttft_s=ttft,
+                                throughput_tps=fleet_tps,
+                                utilization=utilization,
+                                cost_per_token_s=cost,
+                                feasible=not reason,
+                                infeasible_reason=reason,
+                                replicas=count,
+                                tensor_parallel=cell.tensor_parallel,
+                                pipeline_parallel=cell.pipeline_parallel,
+                            )
+                        )
+        candidates = tuple(sorted(evaluated, key=_sort_key))
+        feasible = [c for c in candidates if c.feasible]
+        chosen = feasible[0] if feasible else None
+        return CapacityPlan(
+            target=target, chosen=chosen, candidates=candidates
+        )
+
+
 def plan_capacity(
     target: QosTarget,
     model: str = "opt-175b",
@@ -216,6 +512,11 @@ def plan_capacity(
     is ``None`` when nothing meets the target.  Candidates that fail
     to build (e.g. a placement whose weights cannot fit, or a model
     too small for the requested shard degree) are skipped.
+
+    One-shot wrapper over :class:`CapacityPlanner`; callers that
+    re-plan at varying rates (the autoscaler) should hold a planner
+    and call :meth:`CapacityPlanner.plan` to reuse the priced
+    ladders.
     """
     if not hosts or not placements or not rates_rps:
         raise ConfigurationError(
@@ -232,180 +533,18 @@ def plan_capacity(
     for count in replica_counts:
         if count < 1:
             raise ConfigurationError("replica counts must be >= 1")
-    for tp, pp in shard_degrees:
-        if tp < 1 or pp < 1:
-            raise ConfigurationError("shard degrees must be >= 1")
-
-    backend = AnalyticBackend()
-    # Deterministic stage progress through the ambient telemetry:
-    # gauges count sweep cells (no wall clock), so a long plan is
-    # watchable with `repro-telemetry dash` yet bit-stable in diffs.
-    from repro.telemetry import current_telemetry
-
-    progress = current_telemetry().scoped("progress")
-    stages = sorted(set(hosts))
-    cells_per_stage = len(set(placements))
-    progress.gauge("plan_stages_total").set(len(stages))
-    progress.gauge("plan_cells_total").set(len(stages) * cells_per_stage)
-    cells_done = 0
-    evaluated: List[PlanCandidate] = []
-    for stage_index, host in enumerate(stages):
-        progress.gauge("plan_stages_completed").set(stage_index)
-        for placement in sorted(set(placements)):
-            cells_done += 1
-            progress.gauge("plan_cells_completed").set(cells_done)
-            try:
-                engine = OffloadEngine(
-                    model=model,
-                    host=host,
-                    placement=placement,
-                    compress_weights=compress_weights,
-                    batch_size=1,
-                    prompt_len=prompt_len,
-                    gen_len=gen_len,
-                    pricing_backend="analytic",
-                )
-                max_batch = engine.max_batch_size(limit=max_batch_limit)
-            except ReproError:
-                continue
-            if max_batch < 1:
-                continue
-            max_position = engine.config.max_position
-            decode_bucket = _bucket(
-                prompt_len + gen_len, max_position, bucket_tokens
-            )
-            prefill_bucket = _bucket(
-                prompt_len, max_position - gen_len, bucket_tokens
-            )
-            for tp, pp in sorted(set(shard_degrees)):
-                # Per-batch (prefill_s, tbt) prices for this degree.
-                priced: List[Tuple[int, float, float]] = []
-                if tp == 1 and pp == 1:
-                    ladder = _batch_ladder(max_batch)
-                    spec = engine.run_spec(
-                        batch_size=1,
-                        prompt_len=prompt_len,
-                        overlap=overlap,
-                        include_faults=False,
-                    )
-                    grid = backend.cost_grid(spec)
-                    decode = grid.evaluate(
-                        Stage.DECODE, ladder, [decode_bucket]
-                    )
-                    prefill = grid.evaluate(
-                        Stage.PREFILL, ladder, [prefill_bucket]
-                    )
-                    decode_totals = decode.totals()
-                    prefill_totals = prefill.totals()
-                    for index, batch in enumerate(ladder):
-                        priced.append(
-                            (
-                                batch,
-                                float(prefill_totals[index, 0]),
-                                float(decode_totals[index, 0]),
-                            )
-                        )
-                else:
-                    from repro.core.placement.sharding import (
-                        ShardedPlacement,
-                    )
-                    from repro.fleet.costs import ShardedCostModel
-
-                    try:
-                        sharded = ShardedPlacement.plan(
-                            engine.placement_result,
-                            tensor_parallel=tp,
-                            pipeline_parallel=pp,
-                        )
-                        costs = ShardedCostModel(
-                            engine, sharded, overlap=overlap
-                        )
-                        shard_batch = costs.max_concurrency(
-                            max_batch_limit
-                        )
-                    except ReproError:
-                        continue
-                    if shard_batch < 1:
-                        continue
-                    for batch in _batch_ladder(shard_batch):
-                        priced.append(
-                            (
-                                batch,
-                                costs.prefill_time(batch, prefill_bucket),
-                                costs.decode_time(batch, decode_bucket),
-                            )
-                        )
-                degree = tp * pp
-                for batch, prefill_s, tbt in priced:
-                    block_time = prefill_s + max(0, gen_len - 1) * tbt
-                    throughput = batch * gen_len / block_time
-                    # Shards are extra hardware; replicas scale both
-                    # numerator and denominator, so per-token cost is
-                    # replica-invariant.
-                    cost = degree * block_time / (batch * gen_len)
-                    for count in sorted(set(replica_counts)):
-                        for rate in sorted(rates_rps):
-                            utilization = (
-                                rate * block_time / (batch * count)
-                            )
-                            fleet_tps = count * throughput
-                            if utilization >= 1.0:
-                                evaluated.append(
-                                    PlanCandidate(
-                                        placement=placement,
-                                        host=host,
-                                        batch_size=batch,
-                                        rate_rps=rate,
-                                        prefill_s=prefill_s,
-                                        tbt_s=tbt,
-                                        block_time_s=block_time,
-                                        ttft_s=float("inf"),
-                                        throughput_tps=fleet_tps,
-                                        utilization=utilization,
-                                        cost_per_token_s=cost,
-                                        feasible=False,
-                                        infeasible_reason=(
-                                            "saturated (rho = "
-                                            f"{utilization:.2f})"
-                                        ),
-                                        replicas=count,
-                                        tensor_parallel=tp,
-                                        pipeline_parallel=pp,
-                                    )
-                                )
-                                continue
-                            waiting = (
-                                utilization
-                                / (1.0 - utilization)
-                                * block_time
-                                / 2.0
-                            )
-                            ttft = prefill_s + waiting
-                            reason = _check_target(
-                                target, ttft, tbt, fleet_tps
-                            )
-                            evaluated.append(
-                                PlanCandidate(
-                                    placement=placement,
-                                    host=host,
-                                    batch_size=batch,
-                                    rate_rps=rate,
-                                    prefill_s=prefill_s,
-                                    tbt_s=tbt,
-                                    block_time_s=block_time,
-                                    ttft_s=ttft,
-                                    throughput_tps=fleet_tps,
-                                    utilization=utilization,
-                                    cost_per_token_s=cost,
-                                    feasible=not reason,
-                                    infeasible_reason=reason,
-                                    replicas=count,
-                                    tensor_parallel=tp,
-                                    pipeline_parallel=pp,
-                                )
-                            )
-    progress.gauge("plan_stages_completed").set(len(stages))
-    candidates = tuple(sorted(evaluated, key=_sort_key))
-    feasible = [c for c in candidates if c.feasible]
-    chosen = feasible[0] if feasible else None
-    return CapacityPlan(target=target, chosen=chosen, candidates=candidates)
+    planner = CapacityPlanner(
+        model=model,
+        hosts=hosts,
+        placements=placements,
+        compress_weights=compress_weights,
+        prompt_len=prompt_len,
+        gen_len=gen_len,
+        bucket_tokens=bucket_tokens,
+        overlap=overlap,
+        max_batch_limit=max_batch_limit,
+        shard_degrees=shard_degrees,
+    )
+    return planner.plan(
+        target, rates_rps=rates_rps, replica_counts=replica_counts
+    )

@@ -12,6 +12,8 @@ Entry points:
 """
 
 from repro.serve.arrivals import (
+    DiurnalProcess,
+    FlashCrowdProcess,
     MmppProcess,
     PoissonProcess,
     TraceReplay,
@@ -66,6 +68,8 @@ from repro.workloads.lengths import LengthDistribution
 __all__ = [
     "PoissonProcess",
     "MmppProcess",
+    "DiurnalProcess",
+    "FlashCrowdProcess",
     "TraceReplay",
     "assign_prefix_groups",
     "generate_requests",

@@ -1,12 +1,18 @@
 """Arrival processes for the open-loop serving simulator.
 
-Three workload shapes:
+Five workload shapes:
 
 * :class:`PoissonProcess` — memoryless arrivals at a constant rate,
   the standard open-loop load model.
 * :class:`MmppProcess` — a two-state Markov-modulated Poisson process
   alternating between a base rate and a burst rate; reproduces the
   bursty traffic tiered-memory serving studies (ITME) evaluate under.
+* :class:`DiurnalProcess` — a non-homogeneous Poisson process whose
+  rate swings sinusoidally between a trough and a peak (the diurnal
+  day/night cycle an autoscaler must ride), sampled by thinning.
+* :class:`FlashCrowdProcess` — steady base traffic plus one
+  ramp-hold-decay surge (a flash crowd / retweet spike), also by
+  thinning.
 * :class:`TraceReplay` — replays a recorded request trace verbatim,
   for production traces or regression workloads.
 
@@ -101,6 +107,126 @@ class MmppProcess:
         return np.asarray(times[:num_requests])
 
 
+def _thin_arrivals(
+    num_requests: int,
+    rng: np.random.Generator,
+    envelope_rps: float,
+    rate_at,
+) -> np.ndarray:
+    """Sample a non-homogeneous Poisson process by thinning.
+
+    Candidate arrivals are drawn from a homogeneous process at the
+    envelope rate (an upper bound on ``rate_at``); each candidate at
+    time ``t`` is kept with probability ``rate_at(t) / envelope``.
+    Exactly two RNG draws per candidate, so the stream is a
+    deterministic function of the seed.
+    """
+    times: List[float] = []
+    now = 0.0
+    while len(times) < num_requests:
+        now += rng.exponential(1.0 / envelope_rps)
+        if rng.random() * envelope_rps <= rate_at(now):
+            times.append(now)
+    return np.asarray(times)
+
+
+@dataclass(frozen=True)
+class DiurnalProcess:
+    """Sinusoidal day/night arrival cycle (non-homogeneous Poisson).
+
+    The instantaneous rate swings between ``base_rate_rps`` (the
+    trough) and ``peak_rate_rps`` over one ``period_s`` cycle:
+    ``rate(t) = base + (peak - base) x (1 - cos(2 pi (t - phase) /
+    period)) / 2`` — the cycle *starts at the trough*, so a run
+    warms up under light load before the first peak hits.
+    """
+
+    base_rate_rps: float
+    peak_rate_rps: float
+    period_s: float
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate_rps <= 0:
+            raise WorkloadError("diurnal base rate must be positive")
+        if self.peak_rate_rps <= self.base_rate_rps:
+            raise WorkloadError("diurnal peak rate must exceed the base rate")
+        if self.period_s <= 0:
+            raise WorkloadError("diurnal period must be positive")
+
+    def rate_at(self, time_s: float) -> float:
+        """Instantaneous arrival rate at virtual ``time_s``."""
+        swing = self.peak_rate_rps - self.base_rate_rps
+        phase = 2.0 * np.pi * (time_s - self.phase_s) / self.period_s
+        return self.base_rate_rps + swing * (1.0 - float(np.cos(phase))) / 2.0
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Time-averaged rate over one full cycle."""
+        return (self.base_rate_rps + self.peak_rate_rps) / 2.0
+
+    def arrival_times(
+        self, num_requests: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return _thin_arrivals(
+            num_requests, rng, self.peak_rate_rps, self.rate_at
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowdProcess:
+    """Steady base traffic plus one ramp-hold-decay surge.
+
+    The rate is ``base_rate_rps`` until ``start_s``, ramps linearly
+    to ``peak_rate_rps`` over ``ramp_s``, holds the peak for
+    ``hold_s``, then decays linearly back over ``decay_s`` — the
+    flash-crowd shape (a viral link, a failover of a sibling region)
+    that static capacity either over-provisions for or sheds.
+    """
+
+    base_rate_rps: float
+    peak_rate_rps: float
+    start_s: float
+    ramp_s: float
+    hold_s: float
+    decay_s: float
+
+    def __post_init__(self) -> None:
+        if self.base_rate_rps <= 0:
+            raise WorkloadError("flash-crowd base rate must be positive")
+        if self.peak_rate_rps <= self.base_rate_rps:
+            raise WorkloadError(
+                "flash-crowd peak rate must exceed the base rate"
+            )
+        if self.start_s < 0:
+            raise WorkloadError("flash-crowd start must be >= 0")
+        if self.ramp_s < 0 or self.hold_s < 0 or self.decay_s < 0:
+            raise WorkloadError("flash-crowd phase durations must be >= 0")
+
+    def rate_at(self, time_s: float) -> float:
+        """Instantaneous arrival rate at virtual ``time_s``."""
+        swing = self.peak_rate_rps - self.base_rate_rps
+        t = time_s - self.start_s
+        if t < 0:
+            return self.base_rate_rps
+        if t < self.ramp_s:
+            return self.base_rate_rps + swing * t / self.ramp_s
+        t -= self.ramp_s
+        if t < self.hold_s:
+            return self.peak_rate_rps
+        t -= self.hold_s
+        if self.decay_s > 0 and t < self.decay_s:
+            return self.peak_rate_rps - swing * t / self.decay_s
+        return self.base_rate_rps
+
+    def arrival_times(
+        self, num_requests: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return _thin_arrivals(
+            num_requests, rng, self.peak_rate_rps, self.rate_at
+        )
+
+
 @dataclass(frozen=True)
 class TraceReplay:
     """A pre-recorded request stream, replayed verbatim."""
@@ -112,7 +238,9 @@ class TraceReplay:
             raise WorkloadError("a trace replay needs at least one request")
 
 
-ArrivalProcess = Union[PoissonProcess, MmppProcess]
+ArrivalProcess = Union[
+    PoissonProcess, MmppProcess, DiurnalProcess, FlashCrowdProcess
+]
 
 
 def generate_requests(
@@ -221,8 +349,39 @@ def save_trace(specs: Sequence[RequestSpec], path: str) -> None:
             handle.write(json.dumps(payload) + "\n")
 
 
+def _validate_trace_record(spec: RequestSpec) -> None:
+    """Bounds-check one decoded trace record.
+
+    ``int()``/``float()`` casts alone would happily load a zero-token
+    prompt, a negative generation length, or an arrival before time
+    zero — records that crash (or silently corrupt metrics) deep
+    inside the scheduler instead of failing at the file boundary.
+    """
+    if spec.request_id < 0:
+        raise ValueError(f"request_id {spec.request_id} must be >= 0")
+    if not np.isfinite(spec.arrival_s) or spec.arrival_s < 0:
+        raise ValueError(
+            f"arrival_s {spec.arrival_s} must be finite and >= 0"
+        )
+    if spec.prompt_len < 1:
+        raise ValueError(f"prompt_len {spec.prompt_len} must be >= 1")
+    if spec.gen_len < 1:
+        raise ValueError(f"gen_len {spec.gen_len} must be >= 1")
+    if spec.prefix_len < 0:
+        raise ValueError(f"prefix_len {spec.prefix_len} must be >= 0")
+    if spec.prefix_group is not None and spec.prefix_len >= spec.prompt_len:
+        raise ValueError(
+            f"prefix_len {spec.prefix_len} must be shorter than "
+            f"prompt_len {spec.prompt_len}"
+        )
+
+
 def load_trace(path: str) -> Tuple[RequestSpec, ...]:
-    """Read a JSONL trace file back into a request stream."""
+    """Read a JSONL trace file back into a request stream.
+
+    Every record is bounds-checked as it is decoded; a bad line fails
+    with its ``path:line_no`` location rather than corrupting a run.
+    """
     specs: List[RequestSpec] = []
     with open(path) as handle:
         for line_no, line in enumerate(handle, start=1):
@@ -232,18 +391,23 @@ def load_trace(path: str) -> Tuple[RequestSpec, ...]:
             try:
                 payload = json.loads(line)
                 group = payload.get("prefix_group")
-                specs.append(
-                    RequestSpec(
-                        request_id=int(payload["request_id"]),
-                        arrival_s=float(payload["arrival_s"]),
-                        prompt_len=int(payload["prompt_len"]),
-                        gen_len=int(payload["gen_len"]),
-                        qos_class=str(payload.get("qos_class", STANDARD.name)),
-                        prefix_group=None if group is None else str(group),
-                        prefix_len=int(payload.get("prefix_len", 0)),
-                    )
+                spec = RequestSpec(
+                    request_id=int(payload["request_id"]),
+                    arrival_s=float(payload["arrival_s"]),
+                    prompt_len=int(payload["prompt_len"]),
+                    gen_len=int(payload["gen_len"]),
+                    qos_class=str(payload.get("qos_class", STANDARD.name)),
+                    prefix_group=None if group is None else str(group),
+                    prefix_len=int(payload.get("prefix_len", 0)),
                 )
-            except (KeyError, ValueError, json.JSONDecodeError) as error:
+                _validate_trace_record(spec)
+                specs.append(spec)
+            except (
+                KeyError,
+                ValueError,
+                WorkloadError,
+                json.JSONDecodeError,
+            ) as error:
                 raise WorkloadError(
                     f"{path}:{line_no}: bad trace record: {error}"
                 ) from None

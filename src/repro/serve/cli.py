@@ -78,16 +78,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="4-bit group-wise weight quantization (default: on)",
     )
     parser.add_argument(
-        "--arrival", default="poisson", choices=("poisson", "bursty"),
-        help="arrival process (ignored with --replay)",
+        "--arrival", default="poisson",
+        choices=("poisson", "bursty", "diurnal", "flash"),
+        help="arrival process (ignored with --replay): poisson, "
+        "bursty (MMPP), diurnal (sinusoidal trough-to-peak swing), "
+        "flash (linear flash-crowd ramp/hold/decay)",
     )
     parser.add_argument(
         "--rate", type=float, default=0.01,
-        help="mean arrival rate, requests/s",
+        help="mean arrival rate, requests/s (diurnal/flash: the "
+        "trough/base rate)",
     )
     parser.add_argument(
         "--burst-rate", type=float, default=None,
         help="bursty arrivals: burst-state rate (default 5x --rate)",
+    )
+    parser.add_argument(
+        "--peak-rate", type=float, default=None,
+        help="diurnal/flash arrivals: peak rate (default 10x --rate)",
+    )
+    parser.add_argument(
+        "--period", type=float, default=None,
+        help="diurnal arrivals: full trough-peak-trough period, "
+        "seconds (default 200 base interarrivals)",
     )
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--seed", type=int, default=0)
@@ -164,6 +177,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet size: run N identically configured replicas behind "
         "a router (default 1 = the single-engine stack, bit-identical "
         "to previous releases)",
+    )
+    parser.add_argument(
+        "--autoscale", action="store_true",
+        help="planner-in-the-loop autoscaling: a deterministic "
+        "controller re-plans capacity every interval from streaming "
+        "arrival/TTFT telemetry and adds or drains replicas "
+        "(--replicas sets the initial size; see docs/fleet.md)",
+    )
+    parser.add_argument(
+        "--autoscale-min", type=int, default=1, metavar="N",
+        help="autoscale floor (default 1)",
+    )
+    parser.add_argument(
+        "--autoscale-max", type=int, default=4, metavar="N",
+        help="autoscale ceiling (default 4)",
+    )
+    parser.add_argument(
+        "--autoscale-interval", type=float, default=60.0, metavar="S",
+        help="control interval, virtual seconds (default 60)",
+    )
+    parser.add_argument(
+        "--autoscale-cooldown", type=float, default=120.0, metavar="S",
+        help="minimum virtual seconds between applied scaling "
+        "changes (default 120)",
     )
     parser.add_argument(
         "--shards", default="1",
@@ -366,6 +403,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_requests = args.requests if args.requests else 0
         else:
             arrival = args.arrival
+            if args.peak_rate is not None or args.period is not None:
+                from repro.serve.simulator import make_arrival_process
+
+                arrival = make_arrival_process(
+                    args.arrival,
+                    args.rate,
+                    burst_rate_rps=args.burst_rate,
+                    peak_rate_rps=args.peak_rate,
+                    period_s=args.period,
+                )
             num_requests = args.requests
 
         tp_text, _, pp_text = args.shards.partition("x")
@@ -377,7 +424,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             or pipeline_parallel > 1
             or args.prefix_groups > 0
             or args.prefix_cache > 0
+            or args.autoscale
         )
+        autoscale_policy = None
+        if args.autoscale:
+            from repro.autoscale import AutoscalePolicy
+
+            autoscale_policy = AutoscalePolicy(
+                interval_s=args.autoscale_interval,
+                cooldown_s=args.autoscale_cooldown,
+                min_replicas=args.autoscale_min,
+                max_replicas=args.autoscale_max,
+            )
 
         telemetry = Telemetry.create(
             tool="repro-serve",
@@ -424,6 +482,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 prefix_groups=args.prefix_groups,
                 prefix_cache_size=args.prefix_cache,
                 slo=slo_arg,
+                autoscale=autoscale_policy,
             )
             _print_fleet_report(fleet_result)
             if args.save_trace:
@@ -513,6 +572,26 @@ def _write_telemetry(telemetry: Telemetry, path: str) -> None:
         print(f"telemetry bundle written to {path}")
 
 
+def _print_autoscale_report(info) -> None:
+    print(
+        f"  autoscale: {info['initial_replicas']} -> "
+        f"{info['final_replicas']} replica(s) "
+        f"(peak {info['peak_replicas']}), "
+        f"{len(info['scaling_events'])} change(s) over "
+        f"{len(info['decisions'])} decision(s)"
+    )
+    print(
+        f"    replica-seconds provisioned : "
+        f"{info['replica_seconds']:.1f} "
+        f"({info['gpu_seconds_per_token']:.4f} gpu-s/token)"
+    )
+    for event in info["scaling_events"]:
+        print(
+            f"    t={event['at_s']:.1f} s: {event['action']} "
+            f"replica {event['replica']}"
+        )
+
+
 def _print_fleet_report(result) -> None:
     setup = result.setup
     summary = result.summary()
@@ -545,6 +624,8 @@ def _print_fleet_report(result) -> None:
         )
     if result.metrics.get("slo"):
         _print_slo_report(result.metrics["slo"])
+    if result.metrics.get("autoscale"):
+        _print_autoscale_report(result.metrics["autoscale"])
     for entry in result.replicas:
         cache = entry.result.setup.get("prefix_cache")
         if cache:

@@ -226,27 +226,57 @@ def make_arrival_process(
     burst_rate_rps: Optional[float] = None,
     mean_base_s: Optional[float] = None,
     mean_burst_s: Optional[float] = None,
+    peak_rate_rps: Optional[float] = None,
+    period_s: Optional[float] = None,
 ) -> ArrivalProcess:
-    """Build a named arrival process (``poisson`` or ``bursty``).
+    """Build a named arrival process.
+
+    ``poisson`` and ``bursty`` are the original shapes; ``diurnal``
+    and ``flash`` are the autoscaler's stress workloads
+    (:class:`~repro.serve.arrivals.DiurnalProcess` /
+    :class:`~repro.serve.arrivals.FlashCrowdProcess`).
 
     For ``bursty``, unspecified parameters default to a burst at 5x
     the base rate with dwell times of 50 base interarrivals in the
-    base state and 10 in the burst state.
+    base state and 10 in the burst state.  For ``diurnal`` and
+    ``flash``, the peak defaults to 10x the base rate — the swing the
+    ROADMAP's autoscaling scenario calls for; the diurnal period
+    defaults to 200 base interarrivals, and the flash crowd starts
+    after 50 with a 5/20/5 ramp/hold/decay.
     """
     if arrival == "poisson":
         return PoissonProcess(rate_rps=rate_rps)
+    if arrival in ("bursty", "diurnal", "flash") and rate_rps <= 0:
+        raise ConfigurationError("arrival rate must be positive")
     if arrival == "bursty":
-        if rate_rps <= 0:
-            raise ConfigurationError("arrival rate must be positive")
         return MmppProcess(
             base_rate_rps=rate_rps,
             burst_rate_rps=burst_rate_rps or rate_rps * 5.0,
             mean_base_s=mean_base_s or 50.0 / rate_rps,
             mean_burst_s=mean_burst_s or 10.0 / rate_rps,
         )
+    if arrival == "diurnal":
+        from repro.serve.arrivals import DiurnalProcess
+
+        return DiurnalProcess(
+            base_rate_rps=rate_rps,
+            peak_rate_rps=peak_rate_rps or rate_rps * 10.0,
+            period_s=period_s or 200.0 / rate_rps,
+        )
+    if arrival == "flash":
+        from repro.serve.arrivals import FlashCrowdProcess
+
+        return FlashCrowdProcess(
+            base_rate_rps=rate_rps,
+            peak_rate_rps=peak_rate_rps or rate_rps * 10.0,
+            start_s=50.0 / rate_rps,
+            ramp_s=5.0 / rate_rps,
+            hold_s=20.0 / rate_rps,
+            decay_s=5.0 / rate_rps,
+        )
     raise ConfigurationError(
         f"unknown arrival process {arrival!r}; expected poisson, bursty, "
-        "or a TraceReplay via trace_specs"
+        "diurnal, flash, or a TraceReplay via trace_specs"
     )
 
 

@@ -1,0 +1,133 @@
+"""The warm :class:`CapacityPlanner` and the planner edge-case fixes:
+over-long generation lengths are rejected up front, and the progress
+gauges count every (host, placement, shard degree) sweep cell."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.plan import CapacityPlanner, QosTarget, plan_capacity
+from repro.telemetry import Telemetry, use_telemetry
+
+MODEL = "opt-1.3b"
+TARGET = QosTarget(max_ttft_s=60.0, max_tbt_s=5.0)
+
+
+class TestGenLenBound:
+    """gen_len >= the model's max position leaves no room for any
+    prompt; the sweep used to price a clamped zero-sized prefill
+    bucket instead of failing like serve/costs does."""
+
+    def test_plan_capacity_rejects_gen_len_at_max_position(self):
+        with pytest.raises(ConfigurationError, match="max position"):
+            plan_capacity(
+                TARGET, model="opt-mini", hosts=("DRAM",),
+                placements=("helm",), gen_len=256,
+            )
+
+    def test_plan_capacity_rejects_gen_len_past_max_position(self):
+        with pytest.raises(ConfigurationError, match="max position"):
+            plan_capacity(
+                TARGET, model="opt-mini", hosts=("DRAM",),
+                placements=("helm",), gen_len=300,
+            )
+
+    def test_longest_valid_gen_len_still_plans(self):
+        plan = plan_capacity(
+            TARGET, model="opt-mini", hosts=("DRAM",),
+            placements=("helm",), gen_len=255, prompt_len=1,
+        )
+        assert plan.candidates
+
+    def test_unknown_model_is_rejected_up_front(self):
+        with pytest.raises(ConfigurationError):
+            plan_capacity(TARGET, model="opt-nonexistent")
+
+
+class TestWarmPlanner:
+    def test_warm_plan_matches_plan_capacity(self):
+        kwargs = dict(
+            model=MODEL,
+            hosts=("DRAM", "NVDRAM"),
+            placements=("helm", "allcpu"),
+        )
+        cold = plan_capacity(TARGET, rates_rps=(0.05, 0.5), **kwargs)
+        planner = CapacityPlanner(**kwargs)
+        warm = planner.plan(TARGET, rates_rps=(0.05, 0.5))
+        assert warm.candidates == cold.candidates
+        assert warm.chosen == cold.chosen
+
+    def test_replanning_is_pure_arithmetic_over_the_same_ladders(self):
+        planner = CapacityPlanner(
+            model=MODEL, hosts=("DRAM",), placements=("helm",)
+        )
+        first = planner.plan(TARGET, rates_rps=(0.05,))
+        again = planner.plan(TARGET, rates_rps=(0.05,))
+        assert first.candidates == again.candidates
+        shifted = planner.plan(TARGET, rates_rps=(0.5,))
+        assert shifted.candidates != first.candidates
+
+    def test_replica_counts_thread_through(self):
+        planner = CapacityPlanner(
+            model=MODEL, hosts=("DRAM",), placements=("helm",)
+        )
+        plan = planner.plan(
+            TARGET, rates_rps=(0.5,), replica_counts=(1, 2, 3)
+        )
+        assert {c.replicas for c in plan.candidates} == {1, 2, 3}
+
+    def test_plan_validates_inputs(self):
+        planner = CapacityPlanner(
+            model=MODEL, hosts=("DRAM",), placements=("helm",)
+        )
+        with pytest.raises(ConfigurationError):
+            planner.plan(TARGET, rates_rps=())
+        with pytest.raises(ConfigurationError):
+            planner.plan(TARGET, rates_rps=(0.5,), replica_counts=(0,))
+
+
+class TestProgressGauges:
+    def _gauges(self, **kwargs):
+        telemetry = Telemetry.create()
+        with use_telemetry(telemetry):
+            plan_capacity(TARGET, **kwargs)
+        return {
+            g["name"]: g["value"]
+            for g in telemetry.registry.snapshot()["gauges"]
+            if g["name"].startswith("progress/")
+        }
+
+    def test_cells_total_counts_shard_degrees(self):
+        gauges = self._gauges(
+            model=MODEL,
+            hosts=("DRAM",),
+            placements=("helm",),
+            shard_degrees=((1, 1), (2, 1), (1, 2)),
+        )
+        assert gauges["progress/plan_cells_total"] == 3
+        assert gauges["progress/plan_cells_completed"] == 3
+
+    def test_cells_cover_the_full_cross_product(self):
+        gauges = self._gauges(
+            model=MODEL,
+            hosts=("DRAM", "NVDRAM"),
+            placements=("helm", "allcpu"),
+            shard_degrees=((1, 1), (2, 1)),
+        )
+        # 2 hosts x 2 placements x 2 degrees.
+        assert gauges["progress/plan_cells_total"] == 8
+        assert gauges["progress/plan_cells_completed"] == 8
+
+    def test_unbuildable_cells_still_complete(self):
+        # opt-175b uncompressed does not fit the small DRAM host;
+        # the skipped stage must still advance every shard cell.
+        gauges = self._gauges(
+            model="opt-175b",
+            hosts=("DRAM",),
+            placements=("helm",),
+            compress_weights=False,
+            shard_degrees=((1, 1), (2, 2)),
+        )
+        assert (
+            gauges["progress/plan_cells_completed"]
+            == gauges["progress/plan_cells_total"]
+        )

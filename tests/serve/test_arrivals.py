@@ -5,6 +5,8 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.serve.arrivals import (
+    DiurnalProcess,
+    FlashCrowdProcess,
     MmppProcess,
     PoissonProcess,
     TraceReplay,
@@ -116,6 +118,145 @@ class TestTraceFiles:
         path.write_text("")
         with pytest.raises(WorkloadError):
             load_trace(str(path))
+
+
+class TestTraceBounds:
+    """Per-line bounds checks: a bad record fails at the file
+    boundary with its path:line_no, not deep inside the scheduler."""
+
+    def _line(self, **overrides):
+        payload = {
+            "request_id": 0, "arrival_s": 1.0,
+            "prompt_len": 8, "gen_len": 4,
+        }
+        payload.update(overrides)
+        import json
+
+        return json.dumps(payload)
+
+    def _expect_bad_line(self, tmp_path, line, line_no=1, prefix=""):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(prefix + line + "\n")
+        with pytest.raises(
+            WorkloadError, match=rf"trace\.jsonl:{line_no}: bad trace"
+        ):
+            load_trace(str(path))
+
+    def test_zero_prompt_rejected_with_line_number(self, tmp_path):
+        self._expect_bad_line(tmp_path, self._line(prompt_len=0))
+
+    def test_negative_gen_len_rejected(self, tmp_path):
+        self._expect_bad_line(tmp_path, self._line(gen_len=-3))
+
+    def test_negative_arrival_rejected(self, tmp_path):
+        self._expect_bad_line(tmp_path, self._line(arrival_s=-0.5))
+
+    def test_non_finite_arrival_rejected(self, tmp_path):
+        self._expect_bad_line(tmp_path, self._line(arrival_s="nan"))
+
+    def test_negative_request_id_rejected(self, tmp_path):
+        self._expect_bad_line(tmp_path, self._line(request_id=-1))
+
+    def test_prefix_at_least_prompt_rejected(self, tmp_path):
+        self._expect_bad_line(
+            tmp_path,
+            self._line(prompt_len=8, prefix_len=8, prefix_group="a"),
+        )
+
+    def test_error_names_the_offending_line(self, tmp_path):
+        good = self._line()
+        self._expect_bad_line(
+            tmp_path,
+            self._line(request_id=1, gen_len=0),
+            line_no=2,
+            prefix=good + "\n",
+        )
+
+    def test_valid_records_round_trip_unchanged(self, tmp_path):
+        specs = generate_requests(
+            PoissonProcess(1.0), 25,
+            class_mix=((INTERACTIVE, 0.5), (BATCH, 0.5)),
+            seed=13,
+        )
+        path = str(tmp_path / "ok.jsonl")
+        save_trace(specs, path)
+        assert load_trace(path) == specs
+
+
+class TestDiurnal:
+    def test_rate_swings_between_base_and_peak(self):
+        process = DiurnalProcess(
+            base_rate_rps=0.5, peak_rate_rps=5.0, period_s=200.0
+        )
+        assert process.rate_at(0.0) == pytest.approx(0.5)
+        assert process.rate_at(100.0) == pytest.approx(5.0)
+        assert process.rate_at(200.0) == pytest.approx(0.5)
+        assert process.mean_rate_rps == pytest.approx(2.75)
+
+    def test_deterministic_in_seed(self):
+        process = DiurnalProcess(
+            base_rate_rps=0.5, peak_rate_rps=5.0, period_s=100.0
+        )
+        first = process.arrival_times(50, np.random.default_rng(3))
+        second = process.arrival_times(50, np.random.default_rng(3))
+        assert np.array_equal(first, second)
+
+    def test_peak_half_is_denser_than_trough_half(self):
+        process = DiurnalProcess(
+            base_rate_rps=0.2, peak_rate_rps=4.0, period_s=200.0
+        )
+        times = process.arrival_times(400, np.random.default_rng(0))
+        period = times % 200.0
+        near_peak = np.sum((period > 50.0) & (period < 150.0))
+        assert near_peak > 0.7 * len(times)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DiurnalProcess(
+                base_rate_rps=0.0, peak_rate_rps=1.0, period_s=10.0
+            )
+        with pytest.raises(WorkloadError):
+            DiurnalProcess(
+                base_rate_rps=2.0, peak_rate_rps=1.0, period_s=10.0
+            )
+        with pytest.raises(WorkloadError):
+            DiurnalProcess(
+                base_rate_rps=0.5, peak_rate_rps=1.0, period_s=0.0
+            )
+
+
+class TestFlashCrowd:
+    def test_piecewise_rate_shape(self):
+        process = FlashCrowdProcess(
+            base_rate_rps=0.5, peak_rate_rps=5.0,
+            start_s=100.0, ramp_s=10.0, hold_s=50.0, decay_s=20.0,
+        )
+        assert process.rate_at(0.0) == pytest.approx(0.5)
+        assert process.rate_at(105.0) == pytest.approx(2.75)
+        assert process.rate_at(120.0) == pytest.approx(5.0)
+        assert process.rate_at(170.0) == pytest.approx(2.75)
+        assert process.rate_at(500.0) == pytest.approx(0.5)
+
+    def test_deterministic_in_seed(self):
+        process = FlashCrowdProcess(
+            base_rate_rps=0.5, peak_rate_rps=5.0,
+            start_s=20.0, ramp_s=5.0, hold_s=30.0, decay_s=5.0,
+        )
+        first = process.arrival_times(60, np.random.default_rng(7))
+        second = process.arrival_times(60, np.random.default_rng(7))
+        assert np.array_equal(first, second)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FlashCrowdProcess(
+                base_rate_rps=0.5, peak_rate_rps=0.4,
+                start_s=10.0, ramp_s=1.0, hold_s=1.0, decay_s=1.0,
+            )
+        with pytest.raises(WorkloadError):
+            FlashCrowdProcess(
+                base_rate_rps=0.5, peak_rate_rps=5.0,
+                start_s=-1.0, ramp_s=1.0, hold_s=1.0, decay_s=1.0,
+            )
 
 
 class TestLengthDistribution:
